@@ -1,0 +1,294 @@
+(* yancctl: build a simulated network, run the yanc controller over it,
+   and administer it with shell one-liners — the whole paper from one
+   command line.
+
+   Examples:
+     yancctl run --topo linear:3 --apps topology,router --ping h1:h3
+     yancctl run --topo fat-tree:4 --apps topology,router --ping h1:h16 \
+       --exec 'ls -l /net/switches' --exec 'find /net -name peer'
+     yancctl tree --topo star:4
+     yancctl shell --topo linear:2 --script pusher.sh *)
+
+module N = Netsim
+
+let setup_logs () =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some Logs.Warning)
+
+(* --- topology specs: "<kind>:<n>" ---------------------------------------------- *)
+
+let parse_topo spec =
+  let fail () = Error (`Msg (Printf.sprintf "unknown topology %S" spec)) in
+  match String.split_on_char ':' spec with
+  | [ "linear"; n ] -> (
+    match int_of_string_opt n with
+    | Some n when n > 0 -> Ok (N.Topo_gen.linear n)
+    | _ -> fail ())
+  | [ "ring"; n ] -> (
+    match int_of_string_opt n with
+    | Some n when n >= 3 -> Ok (N.Topo_gen.ring n)
+    | _ -> fail ())
+  | [ "star"; n ] -> (
+    match int_of_string_opt n with
+    | Some n when n > 0 -> Ok (N.Topo_gen.star ~leaves:n ())
+    | _ -> fail ())
+  | [ "tree"; spec2 ] -> (
+    match String.split_on_char 'x' spec2 with
+    | [ f; d ] -> (
+      match int_of_string_opt f, int_of_string_opt d with
+      | Some fanout, Some depth -> Ok (N.Topo_gen.tree ~fanout ~depth ())
+      | _ -> fail ())
+    | _ -> fail ())
+  | [ "fat-tree"; k ] -> (
+    match int_of_string_opt k with
+    | Some k when k mod 2 = 0 -> Ok (N.Topo_gen.fat_tree ~k ())
+    | _ -> fail ())
+  | [ "random"; n ] -> (
+    match int_of_string_opt n with
+    | Some n when n > 0 -> Ok (N.Topo_gen.random ~extra_links:(n / 2) n)
+    | _ -> fail ())
+  | _ -> fail ()
+
+let topo_conv =
+  Cmdliner.Arg.conv
+    ( (fun s -> parse_topo s),
+      fun ppf _ -> Format.pp_print_string ppf "<topology>" )
+
+(* --- controller assembly --------------------------------------------------------- *)
+
+let build ~topo ~of13 ~apps =
+  let ctl = Yanc.Controller.create ~net:topo.N.Topo_gen.net () in
+  Yanc.Controller.attach_switches
+    ~version:(if of13 then Yanc.Controller.V13 else Yanc.Controller.V10)
+    ctl;
+  let yfs = Yanc.Controller.yfs ctl in
+  let cred = Vfs.Cred.root in
+  List.iter
+    (fun app ->
+      match app with
+      | "topology" ->
+        Yanc.Controller.add_app ctl (Apps.Topology.app (Apps.Topology.create yfs))
+      | "router" ->
+        Yanc.Controller.add_app ctl (Apps.Router.app (Apps.Router.create yfs))
+      | "learning" ->
+        Yanc.Controller.add_app ctl
+          (Apps.Learning_switch.app (Apps.Learning_switch.create yfs))
+      | "arpd" ->
+        Yanc.Controller.add_app ctl (Apps.Arp_daemon.app (Apps.Arp_daemon.create yfs))
+      | "switch-watcher" ->
+        Yanc.Controller.add_app ctl
+          (Apps.Switch_watcher.app (Apps.Switch_watcher.create yfs))
+      | "auditor" ->
+        Yanc.Controller.add_app ctl
+          (Apps.Auditor.app yfs ~cred ~out:(Vfs.Path.of_string_exn "/var/log/audit")
+             ~period:5.)
+      | "accounting" ->
+        Yanc.Controller.add_app ctl
+          (Apps.Accounting.app yfs ~cred
+             ~dir:(Vfs.Path.of_string_exn "/var/accounting") ~period:5.)
+      | other -> Printf.eprintf "warning: unknown app %S (skipped)\n" other)
+    apps;
+  ctl
+
+let do_ping ctl topo spec =
+  match String.split_on_char ':' spec with
+  | [ src; dst ] when String.length dst > 1 && dst.[0] = 'h' -> (
+    let net = topo.N.Topo_gen.net in
+    match
+      N.Network.host net src, int_of_string_opt (String.sub dst 1 (String.length dst - 1))
+    with
+    | Some h, Some dst_n ->
+      let seq = List.length (N.Sim_host.ping_results h) + 1 in
+      N.Network.send_from_host net src
+        (N.Sim_host.ping h ~now:(N.Network.now net) ~dst:(N.Topo_gen.host_ip dst_n) ~seq);
+      let ok =
+        (* a fine idle tick keeps the measured RTT close to the
+           data-plane latency rather than the scheduler quantum *)
+        Yanc.Controller.run_until ~tick:0.002 ctl (fun () ->
+            List.length (N.Sim_host.ping_results h) >= seq)
+      in
+      if ok then
+        let r = List.nth (N.Sim_host.ping_results h) (seq - 1) in
+        Printf.printf "PING %s -> %s: seq=%d rtt=%.3f ms\n" src dst seq
+          (r.N.Sim_host.rtt *. 1000.)
+      else Printf.printf "PING %s -> %s: TIMEOUT\n" src dst
+    | _ -> Printf.eprintf "bad ping spec %S (want hX:hY)\n" spec)
+  | _ -> Printf.eprintf "bad ping spec %S (want hX:hY)\n" spec
+
+(* --- commands ---------------------------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  content
+
+let run_cmd config_file topo of13 apps duration execs pings stats =
+  setup_logs ();
+  (* a config file, when given, takes precedence over the flags *)
+  let topo, of13, apps, duration, flows =
+    match config_file with
+    | None -> Ok topo, of13, apps, duration, []
+    | Some path -> (
+      match Yanc.Config.parse (read_file path) with
+      | Error e ->
+        Printf.eprintf "yancctl: %s: %s\n" path e;
+        exit 2
+      | Ok c ->
+        (parse_topo c.Yanc.Config.topology :> (N.Topo_gen.built, [ `Msg of string ]) result),
+        c.of13, c.apps, c.duration, c.flows )
+  in
+  let topo =
+    match topo with
+    | Ok t -> t
+    | Error (`Msg e) ->
+      Printf.eprintf "yancctl: %s\n" e;
+      exit 2
+  in
+  let ctl = build ~topo ~of13 ~apps in
+  Yanc.Controller.run_for ctl 0.3;
+  (if flows <> [] then
+     match
+       Apps.Flow_pusher.push_config (Yanc.Controller.yfs ctl) ~cred:Vfs.Cred.root
+         (String.concat "\n" flows)
+     with
+     | Ok n -> Printf.printf "pushed %d static flows\n" n
+     | Error e -> Printf.eprintf "yancctl: flow push: %s\n" e);
+  Yanc.Controller.run_for ctl duration;
+  let env = Shell.Env.create (Yanc.Controller.fs ctl) in
+  List.iter (do_ping ctl topo) pings;
+  List.iter
+    (fun line ->
+      Printf.printf "$ %s\n" line;
+      let r = Shell.Pipeline.run env line in
+      print_string r.Shell.Pipeline.out;
+      prerr_string r.Shell.Pipeline.err)
+    execs;
+  if stats then begin
+    let delivered, dropped = N.Network.stats topo.N.Topo_gen.net in
+    Printf.printf "-- frames: %d delivered, %d dropped; %s\n" delivered dropped
+      (Format.asprintf "%a" Vfs.Cost.pp (Vfs.Fs.cost (Yanc.Controller.fs ctl)))
+  end;
+  0
+
+let tree_cmd topo of13 =
+  setup_logs ();
+  let ctl = build ~topo ~of13 ~apps:[ "topology" ] in
+  Yanc.Controller.run_for ctl 3.0;
+  print_string (Yancfs.Yanc_fs.tree (Yanc.Controller.yfs ctl));
+  0
+
+let shell_cmd topo of13 apps script_file lines =
+  setup_logs ();
+  let ctl = build ~topo ~of13 ~apps in
+  Yanc.Controller.run_for ctl 1.0;
+  let env = Shell.Env.create (Yanc.Controller.fs ctl) in
+  let code = ref 0 in
+  (match script_file with
+  | Some path ->
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let content = really_input_string ic len in
+    close_in ic;
+    let r = Shell.Pipeline.run_script env content in
+    print_string r.Shell.Pipeline.out;
+    prerr_string r.Shell.Pipeline.err;
+    code := r.Shell.Pipeline.code
+  | None -> ());
+  List.iter
+    (fun line ->
+      let r = Shell.Pipeline.run env line in
+      print_string r.Shell.Pipeline.out;
+      prerr_string r.Shell.Pipeline.err;
+      if r.Shell.Pipeline.code <> 0 then code := r.Shell.Pipeline.code)
+    lines;
+  Yanc.Controller.run_for ctl 0.5;
+  !code
+
+(* --- cmdliner wiring ------------------------------------------------------------------ *)
+
+open Cmdliner
+
+let topo_arg =
+  Arg.(
+    value
+    & opt topo_conv (N.Topo_gen.linear 2)
+    & info [ "t"; "topo" ] ~docv:"TOPOLOGY"
+        ~doc:
+          "Simulated topology: linear:N, ring:N, star:N, tree:FxD, \
+           fat-tree:K, random:N.")
+
+let of13_arg =
+  Arg.(value & flag & info [ "of13" ] ~doc:"Attach OpenFlow 1.3 drivers instead of 1.0.")
+
+let apps_arg =
+  Arg.(
+    value
+    & opt (list string) [ "topology"; "router" ]
+    & info [ "a"; "apps" ] ~docv:"APPS"
+        ~doc:
+          "Applications to run: topology, router, learning, arpd, auditor, \
+           accounting, switch-watcher.")
+
+let duration_arg =
+  Arg.(
+    value & opt float 3.0
+    & info [ "d"; "duration" ] ~docv:"SECONDS"
+        ~doc:"Simulated seconds to run before executing pings/commands.")
+
+let exec_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "e"; "exec" ] ~docv:"CMD" ~doc:"Shell command to run against the tree.")
+
+let ping_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "ping" ] ~docv:"hX:hY" ~doc:"Send a ping between two hosts.")
+
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print frame and syscall statistics.")
+
+let config_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "c"; "config" ] ~docv:"FILE"
+        ~doc:
+          "Controller config file (topology/protocol/app/duration/flow \
+           lines); overrides the corresponding flags.")
+
+let run_t =
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a controller over a simulated network.")
+    Term.(
+      const run_cmd $ config_arg $ topo_arg $ of13_arg $ apps_arg
+      $ duration_arg $ exec_arg $ ping_arg $ stats_arg)
+
+let tree_t =
+  Cmd.v
+    (Cmd.info "tree" ~doc:"Print the /net hierarchy after discovery (Figure 2).")
+    Term.(const tree_cmd $ topo_arg $ of13_arg)
+
+let script_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "script" ] ~docv:"FILE" ~doc:"Shell script file to run against /net.")
+
+let lines_arg =
+  Arg.(value & pos_all string [] & info [] ~docv:"CMD" ~doc:"Commands to run.")
+
+let shell_t =
+  Cmd.v
+    (Cmd.info "shell" ~doc:"Run shell commands or a script against a live controller.")
+    Term.(const shell_cmd $ topo_arg $ of13_arg $ apps_arg $ script_arg $ lines_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "yancctl" ~version:"1.0.0"
+       ~doc:"yanc: a file-system-centric SDN controller (simulated).")
+    [ run_t; tree_t; shell_t ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,43 @@
+module Y = Yancfs
+module Fs = Vfs.Fs
+
+type usage = { switch : string; packets : int64; bytes : int64; flows : int }
+
+let read_counter fs ~cred path =
+  match Fs.read_file fs ~cred path with
+  | Ok v -> Option.value (Int64.of_string_opt (String.trim v)) ~default:0L
+  | Error _ -> 0L
+
+let collect yfs ~cred =
+  let fs = Y.Yanc_fs.fs yfs in
+  let root = Y.Yanc_fs.root yfs in
+  List.map
+    (fun switch ->
+      let flows = Y.Yanc_fs.flow_names yfs ~cred switch in
+      let packets, bytes =
+        List.fold_left
+          (fun (p, b) flow ->
+            let counters = Y.Layout.flow_counters ~root ~switch flow in
+            ( Int64.add p (read_counter fs ~cred (Vfs.Path.child counters "packets")),
+              Int64.add b (read_counter fs ~cred (Vfs.Path.child counters "bytes")) ))
+          (0L, 0L) flows
+      in
+      { switch; packets; bytes; flows = List.length flows })
+    (Y.Yanc_fs.switch_names yfs)
+
+let run_to_dir yfs ~cred ~dir ~now =
+  let fs = Y.Yanc_fs.fs yfs in
+  let ( let* ) = Result.bind in
+  let* () = Fs.mkdir_p fs ~cred dir in
+  List.fold_left
+    (fun acc u ->
+      let* () = acc in
+      let line =
+        Printf.sprintf "%.3f,%Ld,%Ld,%d\n" now u.packets u.bytes u.flows
+      in
+      Fs.append_file fs ~cred (Vfs.Path.child dir (u.switch ^ ".csv")) line)
+    (Ok ()) (collect yfs ~cred)
+
+let app yfs ~cred ~dir ~period =
+  App_intf.cron ~name:"accounting" ~period (fun ~now ->
+      ignore (run_to_dir yfs ~cred ~dir ~now))

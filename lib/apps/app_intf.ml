@@ -1,0 +1,23 @@
+(** The application model (paper §2): network applications are ordinary
+    processes — daemons that run continuously, cron jobs that run
+    periodically, and oneshot commands. An app is just a named closure
+    over a yanc root and a credential; the scheduler in the core library
+    drives it. Nothing here knows about protocols or switches — apps see
+    only the file system. *)
+
+type schedule =
+  | Daemon            (** every scheduler round *)
+  | Cron of float     (** every [period] simulated seconds *)
+  | Oneshot           (** exactly once *)
+
+type t = {
+  name : string;
+  schedule : schedule;
+  run : now:float -> unit;
+}
+
+let daemon ~name run = { name; schedule = Daemon; run }
+
+let cron ~name ~period run = { name; schedule = Cron period; run }
+
+let oneshot ~name run = { name; schedule = Oneshot; run }

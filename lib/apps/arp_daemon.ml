@@ -1,0 +1,64 @@
+module Y = Yancfs
+module P = Packet
+module OF = Openflow
+
+let app_name = "arpd"
+
+type t = {
+  yfs : Y.Yanc_fs.t;
+  cred : Vfs.Cred.t;
+  subscribed : (string, unit) Hashtbl.t;
+  mutable replies : int;
+}
+
+let create ?(cred = Vfs.Cred.root) yfs =
+  { yfs; cred; subscribed = Hashtbl.create 16; replies = 0 }
+
+let fs t = Y.Yanc_fs.fs t.yfs
+
+let root t = Y.Yanc_fs.root t.yfs
+
+let lookup_ip t addr =
+  List.find_map
+    (fun name ->
+      match Y.Yanc_fs.read_host t.yfs ~cred:t.cred name with
+      | Ok (mac, Some ip, _) when P.Ipv4_addr.equal ip addr -> Some mac
+      | Ok _ | Error _ -> None)
+    (Y.Yanc_fs.host_names t.yfs ~cred:t.cred)
+
+let handle t ~switch (ev : Y.Eventdir.event) =
+  match Y.Eventdir.frame_of ev with
+  | Some ({ P.Eth.payload = P.Eth.Arp ({ op = P.Arp.Request; _ } as arp); _ } as frame)
+    -> (
+    match lookup_ip t arp.P.Arp.tpa with
+    | None -> ()
+    | Some mac -> (
+      match P.Builder.arp_reply_to frame ~mac with
+      | None -> ()
+      | Some reply ->
+        t.replies <- t.replies + 1;
+        ignore
+          (Y.Outdir.submit (fs t) ~cred:t.cred ~root:(root t) ~switch
+             ~actions:[ OF.Action.Output (OF.Action.Physical ev.in_port) ]
+             ~data:(P.Eth.to_wire reply) ())))
+  | Some _ | None -> ()
+
+let run t ~now:_ =
+  List.iter
+    (fun switch ->
+      if not (Hashtbl.mem t.subscribed switch) then begin
+        match
+          Y.Eventdir.subscribe (fs t) ~cred:t.cred ~root:(root t) ~switch
+            ~app:app_name
+        with
+        | Ok () -> Hashtbl.replace t.subscribed switch ()
+        | Error _ -> ()
+      end;
+      List.iter (handle t ~switch)
+        (Y.Eventdir.consume (fs t) ~cred:t.cred ~root:(root t) ~switch
+           ~app:app_name))
+    (Y.Yanc_fs.switch_names t.yfs)
+
+let app t = App_intf.daemon ~name:app_name (fun ~now -> run t ~now)
+
+let replies_sent t = t.replies

@@ -1,0 +1,18 @@
+(** The ARP daemon (paper §2 names ARP as a protocol that deserves its
+    own application): a proxy-ARP responder. It watches packet-ins for
+    ARP requests and answers them directly from the [hosts/] directory
+    (populated by the router or DHCP daemons), suppressing fabric-wide
+    broadcast storms. Requests for unknown addresses are left alone for
+    the router's broadcast path. *)
+
+type t
+
+val create : ?cred:Vfs.Cred.t -> Yancfs.Yanc_fs.t -> t
+
+val run : t -> now:float -> unit
+
+val app : t -> App_intf.t
+
+val replies_sent : t -> int
+
+val app_name : string

@@ -1,0 +1,18 @@
+(** The DHCP daemon: leases addresses from a pool to hosts whose
+    DISCOVER/REQUEST messages arrive as packet-ins, answering with
+    OFFER/ACK packet-outs, and publishes each lease under [hosts/]. *)
+
+type t
+
+val create :
+  ?cred:Vfs.Cred.t -> ?server_ip:Packet.Ipv4_addr.t ->
+  ?server_mac:Packet.Mac.t -> pool:Packet.Ipv4_addr.t list ->
+  Yancfs.Yanc_fs.t -> t
+
+val run : t -> now:float -> unit
+
+val app : t -> App_intf.t
+
+val leases : t -> (Packet.Mac.t * Packet.Ipv4_addr.t) list
+
+val app_name : string

@@ -1,0 +1,120 @@
+module Y = Yancfs
+module OF = Openflow
+
+type spec = { switch : string; name : string; flow : Y.Flowdir.t }
+
+let ( let* ) = Result.bind
+
+let parse_line line =
+  match
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun s -> s <> "")
+  with
+  | [] -> Error "empty flow spec"
+  | switch :: kvs ->
+    let* pairs =
+      List.fold_left
+        (fun acc kv ->
+          let* acc = acc in
+          match String.index_opt kv '=' with
+          | None -> Error (Printf.sprintf "missing '=' in %S" kv)
+          | Some i ->
+            Ok
+              ((String.sub kv 0 i, String.sub kv (i + 1) (String.length kv - i - 1))
+              :: acc))
+        (Ok []) kvs
+    in
+    let pairs = List.rev pairs in
+    let* name =
+      match List.assoc_opt "name" pairs with
+      | Some n when Vfs.Path.valid_name n -> Ok n
+      | Some n -> Error (Printf.sprintf "invalid flow name %S" n)
+      | None -> Error "missing name="
+    in
+    let* flow =
+      List.fold_left
+        (fun acc (k, v) ->
+          let* (flow : Y.Flowdir.t) = acc in
+          if k = "name" then Ok flow
+          else if k = "priority" then
+            match int_of_string_opt v with
+            | Some priority -> Ok { flow with Y.Flowdir.priority }
+            | None -> Error (Printf.sprintf "priority: invalid value %S" v)
+          else if k = "idle_timeout" then
+            match int_of_string_opt v with
+            | Some idle_timeout -> Ok { flow with Y.Flowdir.idle_timeout }
+            | None -> Error (Printf.sprintf "idle_timeout: invalid value %S" v)
+          else if k = "hard_timeout" then
+            match int_of_string_opt v with
+            | Some hard_timeout -> Ok { flow with Y.Flowdir.hard_timeout }
+            | None -> Error (Printf.sprintf "hard_timeout: invalid value %S" v)
+          else if String.length k > 6 && String.sub k 0 6 = "match." then
+            let field = String.sub k 6 (String.length k - 6) in
+            let* of_match = OF.Of_match.set_field flow.Y.Flowdir.of_match field v in
+            Ok { flow with Y.Flowdir.of_match }
+          else if String.length k > 7 && String.sub k 0 7 = "action." then
+            let* actions = OF.Action.of_fields [ k, v ] in
+            Ok { flow with Y.Flowdir.actions = flow.Y.Flowdir.actions @ actions }
+          else Error (Printf.sprintf "unknown key %S" k))
+        (Ok Y.Flowdir.default) pairs
+    in
+    Ok { switch; name; flow }
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      let trimmed = String.trim line in
+      if trimmed = "" || trimmed.[0] = '#' then go acc (lineno + 1) rest
+      else (
+        match parse_line trimmed with
+        | Ok spec -> go (spec :: acc) (lineno + 1) rest
+        | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
+  in
+  go [] 1 lines
+
+let push yfs ~cred specs =
+  let all_switches = Y.Yanc_fs.switch_names yfs in
+  List.fold_left
+    (fun acc spec ->
+      let* count = acc in
+      let targets =
+        if spec.switch = "*" then all_switches else [ spec.switch ]
+      in
+      List.fold_left
+        (fun acc switch ->
+          let* count = acc in
+          let result =
+            match Y.Yanc_fs.create_flow yfs ~cred ~switch ~name:spec.name spec.flow with
+            | Ok () -> Ok ()
+            | Error Vfs.Errno.EEXIST ->
+              (* Update in place, preserving the version chain. *)
+              let dir =
+                Y.Layout.flow ~root:(Y.Yanc_fs.root yfs) ~switch spec.name
+              in
+              let version =
+                Option.value ~default:0
+                  (Y.Flowdir.read_version (Y.Yanc_fs.fs yfs) ~cred dir)
+              in
+              Y.Flowdir.write (Y.Yanc_fs.fs yfs) ~cred dir
+                { spec.flow with Y.Flowdir.version }
+            | Error _ as e -> e
+          in
+          match result with
+          | Ok () -> Ok (count + 1)
+          | Error e ->
+            Error
+              (Printf.sprintf "%s/%s: %s" switch spec.name (Vfs.Errno.message e)))
+        (Ok count) targets)
+    (Ok 0) specs
+
+let push_config yfs ~cred config =
+  let* specs = parse config in
+  push yfs ~cred specs
+
+let oneshot yfs ~cred ~config =
+  App_intf.oneshot ~name:"flow-pusher" (fun ~now:_ ->
+      match push_config yfs ~cred config with
+      | Ok n -> Logs.info (fun m -> m "flow-pusher: wrote %d flows" n)
+      | Error e -> Logs.err (fun m -> m "flow-pusher: %s" e))

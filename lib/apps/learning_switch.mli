@@ -1,0 +1,17 @@
+(** A per-switch L2 learning switch daemon: learns source MACs from
+    packet-ins, installs destination-MAC flows once locations are known,
+    floods unknowns — the canonical first SDN application, written here
+    against nothing but the file system. *)
+
+type t
+
+val create :
+  ?cred:Vfs.Cred.t -> ?idle_timeout:int -> Yancfs.Yanc_fs.t -> t
+
+val run : t -> now:float -> unit
+
+val app : t -> App_intf.t
+
+val macs_learned : t -> int
+
+val app_name : string

@@ -1,0 +1,66 @@
+module Y = Yancfs
+module OF = Openflow
+
+let map_action port_map = function
+  | OF.Action.Output (OF.Action.Physical p) ->
+    OF.Action.Output (OF.Action.Physical (port_map p))
+  | a -> a
+
+let map_match port_map (m : OF.Of_match.t) =
+  { m with OF.Of_match.in_port = Option.map port_map m.OF.Of_match.in_port }
+
+let copy_flows yfs ~cred ~src ~dst ?(port_map = Fun.id) ?(rename = Fun.id) () =
+  let flows = Y.Yanc_fs.flow_names yfs ~cred src in
+  List.fold_left
+    (fun acc name ->
+      match acc with
+      | Error _ as e -> e
+      | Ok count -> (
+        match Y.Yanc_fs.read_flow yfs ~cred ~switch:src name with
+        | Error e -> Error (Printf.sprintf "%s/%s: %s" src name e)
+        | Ok flow ->
+          let flow =
+            { flow with
+              Y.Flowdir.of_match = map_match port_map flow.of_match;
+              actions = List.map (map_action port_map) flow.actions;
+              version = 0;
+              buffer_id = None }
+          in
+          let target = rename name in
+          let result =
+            match
+              Y.Yanc_fs.create_flow yfs ~cred ~switch:dst ~name:target flow
+            with
+            | Ok () -> Ok ()
+            | Error Vfs.Errno.EEXIST ->
+              let dir =
+                Y.Layout.flow ~root:(Y.Yanc_fs.root yfs) ~switch:dst target
+              in
+              let version =
+                Option.value ~default:0
+                  (Y.Flowdir.read_version (Y.Yanc_fs.fs yfs) ~cred dir)
+              in
+              Y.Flowdir.write (Y.Yanc_fs.fs yfs) ~cred dir
+                { flow with Y.Flowdir.version }
+            | Error _ as e -> e
+          in
+          (match result with
+          | Ok () -> Ok (count + 1)
+          | Error e ->
+            Error (Printf.sprintf "%s/%s: %s" dst target (Vfs.Errno.message e)))))
+    (Ok 0) flows
+
+let move_flows yfs ~cred ~src ~dst ?port_map () =
+  match copy_flows yfs ~cred ~src ~dst ?port_map () with
+  | Error _ as e -> e
+  | Ok count ->
+    List.iter
+      (fun name -> ignore (Y.Yanc_fs.delete_flow yfs ~cred ~switch:src name))
+      (Y.Yanc_fs.flow_names yfs ~cred src);
+    Ok count
+
+let oneshot yfs ~cred ~src ~dst =
+  App_intf.oneshot ~name:"migrator" (fun ~now:_ ->
+      match move_flows yfs ~cred ~src ~dst () with
+      | Ok n -> Logs.info (fun m -> m "migrator: moved %d flows %s -> %s" n src dst)
+      | Error e -> Logs.err (fun m -> m "migrator: %s" e))

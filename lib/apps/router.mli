@@ -1,0 +1,27 @@
+(** The reactive router daemon (paper §8): "handles all table misses and
+    sets up paths based on exact match through the network".
+
+    For every packet-in it: tracks the sending host (edge ports are the
+    ports without a [peer] symlink — the topology daemon's links are its
+    only view of the fabric); answers broadcasts by delivering to every
+    edge port in the network (loop-free on any topology); and for
+    unicast traffic to a known host computes a shortest path over the
+    [peer] links and installs one exact-match flow per hop, releasing
+    the buffered packet at the ingress. Discovered hosts are published
+    under [hosts/] for other applications. *)
+
+type t
+
+val create :
+  ?cred:Vfs.Cred.t -> ?idle_timeout:int -> ?priority:int ->
+  Yancfs.Yanc_fs.t -> t
+
+val run : t -> now:float -> unit
+
+val app : t -> App_intf.t
+
+val paths_installed : t -> int
+
+val hosts_tracked : t -> int
+
+val app_name : string

@@ -1,0 +1,55 @@
+module Y = Yancfs
+
+type change = Added of string | Removed of string
+
+type t = {
+  yfs : Y.Yanc_fs.t;
+  notifier : Fsnotify.Notifier.t;
+  on_change : change -> unit;
+  mutable log : (float * change) list;
+  mutable present : string list;
+}
+
+let create ?(on_change = fun _ -> ()) ?cred yfs =
+  ignore cred;
+  let notifier = Fsnotify.Notifier.create (Y.Yanc_fs.fs yfs) in
+  ignore
+    (Fsnotify.Notifier.add_watch notifier
+       (Y.Layout.switches_dir ~root:(Y.Yanc_fs.root yfs))
+       Fsnotify.Event.[ Created; Deleted; Moved_from; Moved_to; Overflow ]);
+  { yfs; notifier; on_change; log = []; present = Y.Yanc_fs.switch_names yfs }
+
+let record t ~now change =
+  t.log <- (now, change) :: t.log;
+  (match change with
+  | Added name -> if not (List.mem name t.present) then t.present <- t.present @ [ name ]
+  | Removed name -> t.present <- List.filter (fun n -> n <> name) t.present);
+  t.on_change change
+
+let run t ~now =
+  List.iter
+    (fun (ev : Fsnotify.Event.t) ->
+      match ev.kind, ev.name with
+      | Fsnotify.Event.Overflow, _ ->
+        (* events were lost: resynchronize from a listing *)
+        let actual = Y.Yanc_fs.switch_names t.yfs in
+        List.iter
+          (fun n -> if not (List.mem n t.present) then record t ~now (Added n))
+          actual;
+        List.iter
+          (fun n -> if not (List.mem n actual) then record t ~now (Removed n))
+          t.present
+      | (Fsnotify.Event.Created | Fsnotify.Event.Moved_to), Some name ->
+        record t ~now (Added name)
+      | (Fsnotify.Event.Deleted | Fsnotify.Event.Moved_from), Some name ->
+        record t ~now (Removed name)
+      | _ -> ())
+    (Fsnotify.Notifier.read_events t.notifier)
+
+let app t = App_intf.daemon ~name:"switch-watcher" (fun ~now -> run t ~now)
+
+let log t = List.rev t.log
+
+let current t = t.present
+
+let close t = Fsnotify.Notifier.close t.notifier

@@ -1,0 +1,25 @@
+(** An event-driven inventory daemon, written the way paper §5.2
+    prescribes: "to monitor for new switches a watch can be placed on
+    the switches directory" — no polling, no protocol, one inotify-style
+    watch. It keeps an arrival/departure log and can run a callback per
+    event (e.g. to provision default flows on every new switch). *)
+
+type change = Added of string | Removed of string
+
+type t
+
+val create :
+  ?on_change:(change -> unit) -> ?cred:Vfs.Cred.t -> Yancfs.Yanc_fs.t -> t
+(** Places the watch immediately; changes are processed on each {!run}. *)
+
+val run : t -> now:float -> unit
+
+val app : t -> App_intf.t
+
+val log : t -> (float * change) list
+(** All changes observed, oldest first, with the time they were seen. *)
+
+val current : t -> string list
+(** Switches believed present. *)
+
+val close : t -> unit

@@ -1,0 +1,172 @@
+module Fs = Vfs.Fs
+
+type pending_op = { due : float; target : int; op : Vfs.Op.t }
+
+type t = {
+  consistency : Consistency.t;
+  rtt : float;
+  replicas : Fs.t array;
+  mutable clock : float;
+  mutable queue : pending_op list; (* kept in arrival order *)
+  partitioned : bool array;
+  stash : pending_op list array;   (* held while the target is cut off *)
+  mutable applying : bool;         (* replication-echo guard *)
+  mutable ops_originated : int;
+  mutable ops_replicated : int;
+  mutable writer_blocked_s : float;
+  mutable max_queue : int;
+}
+
+let apply t target op =
+  t.applying <- true;
+  Fun.protect
+    ~finally:(fun () -> t.applying <- false)
+    (fun () ->
+      t.ops_replicated <- t.ops_replicated + 1;
+      ignore (Fs.replay ~emit:true t.replicas.(target) op))
+
+let enqueue t p =
+  if t.partitioned.(p.target) then
+    t.stash.(p.target) <- t.stash.(p.target) @ [ p ]
+  else begin
+    t.queue <- t.queue @ [ p ];
+    t.max_queue <- max t.max_queue (List.length t.queue)
+  end
+
+let consistency_xattr = "user.consistency"
+
+(* The nearest [user.consistency] annotation on the path or an ancestor
+   overrides the cluster-wide model (paper §5.1). *)
+let effective_consistency t ~origin path =
+  let fs = t.replicas.(origin) in
+  let rec probe = function
+    | None -> t.consistency
+    | Some p -> (
+      match
+        Vfs.Cost.suspended (Fs.cost fs) (fun () ->
+            Fs.getxattr fs ~cred:Vfs.Cred.root p ~name:consistency_xattr)
+      with
+      | Ok v -> (
+        match String.trim v with
+        | "strict" -> Consistency.Sequential
+        | "relaxed" -> Consistency.Eventual { propagation_s = 1.0 }
+        | _ -> t.consistency)
+      | Error _ -> probe (Vfs.Path.parent p))
+  in
+  probe (Some path)
+
+let on_origin_op t origin op =
+  if not t.applying then begin
+    t.ops_originated <- t.ops_originated + 1;
+    if t.partitioned.(origin) then
+      (* The origin is cut off: remember its writes for every peer. *)
+      Array.iteri
+        (fun target _ ->
+          if target <> origin then
+            t.stash.(origin) <- t.stash.(origin) @ [ { due = t.clock; target; op } ])
+        t.replicas
+    else begin
+      let consistency = effective_consistency t ~origin (Vfs.Op.path op) in
+      match consistency with
+      | Consistency.Sequential ->
+        (* Synchronous round: the writer stalls for a full RTT per
+           replica; partitioned targets still stash. *)
+        t.writer_blocked_s <-
+          t.writer_blocked_s
+          +. Consistency.write_blocks_for consistency ~rtt:t.rtt
+               ~replicas:(Array.length t.replicas);
+        Array.iteri
+          (fun target _ ->
+            if target <> origin then
+              if t.partitioned.(target) then
+                t.stash.(target) <- t.stash.(target) @ [ { due = t.clock; target; op } ]
+              else apply t target op)
+          t.replicas
+      | Consistency.Close_to_open _ | Consistency.Eventual _ ->
+        let due = t.clock +. Consistency.visibility_delay consistency in
+        Array.iteri
+          (fun target _ ->
+            if target <> origin then enqueue t { due; target; op })
+          t.replicas
+    end
+  end
+
+let make ~consistency ~rtt replicas =
+  let n = Array.length replicas in
+  let t =
+    { consistency; rtt; replicas; clock = 0.; queue = [];
+      partitioned = Array.make n false;
+      stash = Array.make n [];
+      applying = false; ops_originated = 0; ops_replicated = 0;
+      writer_blocked_s = 0.; max_queue = 0 }
+  in
+  Array.iteri (fun i fs -> ignore (Fs.subscribe fs (on_origin_op t i))) replicas;
+  t
+
+let create ?(consistency = Consistency.nfs) ?(rtt = 0.001) ~n () =
+  make ~consistency ~rtt (Array.init (max 1 n) (fun _ -> Fs.create ()))
+
+let of_replicas ?(consistency = Consistency.nfs) ?(rtt = 0.001) replicas =
+  make ~consistency ~rtt (Array.of_list replicas)
+
+let node t i = t.replicas.(i)
+
+let nodes t = Array.to_list t.replicas
+
+let size t = Array.length t.replicas
+
+let consistency t = t.consistency
+
+let now t = t.clock
+
+let drain t ~all =
+  let due, later =
+    List.partition (fun p -> all || p.due <= t.clock) t.queue
+  in
+  t.queue <- later;
+  List.iter
+    (fun p ->
+      if t.partitioned.(p.target) then
+        t.stash.(p.target) <- t.stash.(p.target) @ [ p ]
+      else apply t p.target p.op)
+    due
+
+let advance t dt =
+  t.clock <- t.clock +. dt;
+  drain t ~all:false
+
+let flush t = drain t ~all:true
+
+let pending t =
+  List.length t.queue + Array.fold_left (fun acc s -> acc + List.length s) 0 t.stash
+
+let converged t = pending t = 0
+
+let partitioned t i = t.partitioned.(i)
+
+let set_partitioned t i cut =
+  if t.partitioned.(i) && not cut then begin
+    t.partitioned.(i) <- false;
+    (* Heal: deliver everything held for and from this node. *)
+    let held = t.stash.(i) in
+    t.stash.(i) <- [];
+    List.iter
+      (fun p ->
+        if p.target = i || not t.partitioned.(p.target) then apply t p.target p.op
+        else t.stash.(p.target) <- t.stash.(p.target) @ [ p ])
+      held
+  end
+  else t.partitioned.(i) <- cut
+
+type metrics = {
+  ops_originated : int;
+  ops_replicated : int;
+  writer_blocked_s : float;
+  max_queue : int;
+}
+
+let metrics (t : t) =
+  { ops_originated = t.ops_originated;
+    ops_replicated = t.ops_replicated;
+    writer_blocked_s = t.writer_blocked_s;
+    max_queue = t.max_queue }

@@ -1,0 +1,75 @@
+(** A distributed file system layered over N {!Vfs.Fs.t} replicas —
+    yanc's path to a distributed controller (paper §6): every controller
+    node mounts a replica; a flow entry written on one machine "will
+    then show up on the device" hosting the driver.
+
+    Replication consumes each origin's mutation stream (the same stream
+    fsnotify uses) and replays it on the other replicas according to the
+    {!Consistency.t} model; replayed ops are re-emitted locally so
+    watchers on a replica fire as if the write were local. Replay is
+    idempotent, so partitioned nodes reconcile by draining their queue
+    when the partition heals.
+
+    The cluster has a clock ({!advance}) driving delayed visibility;
+    under [Sequential] the ops apply inside the originating write. *)
+
+type t
+
+type metrics = {
+  ops_originated : int;
+  ops_replicated : int;
+  writer_blocked_s : float;
+      (** total time writers stalled (Sequential rounds) *)
+  max_queue : int;  (** high-water mark of pending replications *)
+}
+
+val create :
+  ?consistency:Consistency.t -> ?rtt:float -> n:int -> unit -> t
+(** [n] replicas (default consistency {!Consistency.nfs}, rtt 1 ms).
+    Each replica is a fresh file system. *)
+
+val of_replicas : ?consistency:Consistency.t -> ?rtt:float -> Vfs.Fs.t list -> t
+(** Wrap existing file systems (e.g. ones that already host /net). *)
+
+val node : t -> int -> Vfs.Fs.t
+val nodes : t -> Vfs.Fs.t list
+val size : t -> int
+val consistency : t -> Consistency.t
+
+val now : t -> float
+val advance : t -> float -> unit
+(** Move the cluster clock forward and apply every replication whose
+    visibility time has arrived. *)
+
+val flush : t -> unit
+(** Apply everything pending regardless of time — an fsync/umount. *)
+
+val converged : t -> bool
+(** No replications pending and no partitioned queue non-empty. *)
+
+val pending : t -> int
+
+val set_partitioned : t -> int -> bool -> unit
+(** Cut a node off: ops to and from it queue. Healing replays both
+    directions (last-writer-wins at the file level). *)
+
+(** {1 Per-object consistency requirements (paper §5.1)}
+
+    "We plan on utilizing [extended attributes] to specify consistency
+    requirements for various network resources." An object (or any of
+    its ancestors — the nearest annotation wins) carrying the
+    [user.consistency] xattr overrides the cluster's model for ops under
+    it: ["strict"] replicates synchronously even in an eventually
+    consistent cluster; ["relaxed"] defers replication even under
+    [Sequential]. *)
+
+val consistency_xattr : string
+(** ["user.consistency"] *)
+
+val effective_consistency : t -> origin:int -> Vfs.Path.t -> Consistency.t
+(** The model that will govern a write at this path (exposed for tests
+    and introspection). *)
+
+val partitioned : t -> int -> bool
+
+val metrics : t -> metrics

@@ -1,0 +1,25 @@
+type t =
+  | Sequential
+  | Close_to_open of { attr_cache_s : float }
+  | Eventual of { propagation_s : float }
+
+let nfs = Close_to_open { attr_cache_s = 3.0 }
+
+let visibility_delay = function
+  | Sequential -> 0.
+  | Close_to_open { attr_cache_s } -> attr_cache_s
+  | Eventual { propagation_s } -> propagation_s
+
+let write_blocks_for t ~rtt ~replicas =
+  match t with
+  | Sequential -> rtt *. float_of_int (max 0 (replicas - 1))
+  | Close_to_open _ | Eventual _ -> 0.
+
+let to_string = function
+  | Sequential -> "sequential"
+  | Close_to_open { attr_cache_s } ->
+    Printf.sprintf "close-to-open(ac=%.1fs)" attr_cache_s
+  | Eventual { propagation_s } ->
+    Printf.sprintf "eventual(delay=%.1fs)" propagation_s
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,36 @@
+(** Consistency models for the distributed file-system layer.
+
+    Paper §6: "each distributed file system has a different
+    implementation (centralized, peer-to-peer with a DHT, etc.) with
+    varying trade-offs" — and names NFS, sshfs and WheelFS (whose
+    selling point is {e configurable} consistency). These three models
+    span that space:
+
+    - {!Sequential} — a centralized/WheelFS-strict style: a write blocks
+      until every replica has applied it, so reads anywhere see the
+      latest write. Highest write latency, zero staleness.
+    - {!Close_to_open} — NFS semantics: a write is visible remotely only
+      after the writer's flush and the reader's attribute-cache
+      revalidation; modelled as a visibility delay equal to the
+      attribute-cache timeout. Cheap writes, bounded staleness.
+    - {!Eventual} — DHT/sshfs-async style: updates propagate in the
+      background after a propagation delay. Cheapest writes, unbounded
+      ordering guarantees across writers (per-origin FIFO only). *)
+
+type t =
+  | Sequential
+  | Close_to_open of { attr_cache_s : float }
+  | Eventual of { propagation_s : float }
+
+val nfs : t
+(** [Close_to_open] with the Linux default 3 s attribute cache. *)
+
+val visibility_delay : t -> float
+(** How long after a local write a remote node observes it. *)
+
+val write_blocks_for : t -> rtt:float -> replicas:int -> float
+(** The time the {e writer} is stalled per operation: a full round to
+    every other replica under [Sequential], nothing otherwise. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

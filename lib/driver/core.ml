@@ -1,0 +1,311 @@
+module Y = Yancfs
+module OF = Openflow
+
+module Make (P : Driver_intf.PROTOCOL) = struct
+  type flow_cache_entry = { flow : Y.Flowdir.t }
+
+  type t = {
+    yfs : Y.Yanc_fs.t;
+    endpoint : Netsim.Control_channel.endpoint;
+    framing : OF.Framing.t;
+    notifier : Fsnotify.Notifier.t;
+    stats_interval : float;
+    mutable next_xid : int32;
+    mutable switch_name : string option;
+    mutable connected : bool;
+    mutable flows_dirty : bool;
+    mutable ports_dirty : bool;
+    mutable spool_dirty : bool;
+    mutable last_stats : float;
+    mutable installed : int;
+    (* Last committed configuration per flow directory name. *)
+    cache : (string, flow_cache_entry) Hashtbl.t;
+    (* config.port_down value last pushed to hardware, per port. *)
+    pushed_admin : (int, bool) Hashtbl.t;
+  }
+
+  let xid t =
+    let x = t.next_xid in
+    t.next_xid <- Int32.add x 1l;
+    x
+
+  let send t bytes = Netsim.Control_channel.send t.endpoint bytes
+
+  let create ?(stats_interval = 5.0) ~yfs ~endpoint () =
+    let t =
+      { yfs; endpoint; framing = OF.Framing.create ();
+        notifier = Fsnotify.Notifier.create (Y.Yanc_fs.fs yfs);
+        stats_interval; next_xid = 1l; switch_name = None; connected = false;
+        flows_dirty = false; ports_dirty = false; spool_dirty = false;
+        last_stats = 0.; installed = 0; cache = Hashtbl.create 64;
+        pushed_admin = Hashtbl.create 8 }
+    in
+    send t (P.hello ~xid:(xid t));
+    send t (P.features_request ~xid:(xid t));
+    t
+
+  let switch_name t = t.switch_name
+
+  let connected t = t.connected
+
+  let flows_installed t = t.installed
+
+  let root t = Y.Yanc_fs.root t.yfs
+
+  let fs t = Y.Yanc_fs.fs t.yfs
+
+  let cred = Vfs.Cred.root
+
+  (* --- switch-to-controller events ---------------------------------------- *)
+
+  let on_features t ~now:_ (dpid, n_buffers, n_tables, capabilities, ports) =
+    let name = Y.Yanc_fs.switch_name_of_dpid dpid in
+    t.switch_name <- Some name;
+    ignore
+      (Y.Yanc_fs.add_switch t.yfs ~name ~dpid ~protocol:P.name ~n_buffers
+         ~n_tables
+         ~capabilities:(OF.Of_types.Capabilities.to_list capabilities)
+         ~actions:
+           [ "output"; "set_dl_src"; "set_dl_dst"; "set_vlan"; "set_vlan_pcp";
+             "strip_vlan"; "set_nw_src"; "set_nw_dst"; "set_nw_tos";
+             "set_tp_src"; "set_tp_dst" ]);
+    (match ports with
+    | Some ports ->
+      List.iter (fun p -> ignore (Y.Yanc_fs.set_port t.yfs ~switch:name p)) ports
+    | None -> (
+      match P.port_desc_request with
+      | Some req -> send t (req ~xid:(xid t))
+      | None -> ()));
+    (* Watch the parts of the switch directory the driver reacts to. *)
+    let watch path =
+      ignore
+        (Fsnotify.Notifier.add_watch ~recursive:true t.notifier path
+           Fsnotify.Notifier.all)
+    in
+    watch (Y.Layout.flows_dir ~root:(root t) name);
+    watch (Y.Layout.ports_dir ~root:(root t) name);
+    watch (Y.Layout.packet_out_dir ~root:(root t) name);
+    t.connected <- true;
+    (* Pick up anything written before the handshake finished. *)
+    t.flows_dirty <- true;
+    t.ports_dirty <- true;
+    t.spool_dirty <- true
+
+  let find_flow_by_match t of_match priority =
+    Hashtbl.fold
+      (fun name { flow } acc ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          if OF.Of_match.equal flow.of_match of_match && flow.priority = priority
+          then Some name
+          else None)
+      t.cache None
+
+  let on_event t ~now ev =
+    match (ev : Driver_intf.event) with
+    | Driver_intf.Ev_hello | Driver_intf.Ev_other -> ()
+    | Driver_intf.Ev_error e -> Logs.warn (fun m -> m "driver[%s]: %s" P.name e)
+    | Driver_intf.Ev_echo_request { xid; data } -> send t (P.echo_reply ~xid ~data)
+    | Driver_intf.Ev_features { dpid; n_buffers; n_tables; capabilities; ports } ->
+      on_features t ~now (dpid, n_buffers, n_tables, capabilities, ports)
+    | Driver_intf.Ev_ports ports -> (
+      match t.switch_name with
+      | None -> ()
+      | Some name ->
+        List.iter (fun p -> ignore (Y.Yanc_fs.set_port t.yfs ~switch:name p)) ports)
+    | Driver_intf.Ev_packet_in { buffer_id; total_len; in_port; reason; data } -> (
+      match t.switch_name with
+      | None -> ()
+      | Some name ->
+        ignore
+          (Y.Eventdir.publish (fs t) ~root:(root t) ~switch:name ~in_port
+             ~reason ~buffer_id ~total_len ~data))
+    | Driver_intf.Ev_port_status (reason, port) -> (
+      match t.switch_name with
+      | None -> ()
+      | Some name -> (
+        match reason with
+        | OF.Of_types.Port_delete ->
+          ignore (Y.Yanc_fs.remove_port t.yfs ~switch:name port.port_no)
+        | OF.Of_types.Port_add | OF.Of_types.Port_modify ->
+          ignore (Y.Yanc_fs.set_port t.yfs ~switch:name port)))
+    | Driver_intf.Ev_flow_removed { of_match; priority; _ } -> (
+      match t.switch_name with
+      | None -> ()
+      | Some name -> (
+        match find_flow_by_match t of_match priority with
+        | None -> ()
+        | Some flow_name ->
+          Hashtbl.remove t.cache flow_name;
+          ignore (Y.Yanc_fs.delete_flow t.yfs ~cred ~switch:name flow_name)))
+    | Driver_intf.Ev_flow_stats stats -> (
+      match t.switch_name with
+      | None -> ()
+      | Some name ->
+        List.iter
+          (fun (s : OF.Of_types.Flow_stats.t) ->
+            match find_flow_by_match t s.of_match s.priority with
+            | None -> ()
+            | Some flow_name ->
+              ignore
+                (Y.Flowdir.write_counters (fs t) ~cred
+                   (Y.Layout.flow ~root:(root t) ~switch:name flow_name)
+                   ~packets:s.packets ~bytes:s.bytes ~duration_s:s.duration_s))
+          stats)
+    | Driver_intf.Ev_port_stats stats -> (
+      match t.switch_name with
+      | None -> ()
+      | Some name ->
+        List.iter
+          (fun (s : OF.Of_types.Port_stats.t) ->
+            ignore
+              (Y.Yanc_fs.write_port_counters t.yfs ~switch:name
+                 ~port:s.port_no s))
+          stats)
+
+  (* --- file system to switch ------------------------------------------------ *)
+
+  let reconcile_flows t =
+    match t.switch_name with
+    | None -> ()
+    | Some name ->
+      let live = Y.Yanc_fs.flow_names t.yfs ~cred name in
+      (* Deletions first: a renamed flow directory is a deletion plus an
+         addition of the same rule, and deleting by match after the
+         re-add would wipe the new entry. *)
+      let gone =
+        Hashtbl.fold
+          (fun flow_name { flow } acc ->
+            if List.mem flow_name live then acc else (flow_name, flow) :: acc)
+          t.cache []
+      in
+      List.iter
+        (fun (flow_name, (flow : Y.Flowdir.t)) ->
+          Hashtbl.remove t.cache flow_name;
+          send t (P.flow_delete ~xid:(xid t) flow.of_match))
+        gone;
+      (* Additions and updates. *)
+      List.iter
+        (fun flow_name ->
+          let dir = Y.Layout.flow ~root:(root t) ~switch:name flow_name in
+          match Y.Flowdir.read_version (fs t) ~cred dir with
+          | None -> () (* not committed yet *)
+          | Some version -> (
+            let cached = Hashtbl.find_opt t.cache flow_name in
+            let stale =
+              match cached with
+              | Some { flow } -> flow.version < version
+              | None -> true
+            in
+            if stale then
+              match Y.Yanc_fs.read_flow t.yfs ~cred ~switch:name flow_name with
+              | Error msg -> ignore (Y.Flowdir.set_error (fs t) ~cred dir (Some msg))
+              | Ok flow ->
+                ignore (Y.Flowdir.set_error (fs t) ~cred dir None);
+                (* Rule identity changed: the old hardware entry must go. *)
+                (match cached with
+                | Some { flow = old }
+                  when not
+                         (OF.Of_match.equal old.of_match flow.of_match
+                         && old.priority = flow.priority) ->
+                  send t (P.flow_delete ~xid:(xid t) old.of_match)
+                | Some _ | None -> ());
+                send t (P.flow_add ~xid:(xid t) flow);
+                t.installed <- t.installed + 1;
+                (* The buffer reference is one-shot. *)
+                (if flow.buffer_id <> None then
+                   let bpath = Vfs.Path.child dir "buffer_id" in
+                   ignore (Vfs.Fs.unlink (fs t) ~cred bpath));
+                Hashtbl.replace t.cache flow_name
+                  { flow = { flow with buffer_id = None } }))
+        live
+
+  let reconcile_ports t =
+    match t.switch_name with
+    | None -> ()
+    | Some name ->
+      List.iter
+        (fun port_no ->
+          match Y.Yanc_fs.read_port t.yfs ~cred ~switch:name port_no with
+          | Error _ -> ()
+          | Ok info ->
+            let pushed = Hashtbl.find_opt t.pushed_admin port_no in
+            if pushed <> Some info.admin_down then begin
+              Hashtbl.replace t.pushed_admin port_no info.admin_down;
+              send t (P.port_mod ~xid:(xid t) ~port_no ~admin_down:info.admin_down)
+            end)
+        (Y.Yanc_fs.port_numbers t.yfs ~cred name)
+
+  let drain_spool t =
+    match t.switch_name with
+    | None -> ()
+    | Some name ->
+      List.iter
+        (fun (req : Y.Outdir.request) ->
+          send t
+            (P.packet_out ~xid:(xid t) ~buffer_id:req.buffer_id
+               ~in_port:req.in_port ~actions:req.actions ~data:req.data))
+        (Y.Outdir.consume (fs t) ~root:(root t) ~switch:name)
+
+  let classify_fs_events t =
+    match t.switch_name with
+    | None -> ignore (Fsnotify.Notifier.read_events t.notifier)
+    | Some name ->
+      let flows = Y.Layout.flows_dir ~root:(root t) name in
+      let ports = Y.Layout.ports_dir ~root:(root t) name in
+      let spool = Y.Layout.packet_out_dir ~root:(root t) name in
+      List.iter
+        (fun (ev : Fsnotify.Event.t) ->
+          (* A queue overflow means events were lost: rescan everything,
+             as inotify consumers must on IN_Q_OVERFLOW. *)
+          if ev.kind = Fsnotify.Event.Overflow then begin
+            t.flows_dirty <- true;
+            t.ports_dirty <- true;
+            t.spool_dirty <- true
+          end
+          else if Vfs.Path.is_prefix flows ev.path then t.flows_dirty <- true
+          else if Vfs.Path.is_prefix spool ev.path then t.spool_dirty <- true
+          else if Vfs.Path.is_prefix ports ev.path then begin
+            match Vfs.Path.basename ev.path with
+            | Some base when base = Y.Layout.config_port_down ->
+              t.ports_dirty <- true
+            | _ -> ()
+          end)
+        (Fsnotify.Notifier.read_events t.notifier)
+
+  let step t ~now =
+    List.iter (OF.Framing.push t.framing)
+      (Netsim.Control_channel.recv_all t.endpoint);
+    List.iter
+      (fun raw -> on_event t ~now (P.decode_event raw))
+      (OF.Framing.pop_all t.framing);
+    if t.connected then begin
+      classify_fs_events t;
+      if t.flows_dirty then begin
+        t.flows_dirty <- false;
+        reconcile_flows t
+      end;
+      if t.ports_dirty then begin
+        t.ports_dirty <- false;
+        reconcile_ports t
+      end;
+      if t.spool_dirty then begin
+        t.spool_dirty <- false;
+        drain_spool t
+      end;
+      if t.stats_interval > 0. && now -. t.last_stats >= t.stats_interval then begin
+        t.last_stats <- now;
+        send t (P.flow_stats_request ~xid:(xid t));
+        send t (P.port_stats_request ~xid:(xid t))
+      end
+    end
+
+  let detach t = Fsnotify.Notifier.close t.notifier
+
+  let instance t =
+    { Driver_intf.step = (fun ~now -> step t ~now);
+      switch_name = (fun () -> switch_name t);
+      protocol = P.name;
+      detach = (fun () -> detach t) }
+end

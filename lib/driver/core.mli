@@ -1,0 +1,41 @@
+(** The generic controller-side driver: wire protocol on one side, the
+    yanc file system on the other (paper §4.1).
+
+    Translation, in both directions:
+    - handshake → the switch's directory, attribute files and ports
+    - committed flow directories (version bumps) → flow-mod add;
+      removed flow directories → flow-mod delete; parse failures →
+      the flow's [error] file
+    - [config.port_down] writes → port-mod
+    - [packet_out/] spool entries → packet-out
+    - packet-ins → {!Yancfs.Eventdir.publish} into every subscribed
+      application buffer
+    - port-status → port files; flow-removed (timeouts) → flow
+      directory removal; periodic stats → [counters/] files
+
+    The driver learns of file-system activity through fsnotify watches,
+    like any other yanc application. *)
+
+module Make (P : Driver_intf.PROTOCOL) : sig
+  type t
+
+  val create :
+    ?stats_interval:float -> yfs:Yancfs.Yanc_fs.t ->
+    endpoint:Netsim.Control_channel.endpoint -> unit -> t
+  (** Sends hello + features-request immediately. [stats_interval]
+      (default 5 simulated seconds, 0 to disable) paces counter
+      refresh. *)
+
+  val step : t -> now:float -> unit
+  (** Drain the control channel and the fsnotify queue, then reconcile. *)
+
+  val switch_name : t -> string option
+  val connected : t -> bool
+  val flows_installed : t -> int
+  (** Flow-mod adds sent so far (bench instrumentation). *)
+
+  val detach : t -> unit
+  (** Stop watching the file system (the switch directory stays). *)
+
+  val instance : t -> Driver_intf.instance
+end

@@ -1,0 +1,76 @@
+type version = V10 | V13
+
+module Of10_driver = Core.Make (Of10_adapter)
+module Of13_driver = Core.Make (Of13_adapter)
+
+type attachment = {
+  instance : Driver_intf.instance;
+  agent : Netsim.Of_agent.t;
+}
+
+type t = {
+  yfs : Yancfs.Yanc_fs.t;
+  net : Netsim.Network.t;
+  attachments : (int64, attachment) Hashtbl.t;
+}
+
+let create ~yfs ~net () = { yfs; net; attachments = Hashtbl.create 16 }
+
+let detach t ~dpid =
+  match Hashtbl.find_opt t.attachments dpid with
+  | None -> ()
+  | Some a ->
+    a.instance.Driver_intf.detach ();
+    Hashtbl.remove t.attachments dpid
+
+let attach t ~dpid ~version =
+  detach t ~dpid;
+  match Netsim.Network.switch t.net dpid with
+  | None -> invalid_arg (Printf.sprintf "Manager.attach: no switch %Ld" dpid)
+  | Some sw ->
+    let sw_end, ctl_end = Netsim.Control_channel.create () in
+    let agent_version =
+      match version with V10 -> Netsim.Of_agent.V10 | V13 -> Netsim.Of_agent.V13
+    in
+    let agent =
+      Netsim.Of_agent.create ~version:agent_version ~switch:sw ~endpoint:sw_end
+        ~network:t.net ()
+    in
+    let instance =
+      match version with
+      | V10 ->
+        Of10_driver.instance
+          (Of10_driver.create ~yfs:t.yfs ~endpoint:ctl_end ())
+      | V13 ->
+        Of13_driver.instance
+          (Of13_driver.create ~yfs:t.yfs ~endpoint:ctl_end ())
+    in
+    Hashtbl.replace t.attachments dpid { instance; agent }
+
+let upgrade = attach
+
+let ordered t =
+  Hashtbl.fold (fun dpid a acc -> (dpid, a) :: acc) t.attachments []
+  |> List.sort (fun (a, _) (b, _) -> Int64.compare a b)
+
+let step t ~now =
+  let atts = ordered t in
+  List.iter (fun (_, a) -> a.instance.Driver_intf.step ~now) atts;
+  List.iter (fun (_, a) -> Netsim.Of_agent.step a.agent ~now) atts;
+  List.iter (fun (_, a) -> a.instance.Driver_intf.step ~now) atts
+
+let run_control ?(rounds = 4) t ~now =
+  for _ = 1 to rounds do
+    step t ~now
+  done
+
+let driver_protocol t ~dpid =
+  Option.map
+    (fun a -> a.instance.Driver_intf.protocol)
+    (Hashtbl.find_opt t.attachments dpid)
+
+let switch_name t ~dpid =
+  Option.bind (Hashtbl.find_opt t.attachments dpid) (fun a ->
+      a.instance.Driver_intf.switch_name ())
+
+let attached t = List.map fst (ordered t)

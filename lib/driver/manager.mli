@@ -1,0 +1,38 @@
+(** Driver management: one driver per switch, chosen by protocol
+    version, replaceable at runtime.
+
+    "Nodes in such a system can therefore be gradually upgraded, live,
+    to newer protocols" (paper §4.1): {!upgrade} tears down a switch's
+    OF 1.0 driver+agent pair and attaches an OF 1.3 pair; because the
+    file system holds the authoritative network state, the new driver
+    re-reads it and reprograms the switch — applications never notice. *)
+
+type version = V10 | V13
+
+type t
+
+val create : yfs:Yancfs.Yanc_fs.t -> net:Netsim.Network.t -> unit -> t
+
+val attach : t -> dpid:int64 -> version:version -> unit
+(** Connect a switch in the network to a fresh (driver, channel, agent)
+    triple speaking the given version, replacing any existing
+    attachment. *)
+
+val detach : t -> dpid:int64 -> unit
+
+val upgrade : t -> dpid:int64 -> version:version -> unit
+(** Alias of {!attach} with intent: live protocol upgrade. *)
+
+val step : t -> now:float -> unit
+(** One control-plane round: step every driver, then every agent, then
+    the drivers again (so request/reply pairs complete within a
+    round). *)
+
+val run_control : ?rounds:int -> t -> now:float -> unit
+(** Step several rounds (default 4) — enough to finish a handshake. *)
+
+val driver_protocol : t -> dpid:int64 -> string option
+
+val switch_name : t -> dpid:int64 -> string option
+
+val attached : t -> int64 list

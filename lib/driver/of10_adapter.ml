@@ -1,0 +1,72 @@
+(** OpenFlow 1.0 dialect reduced to {!Driver_intf.PROTOCOL}. *)
+
+module OF = Openflow
+
+let name = "openflow10"
+
+let hello ~xid = OF.Of10.encode ~xid OF.Of10.Hello
+
+let features_request ~xid = OF.Of10.encode ~xid OF.Of10.Features_request
+
+let port_desc_request = None
+
+let echo_reply ~xid ~data = OF.Of10.encode ~xid (OF.Of10.Echo_reply data)
+
+let flow_add ~xid (flow : Yancfs.Flowdir.t) =
+  OF.Of10.encode ~xid
+    (OF.Of10.Flow_mod
+       { of_match = flow.of_match;
+         cookie = flow.cookie;
+         command = OF.Of10.Add;
+         idle_timeout = flow.idle_timeout;
+         hard_timeout = flow.hard_timeout;
+         priority = flow.priority;
+         buffer_id = flow.buffer_id;
+         notify_removal = flow.idle_timeout > 0 || flow.hard_timeout > 0;
+         actions = flow.actions })
+
+let flow_delete ~xid of_match =
+  OF.Of10.encode ~xid
+    (OF.Of10.Flow_mod
+       { of_match; cookie = 0L; command = OF.Of10.Delete; idle_timeout = 0;
+         hard_timeout = 0; priority = 0; buffer_id = None;
+         notify_removal = false; actions = [] })
+
+let packet_out ~xid ~buffer_id ~in_port ~actions ~data =
+  OF.Of10.encode ~xid (OF.Of10.Packet_out { buffer_id; in_port; actions; data })
+
+let port_mod ~xid ~port_no ~admin_down =
+  OF.Of10.encode ~xid (OF.Of10.Port_mod { port_no; admin_down })
+
+let flow_stats_request ~xid =
+  OF.Of10.encode ~xid (OF.Of10.Stats_request (OF.Of10.Flow_stats_req OF.Of_match.any))
+
+let port_stats_request ~xid =
+  OF.Of10.encode ~xid (OF.Of10.Stats_request (OF.Of10.Port_stats_req None))
+
+let decode_event raw : Driver_intf.event =
+  match OF.Of10.decode raw with
+  | Error e -> Driver_intf.Ev_error e
+  | Ok (xid, msg) -> (
+    match msg with
+    | OF.Of10.Hello -> Driver_intf.Ev_hello
+    | OF.Of10.Features_reply f ->
+      Driver_intf.Ev_features
+        { dpid = f.datapath_id; n_buffers = f.n_buffers; n_tables = f.n_tables;
+          capabilities = f.capabilities; ports = Some f.ports }
+    | OF.Of10.Packet_in { buffer_id; total_len; in_port; reason; data } ->
+      Driver_intf.Ev_packet_in { buffer_id; total_len; in_port; reason; data }
+    | OF.Of10.Port_status (reason, port) -> Driver_intf.Ev_port_status (reason, port)
+    | OF.Of10.Flow_removed { of_match; priority; reason; duration_s; packets; bytes; _ } ->
+      Driver_intf.Ev_flow_removed
+        { of_match; priority; reason; duration_s; packets; bytes }
+    | OF.Of10.Stats_reply (OF.Of10.Flow_stats_rep stats) ->
+      Driver_intf.Ev_flow_stats stats
+    | OF.Of10.Stats_reply (OF.Of10.Port_stats_rep stats) ->
+      Driver_intf.Ev_port_stats stats
+    | OF.Of10.Echo_request data -> Driver_intf.Ev_echo_request { xid; data }
+    | OF.Of10.Error_msg { ty; code; data } ->
+      Driver_intf.Ev_error (Printf.sprintf "switch error type=%d code=%d %s" ty code data)
+    | OF.Of10.Echo_reply _ | OF.Of10.Features_request | OF.Of10.Flow_mod _
+    | OF.Of10.Packet_out _ | OF.Of10.Port_mod _ | OF.Of10.Stats_request _
+    | OF.Of10.Barrier_request | OF.Of10.Barrier_reply -> Driver_intf.Ev_other)

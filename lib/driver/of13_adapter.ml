@@ -1,0 +1,85 @@
+(** OpenFlow 1.3 dialect reduced to {!Driver_intf.PROTOCOL}. Flows are
+    programmed into table 0 with a single apply-actions instruction —
+    the file-system schema is table-free, exactly the situation the
+    paper describes when moving "from OpenFlow 1.0 to 1.3" behind an
+    unchanged application API. *)
+
+module OF = Openflow
+
+let name = "openflow13"
+
+let hello ~xid = OF.Of13.encode ~xid OF.Of13.Hello
+
+let features_request ~xid = OF.Of13.encode ~xid OF.Of13.Features_request
+
+let port_desc_request =
+  Some
+    (fun ~xid ->
+      OF.Of13.encode ~xid (OF.Of13.Multipart_request OF.Of13.Port_desc_req))
+
+let echo_reply ~xid ~data = OF.Of13.encode ~xid (OF.Of13.Echo_reply data)
+
+let flow_add ~xid (flow : Yancfs.Flowdir.t) =
+  OF.Of13.encode ~xid
+    (OF.Of13.Flow_mod
+       { table_id = 0;
+         of_match = flow.of_match;
+         cookie = flow.cookie;
+         command = OF.Of13.Add;
+         idle_timeout = flow.idle_timeout;
+         hard_timeout = flow.hard_timeout;
+         priority = flow.priority;
+         buffer_id = flow.buffer_id;
+         notify_removal = flow.idle_timeout > 0 || flow.hard_timeout > 0;
+         instructions = [ OF.Of13.Apply_actions flow.actions ] })
+
+let flow_delete ~xid of_match =
+  OF.Of13.encode ~xid
+    (OF.Of13.Flow_mod
+       { table_id = 0; of_match; cookie = 0L; command = OF.Of13.Delete;
+         idle_timeout = 0; hard_timeout = 0; priority = 0; buffer_id = None;
+         notify_removal = false; instructions = [] })
+
+let packet_out ~xid ~buffer_id ~in_port ~actions ~data =
+  OF.Of13.encode ~xid (OF.Of13.Packet_out { buffer_id; in_port; actions; data })
+
+let port_mod ~xid ~port_no ~admin_down =
+  OF.Of13.encode ~xid (OF.Of13.Port_mod { port_no; admin_down })
+
+let flow_stats_request ~xid =
+  OF.Of13.encode ~xid
+    (OF.Of13.Multipart_request
+       (OF.Of13.Flow_stats_req { table_id = None; of_match = OF.Of_match.any }))
+
+let port_stats_request ~xid =
+  OF.Of13.encode ~xid (OF.Of13.Multipart_request (OF.Of13.Port_stats_req None))
+
+let decode_event raw : Driver_intf.event =
+  match OF.Of13.decode raw with
+  | Error e -> Driver_intf.Ev_error e
+  | Ok (xid, msg) -> (
+    match msg with
+    | OF.Of13.Hello -> Driver_intf.Ev_hello
+    | OF.Of13.Features_reply f ->
+      Driver_intf.Ev_features
+        { dpid = f.datapath_id; n_buffers = f.n_buffers; n_tables = f.n_tables;
+          capabilities = f.capabilities; ports = None }
+    | OF.Of13.Multipart_reply (OF.Of13.Port_desc_rep ports) ->
+      Driver_intf.Ev_ports ports
+    | OF.Of13.Packet_in { buffer_id; total_len; in_port; reason; data; _ } ->
+      Driver_intf.Ev_packet_in { buffer_id; total_len; in_port; reason; data }
+    | OF.Of13.Port_status (reason, port) -> Driver_intf.Ev_port_status (reason, port)
+    | OF.Of13.Flow_removed { of_match; priority; reason; duration_s; packets; bytes; _ } ->
+      Driver_intf.Ev_flow_removed
+        { of_match; priority; reason; duration_s; packets; bytes }
+    | OF.Of13.Multipart_reply (OF.Of13.Flow_stats_rep entries) ->
+      Driver_intf.Ev_flow_stats
+        (List.map (fun (e : OF.Of13.flow_stats_entry) -> e.stats) entries)
+    | OF.Of13.Multipart_reply (OF.Of13.Port_stats_rep stats) ->
+      Driver_intf.Ev_port_stats stats
+    | OF.Of13.Echo_request data -> Driver_intf.Ev_echo_request { xid; data }
+    | OF.Of13.Error_msg { ty; code; data } ->
+      Driver_intf.Ev_error (Printf.sprintf "switch error type=%d code=%d %s" ty code data)
+    | OF.Of13.Echo_reply _ | OF.Of13.Features_request | OF.Of13.Flow_mod _
+    | OF.Of13.Packet_out _ | OF.Of13.Port_mod _ | OF.Of13.Multipart_request _
+    | OF.Of13.Barrier_request | OF.Of13.Barrier_reply -> Driver_intf.Ev_other)

@@ -1,0 +1,33 @@
+type kind =
+  | Created
+  | Deleted
+  | Modified
+  | Attrib
+  | Moved_from
+  | Moved_to
+  | Delete_self
+  | Move_self
+  | Overflow
+
+type t = {
+  wd : int;
+  kind : kind;
+  path : Vfs.Path.t;
+  name : string option;
+}
+
+let kind_to_string = function
+  | Created -> "created"
+  | Deleted -> "deleted"
+  | Modified -> "modified"
+  | Attrib -> "attrib"
+  | Moved_from -> "moved_from"
+  | Moved_to -> "moved_to"
+  | Delete_self -> "delete_self"
+  | Move_self -> "move_self"
+  | Overflow -> "overflow"
+
+let pp ppf e =
+  Format.fprintf ppf "[wd=%d %s %a%s]" e.wd (kind_to_string e.kind)
+    Vfs.Path.pp e.path
+    (match e.name with None -> "" | Some n -> " name=" ^ n)

@@ -1,0 +1,26 @@
+(** File-system change events, modelled on inotify(7).
+
+    yanc applications monitor the network exclusively through these
+    (paper §5.2): a watch on [/net/switches] reports new switches, a
+    watch on a flow's [version] file reports committed flow changes. *)
+
+type kind =
+  | Created        (** a directory entry appeared (mkdir/create/symlink) *)
+  | Deleted        (** a directory entry disappeared *)
+  | Modified       (** file content changed (write/truncate) *)
+  | Attrib         (** metadata changed (chmod/chown/xattr/acl) *)
+  | Moved_from     (** entry left this directory via rename *)
+  | Moved_to       (** entry arrived in this directory via rename *)
+  | Delete_self    (** the watched object itself was removed *)
+  | Move_self      (** the watched object itself was renamed *)
+  | Overflow       (** the event queue overflowed; events were dropped *)
+
+type t = {
+  wd : int;              (** the watch this event was delivered to *)
+  kind : kind;
+  path : Vfs.Path.t;     (** full canonical path of the affected object *)
+  name : string option;  (** entry name relative to a watched directory *)
+}
+
+val kind_to_string : kind -> string
+val pp : Format.formatter -> t -> unit

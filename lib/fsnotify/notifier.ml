@@ -1,0 +1,111 @@
+type mask = Event.kind list
+
+let all =
+  Event.
+    [ Created; Deleted; Modified; Attrib; Moved_from; Moved_to; Delete_self;
+      Move_self ]
+
+type watch = { wd : int; path : Vfs.Path.t; mask : mask; recursive : bool }
+
+type t = {
+  fs : Vfs.Fs.t;
+  queue_limit : int;
+  queue : Event.t Queue.t;
+  mutable overflowed : bool;
+  mutable watches : watch list;
+  mutable next_wd : int;
+  mutable hook : Vfs.Fs.hook option;
+}
+
+let enqueue t (ev : Event.t) =
+  if Queue.length t.queue >= t.queue_limit then begin
+    if not t.overflowed then begin
+      t.overflowed <- true;
+      Queue.push
+        { Event.wd = -1; kind = Event.Overflow; path = Vfs.Path.root; name = None }
+        t.queue
+    end
+  end
+  else Queue.push ev t.queue
+
+let deliver t ~kind ~path =
+  (* A change to [path] is reported to watches on its parent directory
+     (child event, with [name]), to watches on the object itself, and to
+     recursive watches on any ancestor. *)
+  let parent = Vfs.Path.parent path in
+  let name = Vfs.Path.basename path in
+  let self_kind =
+    match (kind : Event.kind) with
+    | Deleted -> Event.Delete_self
+    | Moved_from -> Event.Move_self
+    | k -> k
+  in
+  List.iter
+    (fun w ->
+      let interested k = List.mem k w.mask in
+      if Vfs.Path.equal w.path path then begin
+        (* Self events: Modify/Attrib stay as-is, deletion/rename become
+           *_self. Created on the watched path itself is not a self event. *)
+        match kind with
+        | Event.Created -> ()
+        | _ ->
+          if interested self_kind then
+            enqueue t { Event.wd = w.wd; kind = self_kind; path; name = None }
+      end
+      else
+        let is_parent =
+          match parent with Some p -> Vfs.Path.equal w.path p | None -> false
+        in
+        let is_ancestor = w.recursive && Vfs.Path.is_prefix w.path path in
+        if (is_parent || is_ancestor) && interested kind then
+          enqueue t { Event.wd = w.wd; kind; path; name })
+    t.watches
+
+let on_op t (op : Vfs.Op.t) =
+  if t.watches <> [] then
+    match op with
+    | Mkdir { path; _ } | Create { path; _ } | Symlink { path; _ } ->
+      deliver t ~kind:Event.Created ~path
+    | Write { path; _ } | Truncate { path; _ } ->
+      deliver t ~kind:Event.Modified ~path
+    | Unlink { path } | Rmdir { path; _ } -> deliver t ~kind:Event.Deleted ~path
+    | Rename { src; dst } ->
+      deliver t ~kind:Event.Moved_from ~path:src;
+      deliver t ~kind:Event.Moved_to ~path:dst
+    | Chmod { path; _ } | Chown { path; _ } | Set_xattr { path; _ }
+    | Remove_xattr { path; _ } | Set_acl { path; _ } ->
+      deliver t ~kind:Event.Attrib ~path
+
+let create ?(queue_limit = 16384) fs =
+  let t =
+    { fs; queue_limit; queue = Queue.create (); overflowed = false;
+      watches = []; next_wd = 1; hook = None }
+  in
+  t.hook <- Some (Vfs.Fs.subscribe fs (on_op t));
+  t
+
+let close t =
+  match t.hook with
+  | None -> ()
+  | Some h ->
+    Vfs.Fs.unsubscribe t.fs h;
+    t.hook <- None
+
+let add_watch ?(recursive = false) t path mask =
+  let wd = t.next_wd in
+  t.next_wd <- wd + 1;
+  t.watches <- { wd; path; mask; recursive } :: t.watches;
+  wd
+
+let rm_watch t wd = t.watches <- List.filter (fun w -> w.wd <> wd) t.watches
+
+let read_events t =
+  Vfs.Cost.syscall (Vfs.Fs.cost t.fs);
+  t.overflowed <- false;
+  let evs = Queue.fold (fun acc e -> e :: acc) [] t.queue in
+  Queue.clear t.queue;
+  List.rev evs
+
+let pending t = Queue.length t.queue
+
+let has_watches t = t.watches <> []

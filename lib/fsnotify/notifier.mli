@@ -1,0 +1,43 @@
+(** An inotify-like notifier over a {!Vfs.Fs.t}.
+
+    A notifier owns a bounded event queue and any number of watches. It
+    is implemented purely as a subscriber of the VFS mutation stream —
+    "use of the *notify systems comes free, requiring no additional
+    lines of code to the yanc file system" (paper §5.2).
+
+    Watches are path-based (the simulation has no persistent inode
+    handles across rename); a watch placed on a directory reports events
+    for its direct children, a watch placed on a file reports events on
+    the file itself, and [~recursive:true] extends a directory watch to
+    the whole subtree (fanotify-style). *)
+
+type t
+
+type mask = Event.kind list
+(** Event kinds the watch is interested in. *)
+
+val all : mask
+
+val create : ?queue_limit:int -> Vfs.Fs.t -> t
+(** [queue_limit] (default 16384) bounds the pending-event queue; on
+    overflow an {!Event.Overflow} event replaces the excess, as inotify
+    does. *)
+
+val close : t -> unit
+(** Detach from the file system; pending events remain readable. *)
+
+val add_watch : ?recursive:bool -> t -> Vfs.Path.t -> mask -> int
+(** Returns a watch descriptor. The path need not exist yet: a watch on
+    a not-yet-created directory becomes live when the directory
+    appears (this differs from inotify and is convenient for watching
+    e.g. a switch directory that a driver will create). *)
+
+val rm_watch : t -> int -> unit
+
+val read_events : t -> Event.t list
+(** Drain all pending events, oldest first. Counts as one kernel
+    crossing against the file system's cost model. *)
+
+val pending : t -> int
+
+val has_watches : t -> bool

@@ -1,0 +1,49 @@
+type 'a t = {
+  slots : 'a option array;
+  capacity : int;
+  mutable head : int; (* next pop *)
+  mutable tail : int; (* next push *)
+  mutable length : int;
+  mutable dropped : int;
+  mutable pushed : int;
+}
+
+let create ~capacity =
+  let capacity = max 1 capacity in
+  { slots = Array.make capacity None; capacity; head = 0; tail = 0; length = 0;
+    dropped = 0; pushed = 0 }
+
+let push t v =
+  if t.length = t.capacity then begin
+    t.dropped <- t.dropped + 1;
+    false
+  end
+  else begin
+    t.slots.(t.tail) <- Some v;
+    t.tail <- (t.tail + 1) mod t.capacity;
+    t.length <- t.length + 1;
+    t.pushed <- t.pushed + 1;
+    true
+  end
+
+let pop t =
+  if t.length = 0 then None
+  else begin
+    let v = t.slots.(t.head) in
+    t.slots.(t.head) <- None;
+    t.head <- (t.head + 1) mod t.capacity;
+    t.length <- t.length - 1;
+    v
+  end
+
+let pop_all t =
+  let rec go acc = match pop t with None -> List.rev acc | Some v -> go (v :: acc) in
+  go []
+
+let length t = t.length
+
+let capacity t = t.capacity
+
+let dropped t = t.dropped
+
+let pushed t = t.pushed

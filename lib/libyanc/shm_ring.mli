@@ -1,0 +1,25 @@
+(** Zero-copy bulk-data ring (paper §8.1: libyanc "allows for the
+    efficient, zero-copy passing of bulk data — packet-in buffers, for
+    example — among applications").
+
+    A bounded single-producer single-consumer ring of immutable buffer
+    references. Passing a packet through the ring moves a pointer; the
+    event-directory path copies the frame bytes into a file and back
+    out, so the bench comparing the two shows exactly the copy cost the
+    paper is eliminating. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+
+val push : 'a t -> 'a -> bool
+(** False (and the producer's drop counter bumps) when full. *)
+
+val pop : 'a t -> 'a option
+
+val pop_all : 'a t -> 'a list
+
+val length : 'a t -> int
+val capacity : 'a t -> int
+val dropped : 'a t -> int
+val pushed : 'a t -> int

@@ -1,0 +1,32 @@
+type endpoint = {
+  inbox : string Queue.t;
+  mutable peer : endpoint option;
+  mutable sent : int;
+}
+
+type t = endpoint * endpoint
+
+let create () =
+  let a = { inbox = Queue.create (); peer = None; sent = 0 } in
+  let b = { inbox = Queue.create (); peer = None; sent = 0 } in
+  a.peer <- Some b;
+  b.peer <- Some a;
+  a, b
+
+let send ep data =
+  ep.sent <- ep.sent + String.length data;
+  match ep.peer with
+  | Some peer -> Queue.push data peer.inbox
+  | None -> ()
+
+let recv ep = if Queue.is_empty ep.inbox then None else Some (Queue.pop ep.inbox)
+
+let recv_all ep =
+  let rec go acc =
+    match recv ep with None -> List.rev acc | Some c -> go (c :: acc)
+  in
+  go []
+
+let pending ep = Queue.length ep.inbox
+
+let bytes_sent ep = ep.sent

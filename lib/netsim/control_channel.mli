@@ -1,0 +1,26 @@
+(** An in-memory bidirectional byte pipe standing in for the TCP
+    connection between a switch and its controller-side driver. Bytes
+    written on one endpoint are read, in order, from the other. *)
+
+type t
+
+type endpoint
+
+val create : unit -> endpoint * endpoint
+(** A connected pair: (switch side, controller side) by convention,
+    though the pipe is symmetric. *)
+
+val send : endpoint -> string -> unit
+
+val recv : endpoint -> string option
+(** The next pending chunk, if any (chunks preserve send boundaries;
+    OpenFlow {!Openflow.Framing} reassembles messages regardless). *)
+
+val recv_all : endpoint -> string list
+
+val pending : endpoint -> int
+(** Number of chunks waiting to be read at this endpoint. *)
+
+val bytes_sent : endpoint -> int
+(** Total bytes this endpoint has sent — used by benches to measure
+    control-channel volume. *)

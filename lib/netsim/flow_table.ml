@@ -1,0 +1,199 @@
+module Of_match = Openflow.Of_match
+
+type strategy = Linear | Exact_hash
+
+type entry = {
+  of_match : Of_match.t;
+  priority : int;
+  actions : Openflow.Action.t list;
+  cookie : int64;
+  idle_timeout : int;
+  hard_timeout : int;
+  notify_removal : bool;
+  install_time : float;
+  mutable last_hit : float;
+  mutable packets : int64;
+  mutable bytes : int64;
+}
+
+(* The exact-match fast path keys entries by the packet's full header
+   tuple; only entries produced by [Of_match.exact_of_headers]-style
+   matches can live there. *)
+type t = {
+  strategy : strategy;
+  mutable wildcard : entry list; (* sorted by priority, descending *)
+  exact : (string, entry) Hashtbl.t;
+}
+
+let create ?(strategy = Linear) () =
+  { strategy; wildcard = []; exact = Hashtbl.create 64 }
+
+let strategy t = t.strategy
+
+(* A compact binary key over the full tuple; only sound for
+   fully-specified matches. *)
+let exact_key (m : Of_match.t) =
+  let b = Buffer.create 48 in
+  let i v = Buffer.add_string b (string_of_int v); Buffer.add_char b ';' in
+  let o = function Some v -> i v | None -> Buffer.add_char b '*' in
+  o m.Of_match.in_port;
+  o (Option.map Packet.Mac.to_int m.dl_src);
+  o (Option.map Packet.Mac.to_int m.dl_dst);
+  o m.dl_vlan;
+  o m.dl_vlan_pcp;
+  o m.dl_type;
+  o (Option.map
+       (fun (p : Packet.Ipv4_addr.Prefix.t) ->
+         Int32.to_int (Packet.Ipv4_addr.to_int32 p.base))
+       m.nw_src);
+  o (Option.map
+       (fun (p : Packet.Ipv4_addr.Prefix.t) ->
+         Int32.to_int (Packet.Ipv4_addr.to_int32 p.base))
+       m.nw_dst);
+  o m.nw_proto;
+  o m.nw_tos;
+  o m.tp_src;
+  o m.tp_dst;
+  Buffer.contents b
+
+let headers_key (h : Packet.Headers.t) =
+  let b = Buffer.create 48 in
+  let i v = Buffer.add_string b (string_of_int v); Buffer.add_char b ';' in
+  let o = function Some v -> i v | None -> Buffer.add_char b '*' in
+  i h.Packet.Headers.in_port;
+  i (Packet.Mac.to_int h.dl_src);
+  i (Packet.Mac.to_int h.dl_dst);
+  o h.dl_vlan;
+  o h.dl_vlan_pcp;
+  i h.dl_type;
+  o (Option.map (fun a -> Int32.to_int (Packet.Ipv4_addr.to_int32 a)) h.nw_src);
+  o (Option.map (fun a -> Int32.to_int (Packet.Ipv4_addr.to_int32 a)) h.nw_dst);
+  o h.nw_proto;
+  o h.nw_tos;
+  o h.tp_src;
+  o h.tp_dst;
+  Buffer.contents b
+
+let is_hashable t (m : Of_match.t) =
+  t.strategy = Exact_hash && Of_match.is_exact m
+  && m.dl_vlan_pcp <> None = (m.dl_vlan <> None)
+
+let insert_sorted entry l =
+  let rec go = function
+    | [] -> [ entry ]
+    | e :: rest when e.priority < entry.priority -> entry :: e :: rest
+    | e :: rest -> e :: go rest
+  in
+  go l
+
+let same_rule a (m, p) = Of_match.equal a.of_match m && a.priority = p
+
+let add t ~now ~of_match ~priority ~actions ?(cookie = 0L) ?(idle_timeout = 0)
+    ?(hard_timeout = 0) ?(notify_removal = false) () =
+  let entry =
+    { of_match; priority; actions; cookie; idle_timeout; hard_timeout;
+      notify_removal; install_time = now; last_hit = now; packets = 0L;
+      bytes = 0L }
+  in
+  if is_hashable t of_match then
+    Hashtbl.replace t.exact (exact_key of_match) entry
+  else begin
+    t.wildcard <-
+      insert_sorted entry
+        (List.filter (fun e -> not (same_rule e (of_match, priority))) t.wildcard)
+  end
+
+let modify t ~of_match ~actions =
+  let count = ref 0 in
+  t.wildcard <-
+    List.map
+      (fun e ->
+        if Of_match.equal e.of_match of_match then begin
+          incr count;
+          { e with actions }
+        end
+        else e)
+      t.wildcard;
+  (match Hashtbl.find_opt t.exact (exact_key of_match) with
+  | Some e when Of_match.equal e.of_match of_match ->
+    incr count;
+    Hashtbl.replace t.exact (exact_key of_match) { e with actions }
+  | Some _ | None -> ());
+  !count
+
+let delete t ~of_match =
+  let removed = ref [] in
+  t.wildcard <-
+    List.filter
+      (fun e ->
+        if Of_match.subsumes of_match e.of_match then begin
+          removed := e :: !removed;
+          false
+        end
+        else true)
+      t.wildcard;
+  let doomed =
+    Hashtbl.fold
+      (fun k e acc -> if Of_match.subsumes of_match e.of_match then (k, e) :: acc else acc)
+      t.exact []
+  in
+  List.iter
+    (fun (k, e) ->
+      removed := e :: !removed;
+      Hashtbl.remove t.exact k)
+    doomed;
+  !removed
+
+let lookup t ~now:_ headers =
+  let exact_hit =
+    if t.strategy = Exact_hash then Hashtbl.find_opt t.exact (headers_key headers)
+    else None
+  in
+  let wildcard_hit () =
+    List.find_opt (fun e -> Of_match.matches e.of_match headers) t.wildcard
+  in
+  match exact_hit with
+  | Some e -> begin
+    (* A wildcard entry of strictly higher priority still wins. *)
+    match wildcard_hit () with
+    | Some w when w.priority > e.priority -> Some w
+    | Some _ | None -> Some e
+  end
+  | None -> wildcard_hit ()
+
+let hit entry ~now ~bytes =
+  entry.last_hit <- now;
+  entry.packets <- Int64.add entry.packets 1L;
+  entry.bytes <- Int64.add entry.bytes (Int64.of_int bytes)
+
+let expired e ~now =
+  (e.hard_timeout > 0 && now -. e.install_time >= float_of_int e.hard_timeout)
+  || (e.idle_timeout > 0 && now -. e.last_hit >= float_of_int e.idle_timeout)
+
+let expire t ~now =
+  let removed = ref [] in
+  t.wildcard <-
+    List.filter
+      (fun e ->
+        if expired e ~now then begin
+          removed := e :: !removed;
+          false
+        end
+        else true)
+      t.wildcard;
+  let doomed =
+    Hashtbl.fold (fun k e acc -> if expired e ~now then (k, e) :: acc else acc)
+      t.exact []
+  in
+  List.iter
+    (fun (k, e) ->
+      removed := e :: !removed;
+      Hashtbl.remove t.exact k)
+    doomed;
+  !removed
+
+let entries t =
+  let hashed = Hashtbl.fold (fun _ e acc -> e :: acc) t.exact [] in
+  List.sort (fun a b -> compare b.priority a.priority) (hashed @ t.wildcard)
+
+let length t = List.length t.wildcard + Hashtbl.length t.exact

@@ -1,0 +1,66 @@
+(** One OpenFlow flow table: priority-ordered wildcard matching with
+    per-entry counters and idle/hard timeouts.
+
+    Two lookup strategies are provided so the cost of wildcard scanning
+    can be measured (an ablation bench): [Linear] scans the
+    priority-sorted entry list; [Exact_hash] additionally keeps
+    fully-specified entries in a hash table keyed by the packet
+    12-tuple, falling back to the scan only for wildcard entries — the
+    classic OVS-style exact-match fast path. Both strategies implement
+    identical OpenFlow semantics. *)
+
+type strategy = Linear | Exact_hash
+
+type entry = {
+  of_match : Openflow.Of_match.t;
+  priority : int;
+  actions : Openflow.Action.t list;
+  cookie : int64;
+  idle_timeout : int;   (** seconds; 0 = never *)
+  hard_timeout : int;
+  notify_removal : bool;
+  install_time : float;
+  mutable last_hit : float;
+  mutable packets : int64;
+  mutable bytes : int64;
+}
+
+type t
+
+val create : ?strategy:strategy -> unit -> t
+
+val strategy : t -> strategy
+
+val add :
+  t -> now:float ->
+  of_match:Openflow.Of_match.t -> priority:int ->
+  actions:Openflow.Action.t list ->
+  ?cookie:int64 -> ?idle_timeout:int -> ?hard_timeout:int ->
+  ?notify_removal:bool -> unit -> unit
+(** OpenFlow ADD: an entry with identical match and priority is
+    replaced (its counters reset). *)
+
+val modify : t -> of_match:Openflow.Of_match.t -> actions:Openflow.Action.t list -> int
+(** OpenFlow MODIFY: update the actions of every entry whose match
+    equals the given one; returns how many were updated (0 means the
+    caller should treat it as an add). *)
+
+val delete : t -> of_match:Openflow.Of_match.t -> entry list
+(** OpenFlow DELETE: remove every entry whose match is subsumed by the
+    given match (so the [any] match empties the table); returns the
+    removed entries. *)
+
+val lookup : t -> now:float -> Packet.Headers.t -> entry option
+(** Highest-priority matching entry; updates its counters is the
+    caller's job (see {!hit}). *)
+
+val hit : entry -> now:float -> bytes:int -> unit
+(** Record one matched packet. *)
+
+val expire : t -> now:float -> entry list
+(** Remove and return entries past their idle or hard timeout. *)
+
+val entries : t -> entry list
+(** All live entries, highest priority first. *)
+
+val length : t -> int

@@ -1,0 +1,30 @@
+(** The device-side OpenFlow endpoint: wraps one {!Sim_switch} with a
+    wire-protocol agent speaking OF 1.0 or OF 1.3 over a
+    {!Control_channel}. This is the firmware half of the paper's driver
+    split — the controller-side halves live in the [driver] library and
+    exchange only protocol bytes with this agent, so either side can be
+    swapped per protocol version (paper §4.1).
+
+    The agent answers hello/features/echo/barrier, applies flow-mods and
+    port-mods, serves stats, forwards packet-outs to the data path, and
+    pushes packet-ins, port-status and flow-removed notifications to the
+    controller. *)
+
+type version = V10 | V13
+
+type t
+
+val create :
+  version:version -> switch:Sim_switch.t ->
+  endpoint:Control_channel.endpoint -> network:Network.t -> unit -> t
+(** Registers the agent as the switch's controller sink in [network] and
+    subscribes to port-change notifications. *)
+
+val version : t -> version
+
+val step : t -> now:float -> unit
+(** Process all buffered controller messages and run flow-timeout
+    expiry, emitting flow-removed messages for entries installed with
+    [notify_removal]. *)
+
+val messages_handled : t -> int

@@ -1,0 +1,175 @@
+module P = Packet
+
+type built = {
+  net : Network.t;
+  dpids : int64 list;
+  host_names : string list;
+}
+
+let host_ip n =
+  match
+    P.Ipv4_addr.of_string
+      (Printf.sprintf "10.0.%d.%d" ((n lsr 8) land 0xff) (n land 0xff))
+  with
+  | Some ip -> ip
+  | None -> assert false
+
+let host_mac n = P.Mac.of_int ((0x02 lsl 40) lor n)
+
+(* A builder tracking per-switch port allocation. *)
+type builder = {
+  net : Network.t;
+  next_port : (int64, int ref) Hashtbl.t;
+  mutable dpids : int64 list;
+  mutable host_names : string list;
+  mutable next_host : int;
+  strategy : Flow_table.strategy;
+  miss_send_len : int;
+}
+
+let builder ?(strategy = Flow_table.Linear) ?(miss_send_len = 0xffff) () =
+  { net = Network.create (); next_port = Hashtbl.create 16; dpids = [];
+    host_names = []; next_host = 1; strategy; miss_send_len }
+
+let new_switch b =
+  let dpid = Int64.of_int (List.length b.dpids + 1) in
+  let sw =
+    Sim_switch.create ~miss_send_len:b.miss_send_len ~strategy:b.strategy
+      ~n_ports:0 ~dpid ()
+  in
+  Network.add_switch b.net sw;
+  Hashtbl.replace b.next_port dpid (ref 1);
+  b.dpids <- b.dpids @ [ dpid ];
+  dpid
+
+let alloc_port b dpid =
+  let r = Hashtbl.find b.next_port dpid in
+  let port = !r in
+  incr r;
+  port
+
+let connect b a bb =
+  let pa = alloc_port b a
+  and pb = alloc_port b bb in
+  Network.link b.net (Network.Sw (a, pa)) (Network.Sw (bb, pb))
+
+let attach_host ?(dhcp = false) b dpid =
+  let n = b.next_host in
+  b.next_host <- n + 1;
+  let name = Printf.sprintf "h%d" n in
+  let ip = if dhcp then None else Some (host_ip n) in
+  let host = Sim_host.create ?ip ~name ~mac:(host_mac n) () in
+  Network.add_host b.net host;
+  let port = alloc_port b dpid in
+  Network.link b.net (Network.Sw (dpid, port)) (Network.Hst name);
+  name
+
+let finish b = { net = b.net; dpids = b.dpids; host_names = b.host_names }
+
+let with_hosts ?dhcp b per_switch dpids =
+  List.iter
+    (fun dpid ->
+      for _ = 1 to per_switch do
+        b.host_names <- b.host_names @ [ attach_host ?dhcp b dpid ]
+      done)
+    dpids
+
+let linear ?(hosts_per_switch = 1) ?(dhcp = false) ?strategy ?miss_send_len n =
+  let b = builder ?strategy ?miss_send_len () in
+  let dpids = List.init n (fun _ -> new_switch b) in
+  let rec chain = function
+    | a :: (bb :: _ as rest) ->
+      connect b a bb;
+      chain rest
+    | [ _ ] | [] -> ()
+  in
+  chain dpids;
+  with_hosts ~dhcp b hosts_per_switch dpids;
+  finish b
+
+let ring ?(hosts_per_switch = 1) n =
+  let b = builder () in
+  let dpids = List.init n (fun _ -> new_switch b) in
+  let arr = Array.of_list dpids in
+  for i = 0 to n - 1 do
+    connect b arr.(i) arr.((i + 1) mod n)
+  done;
+  with_hosts b hosts_per_switch dpids;
+  finish b
+
+let star ?(leaves = 4) () =
+  let b = builder () in
+  let core = new_switch b in
+  let edge = List.init leaves (fun _ -> new_switch b) in
+  List.iter (fun e -> connect b core e) edge;
+  with_hosts b 1 edge;
+  finish b
+
+let tree ?(fanout = 2) ?(depth = 3) () =
+  let b = builder () in
+  let rec grow level parent =
+    if level >= depth then ()
+    else
+      for _ = 1 to fanout do
+        let child = new_switch b in
+        connect b parent child;
+        if level = depth - 1 then
+          b.host_names <- b.host_names @ [ attach_host b child ]
+        else grow (level + 1) child
+      done
+  in
+  let root = new_switch b in
+  grow 1 root;
+  if depth = 1 then b.host_names <- b.host_names @ [ attach_host b root ];
+  finish b
+
+let fat_tree ?(k = 4) () =
+  if k < 2 || k mod 2 <> 0 then invalid_arg "Topo_gen.fat_tree: k must be even";
+  let b = builder () in
+  let half = k / 2 in
+  (* Core switches first, then per pod: aggregation then edge. *)
+  let cores = Array.init (half * half) (fun _ -> new_switch b) in
+  for _pod = 0 to k - 1 do
+    let aggs = Array.init half (fun _ -> new_switch b) in
+    let edges = Array.init half (fun _ -> new_switch b) in
+    Array.iter (fun e -> Array.iter (fun a -> connect b a e) aggs) edges;
+    (* Aggregation switch i connects to cores [i*half .. i*half+half-1]. *)
+    Array.iteri
+      (fun i a ->
+        for j = 0 to half - 1 do
+          connect b cores.((i * half) + j) a
+        done)
+      aggs;
+    Array.iter
+      (fun e ->
+        for _ = 1 to half do
+          b.host_names <- b.host_names @ [ attach_host b e ]
+        done)
+      edges
+  done;
+  finish b
+
+let random ?(seed = 42) ?(extra_links = 0) ?(hosts_per_switch = 1) n =
+  let b = builder () in
+  let rng = Random.State.make [| seed |] in
+  let dpids = Array.init n (fun _ -> new_switch b) in
+  for i = 1 to n - 1 do
+    let j = Random.State.int rng i in
+    connect b dpids.(j) dpids.(i)
+  done;
+  let linked = Hashtbl.create 16 in
+  Array.iteri (fun i _ -> Hashtbl.replace linked (min i (i - 1), i) ()) dpids;
+  let added = ref 0 in
+  let attempts = ref 0 in
+  while !added < extra_links && !attempts < extra_links * 20 do
+    incr attempts;
+    let i = Random.State.int rng n
+    and j = Random.State.int rng n in
+    if i <> j && not (Hashtbl.mem linked (min i j, max i j)) then begin
+      Hashtbl.replace linked (min i j, max i j) ();
+      connect b dpids.(i) dpids.(j);
+      incr added
+    end
+  done;
+  with_hosts b hosts_per_switch (Array.to_list dpids);
+  finish b

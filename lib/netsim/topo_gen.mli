@@ -1,0 +1,43 @@
+(** Topology generators. Each builds a fresh {!Network.t} populated with
+    switches and hosts, returning the network together with the switch
+    dpids in creation order.
+
+    Conventions: switch dpids count from 1; every switch's port 1 hosts
+    its attached host where applicable, inter-switch links use ports 2+;
+    host [hN] gets MAC [02:...:N] and IP [10.0.x.y] assigned statically
+    unless [dhcp] asks for unconfigured hosts. *)
+
+type built = {
+  net : Network.t;
+  dpids : int64 list;
+  host_names : string list;
+}
+
+val host_ip : int -> Packet.Ipv4_addr.t
+(** The conventional address of host [n]: 10.0.(n lsr 8).(n land 0xff). *)
+
+val host_mac : int -> Packet.Mac.t
+
+val linear :
+  ?hosts_per_switch:int -> ?dhcp:bool -> ?strategy:Flow_table.strategy ->
+  ?miss_send_len:int -> int -> built
+(** [linear n] — a chain of [n] switches, each with its hosts. *)
+
+val ring : ?hosts_per_switch:int -> int -> built
+
+val star : ?leaves:int -> unit -> built
+(** One core switch, [leaves] edge switches with one host each. *)
+
+val tree : ?fanout:int -> ?depth:int -> unit -> built
+(** A [fanout]-ary tree of switches of the given [depth]; hosts hang off
+    the leaf switches. *)
+
+val fat_tree : ?k:int -> unit -> built
+(** The classic k-ary fat tree: [k] pods, (k/2)² core switches, k²/4
+    hosts per... sized as in the literature, with one host per edge
+    switch port. [k] must be even (default 4: 20 switches, 16 hosts). *)
+
+val random :
+  ?seed:int -> ?extra_links:int -> ?hosts_per_switch:int -> int -> built
+(** A random connected graph: a spanning tree over [n] switches plus
+    [extra_links] random chords. Deterministic for a given [seed]. *)

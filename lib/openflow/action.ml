@@ -1,0 +1,200 @@
+module P = Packet
+
+type pseudo_port =
+  | Physical of int
+  | In_port
+  | Flood
+  | All
+  | Controller of int
+  | Drop
+
+type t =
+  | Output of pseudo_port
+  | Enqueue of { port : int; queue_id : int }
+  | Set_dl_src of P.Mac.t
+  | Set_dl_dst of P.Mac.t
+  | Set_vlan of int
+  | Set_vlan_pcp of int
+  | Strip_vlan
+  | Set_nw_src of P.Ipv4_addr.t
+  | Set_nw_dst of P.Ipv4_addr.t
+  | Set_nw_tos of int
+  | Set_tp_src of int
+  | Set_tp_dst of int
+
+let rewrite_ip (frame : P.Eth.t) f =
+  match frame.payload with
+  | P.Eth.Ipv4 ip -> { frame with payload = P.Eth.Ipv4 (f ip) }
+  | _ -> frame
+
+let rewrite_ports (frame : P.Eth.t) ~src ~dst =
+  rewrite_ip frame (fun ip ->
+      match ip.P.Ipv4.payload with
+      | P.Ipv4.Tcp tcp ->
+        { ip with
+          P.Ipv4.payload =
+            P.Ipv4.Tcp
+              { tcp with
+                P.Tcp.src_port = Option.value src ~default:tcp.P.Tcp.src_port;
+                dst_port = Option.value dst ~default:tcp.P.Tcp.dst_port } }
+      | P.Ipv4.Udp udp ->
+        { ip with
+          P.Ipv4.payload =
+            P.Ipv4.Udp
+              { udp with
+                P.Udp.src_port = Option.value src ~default:udp.P.Udp.src_port;
+                dst_port = Option.value dst ~default:udp.P.Udp.dst_port } }
+      | P.Ipv4.Icmp _ | P.Ipv4.Raw _ -> ip)
+
+let apply_one action (frame : P.Eth.t) =
+  match action with
+  | Output _ | Enqueue _ -> frame
+  | Set_dl_src mac -> { frame with P.Eth.src = mac }
+  | Set_dl_dst mac -> { frame with P.Eth.dst = mac }
+  | Set_vlan vid ->
+    let pcp = match frame.vlan with Some v -> v.P.Eth.pcp | None -> 0 in
+    { frame with vlan = Some { P.Eth.vid; pcp } }
+  | Set_vlan_pcp pcp ->
+    let vid = match frame.vlan with Some v -> v.P.Eth.vid | None -> 0 in
+    { frame with vlan = Some { P.Eth.vid; pcp } }
+  | Strip_vlan -> { frame with vlan = None }
+  | Set_nw_src addr -> rewrite_ip frame (fun ip -> { ip with P.Ipv4.src = addr })
+  | Set_nw_dst addr -> rewrite_ip frame (fun ip -> { ip with P.Ipv4.dst = addr })
+  | Set_nw_tos tos -> rewrite_ip frame (fun ip -> { ip with P.Ipv4.tos = tos })
+  | Set_tp_src port -> rewrite_ports frame ~src:(Some port) ~dst:None
+  | Set_tp_dst port -> rewrite_ports frame ~src:None ~dst:(Some port)
+
+let apply_rewrites actions frame = List.fold_left (Fun.flip apply_one) frame actions
+
+let outputs actions =
+  List.filter_map (function Output p -> Some p | _ -> None) actions
+
+let port_to_string = function
+  | Physical n -> string_of_int n
+  | In_port -> "in_port"
+  | Flood -> "flood"
+  | All -> "all"
+  | Controller 0 -> "controller"
+  | Controller maxlen -> Printf.sprintf "controller:%d" maxlen
+  | Drop -> "drop"
+
+let port_of_string s =
+  let s = String.trim s in
+  match s with
+  | "in_port" -> Some In_port
+  | "flood" -> Some Flood
+  | "all" -> Some All
+  | "controller" -> Some (Controller 0)
+  | "drop" -> Some Drop
+  | _ ->
+    if String.length s > 11 && String.sub s 0 11 = "controller:" then
+      Option.map
+        (fun n -> Controller n)
+        (int_of_string_opt (String.sub s 11 (String.length s - 11)))
+    else Option.map (fun n -> Physical n) (int_of_string_opt s)
+
+let kind_and_value = function
+  | Output p -> "out", port_to_string p
+  | Enqueue { port; queue_id } -> "enqueue", Printf.sprintf "%d:%d" port queue_id
+  | Set_dl_src mac -> "set_dl_src", P.Mac.to_string mac
+  | Set_dl_dst mac -> "set_dl_dst", P.Mac.to_string mac
+  | Set_vlan v -> "set_vlan", string_of_int v
+  | Set_vlan_pcp v -> "set_vlan_pcp", string_of_int v
+  | Strip_vlan -> "strip_vlan", ""
+  | Set_nw_src a -> "set_nw_src", P.Ipv4_addr.to_string a
+  | Set_nw_dst a -> "set_nw_dst", P.Ipv4_addr.to_string a
+  | Set_nw_tos v -> "set_nw_tos", string_of_int v
+  | Set_tp_src v -> "set_tp_src", string_of_int v
+  | Set_tp_dst v -> "set_tp_dst", string_of_int v
+
+let to_fields actions =
+  List.mapi
+    (fun i a ->
+      let kind, value = kind_and_value a in
+      Printf.sprintf "action.%d.%s" i kind, value)
+    actions
+
+let parse_one ~kind value =
+  let v = String.trim value in
+  let int_in name lo hi k =
+    match int_of_string_opt v with
+    | Some x when x >= lo && x <= hi -> Ok (k x)
+    | Some _ | None -> Error (Printf.sprintf "%s: invalid value %S" name v)
+  in
+  match kind with
+  | "enqueue" -> (
+    match String.split_on_char ':' v with
+    | [ port; queue ] -> (
+      match int_of_string_opt port, int_of_string_opt queue with
+      | Some port, Some queue_id when port > 0 && queue_id >= 0 ->
+        Ok (Enqueue { port; queue_id })
+      | _ -> Error (Printf.sprintf "enqueue: invalid value %S" v))
+    | _ -> Error (Printf.sprintf "enqueue: invalid value %S (want port:queue)" v))
+  | "out" -> (
+    match port_of_string v with
+    | Some p -> Ok (Output p)
+    | None -> Error (Printf.sprintf "out: invalid port %S" v))
+  | "set_dl_src" -> (
+    match P.Mac.of_string v with
+    | Some mac -> Ok (Set_dl_src mac)
+    | None -> Error (Printf.sprintf "set_dl_src: invalid value %S" v))
+  | "set_dl_dst" -> (
+    match P.Mac.of_string v with
+    | Some mac -> Ok (Set_dl_dst mac)
+    | None -> Error (Printf.sprintf "set_dl_dst: invalid value %S" v))
+  | "set_vlan" -> int_in "set_vlan" 0 4095 (fun x -> Set_vlan x)
+  | "set_vlan_pcp" -> int_in "set_vlan_pcp" 0 7 (fun x -> Set_vlan_pcp x)
+  | "strip_vlan" -> Ok Strip_vlan
+  | "set_nw_src" -> (
+    match P.Ipv4_addr.of_string v with
+    | Some a -> Ok (Set_nw_src a)
+    | None -> Error (Printf.sprintf "set_nw_src: invalid value %S" v))
+  | "set_nw_dst" -> (
+    match P.Ipv4_addr.of_string v with
+    | Some a -> Ok (Set_nw_dst a)
+    | None -> Error (Printf.sprintf "set_nw_dst: invalid value %S" v))
+  | "set_nw_tos" -> int_in "set_nw_tos" 0 255 (fun x -> Set_nw_tos x)
+  | "set_tp_src" -> int_in "set_tp_src" 0 0xffff (fun x -> Set_tp_src x)
+  | "set_tp_dst" -> int_in "set_tp_dst" 0 0xffff (fun x -> Set_tp_dst x)
+  | _ -> Error (Printf.sprintf "unknown action kind %S" kind)
+
+(* File names look like "action.<seq>.<kind>"; the bare paper form
+   "action.out" is accepted as sequence 0. *)
+let parse_field_name name =
+  match String.split_on_char '.' name with
+  | [ "action"; kind ] -> Ok (0, kind)
+  | [ "action"; seq; kind ] -> (
+    match int_of_string_opt seq with
+    | Some n when n >= 0 -> Ok (n, kind)
+    | Some _ | None -> Error (Printf.sprintf "bad action sequence in %S" name))
+  | _ -> Error (Printf.sprintf "bad action file name %S" name)
+
+let of_fields fields =
+  let rec go acc = function
+    | [] ->
+      let sorted = List.sort (fun (a, _) (b, _) -> compare a b) (List.rev acc) in
+      Ok (List.map snd sorted)
+    | (name, value) :: rest -> (
+      match parse_field_name name with
+      | Error _ as e -> e
+      | Ok (seq, kind) -> (
+        match parse_one ~kind value with
+        | Error _ as e -> e
+        | Ok action -> go ((seq, action) :: acc) rest))
+  in
+  go [] fields
+
+let equal (a : t) (b : t) = a = b
+
+let pp ppf a =
+  let kind, value = kind_and_value a in
+  if value = "" then Format.pp_print_string ppf kind
+  else Format.fprintf ppf "%s=%s" kind value
+
+let pp_list ppf actions =
+  match actions with
+  | [] -> Format.pp_print_string ppf "drop"
+  | _ ->
+    Format.pp_print_string ppf
+      (String.concat ";"
+         (List.map (fun a -> Format.asprintf "%a" pp a) actions))

@@ -1,0 +1,61 @@
+(** Protocol-independent flow actions. The yanc file system stores each
+    as one [action.*] file (paper §3.4); each protocol driver encodes
+    them in its own wire format. *)
+
+type pseudo_port =
+  | Physical of int
+  | In_port        (** send back where it came from *)
+  | Flood          (** all ports except ingress *)
+  | All            (** all ports including ingress *)
+  | Controller of int  (** packet-in, with max bytes to include *)
+  | Drop           (** explicit drop (empty action list also drops) *)
+
+type t =
+  | Output of pseudo_port
+  | Enqueue of { port : int; queue_id : int }
+      (** output through a port's QoS queue (OF 1.0 OFPAT_ENQUEUE;
+          encoded as SET_QUEUE + OUTPUT on OF 1.3) *)
+  | Set_dl_src of Packet.Mac.t
+  | Set_dl_dst of Packet.Mac.t
+  | Set_vlan of int
+  | Set_vlan_pcp of int
+  | Strip_vlan
+  | Set_nw_src of Packet.Ipv4_addr.t
+  | Set_nw_dst of Packet.Ipv4_addr.t
+  | Set_nw_tos of int
+  | Set_tp_src of int
+  | Set_tp_dst of int
+
+val apply_one : t -> Packet.Eth.t -> Packet.Eth.t
+(** Apply one header-modification action ([Output] is a no-op here). *)
+
+val apply_rewrites : t list -> Packet.Eth.t -> Packet.Eth.t
+(** Apply the header-modification actions in order (outputs are handled
+    by the switch, which interleaves them correctly: each output sends
+    the frame as rewritten so far). *)
+
+val outputs : t list -> pseudo_port list
+(** The output actions, in order. *)
+
+(** {1 Action-file codec (paper §3.4)}
+
+    File names are [action.<n>.<kind>] — the paper writes [action.out];
+    we extend it with an explicit sequence number so multi-action flows
+    have a defined order. Example: [action.0.set_vlan = 10],
+    [action.1.out = 3]. [out] values are a port number or one of
+    [in_port], [flood], [all], [controller], [controller:<maxlen>],
+    [drop]. [enqueue] values are [<port>:<queue>]. *)
+
+val to_fields : t list -> (string * string) list
+
+val of_fields : (string * string) list -> (t list, string) result
+(** Accepts the fields in any order; they are sorted by sequence
+    number. *)
+
+val parse_one : kind:string -> string -> (t, string) result
+(** Parse one action from its file-name kind (e.g. ["out"],
+    ["set_dl_src"]) and file contents. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val pp_list : Format.formatter -> t list -> unit

@@ -1,0 +1,28 @@
+type t = { mutable buf : string }
+
+let create () = { buf = "" }
+
+let push t s = t.buf <- t.buf ^ s
+
+let pop t =
+  let len = String.length t.buf in
+  if len < 4 then None
+  else begin
+    let msg_len = (Char.code t.buf.[2] lsl 8) lor Char.code t.buf.[3] in
+    if msg_len < 8 || len < msg_len then None
+    else begin
+      let msg = String.sub t.buf 0 msg_len in
+      t.buf <- String.sub t.buf msg_len (len - msg_len);
+      Some msg
+    end
+  end
+
+let pop_all t =
+  let rec go acc =
+    match pop t with None -> List.rev acc | Some m -> go (m :: acc)
+  in
+  go []
+
+let buffered t = String.length t.buf
+
+let peek_version s = if String.length s < 1 then None else Some (Char.code s.[0])

@@ -1,0 +1,25 @@
+(** Length-based message framing over a byte stream.
+
+    Both protocol versions share the 8-byte OpenFlow header whose third
+    and fourth bytes carry the total message length, so one framer
+    serves every driver: feed it arbitrary chunks, collect complete
+    messages. *)
+
+type t
+
+val create : unit -> t
+
+val push : t -> string -> unit
+(** Append received bytes. *)
+
+val pop : t -> string option
+(** The next complete message (header included), if one is buffered. *)
+
+val pop_all : t -> string list
+
+val buffered : t -> int
+(** Bytes currently held. *)
+
+val peek_version : string -> int option
+(** The version byte of a framed message — used by the driver manager to
+    dispatch to the right codec. *)

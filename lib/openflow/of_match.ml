@@ -1,0 +1,203 @@
+module P = Packet
+
+type t = {
+  in_port : int option;
+  dl_src : P.Mac.t option;
+  dl_dst : P.Mac.t option;
+  dl_vlan : int option;
+  dl_vlan_pcp : int option;
+  dl_type : int option;
+  nw_src : P.Ipv4_addr.Prefix.t option;
+  nw_dst : P.Ipv4_addr.Prefix.t option;
+  nw_proto : int option;
+  nw_tos : int option;
+  tp_src : int option;
+  tp_dst : int option;
+}
+
+let any =
+  { in_port = None; dl_src = None; dl_dst = None; dl_vlan = None;
+    dl_vlan_pcp = None; dl_type = None; nw_src = None; nw_dst = None;
+    nw_proto = None; nw_tos = None; tp_src = None; tp_dst = None }
+
+let exact_of_headers (h : P.Headers.t) =
+  { in_port = Some h.in_port;
+    dl_src = Some h.dl_src;
+    dl_dst = Some h.dl_dst;
+    dl_vlan = h.dl_vlan;
+    dl_vlan_pcp = h.dl_vlan_pcp;
+    dl_type = Some h.dl_type;
+    nw_src = Option.map P.Ipv4_addr.Prefix.host h.nw_src;
+    nw_dst = Option.map P.Ipv4_addr.Prefix.host h.nw_dst;
+    nw_proto = h.nw_proto;
+    nw_tos = h.nw_tos;
+    tp_src = h.tp_src;
+    tp_dst = h.tp_dst }
+
+let field opt value ~eq = match opt with None -> true | Some v -> eq v value
+
+let opt_field opt value ~eq =
+  match opt, value with
+  | None, _ -> true
+  | Some _, None -> false
+  | Some v, Some actual -> eq v actual
+
+let matches m (h : P.Headers.t) =
+  field m.in_port h.in_port ~eq:Int.equal
+  && field m.dl_src h.dl_src ~eq:P.Mac.equal
+  && field m.dl_dst h.dl_dst ~eq:P.Mac.equal
+  && opt_field m.dl_vlan h.dl_vlan ~eq:Int.equal
+  && opt_field m.dl_vlan_pcp h.dl_vlan_pcp ~eq:Int.equal
+  && field m.dl_type h.dl_type ~eq:Int.equal
+  && opt_field m.nw_src h.nw_src ~eq:(fun p a -> P.Ipv4_addr.Prefix.matches p a)
+  && opt_field m.nw_dst h.nw_dst ~eq:(fun p a -> P.Ipv4_addr.Prefix.matches p a)
+  && opt_field m.nw_proto h.nw_proto ~eq:Int.equal
+  && opt_field m.nw_tos h.nw_tos ~eq:Int.equal
+  && opt_field m.tp_src h.tp_src ~eq:Int.equal
+  && opt_field m.tp_dst h.tp_dst ~eq:Int.equal
+
+let sub_opt a b ~eq =
+  match a, b with
+  | None, _ -> true
+  | Some _, None -> false
+  | Some x, Some y -> eq x y
+
+let subsumes a b =
+  sub_opt a.in_port b.in_port ~eq:Int.equal
+  && sub_opt a.dl_src b.dl_src ~eq:P.Mac.equal
+  && sub_opt a.dl_dst b.dl_dst ~eq:P.Mac.equal
+  && sub_opt a.dl_vlan b.dl_vlan ~eq:Int.equal
+  && sub_opt a.dl_vlan_pcp b.dl_vlan_pcp ~eq:Int.equal
+  && sub_opt a.dl_type b.dl_type ~eq:Int.equal
+  && sub_opt a.nw_src b.nw_src ~eq:P.Ipv4_addr.Prefix.subsumes
+  && sub_opt a.nw_dst b.nw_dst ~eq:P.Ipv4_addr.Prefix.subsumes
+  && sub_opt a.nw_proto b.nw_proto ~eq:Int.equal
+  && sub_opt a.nw_tos b.nw_tos ~eq:Int.equal
+  && sub_opt a.tp_src b.tp_src ~eq:Int.equal
+  && sub_opt a.tp_dst b.tp_dst ~eq:Int.equal
+
+let meet_scalar a b ~eq =
+  match a, b with
+  | None, x | x, None -> Ok x
+  | Some x, Some y -> if eq x y then Ok (Some x) else Error ()
+
+let meet_prefix a b =
+  match a, b with
+  | None, x | x, None -> Ok x
+  | Some x, Some y ->
+    if P.Ipv4_addr.Prefix.subsumes x y then Ok (Some y)
+    else if P.Ipv4_addr.Prefix.subsumes y x then Ok (Some x)
+    else Error ()
+
+let intersect a b =
+  let ( let* ) r f = match r with Ok v -> f v | Error () -> None in
+  let* in_port = meet_scalar a.in_port b.in_port ~eq:Int.equal in
+  let* dl_src = meet_scalar a.dl_src b.dl_src ~eq:P.Mac.equal in
+  let* dl_dst = meet_scalar a.dl_dst b.dl_dst ~eq:P.Mac.equal in
+  let* dl_vlan = meet_scalar a.dl_vlan b.dl_vlan ~eq:Int.equal in
+  let* dl_vlan_pcp = meet_scalar a.dl_vlan_pcp b.dl_vlan_pcp ~eq:Int.equal in
+  let* dl_type = meet_scalar a.dl_type b.dl_type ~eq:Int.equal in
+  let* nw_src = meet_prefix a.nw_src b.nw_src in
+  let* nw_dst = meet_prefix a.nw_dst b.nw_dst in
+  let* nw_proto = meet_scalar a.nw_proto b.nw_proto ~eq:Int.equal in
+  let* nw_tos = meet_scalar a.nw_tos b.nw_tos ~eq:Int.equal in
+  let* tp_src = meet_scalar a.tp_src b.tp_src ~eq:Int.equal in
+  let* tp_dst = meet_scalar a.tp_dst b.tp_dst ~eq:Int.equal in
+  Some
+    { in_port; dl_src; dl_dst; dl_vlan; dl_vlan_pcp; dl_type; nw_src; nw_dst;
+      nw_proto; nw_tos; tp_src; tp_dst }
+
+let count_some l = List.length (List.filter Fun.id l)
+
+let specificity m =
+  count_some
+    [ m.in_port <> None; m.dl_src <> None; m.dl_dst <> None; m.dl_vlan <> None;
+      m.dl_vlan_pcp <> None; m.dl_type <> None; m.nw_src <> None;
+      m.nw_dst <> None; m.nw_proto <> None; m.nw_tos <> None;
+      m.tp_src <> None; m.tp_dst <> None ]
+
+let is_exact m =
+  m.in_port <> None && m.dl_src <> None && m.dl_dst <> None
+  && m.dl_type <> None
+  && (match m.nw_src with Some p -> p.P.Ipv4_addr.Prefix.bits = 32 | None -> false)
+  && (match m.nw_dst with Some p -> p.P.Ipv4_addr.Prefix.bits = 32 | None -> false)
+  && m.nw_proto <> None && m.tp_src <> None && m.tp_dst <> None
+
+let field_names =
+  [ "in_port"; "dl_src"; "dl_dst"; "dl_vlan"; "dl_vlan_pcp"; "dl_type";
+    "nw_src"; "nw_dst"; "nw_proto"; "nw_tos"; "tp_src"; "tp_dst" ]
+
+let to_fields m =
+  List.filter_map Fun.id
+    [ Option.map (fun v -> "in_port", string_of_int v) m.in_port;
+      Option.map (fun v -> "dl_src", P.Mac.to_string v) m.dl_src;
+      Option.map (fun v -> "dl_dst", P.Mac.to_string v) m.dl_dst;
+      Option.map (fun v -> "dl_vlan", string_of_int v) m.dl_vlan;
+      Option.map (fun v -> "dl_vlan_pcp", string_of_int v) m.dl_vlan_pcp;
+      Option.map (fun v -> "dl_type", Printf.sprintf "0x%04x" v) m.dl_type;
+      Option.map (fun v -> "nw_src", P.Ipv4_addr.Prefix.to_string v) m.nw_src;
+      Option.map (fun v -> "nw_dst", P.Ipv4_addr.Prefix.to_string v) m.nw_dst;
+      Option.map (fun v -> "nw_proto", string_of_int v) m.nw_proto;
+      Option.map (fun v -> "nw_tos", string_of_int v) m.nw_tos;
+      Option.map (fun v -> "tp_src", string_of_int v) m.tp_src;
+      Option.map (fun v -> "tp_dst", string_of_int v) m.tp_dst ]
+
+let parse_int_range name lo hi s =
+  match int_of_string_opt (String.trim s) with
+  | Some v when v >= lo && v <= hi -> Ok v
+  | Some _ | None -> Error (Printf.sprintf "%s: invalid value %S" name s)
+
+let set_field m name value =
+  let v = String.trim value in
+  match name with
+  | "in_port" ->
+    Result.map (fun x -> { m with in_port = Some x })
+      (parse_int_range name 0 0xffffffff v)
+  | "dl_src" -> (
+    match P.Mac.of_string v with
+    | Some mac -> Ok { m with dl_src = Some mac }
+    | None -> Error (Printf.sprintf "dl_src: invalid value %S" v))
+  | "dl_dst" -> (
+    match P.Mac.of_string v with
+    | Some mac -> Ok { m with dl_dst = Some mac }
+    | None -> Error (Printf.sprintf "dl_dst: invalid value %S" v))
+  | "dl_vlan" ->
+    Result.map (fun x -> { m with dl_vlan = Some x }) (parse_int_range name 0 4095 v)
+  | "dl_vlan_pcp" ->
+    Result.map (fun x -> { m with dl_vlan_pcp = Some x }) (parse_int_range name 0 7 v)
+  | "dl_type" ->
+    Result.map (fun x -> { m with dl_type = Some x }) (parse_int_range name 0 0xffff v)
+  | "nw_src" -> (
+    match P.Ipv4_addr.Prefix.of_string v with
+    | Some p -> Ok { m with nw_src = Some p }
+    | None -> Error (Printf.sprintf "nw_src: invalid value %S" v))
+  | "nw_dst" -> (
+    match P.Ipv4_addr.Prefix.of_string v with
+    | Some p -> Ok { m with nw_dst = Some p }
+    | None -> Error (Printf.sprintf "nw_dst: invalid value %S" v))
+  | "nw_proto" ->
+    Result.map (fun x -> { m with nw_proto = Some x }) (parse_int_range name 0 255 v)
+  | "nw_tos" ->
+    Result.map (fun x -> { m with nw_tos = Some x }) (parse_int_range name 0 255 v)
+  | "tp_src" ->
+    Result.map (fun x -> { m with tp_src = Some x }) (parse_int_range name 0 0xffff v)
+  | "tp_dst" ->
+    Result.map (fun x -> { m with tp_dst = Some x }) (parse_int_range name 0 0xffff v)
+  | _ -> Error (Printf.sprintf "unknown match field %S" name)
+
+let of_fields fields =
+  List.fold_left
+    (fun acc (name, value) ->
+      match acc with
+      | Error _ as e -> e
+      | Ok m -> set_field m name value)
+    (Ok any) fields
+
+let equal a b = a = b
+
+let pp ppf m =
+  match to_fields m with
+  | [] -> Format.pp_print_string ppf "*"
+  | fields ->
+    Format.pp_print_string ppf
+      (String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) fields))

@@ -1,0 +1,83 @@
+module Port_info = struct
+  type t = {
+    port_no : int;
+    hw_addr : Packet.Mac.t;
+    name : string;
+    admin_down : bool;
+    link_down : bool;
+    speed_mbps : int;
+  }
+
+  let make ?(admin_down = false) ?(link_down = false) ?(speed_mbps = 1000)
+      ?name ~port_no ~hw_addr () =
+    let name =
+      match name with Some n -> n | None -> Printf.sprintf "port_%d" port_no
+    in
+    { port_no; hw_addr; name; admin_down; link_down; speed_mbps }
+
+  let equal (a : t) (b : t) = a = b
+
+  let pp ppf p =
+    Format.fprintf ppf "port %d (%s) %a%s%s" p.port_no p.name Packet.Mac.pp
+      p.hw_addr
+      (if p.admin_down then " admin-down" else "")
+      (if p.link_down then " link-down" else "")
+end
+
+module Capabilities = struct
+  type t = { flow_stats : bool; port_stats : bool; queue_stats : bool }
+
+  let default = { flow_stats = true; port_stats = true; queue_stats = false }
+
+  let to_list t =
+    List.filter_map
+      (fun (b, s) -> if b then Some s else None)
+      [ t.flow_stats, "flow_stats"; t.port_stats, "port_stats";
+        t.queue_stats, "queue_stats" ]
+
+  let equal (a : t) (b : t) = a = b
+end
+
+module Flow_stats = struct
+  type t = {
+    of_match : Of_match.t;
+    priority : int;
+    cookie : int64;
+    packets : int64;
+    bytes : int64;
+    duration_s : int;
+    idle_timeout : int;
+    hard_timeout : int;
+    actions : Action.t list;
+  }
+
+  let pp ppf s =
+    Format.fprintf ppf "flow[%a pri=%d pkts=%Ld bytes=%Ld -> %a]" Of_match.pp
+      s.of_match s.priority s.packets s.bytes Action.pp_list s.actions
+end
+
+module Port_stats = struct
+  type t = {
+    port_no : int;
+    rx_packets : int64;
+    tx_packets : int64;
+    rx_bytes : int64;
+    tx_bytes : int64;
+    rx_dropped : int64;
+    tx_dropped : int64;
+  }
+
+  let zero port_no =
+    { port_no; rx_packets = 0L; tx_packets = 0L; rx_bytes = 0L; tx_bytes = 0L;
+      rx_dropped = 0L; tx_dropped = 0L }
+
+  let pp ppf s =
+    Format.fprintf ppf "port %d rx=%Ld/%LdB tx=%Ld/%LdB" s.port_no s.rx_packets
+      s.rx_bytes s.tx_packets s.tx_bytes
+end
+
+type packet_in_reason = No_match | Action_explicit
+
+type port_status_reason = Port_add | Port_delete | Port_modify
+
+type flow_removed_reason = Idle_timeout_hit | Hard_timeout_hit | Flow_deleted

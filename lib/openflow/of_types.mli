@@ -1,0 +1,73 @@
+(** Types shared by both protocol codecs: port descriptions, switch
+    feature sets, flow statistics. *)
+
+(** Description of one switch port as carried in features/port-status
+    messages and mirrored into the yanc [ports/] directory. *)
+module Port_info : sig
+  type t = {
+    port_no : int;
+    hw_addr : Packet.Mac.t;
+    name : string;
+    admin_down : bool;   (** config: administratively disabled *)
+    link_down : bool;    (** state: no carrier *)
+    speed_mbps : int;
+  }
+
+  val make :
+    ?admin_down:bool -> ?link_down:bool -> ?speed_mbps:int -> ?name:string ->
+    port_no:int -> hw_addr:Packet.Mac.t -> unit -> t
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Switch capability flags (a simplified union of the OF 1.0/1.3
+    capability bits). *)
+module Capabilities : sig
+  type t = { flow_stats : bool; port_stats : bool; queue_stats : bool }
+
+  val default : t
+  val to_list : t -> string list
+  val equal : t -> t -> bool
+end
+
+(** Per-flow counters reported by flow-stats replies and mirrored into
+    each flow's [counters/] directory. *)
+module Flow_stats : sig
+  type t = {
+    of_match : Of_match.t;
+    priority : int;
+    cookie : int64;
+    packets : int64;
+    bytes : int64;
+    duration_s : int;
+    idle_timeout : int;
+    hard_timeout : int;
+    actions : Action.t list;
+  }
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Per-port counters. *)
+module Port_stats : sig
+  type t = {
+    port_no : int;
+    rx_packets : int64;
+    tx_packets : int64;
+    rx_bytes : int64;
+    tx_bytes : int64;
+    rx_dropped : int64;
+    tx_dropped : int64;
+  }
+
+  val zero : int -> t
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Reason codes. *)
+type packet_in_reason = No_match | Action_explicit
+
+type port_status_reason = Port_add | Port_delete | Port_modify
+
+type flow_removed_reason = Idle_timeout_hit | Hard_timeout_hit | Flow_deleted

@@ -1,0 +1,62 @@
+type op = Request | Reply
+
+type t = {
+  op : op;
+  sha : Mac.t;
+  spa : Ipv4_addr.t;
+  tha : Mac.t;
+  tpa : Ipv4_addr.t;
+}
+
+let ethertype = 0x0806
+
+let request ~sha ~spa ~tpa = { op = Request; sha; spa; tha = Mac.zero; tpa }
+
+let reply ~sha ~spa ~tha ~tpa = { op = Reply; sha; spa; tha; tpa }
+
+let to_wire t =
+  let w = Wire.W.create ~size:28 () in
+  Wire.W.u16 w 1; (* htype: ethernet *)
+  Wire.W.u16 w 0x0800; (* ptype: ipv4 *)
+  Wire.W.u8 w 6;
+  Wire.W.u8 w 4;
+  Wire.W.u16 w (match t.op with Request -> 1 | Reply -> 2);
+  Wire.W.string w (Mac.to_octets t.sha);
+  Wire.W.string w (Ipv4_addr.to_octets t.spa);
+  Wire.W.string w (Mac.to_octets t.tha);
+  Wire.W.string w (Ipv4_addr.to_octets t.tpa);
+  Wire.W.contents w
+
+let of_wire s =
+  try
+    let r = Wire.R.of_string s in
+    let htype = Wire.R.u16 r
+    and ptype = Wire.R.u16 r
+    and hlen = Wire.R.u8 r
+    and plen = Wire.R.u8 r
+    and opcode = Wire.R.u16 r in
+    if htype <> 1 || ptype <> 0x0800 || hlen <> 6 || plen <> 4 then None
+    else
+      let sha = Mac.of_octets (Wire.R.bytes r 6) in
+      let spa = Ipv4_addr.of_octets (Wire.R.bytes r 4) in
+      let tha = Mac.of_octets (Wire.R.bytes r 6) in
+      let tpa = Ipv4_addr.of_octets (Wire.R.bytes r 4) in
+      match opcode with
+      | 1 -> Some { op = Request; sha; spa; tha; tpa }
+      | 2 -> Some { op = Reply; sha; spa; tha; tpa }
+      | _ -> None
+  with Wire.R.Truncated -> None
+
+let equal a b =
+  a.op = b.op && Mac.equal a.sha b.sha
+  && Ipv4_addr.equal a.spa b.spa
+  && Mac.equal a.tha b.tha
+  && Ipv4_addr.equal a.tpa b.tpa
+
+let pp ppf t =
+  match t.op with
+  | Request ->
+    Format.fprintf ppf "arp who-has %a tell %a" Ipv4_addr.pp t.tpa Ipv4_addr.pp
+      t.spa
+  | Reply ->
+    Format.fprintf ppf "arp %a is-at %a" Ipv4_addr.pp t.spa Mac.pp t.sha

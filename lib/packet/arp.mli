@@ -1,0 +1,23 @@
+(** ARP over Ethernet/IPv4 (who-has / is-at). *)
+
+type op = Request | Reply
+
+type t = {
+  op : op;
+  sha : Mac.t;        (** sender hardware address *)
+  spa : Ipv4_addr.t;  (** sender protocol address *)
+  tha : Mac.t;        (** target hardware address (zero in requests) *)
+  tpa : Ipv4_addr.t;  (** target protocol address *)
+}
+
+val ethertype : int
+(** 0x0806 *)
+
+val request : sha:Mac.t -> spa:Ipv4_addr.t -> tpa:Ipv4_addr.t -> t
+val reply : sha:Mac.t -> spa:Ipv4_addr.t -> tha:Mac.t -> tpa:Ipv4_addr.t -> t
+
+val to_wire : t -> string
+val of_wire : string -> t option
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+let ping ~src_mac ~dst_mac ~src_ip ~dst_ip ~id ~seq =
+  Eth.make ~src:src_mac ~dst:dst_mac
+    (Eth.Ipv4
+       (Ipv4.make ~src:src_ip ~dst:dst_ip
+          (Ipv4.Icmp { Icmp.kind = Icmp.Echo_request; id; seq; payload = "ping" })))
+
+let pong_of (frame : Eth.t) =
+  match frame.payload with
+  | Eth.Ipv4 ({ payload = Ipv4.Icmp ({ kind = Icmp.Echo_request; _ } as icmp); _ } as ip) ->
+    Some
+      (Eth.make ~src:frame.dst ~dst:frame.src
+         (Eth.Ipv4
+            (Ipv4.make ~src:ip.dst ~dst:ip.src
+               (Ipv4.Icmp { icmp with Icmp.kind = Icmp.Echo_reply }))))
+  | _ -> None
+
+let arp_request ~src_mac ~src_ip ~target =
+  Eth.make ~src:src_mac ~dst:Mac.broadcast
+    (Eth.Arp (Arp.request ~sha:src_mac ~spa:src_ip ~tpa:target))
+
+let arp_reply_to (frame : Eth.t) ~mac =
+  match frame.payload with
+  | Eth.Arp ({ op = Arp.Request; _ } as arp) ->
+    Some
+      (Eth.make ~src:mac ~dst:arp.sha
+         (Eth.Arp (Arp.reply ~sha:mac ~spa:arp.tpa ~tha:arp.sha ~tpa:arp.spa)))
+  | _ -> None
+
+let lldp ~src_mac ~dpid ~port =
+  Eth.make ~src:src_mac ~dst:Lldp.multicast_mac
+    (Eth.Lldp { Lldp.chassis_id = dpid; port_id = port; ttl = 120 })
+
+let tcp_syn ~src_mac ~dst_mac ~src_ip ~dst_ip ~src_port ~dst_port =
+  Eth.make ~src:src_mac ~dst:dst_mac
+    (Eth.Ipv4
+       (Ipv4.make ~src:src_ip ~dst:dst_ip
+          (Ipv4.Tcp (Tcp.make ~flags:Tcp.syn ~src_port ~dst_port ()))))
+
+let udp ~src_mac ~dst_mac ~src_ip ~dst_ip ~src_port ~dst_port data =
+  Eth.make ~src:src_mac ~dst:dst_mac
+    (Eth.Ipv4
+       (Ipv4.make ~src:src_ip ~dst:dst_ip
+          (Ipv4.Udp { Udp.src_port; dst_port; payload = Udp.Data data })))

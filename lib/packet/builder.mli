@@ -1,0 +1,25 @@
+(** Convenience constructors for the frames hosts and daemons commonly
+    send. *)
+
+val ping :
+  src_mac:Mac.t -> dst_mac:Mac.t -> src_ip:Ipv4_addr.t -> dst_ip:Ipv4_addr.t ->
+  id:int -> seq:int -> Eth.t
+
+val pong_of : Eth.t -> Eth.t option
+(** Build the echo reply answering a received echo request; [None] if
+    the frame is not an echo request. *)
+
+val arp_request : src_mac:Mac.t -> src_ip:Ipv4_addr.t -> target:Ipv4_addr.t -> Eth.t
+
+val arp_reply_to : Eth.t -> mac:Mac.t -> Eth.t option
+(** Answer an ARP request with [mac] as the resolved address. *)
+
+val lldp : src_mac:Mac.t -> dpid:int64 -> port:int -> Eth.t
+
+val tcp_syn :
+  src_mac:Mac.t -> dst_mac:Mac.t -> src_ip:Ipv4_addr.t -> dst_ip:Ipv4_addr.t ->
+  src_port:int -> dst_port:int -> Eth.t
+
+val udp :
+  src_mac:Mac.t -> dst_mac:Mac.t -> src_ip:Ipv4_addr.t -> dst_ip:Ipv4_addr.t ->
+  src_port:int -> dst_port:int -> string -> Eth.t

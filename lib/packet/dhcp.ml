@@ -1,0 +1,158 @@
+type msg_type = Discover | Offer | Request | Ack | Nak
+
+type t = {
+  msg_type : msg_type;
+  xid : int32;
+  chaddr : Mac.t;
+  ciaddr : Ipv4_addr.t;
+  yiaddr : Ipv4_addr.t;
+  siaddr : Ipv4_addr.t;
+  requested_ip : Ipv4_addr.t option;
+  server_id : Ipv4_addr.t option;
+  lease : int32 option;
+  netmask : Ipv4_addr.t option;
+}
+
+let server_port = 67
+
+let client_port = 68
+
+let magic_cookie = 0x63825363l
+
+let make ?(ciaddr = Ipv4_addr.any) ?(yiaddr = Ipv4_addr.any)
+    ?(siaddr = Ipv4_addr.any) ?requested_ip ?server_id ?lease ?netmask
+    ~msg_type ~xid ~chaddr () =
+  { msg_type; xid; chaddr; ciaddr; yiaddr; siaddr; requested_ip; server_id;
+    lease; netmask }
+
+let msg_type_to_int = function
+  | Discover -> 1
+  | Offer -> 2
+  | Request -> 3
+  | Ack -> 5
+  | Nak -> 6
+
+let msg_type_of_int = function
+  | 1 -> Some Discover
+  | 2 -> Some Offer
+  | 3 -> Some Request
+  | 5 -> Some Ack
+  | 6 -> Some Nak
+  | _ -> None
+
+let msg_type_to_string = function
+  | Discover -> "discover"
+  | Offer -> "offer"
+  | Request -> "request"
+  | Ack -> "ack"
+  | Nak -> "nak"
+
+let is_reply = function
+  | Offer | Ack | Nak -> true
+  | Discover | Request -> false
+
+let to_wire t =
+  let w = Wire.W.create ~size:256 () in
+  Wire.W.u8 w (if is_reply t.msg_type then 2 else 1); (* op *)
+  Wire.W.u8 w 1; (* htype: ethernet *)
+  Wire.W.u8 w 6; (* hlen *)
+  Wire.W.u8 w 0; (* hops *)
+  Wire.W.u32 w t.xid;
+  Wire.W.u16 w 0; (* secs *)
+  Wire.W.u16 w 0; (* flags *)
+  Wire.W.string w (Ipv4_addr.to_octets t.ciaddr);
+  Wire.W.string w (Ipv4_addr.to_octets t.yiaddr);
+  Wire.W.string w (Ipv4_addr.to_octets t.siaddr);
+  Wire.W.zeros w 4; (* giaddr *)
+  Wire.W.string w (Mac.to_octets t.chaddr);
+  Wire.W.zeros w 10; (* chaddr padding *)
+  Wire.W.zeros w 64; (* sname *)
+  Wire.W.zeros w 128; (* file *)
+  Wire.W.u32 w magic_cookie;
+  (* Options. *)
+  Wire.W.u8 w 53;
+  Wire.W.u8 w 1;
+  Wire.W.u8 w (msg_type_to_int t.msg_type);
+  let addr_opt code = function
+    | None -> ()
+    | Some a ->
+      Wire.W.u8 w code;
+      Wire.W.u8 w 4;
+      Wire.W.string w (Ipv4_addr.to_octets a)
+  in
+  addr_opt 50 t.requested_ip;
+  addr_opt 54 t.server_id;
+  (match t.lease with
+  | None -> ()
+  | Some secs ->
+    Wire.W.u8 w 51;
+    Wire.W.u8 w 4;
+    Wire.W.u32 w secs);
+  addr_opt 1 t.netmask;
+  Wire.W.u8 w 255;
+  Wire.W.contents w
+
+let of_wire s =
+  try
+    let r = Wire.R.of_string s in
+    let _op = Wire.R.u8 r in
+    let htype = Wire.R.u8 r in
+    let hlen = Wire.R.u8 r in
+    let _hops = Wire.R.u8 r in
+    if htype <> 1 || hlen <> 6 then None
+    else begin
+      let xid = Wire.R.u32 r in
+      let _secs = Wire.R.u16 r in
+      let _flags = Wire.R.u16 r in
+      let ciaddr = Ipv4_addr.of_octets (Wire.R.bytes r 4) in
+      let yiaddr = Ipv4_addr.of_octets (Wire.R.bytes r 4) in
+      let siaddr = Ipv4_addr.of_octets (Wire.R.bytes r 4) in
+      Wire.R.skip r 4; (* giaddr *)
+      let chaddr = Mac.of_octets (Wire.R.bytes r 6) in
+      Wire.R.skip r 10;
+      Wire.R.skip r 64;
+      Wire.R.skip r 128;
+      if not (Int32.equal (Wire.R.u32 r) magic_cookie) then None
+      else begin
+        let msg_type = ref None
+        and requested_ip = ref None
+        and server_id = ref None
+        and lease = ref None
+        and netmask = ref None in
+        let rec opts () =
+          if Wire.R.remaining r = 0 then ()
+          else
+            let code = Wire.R.u8 r in
+            if code = 255 then ()
+            else if code = 0 then opts ()
+            else begin
+              let len = Wire.R.u8 r in
+              let body = Wire.R.bytes r len in
+              (match code, len with
+              | 53, 1 -> msg_type := msg_type_of_int (Char.code body.[0])
+              | 50, 4 -> requested_ip := Some (Ipv4_addr.of_octets body)
+              | 54, 4 -> server_id := Some (Ipv4_addr.of_octets body)
+              | 51, 4 ->
+                lease := Some (Ipv4_addr.to_int32 (Ipv4_addr.of_octets body))
+              | 1, 4 -> netmask := Some (Ipv4_addr.of_octets body)
+              | _ -> ());
+              opts ()
+            end
+        in
+        opts ();
+        match !msg_type with
+        | None -> None
+        | Some msg_type ->
+          Some
+            { msg_type; xid; chaddr; ciaddr; yiaddr; siaddr;
+              requested_ip = !requested_ip; server_id = !server_id;
+              lease = !lease; netmask = !netmask }
+      end
+    end
+  with Wire.R.Truncated -> None
+
+let equal a b = a = b
+
+let pp ppf t =
+  Format.fprintf ppf "dhcp %s xid=%ld chaddr=%a yiaddr=%a"
+    (msg_type_to_string t.msg_type) t.xid Mac.pp t.chaddr Ipv4_addr.pp t.yiaddr

@@ -1,0 +1,37 @@
+(** DHCP (RFC 2131) — the subset the simulated DHCP daemon and host
+    clients exchange: DISCOVER/OFFER/REQUEST/ACK/NAK over BOOTP framing
+    with the standard option cookie. *)
+
+type msg_type = Discover | Offer | Request | Ack | Nak
+
+type t = {
+  msg_type : msg_type;
+  xid : int32;                     (** transaction id *)
+  chaddr : Mac.t;                  (** client hardware address *)
+  ciaddr : Ipv4_addr.t;            (** client's current address *)
+  yiaddr : Ipv4_addr.t;            (** "your" address offered/assigned *)
+  siaddr : Ipv4_addr.t;            (** server address *)
+  requested_ip : Ipv4_addr.t option;   (** option 50 *)
+  server_id : Ipv4_addr.t option;      (** option 54 *)
+  lease : int32 option;                (** option 51, seconds *)
+  netmask : Ipv4_addr.t option;        (** option 1 *)
+}
+
+val server_port : int
+(** 67 *)
+
+val client_port : int
+(** 68 *)
+
+val make :
+  ?ciaddr:Ipv4_addr.t -> ?yiaddr:Ipv4_addr.t -> ?siaddr:Ipv4_addr.t ->
+  ?requested_ip:Ipv4_addr.t -> ?server_id:Ipv4_addr.t -> ?lease:int32 ->
+  ?netmask:Ipv4_addr.t -> msg_type:msg_type -> xid:int32 -> chaddr:Mac.t ->
+  unit -> t
+
+val to_wire : t -> string
+val of_wire : string -> t option
+
+val msg_type_to_string : msg_type -> string
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

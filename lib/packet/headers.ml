@@ -1,0 +1,61 @@
+type t = {
+  in_port : int;
+  dl_src : Mac.t;
+  dl_dst : Mac.t;
+  dl_vlan : int option;
+  dl_vlan_pcp : int option;
+  dl_type : int;
+  nw_src : Ipv4_addr.t option;
+  nw_dst : Ipv4_addr.t option;
+  nw_proto : int option;
+  nw_tos : int option;
+  tp_src : int option;
+  tp_dst : int option;
+}
+
+let of_eth ~in_port (eth : Eth.t) =
+  let dl_vlan, dl_vlan_pcp =
+    match eth.vlan with
+    | Some { vid; pcp } -> Some vid, Some pcp
+    | None -> None, None
+  in
+  let base =
+    { in_port; dl_src = eth.src; dl_dst = eth.dst; dl_vlan; dl_vlan_pcp;
+      dl_type = Eth.ethertype eth; nw_src = None; nw_dst = None;
+      nw_proto = None; nw_tos = None; tp_src = None; tp_dst = None }
+  in
+  match eth.payload with
+  | Eth.Arp arp ->
+    { base with
+      nw_src = Some arp.spa;
+      nw_dst = Some arp.tpa;
+      nw_proto = Some (match arp.op with Arp.Request -> 1 | Arp.Reply -> 2) }
+  | Eth.Ipv4 ip ->
+    let tp_src, tp_dst =
+      match ip.payload with
+      | Ipv4.Tcp tcp -> Some tcp.src_port, Some tcp.dst_port
+      | Ipv4.Udp udp -> Some udp.src_port, Some udp.dst_port
+      | Ipv4.Icmp icmp ->
+        ( Some (match icmp.kind with Icmp.Echo_request -> 8 | Icmp.Echo_reply -> 0),
+          Some 0 )
+      | Ipv4.Raw _ -> None, None
+    in
+    { base with
+      nw_src = Some ip.src;
+      nw_dst = Some ip.dst;
+      nw_proto = Some (Ipv4.protocol ip);
+      nw_tos = Some ip.tos;
+      tp_src; tp_dst }
+  | Eth.Lldp _ | Eth.Raw _ -> base
+
+let pp ppf t =
+  let opt pp_v ppf = function
+    | None -> Format.pp_print_string ppf "*"
+    | Some v -> pp_v ppf v
+  in
+  let int_opt = opt Format.pp_print_int in
+  Format.fprintf ppf
+    "{port=%d %a>%a type=0x%04x vlan=%a nw=%a>%a proto=%a tp=%a>%a}" t.in_port
+    Mac.pp t.dl_src Mac.pp t.dl_dst t.dl_type int_opt t.dl_vlan
+    (opt Ipv4_addr.pp) t.nw_src (opt Ipv4_addr.pp) t.nw_dst int_opt t.nw_proto
+    int_opt t.tp_src int_opt t.tp_dst

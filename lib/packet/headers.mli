@@ -1,0 +1,21 @@
+(** The flattened header view of a frame — the OpenFlow 1.0 12-tuple
+    that flow matching and the yanc flow files operate on. *)
+
+type t = {
+  in_port : int;
+  dl_src : Mac.t;
+  dl_dst : Mac.t;
+  dl_vlan : int option;      (** 802.1Q VID if tagged *)
+  dl_vlan_pcp : int option;
+  dl_type : int;
+  nw_src : Ipv4_addr.t option;   (** also the ARP sender address *)
+  nw_dst : Ipv4_addr.t option;   (** also the ARP target address *)
+  nw_proto : int option;         (** IP protocol, or ARP opcode *)
+  nw_tos : int option;
+  tp_src : int option;           (** TCP/UDP source port, or ICMP type *)
+  tp_dst : int option;           (** TCP/UDP destination port, or ICMP code *)
+}
+
+val of_eth : in_port:int -> Eth.t -> t
+
+val pp : Format.formatter -> t -> unit

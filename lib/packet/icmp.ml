@@ -1,0 +1,39 @@
+type kind = Echo_request | Echo_reply
+
+type t = { kind : kind; id : int; seq : int; payload : string }
+
+let protocol = 1
+
+let to_wire t =
+  let w = Wire.W.create ~size:(8 + String.length t.payload) () in
+  Wire.W.u8 w (match t.kind with Echo_request -> 8 | Echo_reply -> 0);
+  Wire.W.u8 w 0; (* code *)
+  Wire.W.u16 w 0; (* checksum: unchecked in the simulator *)
+  Wire.W.u16 w t.id;
+  Wire.W.u16 w t.seq;
+  Wire.W.string w t.payload;
+  Wire.W.contents w
+
+let of_wire s =
+  try
+    let r = Wire.R.of_string s in
+    let ty = Wire.R.u8 r in
+    let _code = Wire.R.u8 r in
+    let _csum = Wire.R.u16 r in
+    let id = Wire.R.u16 r in
+    let seq = Wire.R.u16 r in
+    let payload = Wire.R.rest r in
+    match ty with
+    | 8 -> Some { kind = Echo_request; id; seq; payload }
+    | 0 -> Some { kind = Echo_reply; id; seq; payload }
+    | _ -> None
+  with Wire.R.Truncated -> None
+
+let equal a b =
+  a.kind = b.kind && a.id = b.id && a.seq = b.seq
+  && String.equal a.payload b.payload
+
+let pp ppf t =
+  Format.fprintf ppf "icmp %s id=%d seq=%d"
+    (match t.kind with Echo_request -> "echo-request" | Echo_reply -> "echo-reply")
+    t.id t.seq

@@ -1,0 +1,14 @@
+(** ICMP echo (ping) — the only ICMP types the simulated hosts use. *)
+
+type kind = Echo_request | Echo_reply
+
+type t = { kind : kind; id : int; seq : int; payload : string }
+
+val protocol : int
+(** 1 *)
+
+val to_wire : t -> string
+val of_wire : string -> t option
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

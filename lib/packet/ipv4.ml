@@ -1,0 +1,128 @@
+type payload =
+  | Tcp of Tcp.t
+  | Udp of Udp.t
+  | Icmp of Icmp.t
+  | Raw of int * string
+
+type t = {
+  src : Ipv4_addr.t;
+  dst : Ipv4_addr.t;
+  ttl : int;
+  tos : int;
+  payload : payload;
+}
+
+let ethertype = 0x0800
+
+let make ?(ttl = 64) ?(tos = 0) ~src ~dst payload = { src; dst; ttl; tos; payload }
+
+let protocol t =
+  match t.payload with
+  | Tcp _ -> Tcp.protocol
+  | Udp _ -> Udp.protocol
+  | Icmp _ -> Icmp.protocol
+  | Raw (proto, _) -> proto
+
+let decrement_ttl t = if t.ttl <= 1 then None else Some { t with ttl = t.ttl - 1 }
+
+let payload_wire t =
+  match t.payload with
+  | Tcp x -> Tcp.to_wire x
+  | Udp x -> Udp.to_wire x
+  | Icmp x -> Icmp.to_wire x
+  | Raw (_, body) -> body
+
+(* RFC 1071 internet checksum over the 20-byte header. *)
+let checksum header =
+  let sum = ref 0 in
+  for i = 0 to (String.length header / 2) - 1 do
+    sum := !sum + ((Char.code header.[2 * i] lsl 8) lor Char.code header.[(2 * i) + 1])
+  done;
+  while !sum lsr 16 <> 0 do
+    sum := (!sum land 0xffff) + (!sum lsr 16)
+  done;
+  lnot !sum land 0xffff
+
+let header_bytes t ~total_len ~csum =
+  let w = Wire.W.create ~size:20 () in
+  Wire.W.u8 w 0x45; (* version 4, ihl 5 *)
+  Wire.W.u8 w t.tos;
+  Wire.W.u16 w total_len;
+  Wire.W.u16 w 0; (* identification *)
+  Wire.W.u16 w 0; (* flags/fragment *)
+  Wire.W.u8 w t.ttl;
+  Wire.W.u8 w (protocol t);
+  Wire.W.u16 w csum;
+  Wire.W.string w (Ipv4_addr.to_octets t.src);
+  Wire.W.string w (Ipv4_addr.to_octets t.dst);
+  Wire.W.contents w
+
+let to_wire t =
+  let body = payload_wire t in
+  let total_len = 20 + String.length body in
+  let pseudo = header_bytes t ~total_len ~csum:0 in
+  let csum = checksum pseudo in
+  header_bytes t ~total_len ~csum ^ body
+
+let of_wire s =
+  try
+    let r = Wire.R.of_string s in
+    let vihl = Wire.R.u8 r in
+    if vihl lsr 4 <> 4 then None
+    else begin
+      let ihl = vihl land 0xf in
+      let tos = Wire.R.u8 r in
+      let total_len = Wire.R.u16 r in
+      let _ident = Wire.R.u16 r in
+      let _frag = Wire.R.u16 r in
+      let ttl = Wire.R.u8 r in
+      let proto = Wire.R.u8 r in
+      let _csum = Wire.R.u16 r in
+      let src = Ipv4_addr.of_octets (Wire.R.bytes r 4) in
+      let dst = Ipv4_addr.of_octets (Wire.R.bytes r 4) in
+      if String.length s < 20 || checksum (String.sub s 0 20) <> 0 then None
+      else begin
+        if ihl > 5 then Wire.R.skip r ((ihl - 5) * 4);
+        let body_len = min (total_len - (ihl * 4)) (Wire.R.remaining r) in
+        let body = Wire.R.bytes r (max 0 body_len) in
+        let payload =
+          if proto = Tcp.protocol then
+            match Tcp.of_wire body with
+            | Some x -> Tcp x
+            | None -> Raw (proto, body)
+          else if proto = Udp.protocol then
+            match Udp.of_wire body with
+            | Some x -> Udp x
+            | None -> Raw (proto, body)
+          else if proto = Icmp.protocol then
+            match Icmp.of_wire body with
+            | Some x -> Icmp x
+            | None -> Raw (proto, body)
+          else Raw (proto, body)
+        in
+        Some { src; dst; ttl; tos; payload }
+      end
+    end
+  with Wire.R.Truncated -> None
+
+let equal a b =
+  Ipv4_addr.equal a.src b.src
+  && Ipv4_addr.equal a.dst b.dst
+  && a.ttl = b.ttl && a.tos = b.tos
+  &&
+  match a.payload, b.payload with
+  | Tcp x, Tcp y -> Tcp.equal x y
+  | Udp x, Udp y -> Udp.equal x y
+  | Icmp x, Icmp y -> Icmp.equal x y
+  | Raw (p, x), Raw (q, y) -> p = q && String.equal x y
+  | (Tcp _ | Udp _ | Icmp _ | Raw _), _ -> false
+
+let pp ppf t =
+  Format.fprintf ppf "ip %a > %a ttl=%d " Ipv4_addr.pp t.src Ipv4_addr.pp t.dst
+    t.ttl;
+  match t.payload with
+  | Tcp x -> Tcp.pp ppf x
+  | Udp x -> Udp.pp ppf x
+  | Icmp x -> Icmp.pp ppf x
+  | Raw (proto, body) ->
+    Format.fprintf ppf "proto=%d %dB" proto (String.length body)

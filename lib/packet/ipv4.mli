@@ -1,0 +1,34 @@
+(** IPv4 packets with structured TCP/UDP/ICMP payloads. The header
+    checksum is computed on serialization and verified on parse. *)
+
+type payload =
+  | Tcp of Tcp.t
+  | Udp of Udp.t
+  | Icmp of Icmp.t
+  | Raw of int * string  (** protocol number, opaque body *)
+
+type t = {
+  src : Ipv4_addr.t;
+  dst : Ipv4_addr.t;
+  ttl : int;
+  tos : int;
+  payload : payload;
+}
+
+val ethertype : int
+(** 0x0800 *)
+
+val make :
+  ?ttl:int -> ?tos:int -> src:Ipv4_addr.t -> dst:Ipv4_addr.t -> payload -> t
+
+val protocol : t -> int
+(** The protocol number of the payload. *)
+
+val decrement_ttl : t -> t option
+(** [None] once the TTL would hit zero. *)
+
+val to_wire : t -> string
+val of_wire : string -> t option
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

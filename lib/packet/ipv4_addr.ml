@@ -1,0 +1,93 @@
+type t = int32
+
+let of_int32 v = v
+
+let to_int32 v = v
+
+let of_string s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] -> begin
+    try
+      let parse x =
+        let v = int_of_string x in
+        if v < 0 || v > 255 then failwith "range" else v
+      in
+      let a, b, c, d = parse a, parse b, parse c, parse d in
+      Some
+        (Int32.logor
+           (Int32.shift_left (Int32.of_int a) 24)
+           (Int32.of_int ((b lsl 16) lor (c lsl 8) lor d)))
+    with _ -> None
+  end
+  | _ -> None
+
+let octet t i = Int32.to_int (Int32.shift_right_logical t ((3 - i) * 8)) land 0xff
+
+let to_string t =
+  Printf.sprintf "%d.%d.%d.%d" (octet t 0) (octet t 1) (octet t 2) (octet t 3)
+
+let of_octets s =
+  if String.length s <> 4 then invalid_arg "Ipv4_addr.of_octets"
+  else
+    let v = ref 0l in
+    String.iter
+      (fun c -> v := Int32.logor (Int32.shift_left !v 8) (Int32.of_int (Char.code c)))
+      s;
+    !v
+
+let to_octets t = String.init 4 (fun i -> Char.chr (octet t i))
+
+let any = 0l
+
+let broadcast = 0xffffffffl
+
+let localhost = 0x7f000001l
+
+let equal (a : t) (b : t) = Int32.equal a b
+
+let compare (a : t) (b : t) = Int32.unsigned_compare a b
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+module Prefix = struct
+  type addr = t
+
+  type nonrec t = { base : addr; bits : int }
+
+  let mask bits =
+    if bits <= 0 then 0l
+    else if bits >= 32 then 0xffffffffl
+    else Int32.shift_left 0xffffffffl (32 - bits)
+
+  let make base bits =
+    let bits = max 0 (min 32 bits) in
+    { base = Int32.logand base (mask bits); bits }
+
+  let host addr = make addr 32
+
+  let all = { base = 0l; bits = 0 }
+
+  let of_string s =
+    match String.index_opt s '/' with
+    | None -> Option.map host (of_string s)
+    | Some i ->
+      let addr = String.sub s 0 i in
+      let len = String.sub s (i + 1) (String.length s - i - 1) in
+      (match of_string addr, int_of_string_opt len with
+      | Some a, Some bits when bits >= 0 && bits <= 32 -> Some (make a bits)
+      | _ -> None)
+
+  let to_string t =
+    if t.bits = 32 then to_string t.base
+    else Printf.sprintf "%s/%d" (to_string t.base) t.bits
+
+  let matches t addr = Int32.equal (Int32.logand addr (mask t.bits)) t.base
+
+  let subsumes a b = a.bits <= b.bits && matches a b.base
+
+  let overlaps a b = subsumes a b || subsumes b a
+
+  let equal a b = Int32.equal a.base b.base && a.bits = b.bits
+
+  let pp ppf t = Format.pp_print_string ppf (to_string t)
+end

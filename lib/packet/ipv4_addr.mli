@@ -1,0 +1,60 @@
+(** IPv4 addresses and CIDR prefixes.
+
+    yanc represents flow match fields on IP source/destination in CIDR
+    notation inside files (paper §3.4), so parsing and printing the
+    ["10.0.0.0/8"] form is part of the file-system schema. *)
+
+type t = private int32
+
+val of_int32 : int32 -> t
+val to_int32 : t -> int32
+
+val of_string : string -> t option
+(** Dotted quad. *)
+
+val to_string : t -> string
+
+val of_octets : string -> t
+(** From 4 raw bytes (network order). *)
+
+val to_octets : t -> string
+
+val any : t
+val broadcast : t
+val localhost : t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+(** CIDR prefixes, e.g. [10.0.0.0/8]. *)
+module Prefix : sig
+  type addr := t
+
+  type t = { base : addr; bits : int }
+
+  val of_string : string -> t option
+  (** ["a.b.c.d/len"] or a bare address (treated as /32). *)
+
+  val to_string : t -> string
+
+  val make : addr -> int -> t
+  (** Normalizes: host bits of [base] are cleared. *)
+
+  val host : addr -> t
+  (** The /32 prefix of one address. *)
+
+  val all : t
+  (** [0.0.0.0/0]. *)
+
+  val matches : t -> addr -> bool
+
+  val subsumes : t -> t -> bool
+  (** [subsumes a b] when every address matched by [b] is matched by
+      [a]. *)
+
+  val overlaps : t -> t -> bool
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,67 @@
+type t = { chassis_id : int64; port_id : int; ttl : int }
+
+let ethertype = 0x88cc
+
+let multicast_mac = Mac.of_int 0x0180c200000e
+
+let tlv w ~ty body =
+  let len = String.length body in
+  Wire.W.u16 w ((ty lsl 9) lor (len land 0x1ff));
+  Wire.W.string w body
+
+let to_wire t =
+  let w = Wire.W.create () in
+  (* Chassis ID TLV: subtype 7 (locally assigned), 8-byte dpid. *)
+  let chassis = Wire.W.create ~size:9 () in
+  Wire.W.u8 chassis 7;
+  Wire.W.u64 chassis t.chassis_id;
+  tlv w ~ty:1 (Wire.W.contents chassis);
+  (* Port ID TLV: subtype 7 (locally assigned), 4-byte port number. *)
+  let port = Wire.W.create ~size:5 () in
+  Wire.W.u8 port 7;
+  Wire.W.u32 port (Int32.of_int t.port_id);
+  tlv w ~ty:2 (Wire.W.contents port);
+  (* TTL TLV. *)
+  let ttl = Wire.W.create ~size:2 () in
+  Wire.W.u16 ttl t.ttl;
+  tlv w ~ty:3 (Wire.W.contents ttl);
+  (* End of LLDPDU. *)
+  Wire.W.u16 w 0;
+  Wire.W.contents w
+
+let of_wire s =
+  try
+    let r = Wire.R.of_string s in
+    let chassis_id = ref None
+    and port_id = ref None
+    and ttl = ref None in
+    let rec loop () =
+      let hdr = Wire.R.u16 r in
+      let ty = hdr lsr 9
+      and len = hdr land 0x1ff in
+      if ty = 0 then ()
+      else begin
+        let body = Wire.R.bytes r len in
+        let br = Wire.R.of_string body in
+        (match ty with
+        | 1 ->
+          if Wire.R.u8 br = 7 && len = 9 then chassis_id := Some (Wire.R.u64 br)
+        | 2 ->
+          if Wire.R.u8 br = 7 && len = 5 then
+            port_id := Some (Int32.to_int (Wire.R.u32 br))
+        | 3 -> if len = 2 then ttl := Some (Wire.R.u16 br)
+        | _ -> ());
+        loop ()
+      end
+    in
+    loop ();
+    match !chassis_id, !port_id, !ttl with
+    | Some chassis_id, Some port_id, Some ttl -> Some { chassis_id; port_id; ttl }
+    | _ -> None
+  with Wire.R.Truncated -> None
+
+let equal a b =
+  Int64.equal a.chassis_id b.chassis_id && a.port_id = b.port_id && a.ttl = b.ttl
+
+let pp ppf t =
+  Format.fprintf ppf "lldp[dpid=%Ld port=%d ttl=%d]" t.chassis_id t.port_id t.ttl

@@ -1,0 +1,19 @@
+(** LLDP (802.1AB) frames, the discovery protocol yanc's topology daemon
+    uses to populate [peer] symlinks (paper §4.3).
+
+    Only the three mandatory TLVs are carried: chassis id (we store the
+    switch datapath id), port id (the egress port number) and TTL. *)
+
+type t = { chassis_id : int64; port_id : int; ttl : int }
+
+val ethertype : int
+(** 0x88cc *)
+
+val multicast_mac : Mac.t
+(** 01:80:c2:00:00:0e — the nearest-bridge LLDP group address. *)
+
+val to_wire : t -> string
+val of_wire : string -> t option
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,51 @@
+type t = int
+
+let mask48 = (1 lsl 48) - 1
+
+let of_int v = v land mask48
+
+let to_int v = v
+
+let broadcast = mask48
+
+let zero = 0
+
+let octet t i = (t lsr ((5 - i) * 8)) land 0xff
+
+let to_string t =
+  Printf.sprintf "%02x:%02x:%02x:%02x:%02x:%02x" (octet t 0) (octet t 1)
+    (octet t 2) (octet t 3) (octet t 4) (octet t 5)
+
+let of_string s =
+  match String.split_on_char ':' s with
+  | [ a; b; c; d; e; f ] -> begin
+    try
+      let parse x =
+        if String.length x <> 2 then failwith "len" else int_of_string ("0x" ^ x)
+      in
+      let v =
+        List.fold_left (fun acc x -> (acc lsl 8) lor parse x) 0 [ a; b; c; d; e; f ]
+      in
+      Some (of_int v)
+    with _ -> None
+  end
+  | _ -> None
+
+let of_octets s =
+  if String.length s <> 6 then invalid_arg "Mac.of_octets"
+  else
+    let v = ref 0 in
+    String.iter (fun c -> v := (!v lsl 8) lor Char.code c) s;
+    !v
+
+let to_octets t = String.init 6 (fun i -> Char.chr (octet t i))
+
+let is_broadcast t = t = broadcast
+
+let is_multicast t = octet t 0 land 1 <> 0
+
+let equal (a : t) (b : t) = a = b
+
+let compare (a : t) (b : t) = Int.compare a b
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,31 @@
+(** 48-bit Ethernet MAC addresses, stored in the low bits of an [int]. *)
+
+type t = private int
+
+val of_int : int -> t
+(** Masks to 48 bits. *)
+
+val to_int : t -> int
+
+val broadcast : t
+val zero : t
+
+val of_string : string -> t option
+(** Parse ["aa:bb:cc:dd:ee:ff"]. *)
+
+val to_string : t -> string
+
+val of_octets : string -> t
+(** From 6 raw bytes (network order). Raises [Invalid_argument] on other
+    lengths. *)
+
+val to_octets : t -> string
+
+val is_broadcast : t -> bool
+
+val is_multicast : t -> bool
+(** Low bit of the first octet set (includes broadcast). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,86 @@
+type flags = { syn : bool; ack : bool; fin : bool; rst : bool; psh : bool }
+
+type t = {
+  src_port : int;
+  dst_port : int;
+  seq : int32;
+  ack_no : int32;
+  flags : flags;
+  payload : string;
+}
+
+let protocol = 6
+
+let no_flags = { syn = false; ack = false; fin = false; rst = false; psh = false }
+
+let syn = { no_flags with syn = true }
+
+let syn_ack = { no_flags with syn = true; ack = true }
+
+let ack = { no_flags with ack = true }
+
+let make ?(seq = 0l) ?(ack_no = 0l) ?(flags = no_flags) ?(payload = "")
+    ~src_port ~dst_port () =
+  { src_port; dst_port; seq; ack_no; flags; payload }
+
+let flags_to_int f =
+  (if f.fin then 1 else 0)
+  lor (if f.syn then 2 else 0)
+  lor (if f.rst then 4 else 0)
+  lor (if f.psh then 8 else 0)
+  lor if f.ack then 16 else 0
+
+let flags_of_int v =
+  { fin = v land 1 <> 0;
+    syn = v land 2 <> 0;
+    rst = v land 4 <> 0;
+    psh = v land 8 <> 0;
+    ack = v land 16 <> 0 }
+
+let to_wire t =
+  let w = Wire.W.create ~size:(20 + String.length t.payload) () in
+  Wire.W.u16 w t.src_port;
+  Wire.W.u16 w t.dst_port;
+  Wire.W.u32 w t.seq;
+  Wire.W.u32 w t.ack_no;
+  Wire.W.u8 w (5 lsl 4); (* data offset: 5 words *)
+  Wire.W.u8 w (flags_to_int t.flags);
+  Wire.W.u16 w 65535; (* window *)
+  Wire.W.u16 w 0; (* checksum *)
+  Wire.W.u16 w 0; (* urgent *)
+  Wire.W.string w t.payload;
+  Wire.W.contents w
+
+let of_wire s =
+  try
+    let r = Wire.R.of_string s in
+    let src_port = Wire.R.u16 r in
+    let dst_port = Wire.R.u16 r in
+    let seq = Wire.R.u32 r in
+    let ack_no = Wire.R.u32 r in
+    let off = Wire.R.u8 r lsr 4 in
+    let flags = flags_of_int (Wire.R.u8 r) in
+    let _window = Wire.R.u16 r in
+    let _csum = Wire.R.u16 r in
+    let _urg = Wire.R.u16 r in
+    if off > 5 then Wire.R.skip r ((off - 5) * 4);
+    let payload = Wire.R.rest r in
+    Some { src_port; dst_port; seq; ack_no; flags; payload }
+  with Wire.R.Truncated -> None
+
+let equal a b =
+  a.src_port = b.src_port && a.dst_port = b.dst_port
+  && Int32.equal a.seq b.seq
+  && Int32.equal a.ack_no b.ack_no
+  && a.flags = b.flags
+  && String.equal a.payload b.payload
+
+let pp ppf t =
+  let fl = t.flags in
+  let tags =
+    List.filter_map
+      (fun (b, s) -> if b then Some s else None)
+      [ fl.syn, "S"; fl.ack, "A"; fl.fin, "F"; fl.rst, "R"; fl.psh, "P" ]
+  in
+  Format.fprintf ppf "tcp %d>%d [%s] %dB" t.src_port t.dst_port
+    (String.concat "" tags) (String.length t.payload)

@@ -1,0 +1,32 @@
+(** TCP segments (20-byte header, no options; checksums are not used by
+    the simulator). Enough structure for flow matching on ports/flags
+    and for the hosts' tiny handshake client. *)
+
+type flags = { syn : bool; ack : bool; fin : bool; rst : bool; psh : bool }
+
+type t = {
+  src_port : int;
+  dst_port : int;
+  seq : int32;
+  ack_no : int32;
+  flags : flags;
+  payload : string;
+}
+
+val protocol : int
+(** 6 *)
+
+val no_flags : flags
+val syn : flags
+val syn_ack : flags
+val ack : flags
+
+val make :
+  ?seq:int32 -> ?ack_no:int32 -> ?flags:flags -> ?payload:string ->
+  src_port:int -> dst_port:int -> unit -> t
+
+val to_wire : t -> string
+val of_wire : string -> t option
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,85 @@
+module W = struct
+  type t = Buffer.t
+
+  let create ?(size = 64) () = Buffer.create size
+
+  let u8 t v = Buffer.add_char t (Char.chr (v land 0xff))
+
+  let u16 t v =
+    u8 t (v lsr 8);
+    u8 t v
+
+  let u32 t v =
+    u16 t (Int32.to_int (Int32.shift_right_logical v 16) land 0xffff);
+    u16 t (Int32.to_int v land 0xffff)
+
+  let u64 t v =
+    u32 t (Int64.to_int32 (Int64.shift_right_logical v 32));
+    u32 t (Int64.to_int32 v)
+
+  let string t s = Buffer.add_string t s
+
+  let zeros t n = Buffer.add_string t (String.make n '\000')
+
+  let length = Buffer.length
+
+  let contents = Buffer.contents
+
+  let patch_u16 t ~pos v =
+    (* Buffer has no in-place write; rebuild via to_bytes. Cheap at the
+       message sizes involved. *)
+    let b = Buffer.to_bytes t in
+    Bytes.set b pos (Char.chr (v lsr 8 land 0xff));
+    Bytes.set b (pos + 1) (Char.chr (v land 0xff));
+    Buffer.clear t;
+    Buffer.add_bytes t b
+end
+
+module R = struct
+  type t = { data : string; mutable pos : int }
+
+  exception Truncated
+
+  let of_string ?(pos = 0) data = { data; pos }
+
+  let need t n = if t.pos + n > String.length t.data then raise Truncated
+
+  let u8 t =
+    need t 1;
+    let v = Char.code t.data.[t.pos] in
+    t.pos <- t.pos + 1;
+    v
+
+  let u16 t =
+    let hi = u8 t in
+    let lo = u8 t in
+    (hi lsl 8) lor lo
+
+  let u32 t =
+    let hi = u16 t in
+    let lo = u16 t in
+    Int32.logor (Int32.shift_left (Int32.of_int hi) 16) (Int32.of_int lo)
+
+  let u64 t =
+    let hi = u32 t in
+    let lo = u32 t in
+    Int64.logor
+      (Int64.shift_left (Int64.of_int32 hi) 32)
+      (Int64.logand (Int64.of_int32 lo) 0xffffffffL)
+
+  let bytes t n =
+    need t n;
+    let s = String.sub t.data t.pos n in
+    t.pos <- t.pos + n;
+    s
+
+  let skip t n =
+    need t n;
+    t.pos <- t.pos + n
+
+  let pos t = t.pos
+
+  let remaining t = String.length t.data - t.pos
+
+  let rest t = bytes t (remaining t)
+end

@@ -1,0 +1,40 @@
+(** Big-endian byte-buffer codec shared by every wire format in the
+    repository (packet headers and OpenFlow messages). *)
+
+(** Cursor-based writer over a growable buffer. *)
+module W : sig
+  type t
+
+  val create : ?size:int -> unit -> t
+  val u8 : t -> int -> unit
+  val u16 : t -> int -> unit
+  val u32 : t -> int32 -> unit
+  val u64 : t -> int64 -> unit
+  val string : t -> string -> unit
+  val zeros : t -> int -> unit
+  val length : t -> int
+  val contents : t -> string
+
+  val patch_u16 : t -> pos:int -> int -> unit
+  (** Overwrite two bytes at [pos] — used for length fields written after
+      the body. *)
+end
+
+(** Cursor-based reader. All functions raise {!Truncated} when the input
+    is too short. *)
+module R : sig
+  type t
+
+  exception Truncated
+
+  val of_string : ?pos:int -> string -> t
+  val u8 : t -> int
+  val u16 : t -> int
+  val u32 : t -> int32
+  val u64 : t -> int64
+  val bytes : t -> int -> string
+  val skip : t -> int -> unit
+  val pos : t -> int
+  val remaining : t -> int
+  val rest : t -> string
+end

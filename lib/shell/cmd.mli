@@ -1,0 +1,20 @@
+(** The coreutils (paper §5.4: "from simple one-liners to more elaborate
+    shell scripts, these common utilities are tools that system
+    administrators use and know") — re-implemented against the VFS so
+    the paper's administration examples run verbatim against /net.
+
+    Implemented: [ls], [cat], [echo], [mkdir], [rmdir], [rm], [ln],
+    [cp], [mv], [touch], [stat], [readlink], [find] (-name/-type/
+    -maxdepth/-exec), [grep] (-r/-l/-v/-c/-i, substring patterns), [wc],
+    [head], [tail], [sort], [uniq], [cut], [tee], [tree], [pwd], [cd],
+    [chmod], [getfacl]/[setfacl], [getfattr]/[setfattr], [true],
+    [false]. *)
+
+type output = { code : int; out : string; err : string }
+
+val exec : Env.t -> argv:string list -> stdin:string -> output
+(** Run one command (no glob expansion, no redirection — see
+    {!Pipeline}). Unknown commands exit 127. *)
+
+val known : string list
+(** Available command names (sorted). *)

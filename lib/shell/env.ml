@@ -1,0 +1,16 @@
+type t = {
+  fs : Vfs.Fs.t;
+  mutable cred : Vfs.Cred.t;
+  mutable cwd : Vfs.Path.t;
+}
+
+let create ?(cred = Vfs.Cred.root) ?(cwd = Vfs.Path.root) fs = { fs; cred; cwd }
+
+let resolve t arg =
+  if arg = "" then t.cwd
+  else if arg.[0] = '/' then
+    match Vfs.Path.of_string arg with Ok p -> p | Error _ -> t.cwd
+  else
+    match Vfs.Path.of_string arg with
+    | Ok rel -> Vfs.Path.append t.cwd rel
+    | Error _ -> t.cwd

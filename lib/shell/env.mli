@@ -1,0 +1,12 @@
+(** A shell session: file system, credential, working directory. *)
+
+type t = {
+  fs : Vfs.Fs.t;
+  mutable cred : Vfs.Cred.t;
+  mutable cwd : Vfs.Path.t;
+}
+
+val create : ?cred:Vfs.Cred.t -> ?cwd:Vfs.Path.t -> Vfs.Fs.t -> t
+
+val resolve : t -> string -> Vfs.Path.t
+(** Interpret a path argument relative to the cwd. *)

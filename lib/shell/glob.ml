@@ -1,0 +1,48 @@
+let matches ~pattern name =
+  let np = String.length pattern
+  and nn = String.length name in
+  (* Classic backtracking wildcard match. *)
+  let rec go pi ni star_pi star_ni =
+    if ni = nn then
+      if pi = np then true
+      else if pattern.[pi] = '*' then go (pi + 1) ni star_pi star_ni
+      else star_pi >= 0 && false
+    else if pi < np && pattern.[pi] = '*' then go (pi + 1) ni pi ni
+    else if pi < np && (pattern.[pi] = '?' || pattern.[pi] = name.[ni]) then
+      go (pi + 1) (ni + 1) star_pi star_ni
+    else if star_pi >= 0 then go (star_pi + 1) (star_ni + 1) star_pi (star_ni + 1)
+    else false
+  in
+  go 0 0 (-1) (-1)
+
+let has_glob s = String.exists (fun c -> c = '*' || c = '?') s
+
+let expand env arg =
+  if not (has_glob arg) then [ arg ]
+  else begin
+    let absolute = arg <> "" && arg.[0] = '/' in
+    let base = if absolute then Vfs.Path.root else env.Env.cwd in
+    let comps =
+      String.split_on_char '/' arg |> List.filter (fun c -> c <> "")
+    in
+    let rec walk acc comps =
+      match comps with
+      | [] -> [ acc ]
+      | comp :: rest ->
+        if has_glob comp then
+          match Vfs.Fs.readdir env.Env.fs ~cred:env.Env.cred acc with
+          | Error _ -> []
+          | Ok names ->
+            names
+            |> List.filter (fun n -> matches ~pattern:comp n)
+            |> List.concat_map (fun n -> walk (Vfs.Path.child acc n) rest)
+        else walk (Vfs.Path.child acc comp) rest
+    in
+    let hits =
+      walk base comps
+      |> List.filter (fun p -> Vfs.Fs.exists env.Env.fs ~cred:env.Env.cred p)
+      |> List.map Vfs.Path.to_string
+      |> List.sort String.compare
+    in
+    if hits = [] then [ arg ] else hits
+  end

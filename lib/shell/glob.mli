@@ -1,0 +1,10 @@
+(** Shell-style glob matching and path expansion: [*] and [?] within one
+    path component ([*] never crosses [/]). *)
+
+val matches : pattern:string -> string -> bool
+(** Match one name against one pattern component. *)
+
+val expand : Env.t -> string -> string list
+(** Expand a possibly-globbed path argument against the file system;
+    returns the argument unchanged when it contains no glob characters
+    or matches nothing (like bash's default nullglob-off behaviour). *)

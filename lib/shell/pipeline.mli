@@ -1,0 +1,21 @@
+(** A small POSIX-ish pipeline interpreter over the VFS coreutils:
+    quoting (single and double), [|] pipes, [>] / [>>] output
+    redirection, [<] input redirection, [&&] / [;] sequencing, [#]
+    comments, and glob expansion of operands — enough for every shell
+    example the paper gives, e.g.
+
+    {v echo 1 > /net/switches/sw1/ports/port_2/config.port_down
+       ls -l /net/switches
+       find /net -name tp_dst -exec grep 22 v} *)
+
+type result = { code : int; out : string; err : string }
+
+val run : Env.t -> string -> result
+(** Execute one command line. *)
+
+val run_script : Env.t -> string -> result
+(** Execute lines in order, stopping at the first failure; outputs are
+    concatenated. *)
+
+val split_words : string -> (string list, string) Stdlib.result
+(** Tokenize with quote handling (exposed for tests). *)

@@ -1,0 +1,173 @@
+type tag =
+  | User_obj
+  | User of int
+  | Group_obj
+  | Group of int
+  | Mask
+  | Other
+
+type entry = { tag : tag; perms : int }
+
+type t = entry list
+
+let empty = []
+
+let of_mode mode =
+  [ { tag = User_obj; perms = mode lsr 6 land 7 };
+    { tag = Group_obj; perms = mode lsr 3 land 7 };
+    { tag = Other; perms = mode land 7 } ]
+
+let tag_equal a b =
+  match a, b with
+  | User_obj, User_obj | Group_obj, Group_obj | Mask, Mask | Other, Other -> true
+  | User x, User y | Group x, Group y -> x = y
+  | _ -> false
+
+let find acl tag = List.find_opt (fun e -> tag_equal e.tag tag) acl
+
+let add acl entry =
+  entry :: List.filter (fun e -> not (tag_equal e.tag entry.tag)) acl
+
+let remove acl tag = List.filter (fun e -> not (tag_equal e.tag tag)) acl
+
+let mask_of acl =
+  match find acl Mask with Some { perms; _ } -> perms | None -> 7
+
+let check ~acl ~mode ~owner ~group cred access =
+  if Cred.is_root cred then true
+  else if acl = [] then Perm.check ~mode ~owner ~group cred access
+  else begin
+    let want = Perm.bits_for access in
+    let allows perms = perms land want <> 0 in
+    let mask = mask_of acl in
+    if cred.Cred.uid = owner then allows (mode lsr 6 land 7)
+    else
+      match find acl (User cred.Cred.uid) with
+      | Some { perms; _ } -> allows (perms land mask)
+      | None ->
+        (* Group class: grant if any applicable group entry grants. *)
+        let group_entries =
+          List.filter
+            (fun e ->
+              match e.tag with
+              | Group_obj -> Cred.in_group cred group
+              | Group g -> Cred.in_group cred g
+              | User_obj | User _ | Mask | Other -> false)
+            acl
+        in
+        let group_obj_applies =
+          Cred.in_group cred group
+          && not (List.exists (fun e -> tag_equal e.tag Group_obj) acl)
+        in
+        let group_entries =
+          if group_obj_applies then
+            { tag = Group_obj; perms = mode lsr 3 land 7 } :: group_entries
+          else group_entries
+        in
+        if group_entries <> [] then
+          List.exists (fun e -> allows (e.perms land mask)) group_entries
+        else
+          let other =
+            match find acl Other with
+            | Some { perms; _ } -> perms
+            | None -> mode land 7
+          in
+          allows other
+  end
+
+let validate acl =
+  let seen = Hashtbl.create 8 in
+  let key = function
+    | User_obj -> "u" | Group_obj -> "g" | Mask -> "m" | Other -> "o"
+    | User id -> "u:" ^ string_of_int id
+    | Group id -> "g:" ^ string_of_int id
+  in
+  let distinct =
+    List.for_all
+      (fun e ->
+        let k = key e.tag in
+        if Hashtbl.mem seen k then false else (Hashtbl.add seen k (); true))
+      acl
+  in
+  let in_range = List.for_all (fun e -> e.perms >= 0 && e.perms <= 7) acl in
+  let has_named =
+    List.exists (fun e -> match e.tag with User _ | Group _ -> true | _ -> false) acl
+  in
+  let has_mask = List.exists (fun e -> tag_equal e.tag Mask) acl in
+  distinct && in_range && ((not has_named) || has_mask)
+
+let perms_to_string perms =
+  let bit b ch = if perms land b <> 0 then ch else '-' in
+  Printf.sprintf "%c%c%c" (bit 4 'r') (bit 2 'w') (bit 1 'x')
+
+let entry_to_string = function
+  | { tag = User_obj; perms } -> Printf.sprintf "user::%s" (perms_to_string perms)
+  | { tag = User id; perms } -> Printf.sprintf "user:%d:%s" id (perms_to_string perms)
+  | { tag = Group_obj; perms } -> Printf.sprintf "group::%s" (perms_to_string perms)
+  | { tag = Group id; perms } -> Printf.sprintf "group:%d:%s" id (perms_to_string perms)
+  | { tag = Mask; perms } -> Printf.sprintf "mask::%s" (perms_to_string perms)
+  | { tag = Other; perms } -> Printf.sprintf "other::%s" (perms_to_string perms)
+
+let to_text ~mode acl =
+  let base = of_mode mode in
+  let extended =
+    List.filter
+      (fun e -> match e.tag with User _ | Group _ | Mask -> true | _ -> false)
+      acl
+  in
+  (* Entries in canonical order: user, named users, group, named groups,
+     mask, other. *)
+  let order e =
+    match e.tag with
+    | User_obj -> 0 | User _ -> 1 | Group_obj -> 2 | Group _ -> 3
+    | Mask -> 4 | Other -> 5
+  in
+  let all = List.sort (fun a b -> compare (order a) (order b)) (base @ extended) in
+  String.concat "\n" (List.map entry_to_string all)
+
+let perms_of_string s =
+  if String.length s <> 3 then None
+  else
+    let bit i on v = match s.[i] with c when c = on -> Some v | '-' -> Some 0 | _ -> None in
+    let ( let* ) = Option.bind in
+    let* r = bit 0 'r' 4 in
+    let* w = bit 1 'w' 2 in
+    let* x = bit 2 'x' 1 in
+    Some (r lor w lor x)
+
+let entry_of_string line =
+  match String.split_on_char ':' (String.trim line) with
+  | [ kind; who; perms ] -> begin
+    match perms_of_string perms with
+    | None -> Error (Printf.sprintf "bad permissions %S" perms)
+    | Some p ->
+      let named make =
+        match int_of_string_opt who with
+        | Some id -> Ok { tag = make id; perms = p }
+        | None -> Error (Printf.sprintf "bad id %S" who)
+      in
+      (match kind, who with
+      | "user", "" -> Ok { tag = User_obj; perms = p }
+      | "user", _ -> named (fun id -> User id)
+      | "group", "" -> Ok { tag = Group_obj; perms = p }
+      | "group", _ -> named (fun id -> Group id)
+      | "mask", "" -> Ok { tag = Mask; perms = p }
+      | "other", "" -> Ok { tag = Other; perms = p }
+      | _ -> Error (Printf.sprintf "bad acl entry %S" line))
+  end
+  | _ -> Error (Printf.sprintf "bad acl entry %S" line)
+
+let of_text text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      match entry_of_string line with
+      | Ok e -> go (e :: acc) rest
+      | Error _ as err -> err)
+  in
+  go [] lines

@@ -1,0 +1,31 @@
+type t = {
+  switch_cost_ns : float;
+  mutable crossings : int;
+  mutable charged_ns : float;
+  mutable suspended : int; (* depth of [suspended] nesting *)
+}
+
+let create ?(switch_cost_ns = 1000.) () =
+  { switch_cost_ns; crossings = 0; charged_ns = 0.; suspended = 0 }
+
+let crossings t = t.crossings
+
+let charged_ns t = t.charged_ns
+
+let syscall t =
+  if t.suspended = 0 then begin
+    t.crossings <- t.crossings + 1;
+    t.charged_ns <- t.charged_ns +. t.switch_cost_ns
+  end
+
+let suspended t f =
+  t.suspended <- t.suspended + 1;
+  Fun.protect ~finally:(fun () -> t.suspended <- t.suspended - 1) f
+
+let reset t =
+  t.crossings <- 0;
+  t.charged_ns <- 0.
+
+let pp ppf t =
+  Format.fprintf ppf "%d crossings (%.1f us modelled)" t.crossings
+    (t.charged_ns /. 1000.)

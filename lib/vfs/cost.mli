@@ -1,0 +1,34 @@
+(** Kernel-crossing cost model (paper §8.1).
+
+    Every public {!Fs} operation models one [syscall] — a user→kernel
+    context switch. The paper's performance concern is that "writing flow
+    entries to thousands of nodes will result in tens of thousands of
+    context switches"; libyanc's shared-memory fastpath exists to remove
+    them. This module counts crossings and charges a configurable cost so
+    benches can report both the crossing count and the modelled overhead
+    of the file-system path versus the fastpath. *)
+
+type t
+
+val create : ?switch_cost_ns:float -> unit -> t
+(** [switch_cost_ns] defaults to 1000 (a µs-scale user/kernel round trip,
+    the right order of magnitude for a FUSE-mediated call). *)
+
+val crossings : t -> int
+(** Number of simulated user/kernel boundary crossings so far. *)
+
+val charged_ns : t -> float
+(** Total modelled cost, in nanoseconds. *)
+
+val syscall : t -> unit
+(** Record one crossing. *)
+
+val suspended : t -> (unit -> 'a) -> 'a
+(** Run a function with crossing accounting disabled — used by
+    {!Libyanc} batches, where many logical operations share one
+    crossing, and by kernel-internal recursion (an op implemented in
+    terms of other ops must not double-count). *)
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,11 @@
+type t = { uid : int; gid : int; groups : int list }
+
+let root = { uid = 0; gid = 0; groups = [] }
+
+let make ?(groups = []) ~uid ~gid () = { uid; gid; groups }
+
+let is_root c = c.uid = 0
+
+let in_group c g = c.gid = g || List.mem g c.groups
+
+let pp ppf c = Format.fprintf ppf "uid=%d gid=%d" c.uid c.gid

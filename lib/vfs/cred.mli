@@ -1,0 +1,20 @@
+(** Credentials under which file-system calls are made.
+
+    In yanc each network application runs as its own (simulated) process
+    with its own uid/gid, so Unix permissions and ACLs give fine-grained
+    control of network resources (paper §5.1): a flow, or an entire
+    switch, can be protected from specific applications. *)
+
+type t = { uid : int; gid : int; groups : int list }
+
+val root : t
+(** uid 0 — bypasses permission checks, as on Linux. *)
+
+val make : ?groups:int list -> uid:int -> gid:int -> unit -> t
+
+val is_root : t -> bool
+
+val in_group : t -> int -> bool
+(** Member of a group, either as primary gid or supplementary. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,60 @@
+type t =
+  | ENOENT
+  | ENOTDIR
+  | EISDIR
+  | EEXIST
+  | ENOTEMPTY
+  | EACCES
+  | EPERM
+  | EINVAL
+  | ENAMETOOLONG
+  | ELOOP
+  | EXDEV
+  | EBADF
+  | ENOSPC
+  | EROFS
+  | ENOTSUP
+  | ESTALE
+  | EIO
+
+let to_string = function
+  | ENOENT -> "enoent"
+  | ENOTDIR -> "enotdir"
+  | EISDIR -> "eisdir"
+  | EEXIST -> "eexist"
+  | ENOTEMPTY -> "enotempty"
+  | EACCES -> "eacces"
+  | EPERM -> "eperm"
+  | EINVAL -> "einval"
+  | ENAMETOOLONG -> "enametoolong"
+  | ELOOP -> "eloop"
+  | EXDEV -> "exdev"
+  | EBADF -> "ebadf"
+  | ENOSPC -> "enospc"
+  | EROFS -> "erofs"
+  | ENOTSUP -> "enotsup"
+  | ESTALE -> "estale"
+  | EIO -> "eio"
+
+let message = function
+  | ENOENT -> "No such file or directory"
+  | ENOTDIR -> "Not a directory"
+  | EISDIR -> "Is a directory"
+  | EEXIST -> "File exists"
+  | ENOTEMPTY -> "Directory not empty"
+  | EACCES -> "Permission denied"
+  | EPERM -> "Operation not permitted"
+  | EINVAL -> "Invalid argument"
+  | ENAMETOOLONG -> "File name too long"
+  | ELOOP -> "Too many levels of symbolic links"
+  | EXDEV -> "Invalid cross-device link"
+  | EBADF -> "Bad file descriptor"
+  | ENOSPC -> "No space left on device"
+  | EROFS -> "Read-only file system"
+  | ENOTSUP -> "Operation not supported"
+  | ESTALE -> "Stale file handle"
+  | EIO -> "Input/output error"
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,35 @@
+(** POSIX-style error codes returned by every file-system operation.
+
+    The yanc paper exposes all network configuration and state through
+    file I/O, so applications see network errors as ordinary [errno]
+    values — e.g. writing a malformed flow field yields [EINVAL], touching
+    a switch owned by another tenant yields [EACCES]. *)
+
+type t =
+  | ENOENT      (** no such file or directory *)
+  | ENOTDIR     (** a path component is not a directory *)
+  | EISDIR      (** operation on a directory where a file was expected *)
+  | EEXIST      (** target already exists *)
+  | ENOTEMPTY   (** directory not empty *)
+  | EACCES      (** permission denied by mode bits or ACL *)
+  | EPERM       (** operation not permitted (ownership, immutability) *)
+  | EINVAL      (** invalid argument (bad name, bad field value) *)
+  | ENAMETOOLONG
+  | ELOOP       (** too many levels of symbolic links *)
+  | EXDEV       (** cross-device link (rename across mounts) *)
+  | EBADF       (** bad file descriptor *)
+  | ENOSPC      (** quota exhausted *)
+  | EROFS       (** read-only file system (e.g. a read-only view) *)
+  | ENOTSUP     (** operation not supported by this node type *)
+  | ESTALE      (** stale handle (distributed FS: node lost the object) *)
+  | EIO         (** I/O error (distributed FS: partition, lost op) *)
+
+val to_string : t -> string
+(** Canonical lower-case name, e.g. ["enoent"]. *)
+
+val message : t -> string
+(** Human-readable description, as [strerror(3)] would give. *)
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool

@@ -1,0 +1,201 @@
+(** The in-memory virtual file system.
+
+    This is the substrate that stands in for the Linux VFS + FUSE stack
+    the yanc prototype was built on: a single rooted tree of directories,
+    regular files and symbolic links, with Unix permissions, POSIX ACLs,
+    extended attributes, a file-descriptor table, and two cross-cutting
+    facilities the paper leans on:
+
+    - a {b mutation stream} ({!subscribe}): every successful
+      state-changing call is journalled as an {!Op.t} and delivered to
+      subscribers. {!Fsnotify} and the distributed-FS layer are both
+      implemented purely as subscribers, mirroring how inotify and
+      network file systems hook the Linux VFS;
+    - a {b kernel-crossing cost model} ({!cost}): every public call
+      counts as one syscall, so the §8.1 overhead argument can be
+      measured (see {!Cost} and the [Libyanc] fastpath).
+
+    All operations take an explicit credential and return
+    [('a, Errno.t) result]; nothing raises on I/O failure. *)
+
+type t
+
+type kind = Dir | File | Symlink
+
+type stat = {
+  ino : int;
+  kind : kind;
+  mode : int;          (** permission bits, e.g. 0o755 *)
+  uid : int;
+  gid : int;
+  nlink : int;
+  size : int;          (** bytes for files, entry count for dirs *)
+  atime : float;
+  mtime : float;
+  ctime : float;
+}
+
+type fd
+
+val create : ?cost:Cost.t -> unit -> t
+(** A fresh file system containing only the root directory (mode 0o755,
+    owned by root). *)
+
+val cost : t -> Cost.t
+
+(** {1 Simulated time}
+
+    Timestamps come from a per-filesystem clock that the embedding
+    simulation advances; they never consult the host clock, keeping runs
+    deterministic. *)
+
+val time : t -> float
+val set_time : t -> float -> unit
+
+(** {1 Read-only mode} *)
+
+val set_readonly : t -> bool -> unit
+(** When set, every mutating call fails with [EROFS]. Used for read-only
+    views/slices. *)
+
+(** {1 Mutation stream} *)
+
+type hook
+
+val subscribe : t -> (Op.t -> unit) -> hook
+(** Called after each successful mutation, in subscription order, with
+    the canonical (symlink-free) path of the affected object. A
+    subscriber may itself mutate the file system (the yanc schema layer
+    auto-creates typed children this way) but must terminate; hooks must
+    not subscribe or unsubscribe from within a callback. *)
+
+val unsubscribe : t -> hook -> unit
+
+(** {1 Per-filesystem policies}
+
+    The interposition points a real VFS gives a filesystem
+    implementation, reduced to the two yanc needs. *)
+
+val set_rmdir_policy : t -> (Path.t -> bool) -> unit
+(** When the policy answers [true] for a non-empty directory, a plain
+    [rmdir] of it behaves recursively — the paper makes switch removal
+    "automatically recursive" (§3.2). Default: never. *)
+
+val set_symlink_policy : t -> (Path.t -> target:string -> bool) -> unit
+(** Consulted before creating a symlink; [false] fails the call with
+    [EINVAL] — the paper makes it "an error to point [a port's peer]
+    symbolic link at anything other than a port" (§3.3). Default: allow
+    all. *)
+
+val replay : ?emit:bool -> t -> Op.t -> (unit, Errno.t) result
+(** Apply a journalled op with root credentials, without charging a
+    kernel crossing. This is the replication primitive of the
+    distributed-FS layer. Replay is idempotent for structural ops
+    ([Mkdir]/[Create] of an existing object, [Unlink]/[Rmdir] of a
+    missing one succeed silently), which lets replicas reconcile after
+    partitions. With [emit:true] (default false) the op is re-emitted to
+    this file system's subscribers after applying — that is how fsnotify
+    watchers on a replica observe remote changes; the caller must guard
+    against replication echo. *)
+
+(** {1 Directories} *)
+
+val mkdir : ?mode:int -> t -> cred:Cred.t -> Path.t -> (unit, Errno.t) result
+val mkdir_p : ?mode:int -> t -> cred:Cred.t -> Path.t -> (unit, Errno.t) result
+
+val rmdir : ?recursive:bool -> t -> cred:Cred.t -> Path.t -> (unit, Errno.t) result
+(** [recursive] (default false) removes the whole subtree depth-first,
+    emitting one op per removed entry — the paper specifies that
+    removing a switch directory is "automatically recursive". *)
+
+val readdir : t -> cred:Cred.t -> Path.t -> (string list, Errno.t) result
+(** Entry names, sorted, without ["."] and [".."]. *)
+
+(** {1 Files} *)
+
+val create_file :
+  ?mode:int -> t -> cred:Cred.t -> Path.t -> (unit, Errno.t) result
+(** Create an empty regular file; [EEXIST] if anything is already
+    there. *)
+
+val read_file : t -> cred:Cred.t -> Path.t -> (string, Errno.t) result
+
+val write_file : t -> cred:Cred.t -> Path.t -> string -> (unit, Errno.t) result
+(** The [echo data > file] equivalent: create the file if missing,
+    truncate, write. *)
+
+val append_file : t -> cred:Cred.t -> Path.t -> string -> (unit, Errno.t) result
+
+val truncate : t -> cred:Cred.t -> Path.t -> int -> (unit, Errno.t) result
+
+val unlink : t -> cred:Cred.t -> Path.t -> (unit, Errno.t) result
+
+(** {1 File descriptors} *)
+
+type open_flag = O_rdonly | O_wronly | O_rdwr | O_creat | O_trunc | O_append | O_excl
+
+val openfile :
+  ?mode:int -> t -> cred:Cred.t -> Path.t -> open_flag list -> (fd, Errno.t) result
+
+val close : t -> fd -> (unit, Errno.t) result
+
+val pread : t -> fd -> off:int -> len:int -> (string, Errno.t) result
+(** Short reads at end-of-file; [""] at or past EOF. *)
+
+val pwrite : t -> fd -> off:int -> string -> (int, Errno.t) result
+
+val fd_path : t -> fd -> (Path.t, Errno.t) result
+(** The canonical path the descriptor was opened at. *)
+
+(** {1 Links and renames} *)
+
+val symlink : t -> cred:Cred.t -> target:string -> Path.t -> (unit, Errno.t) result
+val readlink : t -> cred:Cred.t -> Path.t -> (string, Errno.t) result
+val rename : t -> cred:Cred.t -> src:Path.t -> dst:Path.t -> (unit, Errno.t) result
+
+(** {1 Metadata} *)
+
+val stat : t -> cred:Cred.t -> Path.t -> (stat, Errno.t) result
+(** Follows symlinks. *)
+
+val lstat : t -> cred:Cred.t -> Path.t -> (stat, Errno.t) result
+
+val exists : t -> cred:Cred.t -> Path.t -> bool
+val is_dir : t -> cred:Cred.t -> Path.t -> bool
+
+val chmod : t -> cred:Cred.t -> Path.t -> int -> (unit, Errno.t) result
+val chown : t -> cred:Cred.t -> Path.t -> uid:int -> gid:int -> (unit, Errno.t) result
+
+val access : t -> cred:Cred.t -> Path.t -> Perm.access -> (unit, Errno.t) result
+(** [EACCES] if the credential lacks the access under mode bits + ACL. *)
+
+val canonicalize : t -> cred:Cred.t -> Path.t -> (Path.t, Errno.t) result
+(** Resolve all symlinks; the result names the same object with a
+    symlink-free path. *)
+
+(** {1 Extended attributes (paper §5.1)} *)
+
+val setxattr : t -> cred:Cred.t -> Path.t -> name:string -> value:string -> (unit, Errno.t) result
+val getxattr : t -> cred:Cred.t -> Path.t -> name:string -> (string, Errno.t) result
+val listxattr : t -> cred:Cred.t -> Path.t -> (string list, Errno.t) result
+val removexattr : t -> cred:Cred.t -> Path.t -> name:string -> (unit, Errno.t) result
+
+(** {1 ACLs (paper §5.1)} *)
+
+val set_acl : t -> cred:Cred.t -> Path.t -> Acl.t -> (unit, Errno.t) result
+val get_acl : t -> cred:Cred.t -> Path.t -> (Acl.t, Errno.t) result
+
+(** {1 Whole-tree helpers} *)
+
+val walk :
+  t -> cred:Cred.t -> Path.t ->
+  (Path.t -> stat -> unit) -> (unit, Errno.t) result
+(** Depth-first pre-order traversal (does not follow symlinks), calling
+    the visitor on every object under and including the given path. *)
+
+val tree : t -> cred:Cred.t -> Path.t -> (string, Errno.t) result
+(** An ASCII rendering of the subtree, in the style of tree(1) — used to
+    reproduce the paper's Figure 2/3 listings. *)
+
+val size_info : t -> int * int
+(** [(objects, bytes)] currently stored. *)

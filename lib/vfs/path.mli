@@ -1,0 +1,52 @@
+(** Absolute, normalized file-system paths.
+
+    A path is stored as the list of its components; ["/"] is the empty
+    list. Normalization resolves ["."] and [".."] lexically (symlink
+    resolution happens in {!Fs}, which must see each component). *)
+
+type t
+
+val root : t
+
+val of_string : string -> (t, Errno.t) result
+(** Parse an absolute or relative path string. A relative string is
+    interpreted relative to {!root}. Empty strings and components longer
+    than 255 bytes are rejected with [EINVAL] / [ENAMETOOLONG]. *)
+
+val of_string_exn : string -> t
+(** Like {!of_string}; raises [Invalid_argument] on error. For literals. *)
+
+val to_string : t -> string
+
+val components : t -> string list
+(** Components from the root, e.g. ["/net/switches/sw1"] gives
+    [["net"; "switches"; "sw1"]]. *)
+
+val of_components : string list -> t
+
+val child : t -> string -> t
+(** [child p name] appends one component. [name] must not contain ['/']. *)
+
+val parent : t -> t option
+(** [None] for the root. *)
+
+val basename : t -> string option
+(** Last component; [None] for the root. *)
+
+val append : t -> t -> t
+(** [append a b] concatenates [b]'s components after [a]'s. *)
+
+val is_prefix : t -> t -> bool
+(** [is_prefix a b] is true when [a] is [b] or an ancestor of [b]. *)
+
+val strip_prefix : prefix:t -> t -> t option
+(** [strip_prefix ~prefix p] removes [prefix] from the front of [p];
+    [None] if [prefix] is not actually a prefix. *)
+
+val valid_name : string -> bool
+(** A legal single component: non-empty, at most 255 bytes, and
+    containing neither ['/'] nor ['\000'], and not ["."] or [".."]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

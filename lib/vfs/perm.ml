@@ -1,0 +1,53 @@
+type access = Read | Write | Exec
+
+let r_ok = Read
+let w_ok = Write
+let x_ok = Exec
+
+let bits_for = function Read -> 4 | Write -> 2 | Exec -> 1
+
+let check ~mode ~owner ~group cred access =
+  if Cred.is_root cred then true
+  else
+    let shift =
+      if cred.Cred.uid = owner then 6
+      else if Cred.in_group cred group then 3
+      else 0
+    in
+    mode lsr shift land bits_for access <> 0
+
+let to_string ~kind mode =
+  let bit b ch = if mode land b <> 0 then ch else '-' in
+  let buf = Bytes.create 10 in
+  Bytes.set buf 0 kind;
+  Bytes.set buf 1 (bit 0o400 'r');
+  Bytes.set buf 2 (bit 0o200 'w');
+  Bytes.set buf 3 (bit 0o100 'x');
+  Bytes.set buf 4 (bit 0o040 'r');
+  Bytes.set buf 5 (bit 0o020 'w');
+  Bytes.set buf 6 (bit 0o010 'x');
+  Bytes.set buf 7 (bit 0o004 'r');
+  Bytes.set buf 8 (bit 0o002 'w');
+  Bytes.set buf 9 (bit 0o001 'x');
+  Bytes.to_string buf
+
+let of_string s =
+  if String.length s <> 9 then None
+  else
+    let value i on bit =
+      match s.[i] with
+      | c when c = on -> Some bit
+      | '-' -> Some 0
+      | _ -> None
+    in
+    let ( let* ) = Option.bind in
+    let* b0 = value 0 'r' 0o400 in
+    let* b1 = value 1 'w' 0o200 in
+    let* b2 = value 2 'x' 0o100 in
+    let* b3 = value 3 'r' 0o040 in
+    let* b4 = value 4 'w' 0o020 in
+    let* b5 = value 5 'x' 0o010 in
+    let* b6 = value 6 'r' 0o004 in
+    let* b7 = value 7 'w' 0o002 in
+    let* b8 = value 8 'x' 0o001 in
+    Some (b0 lor b1 lor b2 lor b3 lor b4 lor b5 lor b6 lor b7 lor b8)

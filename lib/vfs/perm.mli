@@ -1,0 +1,25 @@
+(** Unix mode bits and access checks.
+
+    Modes are stored as the familiar octal integers ([0o755] etc.).
+    Access checks follow the Linux rules: owner class if uid matches,
+    else group class, else other; root bypasses everything except the
+    execute check on files (which we do not need here). *)
+
+type access = Read | Write | Exec
+
+val r_ok : access
+val w_ok : access
+val x_ok : access
+
+val bits_for : access -> int
+(** The "other"-class bit for an access kind: 4, 2 or 1. *)
+
+val check : mode:int -> owner:int -> group:int -> Cred.t -> access -> bool
+(** Pure mode-bit check (no ACL); see {!Acl.check} for the combined
+    check used by {!Fs}. *)
+
+val to_string : kind:char -> int -> string
+(** ls-style string, e.g. [to_string ~kind:'d' 0o755 = "drwxr-xr-x"]. *)
+
+val of_string : string -> int option
+(** Parse the 9-character rwx form (without the kind character). *)

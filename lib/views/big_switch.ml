@@ -1,0 +1,390 @@
+module Y = Yancfs
+module P = Packet
+module OF = Openflow
+module Fs = Vfs.Fs
+
+type compiled = { version : int; installed : (string * string) list }
+(* per view flow: master (switch, flow name) pairs *)
+
+type t = {
+  master : Y.Yanc_fs.t;
+  view_fs : Y.Yanc_fs.t;
+  cred : Vfs.Cred.t;
+  view : string;
+  switch_name : string;
+  mutable vports : (int * (string * int)) list;
+  synced : (string, compiled) Hashtbl.t;
+  subscribed : (string, unit) Hashtbl.t;
+  mutable compiled_count : int;
+}
+
+let ( let* ) = Result.bind
+
+let buffer_app t = "bigsw-" ^ t.view
+
+let create ?(cred = Vfs.Cred.root) ?(switch_name = "big0") ~master ~view () =
+  let* view_fs = Y.Yanc_fs.in_view master ~cred view in
+  let* () =
+    Y.Yanc_fs.add_switch view_fs ~name:switch_name ~dpid:0L
+      ~protocol:"virtual-big-switch" ~n_buffers:0 ~n_tables:1
+      ~capabilities:[ "virtual" ] ~actions:[]
+  in
+  Ok
+    { master; view_fs; cred; view; switch_name; vports = [];
+      synced = Hashtbl.create 32; subscribed = Hashtbl.create 16;
+      compiled_count = 0 }
+
+let view_fs t = t.view_fs
+
+let port_map t = t.vports
+
+(* --- underlay inspection --------------------------------------------------- *)
+
+let edge_ports t =
+  Y.Yanc_fs.switch_names t.master
+  |> List.concat_map (fun switch ->
+         Y.Yanc_fs.port_numbers t.master ~cred:t.cred switch
+         |> List.filter_map (fun port ->
+                if Y.Yanc_fs.peer_of t.master ~cred:t.cred ~switch ~port = None
+                then Some (switch, port)
+                else None))
+  |> List.sort compare
+
+let refresh_ports t =
+  let edges = edge_ports t in
+  t.vports <- List.mapi (fun i e -> i + 1, e) edges;
+  List.iter
+    (fun (vport, (switch, port)) ->
+      match Y.Yanc_fs.read_port t.master ~cred:t.cred ~switch port with
+      | Ok info ->
+        ignore
+          (Y.Yanc_fs.set_port t.view_fs ~switch:t.switch_name
+             { info with
+               Openflow.Of_types.Port_info.port_no = vport;
+               name = Printf.sprintf "%s-%s-p%d" t.switch_name switch port })
+      | Error _ -> ())
+    t.vports
+
+let real_of_vport t vport = List.assoc_opt vport t.vports
+
+let vport_of_real t real =
+  List.find_map (fun (v, r) -> if r = real then Some v else None) t.vports
+
+(* Next-hop port from every switch toward [target] over peer links. *)
+let routes_to t target =
+  let adj = Hashtbl.create 16 in
+  List.iter
+    (fun switch ->
+      List.iter
+        (fun port ->
+          match Y.Yanc_fs.peer_of t.master ~cred:t.cred ~switch ~port with
+          | Some (psw, _) -> Hashtbl.add adj switch (port, psw)
+          | None -> ())
+        (Y.Yanc_fs.port_numbers t.master ~cred:t.cred switch))
+    (Y.Yanc_fs.switch_names t.master);
+  (* BFS outward from the target; record, per reached switch, the port
+     leading back toward the target. *)
+  let next_hop = Hashtbl.create 16 in
+  let visited = Hashtbl.create 16 in
+  Hashtbl.replace visited target ();
+  let queue = Queue.create () in
+  Queue.push target queue;
+  while not (Queue.is_empty queue) do
+    let sw = Queue.pop queue in
+    (* For every switch with a link into [sw], set its next hop. *)
+    Hashtbl.iter
+      (fun from_sw (port, to_sw) ->
+        if to_sw = sw && not (Hashtbl.mem visited from_sw) then begin
+          Hashtbl.replace visited from_sw ();
+          Hashtbl.replace next_hop from_sw port;
+          Queue.push from_sw queue
+        end)
+      adj
+  done;
+  next_hop
+
+(* --- flow compilation --------------------------------------------------------- *)
+
+let split_actions actions =
+  List.fold_left
+    (fun (outs, rewrites, other) a ->
+      match a with
+      | OF.Action.Output (OF.Action.Physical v) -> (v :: outs, rewrites, other)
+      | OF.Action.Output _ -> (outs, rewrites, a :: other)
+      | a -> (outs, a :: rewrites, other))
+    ([], [], []) actions
+  |> fun (a, b, c) -> List.rev a, List.rev b, List.rev c
+
+let master_flow_name t vname sw = Printf.sprintf "v.%s.%s.%s" t.view vname sw
+
+let install_master_flow t ~switch ~name flow =
+  let result =
+    match Y.Yanc_fs.create_flow t.master ~cred:t.cred ~switch ~name flow with
+    | Ok () -> Ok ()
+    | Error Vfs.Errno.EEXIST ->
+      let dir = Y.Layout.flow ~root:(Y.Yanc_fs.root t.master) ~switch name in
+      let version =
+        Option.value ~default:0
+          (Y.Flowdir.read_version (Y.Yanc_fs.fs t.master) ~cred:t.cred dir)
+      in
+      Y.Flowdir.write (Y.Yanc_fs.fs t.master) ~cred:t.cred dir
+        { flow with Y.Flowdir.version }
+    | Error _ as e -> e
+  in
+  match result with Ok () -> true | Error _ -> false
+
+let remove_installed t installed =
+  List.iter
+    (fun (switch, name) ->
+      ignore (Y.Yanc_fs.delete_flow t.master ~cred:t.cred ~switch name))
+    installed
+
+let compile_flow t vname (flow : Y.Flowdir.t) =
+  let vfs = Y.Yanc_fs.fs t.view_fs in
+  let vdir = Y.Layout.flow ~root:(Y.Yanc_fs.root t.view_fs) ~switch:t.switch_name vname in
+  let fail msg =
+    ignore (Y.Flowdir.set_error vfs ~cred:t.cred vdir (Some msg));
+    []
+  in
+  if List.exists (function OF.Action.Enqueue _ -> true | _ -> false) flow.actions
+  then fail "QoS enqueue is not supported on virtual switches"
+  else
+  let outs, rewrites, other = split_actions flow.actions in
+  let ingress =
+    match flow.of_match.OF.Of_match.in_port with
+    | None -> Ok None
+    | Some v -> (
+      match real_of_vport t v with
+      | Some real -> Ok (Some real)
+      | None -> Error (Printf.sprintf "virtual in_port %d does not exist" v))
+  in
+  match ingress with
+  | Error e -> fail e
+  | Ok ingress -> (
+    match outs, other with
+    | [], _ ->
+      (* A drop (or controller-only) rule: install on the ingress switch
+         or everywhere. *)
+      let targets =
+        match ingress with
+        | Some (sw, _) -> [ sw ]
+        | None -> Y.Yanc_fs.switch_names t.master
+      in
+      List.filter_map
+        (fun sw ->
+          let of_match =
+            { flow.of_match with
+              OF.Of_match.in_port =
+                (match ingress with
+                | Some (isw, iport) when isw = sw -> Some iport
+                | _ -> None) }
+          in
+          let name = master_flow_name t vname sw in
+          if
+            install_master_flow t ~switch:sw ~name
+              { flow with Y.Flowdir.of_match; actions = other; version = 0;
+                buffer_id = None }
+          then Some (sw, name)
+          else None)
+        targets
+    | [ vout ], _ -> (
+      match real_of_vport t vout with
+      | None -> fail (Printf.sprintf "virtual output port %d does not exist" vout)
+      | Some (egress_sw, egress_port) ->
+        let next_hop = routes_to t egress_sw in
+        let targets =
+          match ingress with
+          | Some (sw, _) -> [ sw ]
+          | None -> Y.Yanc_fs.switch_names t.master
+        in
+        (* Transit rules are needed on every switch on any path; with
+           ingress unknown we install on all switches. With a known
+           ingress we still install transit rules everywhere along the
+           unique BFS route by walking it. *)
+        let route_switches =
+          match ingress with
+          | None -> targets
+          | Some (isw, _) ->
+            let rec walk sw acc =
+              if sw = egress_sw then List.rev (sw :: acc)
+              else
+                match Hashtbl.find_opt next_hop sw with
+                | None -> List.rev (sw :: acc) (* unreachable: egress only *)
+                | Some port -> (
+                  match Y.Yanc_fs.peer_of t.master ~cred:t.cred ~switch:sw ~port with
+                  | Some (nsw, _) -> walk nsw (sw :: acc)
+                  | None -> List.rev (sw :: acc))
+            in
+            walk isw []
+        in
+        List.filter_map
+          (fun sw ->
+            let actions =
+              if sw = egress_sw then
+                rewrites @ other
+                @ [ OF.Action.Output (OF.Action.Physical egress_port) ]
+              else
+                match Hashtbl.find_opt next_hop sw with
+                | Some port -> [ OF.Action.Output (OF.Action.Physical port) ]
+                | None -> []
+            in
+            if actions = [] then None
+            else begin
+              let of_match =
+                { flow.of_match with
+                  OF.Of_match.in_port =
+                    (match ingress with
+                    | Some (isw, iport) when isw = sw -> Some iport
+                    | _ -> None) }
+              in
+              let name = master_flow_name t vname sw in
+              if
+                install_master_flow t ~switch:sw ~name
+                  { flow with Y.Flowdir.of_match; actions; version = 0;
+                    buffer_id = None }
+              then Some (sw, name)
+              else None
+            end)
+          route_switches)
+    | _ :: _ :: _, _ ->
+      fail "multiple virtual output ports are not supported by this virtualizer")
+
+let sync_flows_down t =
+  let vfs = Y.Yanc_fs.fs t.view_fs in
+  let live = Y.Yanc_fs.flow_names t.view_fs ~cred:t.cred t.switch_name in
+  List.iter
+    (fun vname ->
+      let vdir =
+        Y.Layout.flow ~root:(Y.Yanc_fs.root t.view_fs) ~switch:t.switch_name vname
+      in
+      match Y.Flowdir.read_version vfs ~cred:t.cred vdir with
+      | None -> ()
+      | Some version ->
+        let stale =
+          match Hashtbl.find_opt t.synced vname with
+          | Some c -> c.version < version
+          | None -> true
+        in
+        if stale then begin
+          (match Hashtbl.find_opt t.synced vname with
+          | Some c -> remove_installed t c.installed
+          | None -> ());
+          match Y.Yanc_fs.read_flow t.view_fs ~cred:t.cred ~switch:t.switch_name vname with
+          | Error msg ->
+            ignore (Y.Flowdir.set_error vfs ~cred:t.cred vdir (Some msg));
+            Hashtbl.replace t.synced vname { version; installed = [] }
+          | Ok flow ->
+            ignore (Y.Flowdir.set_error vfs ~cred:t.cred vdir None);
+            let installed = compile_flow t vname flow in
+            if installed <> [] then t.compiled_count <- t.compiled_count + 1;
+            Hashtbl.replace t.synced vname { version; installed }
+        end)
+    live;
+  (* Deletions. *)
+  let gone =
+    Hashtbl.fold
+      (fun vname c acc ->
+        if List.mem vname live then acc else (vname, c) :: acc)
+      t.synced []
+  in
+  List.iter
+    (fun (vname, c) ->
+      Hashtbl.remove t.synced vname;
+      remove_installed t c.installed)
+    gone
+
+(* --- events and packet-out ------------------------------------------------------ *)
+
+let sync_events_up t =
+  List.iter
+    (fun switch ->
+      if not (Hashtbl.mem t.subscribed switch) then begin
+        match
+          Y.Eventdir.subscribe (Y.Yanc_fs.fs t.master) ~cred:t.cred
+            ~root:(Y.Yanc_fs.root t.master) ~switch ~app:(buffer_app t)
+        with
+        | Ok () -> Hashtbl.replace t.subscribed switch ()
+        | Error _ -> ()
+      end;
+      List.iter
+        (fun (ev : Y.Eventdir.event) ->
+          match vport_of_real t (switch, ev.in_port) with
+          | None -> () (* interior port: not visible on the big switch *)
+          | Some vport ->
+            ignore
+              (Y.Eventdir.publish (Y.Yanc_fs.fs t.view_fs)
+                 ~root:(Y.Yanc_fs.root t.view_fs) ~switch:t.switch_name
+                 ~in_port:vport ~reason:ev.reason ~buffer_id:None
+                 ~total_len:ev.total_len ~data:ev.data))
+        (Y.Eventdir.consume (Y.Yanc_fs.fs t.master) ~cred:t.cred
+           ~root:(Y.Yanc_fs.root t.master) ~switch ~app:(buffer_app t)))
+    (Y.Yanc_fs.switch_names t.master)
+
+let sync_packet_out t =
+  List.iter
+    (fun (req : Y.Outdir.request) ->
+      List.iter
+        (fun action ->
+          match action with
+          | OF.Action.Output (OF.Action.Physical v) -> (
+            match real_of_vport t v with
+            | Some (sw, port) ->
+              ignore
+                (Y.Outdir.submit (Y.Yanc_fs.fs t.master) ~cred:t.cred
+                   ~root:(Y.Yanc_fs.root t.master) ~switch:sw
+                   ~actions:[ OF.Action.Output (OF.Action.Physical port) ]
+                   ~data:req.data ())
+            | None -> ())
+          | OF.Action.Output (OF.Action.Flood | OF.Action.All) ->
+            List.iter
+              (fun (_, (sw, port)) ->
+                ignore
+                  (Y.Outdir.submit (Y.Yanc_fs.fs t.master) ~cred:t.cred
+                     ~root:(Y.Yanc_fs.root t.master) ~switch:sw
+                     ~actions:[ OF.Action.Output (OF.Action.Physical port) ]
+                     ~data:req.data ()))
+              t.vports
+          | _ -> ())
+        req.actions)
+    (Y.Outdir.consume (Y.Yanc_fs.fs t.view_fs) ~root:(Y.Yanc_fs.root t.view_fs)
+       ~switch:t.switch_name)
+
+(* Every packet of a virtual flow crosses its egress hop exactly once,
+   so the egress-switch rule carries the true counters. *)
+let sync_counters_up t =
+  let mfs = Y.Yanc_fs.fs t.master in
+  let vroot = Y.Yanc_fs.root t.view_fs in
+  Hashtbl.iter
+    (fun vname c ->
+      match List.rev c.installed with
+      | [] -> ()
+      | (egress_sw, mname) :: _ ->
+        let counters =
+          Y.Layout.flow_counters ~root:(Y.Yanc_fs.root t.master)
+            ~switch:egress_sw mname
+        in
+        let read file =
+          match Fs.read_file mfs ~cred:t.cred (Vfs.Path.child counters file) with
+          | Ok v -> Int64.of_string_opt (String.trim v)
+          | Error _ -> None
+        in
+        (match read "packets", read "bytes" with
+        | Some packets, Some bytes ->
+          ignore
+            (Y.Flowdir.write_counters (Y.Yanc_fs.fs t.view_fs) ~cred:t.cred
+               (Y.Layout.flow ~root:vroot ~switch:t.switch_name vname)
+               ~packets ~bytes ~duration_s:0)
+        | _ -> ()))
+    t.synced
+
+let run t ~now:_ =
+  refresh_ports t;
+  sync_flows_down t;
+  sync_events_up t;
+  sync_packet_out t;
+  sync_counters_up t
+
+let app t =
+  Apps.App_intf.daemon ~name:("bigswitch-" ^ t.view) (fun ~now -> run t ~now)
+
+let flows_compiled t = t.compiled_count

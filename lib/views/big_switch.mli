@@ -1,0 +1,39 @@
+(** The single-big-switch virtualizer (paper §4.2): "network
+    virtualization provides any arbitrary transformation, such as
+    combining multiple switches and forming a new topology".
+
+    The daemon presents, inside a view, one virtual switch ([big0] by
+    default) whose ports are the {e edge} ports of the underlying
+    network (ports without a [peer] link), numbered 1..n. Tenant flows
+    written on the virtual switch are compiled to the physical network:
+
+    - a flow whose action outputs virtual port [v] becomes one flow per
+      physical switch forwarding along the shortest [peer]-link path
+      toward [v]'s real (switch, port) — header rewrites are applied at
+      the egress hop only;
+    - a virtual [in_port] match is translated to the real ingress
+      (switch, port) and only installed there;
+    - packet-ins arriving on underlay edge ports are republished on the
+      virtual switch with the virtual ingress port;
+    - tenant packet-outs on a virtual port go to the real port's switch.
+
+    The underlay handle may itself be a slicer view — stacking views is
+    exactly composing these daemons (paper: "views can be stacked
+    arbitrarily"). *)
+
+type t
+
+val create :
+  ?cred:Vfs.Cred.t -> ?switch_name:string -> master:Yancfs.Yanc_fs.t ->
+  view:string -> unit -> (t, Vfs.Errno.t) result
+
+val view_fs : t -> Yancfs.Yanc_fs.t
+
+val port_map : t -> (int * (string * int)) list
+(** virtual port -> (real switch, real port), refreshed on each run. *)
+
+val run : t -> now:float -> unit
+
+val app : t -> Apps.App_intf.t
+
+val flows_compiled : t -> int

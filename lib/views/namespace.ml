@@ -1,0 +1,23 @@
+module Y = Yancfs
+module Fs = Vfs.Fs
+
+let ( let* ) = Result.bind
+
+let provision master ~view ~owner =
+  let* vyfs = Y.Yanc_fs.in_view master ~cred:Vfs.Cred.root view in
+  let fs = Y.Yanc_fs.fs master in
+  let vroot = Y.Yanc_fs.root vyfs in
+  let* () =
+    Fs.walk fs ~cred:Vfs.Cred.root vroot (fun path _ ->
+        ignore
+          (Fs.chown fs ~cred:Vfs.Cred.root path ~uid:owner.Vfs.Cred.uid
+             ~gid:owner.Vfs.Cred.gid))
+  in
+  let* () = Fs.chmod fs ~cred:Vfs.Cred.root vroot 0o700 in
+  Ok vyfs
+
+let enter master ~cred ~view =
+  let fs = Y.Yanc_fs.fs master in
+  let vroot = Y.Layout.view ~root:(Y.Yanc_fs.root master) view in
+  let* () = Fs.access fs ~cred vroot Vfs.Perm.x_ok in
+  Y.Yanc_fs.in_view master ~cred view

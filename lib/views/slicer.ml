@@ -1,0 +1,277 @@
+module Y = Yancfs
+module P = Packet
+module OF = Openflow
+module Fs = Vfs.Fs
+
+type config = {
+  view : string;
+  switches : (string * int list) list;
+  flowspace : OF.Of_match.t;
+  priority_cap : int;
+}
+
+type t = {
+  master : Y.Yanc_fs.t;
+  view_fs : Y.Yanc_fs.t;
+  cred : Vfs.Cred.t;
+  config : config;
+  synced : (string * string, int) Hashtbl.t; (* (switch, view flow) -> version *)
+  mutable accepted : int;
+  mutable rejected : int;
+}
+
+let ( let* ) = Result.bind
+
+let buffer_app t = "slice-" ^ t.config.view
+
+let allowed_ports t switch =
+  match List.assoc_opt switch t.config.switches with
+  | Some [] | None ->
+    Y.Yanc_fs.port_numbers t.master ~cred:t.cred switch
+  | Some ports -> ports
+
+let sliced_switches t = List.map fst t.config.switches
+
+let mirror_switch t switch ports =
+  (match Y.Yanc_fs.switch_dpid t.master switch with
+  | None -> ()
+  | Some dpid ->
+    ignore
+      (Y.Yanc_fs.add_switch t.view_fs ~name:switch ~dpid
+         ~protocol:
+           (Option.value (Y.Yanc_fs.switch_protocol t.master switch)
+              ~default:"unknown")
+         ~n_buffers:0 ~n_tables:1 ~capabilities:[ "sliced" ] ~actions:[]));
+  let ports = if ports = [] then allowed_ports t switch else ports in
+  List.iter
+    (fun port ->
+      match Y.Yanc_fs.read_port t.master ~cred:t.cred ~switch port with
+      | Ok info -> ignore (Y.Yanc_fs.set_port t.view_fs ~switch info)
+      | Error _ -> ())
+    ports;
+  ignore
+    (Y.Eventdir.subscribe (Y.Yanc_fs.fs t.master) ~cred:t.cred
+       ~root:(Y.Yanc_fs.root t.master) ~switch ~app:(buffer_app t))
+
+let create ?(cred = Vfs.Cred.root) ~master config =
+  let* view_fs = Y.Yanc_fs.in_view master ~cred config.view in
+  let t =
+    { master; view_fs; cred; config; synced = Hashtbl.create 64; accepted = 0;
+      rejected = 0 }
+  in
+  List.iter (fun (sw, ports) -> mirror_switch t sw ports) config.switches;
+  Ok t
+
+let view_fs t = t.view_fs
+
+(* --- topology mirroring ------------------------------------------------------- *)
+
+let in_slice t switch port =
+  List.exists
+    (fun (sw, ports) -> sw = switch && (ports = [] || List.mem port ports))
+    t.config.switches
+
+let mirror_topology t =
+  List.iter
+    (fun (switch, ports) ->
+      let ports = if ports = [] then allowed_ports t switch else ports in
+      List.iter
+        (fun port ->
+          let master_peer = Y.Yanc_fs.peer_of t.master ~cred:t.cred ~switch ~port in
+          let view_peer = Y.Yanc_fs.peer_of t.view_fs ~cred:t.cred ~switch ~port in
+          let wanted =
+            match master_peer with
+            | Some (psw, pport) when in_slice t psw pport -> Some (psw, pport)
+            | Some _ | None -> None
+          in
+          if wanted <> view_peer then
+            ignore
+              (Y.Yanc_fs.set_peer t.view_fs ~cred:t.cred ~switch ~port
+                 ~peer:wanted))
+        ports)
+    t.config.switches
+
+(* --- downward flow sync --------------------------------------------------------- *)
+
+let master_flow_name t view_flow = Printf.sprintf "s.%s.%s" t.config.view view_flow
+
+(* Rewrite outputs through the slice's port filter. [Flood]/[All] become
+   explicit outputs on every allowed port; a physical port outside the
+   slice is a violation. *)
+let translate_actions t switch actions =
+  let allowed = allowed_ports t switch in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | OF.Action.Output (OF.Action.Physical p) :: rest ->
+      if List.mem p allowed then go (OF.Action.Output (OF.Action.Physical p) :: acc) rest
+      else Error (Printf.sprintf "output port %d outside slice" p)
+    | (OF.Action.Enqueue { port; _ } as a) :: rest ->
+      if List.mem port allowed then go (a :: acc) rest
+      else Error (Printf.sprintf "enqueue port %d outside slice" port)
+    | OF.Action.Output (OF.Action.Flood | OF.Action.All) :: rest ->
+      let outs =
+        List.map (fun p -> OF.Action.Output (OF.Action.Physical p)) allowed
+      in
+      go (List.rev_append outs acc) rest
+    | a :: rest -> go (a :: acc) rest
+  in
+  go [] actions
+
+let sync_flow_down t switch view_flow =
+  let vdir = Y.Layout.flow ~root:(Y.Yanc_fs.root t.view_fs) ~switch view_flow in
+  let vfs = Y.Yanc_fs.fs t.view_fs in
+  match Y.Flowdir.read_version vfs ~cred:t.cred vdir with
+  | None -> ()
+  | Some version ->
+    let key = switch, view_flow in
+    let stale =
+      match Hashtbl.find_opt t.synced key with
+      | Some v -> v < version
+      | None -> true
+    in
+    if stale then begin
+      Hashtbl.replace t.synced key version;
+      match Y.Yanc_fs.read_flow t.view_fs ~cred:t.cred ~switch view_flow with
+      | Error msg ->
+        t.rejected <- t.rejected + 1;
+        ignore (Y.Flowdir.set_error vfs ~cred:t.cred vdir (Some msg))
+      | Ok flow -> (
+        let enforced = OF.Of_match.intersect flow.of_match t.config.flowspace in
+        let actions = translate_actions t switch flow.actions in
+        match enforced, actions with
+        | None, _ ->
+          t.rejected <- t.rejected + 1;
+          ignore
+            (Y.Flowdir.set_error vfs ~cred:t.cred vdir
+               (Some "match outside the slice flowspace"))
+        | _, Error e ->
+          t.rejected <- t.rejected + 1;
+          ignore (Y.Flowdir.set_error vfs ~cred:t.cred vdir (Some e))
+        | Some of_match, Ok actions ->
+          ignore (Y.Flowdir.set_error vfs ~cred:t.cred vdir None);
+          t.accepted <- t.accepted + 1;
+          let target = master_flow_name t view_flow in
+          let mflow =
+            { flow with
+              Y.Flowdir.of_match;
+              actions;
+              priority = min flow.priority t.config.priority_cap;
+              version = 0;
+              buffer_id = None }
+          in
+          let result =
+            match
+              Y.Yanc_fs.create_flow t.master ~cred:t.cred ~switch ~name:target
+                mflow
+            with
+            | Ok () -> Ok ()
+            | Error Vfs.Errno.EEXIST ->
+              let mdir =
+                Y.Layout.flow ~root:(Y.Yanc_fs.root t.master) ~switch target
+              in
+              let mversion =
+                Option.value ~default:0
+                  (Y.Flowdir.read_version (Y.Yanc_fs.fs t.master) ~cred:t.cred
+                     mdir)
+              in
+              Y.Flowdir.write (Y.Yanc_fs.fs t.master) ~cred:t.cred mdir
+                { mflow with Y.Flowdir.version = mversion }
+            | Error _ as e -> e
+          in
+          ignore result)
+    end
+
+let sync_deletions t switch =
+  let live = Y.Yanc_fs.flow_names t.view_fs ~cred:t.cred switch in
+  let gone =
+    Hashtbl.fold
+      (fun (sw, name) _ acc ->
+        if sw = switch && not (List.mem name live) then name :: acc else acc)
+      t.synced []
+  in
+  List.iter
+    (fun name ->
+      Hashtbl.remove t.synced (switch, name);
+      ignore
+        (Y.Yanc_fs.delete_flow t.master ~cred:t.cred ~switch
+           (master_flow_name t name)))
+    gone
+
+(* --- upward sync ------------------------------------------------------------------ *)
+
+let sync_events_up t switch =
+  let master_fs = Y.Yanc_fs.fs t.master in
+  List.iter
+    (fun (ev : Y.Eventdir.event) ->
+      if in_slice t switch ev.in_port then begin
+        match Y.Eventdir.frame_of ev with
+        | None -> ()
+        | Some frame ->
+          let headers = P.Headers.of_eth ~in_port:ev.in_port frame in
+          if OF.Of_match.matches t.config.flowspace headers then
+            ignore
+              (Y.Eventdir.publish (Y.Yanc_fs.fs t.view_fs)
+                 ~root:(Y.Yanc_fs.root t.view_fs) ~switch ~in_port:ev.in_port
+                 ~reason:ev.reason ~buffer_id:None ~total_len:ev.total_len
+                 ~data:ev.data)
+      end)
+    (Y.Eventdir.consume master_fs ~cred:t.cred ~root:(Y.Yanc_fs.root t.master)
+       ~switch ~app:(buffer_app t))
+
+let sync_counters_up t switch =
+  let mroot = Y.Yanc_fs.root t.master in
+  let vroot = Y.Yanc_fs.root t.view_fs in
+  let mfs = Y.Yanc_fs.fs t.master in
+  let vfs = Y.Yanc_fs.fs t.view_fs in
+  Hashtbl.iter
+    (fun (sw, name) _ ->
+      if sw = switch then begin
+        let mcounters =
+          Y.Layout.flow_counters ~root:mroot ~switch (master_flow_name t name)
+        in
+        let read file =
+          match Fs.read_file mfs ~cred:t.cred (Vfs.Path.child mcounters file) with
+          | Ok v -> Int64.of_string_opt (String.trim v)
+          | Error _ -> None
+        in
+        match read "packets", read "bytes" with
+        | Some packets, Some bytes ->
+          ignore
+            (Y.Flowdir.write_counters vfs ~cred:t.cred
+               (Y.Layout.flow ~root:vroot ~switch name)
+               ~packets ~bytes ~duration_s:0)
+        | _ -> ()
+      end)
+    t.synced
+
+let sync_packet_out t switch =
+  List.iter
+    (fun (req : Y.Outdir.request) ->
+      match translate_actions t switch req.actions with
+      | Error _ -> () (* dropped: tenant tried to leave the slice *)
+      | Ok actions ->
+        ignore
+          (Y.Outdir.submit (Y.Yanc_fs.fs t.master) ~cred:t.cred
+             ~root:(Y.Yanc_fs.root t.master) ~switch ?in_port:req.in_port
+             ~actions ~data:req.data ()))
+    (Y.Outdir.consume (Y.Yanc_fs.fs t.view_fs) ~root:(Y.Yanc_fs.root t.view_fs)
+       ~switch)
+
+let run t ~now:_ =
+  mirror_topology t;
+  List.iter
+    (fun switch ->
+      List.iter (sync_flow_down t switch)
+        (Y.Yanc_fs.flow_names t.view_fs ~cred:t.cred switch);
+      sync_deletions t switch;
+      sync_events_up t switch;
+      sync_counters_up t switch;
+      sync_packet_out t switch)
+    (sliced_switches t)
+
+let app t =
+  Apps.App_intf.daemon ~name:("slicer-" ^ t.config.view) (fun ~now -> run t ~now)
+
+let flows_accepted t = t.accepted
+
+let flows_rejected t = t.rejected

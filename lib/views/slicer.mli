@@ -1,0 +1,45 @@
+(** The slicer (paper §4.2): "a slice of a network is a subset of the
+    hardware and header space across one or more switches; the original
+    topology is not changed."
+
+    A slice daemon maintains a live translation between the master tree
+    and a view tree:
+
+    - {b downward} — flows a tenant commits in the view are checked
+      against the slice's {e flowspace} (their match must stay inside
+      it: the enforced match is the intersection; a disjoint match gets
+      an [error] file and never reaches hardware), actions are checked
+      against the slice's port set, and the result is written to the
+      master switch under a slice-prefixed name. Tenant packet-out
+      requests are forwarded with the same port filter.
+    - {b upward} — switch attributes, the sliced ports and intra-slice
+      [peer] links are mirrored into the view; packet-ins whose headers
+      fall inside the flowspace (and whose ingress is a sliced port) are
+      republished to the view's subscribers; flow counters are copied
+      back onto the tenant's flow directories.
+
+    Slices stack: the master handle may itself be a view. *)
+
+type config = {
+  view : string;
+  switches : (string * int list) list;
+      (** sliced switch and the ports the tenant may use; [[]] = all *)
+  flowspace : Openflow.Of_match.t;
+  priority_cap : int;  (** tenant priorities are clamped below this *)
+}
+
+type t
+
+val create :
+  ?cred:Vfs.Cred.t -> master:Yancfs.Yanc_fs.t -> config ->
+  (t, Vfs.Errno.t) result
+(** Create the view and mirror the sliced switches into it. *)
+
+val view_fs : t -> Yancfs.Yanc_fs.t
+
+val run : t -> now:float -> unit
+
+val app : t -> Apps.App_intf.t
+
+val flows_accepted : t -> int
+val flows_rejected : t -> int

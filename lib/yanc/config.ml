@@ -1,0 +1,61 @@
+type t = {
+  topology : string;
+  of13 : bool;
+  apps : string list;
+  duration : float;
+  flows : string list;
+}
+
+let default =
+  { topology = "linear:2"; of13 = false; apps = []; duration = 3.0; flows = [] }
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go acc lineno = function
+    | [] -> Ok { acc with apps = List.rev acc.apps; flows = List.rev acc.flows }
+    | line :: rest -> (
+      let trimmed = String.trim line in
+      if trimmed = "" || trimmed.[0] = '#' then go acc (lineno + 1) rest
+      else
+        let key, value =
+          match String.index_opt trimmed ' ' with
+          | Some i ->
+            ( String.sub trimmed 0 i,
+              String.trim (String.sub trimmed i (String.length trimmed - i)) )
+          | None -> trimmed, ""
+        in
+        let fail fmt =
+          Printf.ksprintf (fun m -> Error (Printf.sprintf "line %d: %s" lineno m)) fmt
+        in
+        match key with
+        | "topology" ->
+          if value = "" then fail "topology needs a value"
+          else go { acc with topology = value } (lineno + 1) rest
+        | "protocol" -> (
+          match value with
+          | "openflow10" | "of10" -> go { acc with of13 = false } (lineno + 1) rest
+          | "openflow13" | "of13" -> go { acc with of13 = true } (lineno + 1) rest
+          | v -> fail "unknown protocol %S" v)
+        | "app" ->
+          if value = "" then fail "app needs a name"
+          else go { acc with apps = value :: acc.apps } (lineno + 1) rest
+        | "duration" -> (
+          match float_of_string_opt value with
+          | Some d when d >= 0. -> go { acc with duration = d } (lineno + 1) rest
+          | _ -> fail "bad duration %S" value)
+        | "flow" ->
+          if value = "" then fail "flow needs a spec"
+          else go { acc with flows = value :: acc.flows } (lineno + 1) rest
+        | k -> fail "unknown key %S" k)
+  in
+  go default 1 lines
+
+let to_string t =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "topology %s\n" t.topology);
+  Buffer.add_string buf
+    (Printf.sprintf "protocol %s\n" (if t.of13 then "openflow13" else "openflow10"));
+  List.iter (fun a -> Buffer.add_string buf (Printf.sprintf "app %s\n" a)) t.apps;
+  Buffer.add_string buf (Printf.sprintf "duration %g\n" t.duration);
+  List.iter (fun f -> Buffer.add_string buf (Printf.sprintf "flow %s\n" f)) t.flows;
+  Buffer.contents buf

@@ -1,0 +1,34 @@
+(** Controller configuration files.
+
+    Each system application "likely [comes] with their own
+    configuration files" (paper §2); this is the controller's own: a
+    line-oriented format declaring the topology (for the simulator), the
+    protocol version, the applications to run, and static flows to push
+    at startup.
+
+    {v
+    # a commented example
+    topology fat-tree:4
+    protocol openflow13
+    app topology
+    app router
+    app auditor
+    duration 5.0
+    flow * name=flood priority=1 action.0.out=flood
+    v} *)
+
+type t = {
+  topology : string;       (** e.g. ["linear:3"] — parsed by the embedder *)
+  of13 : bool;
+  apps : string list;      (** in declaration order *)
+  duration : float;        (** warm-up simulated seconds (default 3.0) *)
+  flows : string list;     (** static flow-pusher lines *)
+}
+
+val default : t
+
+val parse : string -> (t, string) result
+(** Errors name the offending line. Unknown keys are errors. *)
+
+val to_string : t -> string
+(** Render back to the file format ([parse (to_string c) = Ok c]). *)

@@ -1,0 +1,67 @@
+type version = V10 | V13
+
+type t = {
+  fs : Vfs.Fs.t;
+  yfs : Yancfs.Yanc_fs.t;
+  net : Netsim.Network.t;
+  manager : Driver.Manager.t;
+  scheduler : Scheduler.t;
+}
+
+let create ?root ?fs:fs_opt ~net () =
+  let fs = match fs_opt with Some fs -> fs | None -> Vfs.Fs.create () in
+  let yfs = Yancfs.Yanc_fs.create ?root fs in
+  { fs; yfs; net; manager = Driver.Manager.create ~yfs ~net ();
+    scheduler = Scheduler.create () }
+
+let fs t = t.fs
+
+let yfs t = t.yfs
+
+let net t = t.net
+
+let manager t = t.manager
+
+let to_mgr_version = function
+  | V10 -> Driver.Manager.V10
+  | V13 -> Driver.Manager.V13
+
+let attach t ~dpid ~version =
+  Driver.Manager.attach t.manager ~dpid ~version:(to_mgr_version version)
+
+let attach_switches ?(version = V10) t =
+  List.iter
+    (fun sw -> attach t ~dpid:(Netsim.Sim_switch.dpid sw) ~version)
+    (Netsim.Network.switches t.net)
+
+let add_app t app = Scheduler.add t.scheduler app
+
+let now t = Netsim.Network.now t.net
+
+let step t =
+  let now = Netsim.Network.now t.net in
+  Vfs.Fs.set_time t.fs now;
+  Driver.Manager.step t.manager ~now;
+  ignore (Scheduler.tick t.scheduler ~now);
+  Driver.Manager.step t.manager ~now
+
+let run_for ?(tick = 0.05) t duration =
+  let deadline = Netsim.Network.now t.net +. duration in
+  while Netsim.Network.now t.net < deadline do
+    step t;
+    Netsim.Network.run t.net;
+    if Netsim.Network.pending_events t.net = 0 then
+      Netsim.Network.advance_idle t.net tick
+  done
+
+let run_until ?(tick = 0.05) ?(timeout = 30.) t pred =
+  let deadline = Netsim.Network.now t.net +. timeout in
+  let ok = ref (pred ()) in
+  while (not !ok) && Netsim.Network.now t.net < deadline do
+    step t;
+    Netsim.Network.run t.net;
+    if Netsim.Network.pending_events t.net = 0 then
+      Netsim.Network.advance_idle t.net tick;
+    ok := pred ()
+  done;
+  !ok

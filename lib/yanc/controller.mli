@@ -1,0 +1,44 @@
+(** The assembled yanc controller (Figure 1): one VFS hosting the /net
+    tree, protocol drivers attached to every switch in a simulated
+    network, and a scheduler of file-system-only applications.
+
+    A {e round} is: sync the FS clock to simulation time, run the
+    control plane (drivers ⇄ agents), run due applications, run the
+    control plane again (so writes made by apps reach hardware within
+    the round), then drain the data plane. [run_for] repeats rounds
+    while advancing idle time, which drives cron jobs, LLDP probes and
+    flow timeouts. *)
+
+type version = V10 | V13
+
+type t
+
+val create :
+  ?root:Vfs.Path.t -> ?fs:Vfs.Fs.t -> net:Netsim.Network.t -> unit -> t
+
+val fs : t -> Vfs.Fs.t
+val yfs : t -> Yancfs.Yanc_fs.t
+val net : t -> Netsim.Network.t
+val manager : t -> Driver.Manager.t
+
+val attach_switches : ?version:version -> t -> unit
+(** Attach a driver to every switch currently in the network. *)
+
+val attach : t -> dpid:int64 -> version:version -> unit
+
+val add_app : t -> Apps.App_intf.t -> unit
+
+val now : t -> float
+
+val step : t -> unit
+(** One round (no idle-time advance). *)
+
+val run_for : ?tick:float -> t -> float -> unit
+(** Simulate for a duration of simulated seconds: rounds interleaved
+    with data-plane draining; when the network goes quiet, idle time
+    advances by [tick] (default 0.05 s). *)
+
+val run_until :
+  ?tick:float -> ?timeout:float -> t -> (unit -> bool) -> bool
+(** Like {!run_for} but stops (true) as soon as the predicate holds;
+    false on [timeout] (default 30 simulated seconds). *)

@@ -1,0 +1,36 @@
+type entry = {
+  app : Apps.App_intf.t;
+  mutable next_run : float;
+  mutable done_ : bool;
+}
+
+type t = { mutable entries : entry list }
+
+let create () = { entries = [] }
+
+let add t app =
+  t.entries <- t.entries @ [ { app; next_run = neg_infinity; done_ = false } ]
+
+let tick t ~now =
+  List.fold_left
+    (fun ran e ->
+      if e.done_ then ran
+      else
+        match e.app.Apps.App_intf.schedule with
+        | Apps.App_intf.Daemon ->
+          e.app.run ~now;
+          ran + 1
+        | Apps.App_intf.Oneshot ->
+          e.done_ <- true;
+          e.app.run ~now;
+          ran + 1
+        | Apps.App_intf.Cron period ->
+          if now >= e.next_run then begin
+            e.next_run <- now +. period;
+            e.app.run ~now;
+            ran + 1
+          end
+          else ran)
+    0 t.entries
+
+let apps t = List.map (fun e -> e.app.Apps.App_intf.name) t.entries

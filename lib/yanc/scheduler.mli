@@ -1,0 +1,16 @@
+(** Runs applications on their schedules (paper §2: daemons, cron jobs,
+    on-demand commands — "network application design should not be
+    limited by the controller"). *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> Apps.App_intf.t -> unit
+
+val tick : t -> now:float -> int
+(** Run everything due at [now]; returns how many app iterations ran.
+    Daemons run every tick, cron apps when their period has elapsed,
+    oneshots exactly once. *)
+
+val apps : t -> string list

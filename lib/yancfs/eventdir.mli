@@ -1,0 +1,47 @@
+(** Packet-in event buffers (paper §3.5).
+
+    Every application interested in packet-in events creates a directory
+    under a switch's [events/] — its private buffer. The driver
+    publishes each packet-in concurrently into {e all} buffers as a
+    numbered subdirectory holding [in_port], [reason], [buffer_id]
+    (when the switch buffered the frame), [total_len] and [data] (the
+    raw frame bytes). Applications consume events by reading and then
+    removing the directory. *)
+
+type event = {
+  seq : int;
+  in_port : int;
+  reason : Openflow.Of_types.packet_in_reason;
+  buffer_id : int32 option;
+  total_len : int;
+  data : string;
+}
+
+val subscribe :
+  Vfs.Fs.t -> cred:Vfs.Cred.t -> root:Vfs.Path.t -> switch:string ->
+  app:string -> (unit, Vfs.Errno.t) result
+(** Create the app's private buffer (idempotent). *)
+
+val subscribers :
+  Vfs.Fs.t -> root:Vfs.Path.t -> switch:string -> string list
+
+val publish :
+  Vfs.Fs.t -> root:Vfs.Path.t -> switch:string ->
+  in_port:int -> reason:Openflow.Of_types.packet_in_reason ->
+  buffer_id:int32 option -> total_len:int -> data:string -> int
+(** Deliver one packet-in to every subscribed buffer (driver-side, so it
+    runs as root); returns the number of buffers written. *)
+
+val poll :
+  Vfs.Fs.t -> cred:Vfs.Cred.t -> root:Vfs.Path.t -> switch:string ->
+  app:string -> event list
+(** Read all pending events in the app's buffer, oldest first, without
+    consuming them. *)
+
+val consume :
+  Vfs.Fs.t -> cred:Vfs.Cred.t -> root:Vfs.Path.t -> switch:string ->
+  app:string -> event list
+(** Read and remove all pending events. *)
+
+val frame_of : event -> Packet.Eth.t option
+(** Decode the captured bytes (fails on truncated captures). *)

@@ -1,0 +1,78 @@
+(** Path builders for the yanc hierarchy (paper Figures 2 and 3).
+
+    Every function takes the yanc [root] it operates under, because a
+    network view has exactly the same structure nested at
+    [<root>/views/<name>] — applications handed a view root use the
+    identical code paths as applications on the master tree (paper §4.2).
+
+{v
+/net
+├── hosts
+├── switches
+│   └── sw1
+│       ├── actions  capabilities  id  num_buffers  num_tables  protocol
+│       ├── counters/
+│       ├── events/<app>/<seq>/{in_port,reason,buffer_id,total_len,data}
+│       ├── flows/<flow>/{match.*,action.*,priority,timeout,version,counters/}
+│       └── ports/<port_N>/{hw_addr,name,speed,config.port_down,
+│                           state.link_down,counters/,peer -> ../../..}
+└── views
+    └── <view>/{hosts,switches,views}
+v} *)
+
+val default_root : Vfs.Path.t
+(** [/net] *)
+
+val hosts_dir : root:Vfs.Path.t -> Vfs.Path.t
+val switches_dir : root:Vfs.Path.t -> Vfs.Path.t
+val views_dir : root:Vfs.Path.t -> Vfs.Path.t
+
+val host : root:Vfs.Path.t -> string -> Vfs.Path.t
+val view : root:Vfs.Path.t -> string -> Vfs.Path.t
+(** A view's directory is itself a yanc root. *)
+
+val switch : root:Vfs.Path.t -> string -> Vfs.Path.t
+val switch_attr : root:Vfs.Path.t -> string -> string -> Vfs.Path.t
+(** e.g. [switch_attr ~root "sw1" "id"]. *)
+
+val switch_counters : root:Vfs.Path.t -> string -> Vfs.Path.t
+val flows_dir : root:Vfs.Path.t -> string -> Vfs.Path.t
+val flow : root:Vfs.Path.t -> switch:string -> string -> Vfs.Path.t
+val flow_attr : root:Vfs.Path.t -> switch:string -> flow:string -> string -> Vfs.Path.t
+val flow_counters : root:Vfs.Path.t -> switch:string -> string -> Vfs.Path.t
+
+val ports_dir : root:Vfs.Path.t -> string -> Vfs.Path.t
+val port : root:Vfs.Path.t -> switch:string -> int -> Vfs.Path.t
+val port_name : int -> string
+(** ["port_2"] for 2 — the paper's naming. *)
+
+val port_no_of_name : string -> int option
+val port_attr : root:Vfs.Path.t -> switch:string -> port:int -> string -> Vfs.Path.t
+val port_peer : root:Vfs.Path.t -> switch:string -> int -> Vfs.Path.t
+val port_counters : root:Vfs.Path.t -> switch:string -> int -> Vfs.Path.t
+
+val events_dir : root:Vfs.Path.t -> string -> Vfs.Path.t
+
+val packet_out_dir : root:Vfs.Path.t -> string -> Vfs.Path.t
+(** Extension over the paper's Figure 3: a request spool symmetric to
+    [events/] — applications create numbered directories describing
+    packets to emit; the driver sends and removes them. *)
+
+val packet_out : root:Vfs.Path.t -> switch:string -> int -> Vfs.Path.t
+val event_buffer : root:Vfs.Path.t -> switch:string -> string -> Vfs.Path.t
+(** [event_buffer ~root ~switch app] — the app's private packet-in
+    buffer. *)
+
+val event : root:Vfs.Path.t -> switch:string -> app:string -> int -> Vfs.Path.t
+
+(** {1 Well-known file names} *)
+
+val version_file : string
+val priority_file : string
+val idle_timeout_file : string
+val hard_timeout_file : string
+val cookie_file : string
+val error_file : string
+val config_port_down : string
+val state_link_down : string
+val peer_link : string

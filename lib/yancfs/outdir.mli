@@ -1,0 +1,26 @@
+(** The packet-out request spool, [<switch>/packet_out/] — the file-I/O
+    path for applications to emit packets (e.g. an ARP daemon answering
+    a request it received as a packet-in). An application creates a
+    numbered directory with the outgoing frame and actions; the driver
+    sends a protocol packet-out and removes the request. *)
+
+type request = {
+  seq : int;
+  buffer_id : int32 option;  (** release a switch buffer instead of data *)
+  in_port : int option;
+  actions : Openflow.Action.t list;
+  data : string;             (** raw frame bytes; ignored with buffer_id *)
+}
+
+val submit :
+  Vfs.Fs.t -> cred:Vfs.Cred.t -> root:Vfs.Path.t -> switch:string ->
+  ?buffer_id:int32 -> ?in_port:int -> actions:Openflow.Action.t list ->
+  data:string -> unit -> (int, Vfs.Errno.t) result
+(** Queue a packet-out; returns its sequence number. *)
+
+val consume :
+  Vfs.Fs.t -> root:Vfs.Path.t -> switch:string -> request list
+(** Driver-side: drain all pending requests (removing them), oldest
+    first. Malformed requests are removed and skipped. *)
+
+val pending : Vfs.Fs.t -> root:Vfs.Path.t -> switch:string -> int

@@ -1,0 +1,52 @@
+(** Semantic typing of the yanc tree (paper §3.1).
+
+    "Directories and files contain semantic information. Each directory
+    which contains a list of objects automatically creates an object of
+    the appropriate type on a mkdir()."
+
+    {!classify} maps a path to the kind of object it names, looking
+    through arbitrarily nested views. {!attach} installs the yanc
+    semantics on a VFS: a mutation-stream hook that materializes the
+    auto-created children (a new view gets hosts/switches/views, a new
+    switch gets flows/ports/counters/events, a new flow or port gets
+    counters), an rmdir policy making typed-object removal recursive,
+    and a symlink policy restricting [peer] links to ports. *)
+
+type kind =
+  | Root          (** a yanc root: /net or any view directory *)
+  | Hosts_dir
+  | Host
+  | Host_attr
+  | Switches_dir
+  | Switch
+  | Switch_attr
+  | Switch_counters
+  | Flows_dir
+  | Flow
+  | Flow_attr
+  | Ports_dir
+  | Port
+  | Port_attr
+  | Events_dir
+  | Event_buffer  (** one application's private packet-in buffer *)
+  | Event         (** one packet-in message *)
+  | Event_attr
+  | Views_dir
+  | Not_yanc      (** outside the yanc tree *)
+
+val classify : root:Vfs.Path.t -> Vfs.Path.t -> kind
+(** [classify ~root path]. A view directory classifies as [Root] —
+    whatever lies below it is classified against that nested root. *)
+
+val enclosing_root : root:Vfs.Path.t -> Vfs.Path.t -> Vfs.Path.t option
+(** The innermost yanc root (master or view) containing the path. *)
+
+val is_removable_object : kind -> bool
+(** Kinds whose directories delete recursively on a plain rmdir:
+    switches, hosts, flows, ports, views, event buffers and events. *)
+
+val attach : Vfs.Fs.t -> root:Vfs.Path.t -> Vfs.Fs.hook
+(** Install the semantics; the returned hook can be unsubscribed to
+    detach the auto-creation behaviour (policies stay). *)
+
+val kind_to_string : kind -> string

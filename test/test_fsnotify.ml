@@ -1,0 +1,182 @@
+(* Tests for the inotify-like notifier (paper §5.2). *)
+
+module Fs = Vfs.Fs
+module Path = Vfs.Path
+module N = Fsnotify.Notifier
+module E = Fsnotify.Event
+
+let cred = Vfs.Cred.root
+
+let p = Path.of_string_exn
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected errno %s" (Vfs.Errno.to_string e)
+
+let kinds evs = List.map (fun (e : E.t) -> E.kind_to_string e.kind) evs
+
+let setup () =
+  let fs = Fs.create () in
+  let n = N.create fs in
+  fs, n
+
+let test_create_events () =
+  let fs, n = setup () in
+  ok (Fs.mkdir fs ~cred (p "/watched"));
+  let wd = N.add_watch n (p "/watched") N.all in
+  ok (Fs.mkdir fs ~cred (p "/watched/sub"));
+  ok (Fs.write_file fs ~cred (p "/watched/f") "x");
+  ok (Fs.symlink fs ~cred ~target:"/x" (p "/watched/l"));
+  let evs = N.read_events n in
+  Alcotest.(check (list string)) "created * 3 + modified"
+    [ "created"; "created"; "modified"; "created" ]
+    (kinds evs);
+  List.iter (fun (e : E.t) -> Alcotest.(check int) "wd" wd e.wd) evs;
+  Alcotest.(check (option string)) "name of first" (Some "sub")
+    (match evs with e :: _ -> e.E.name | [] -> None)
+
+let test_modify_and_delete () =
+  let fs, n = setup () in
+  ok (Fs.mkdir fs ~cred (p "/d"));
+  ok (Fs.write_file fs ~cred (p "/d/f") "1");
+  ignore (N.add_watch n (p "/d") N.all);
+  ok (Fs.write_file fs ~cred (p "/d/f") "2");
+  ok (Fs.unlink fs ~cred (p "/d/f"));
+  Alcotest.(check (list string)) "modify then delete"
+    [ "modified"; "modified"; "deleted" ] (* truncate + write *)
+    (kinds (N.read_events n))
+
+let test_file_watch_self () =
+  let fs, n = setup () in
+  ok (Fs.mkdir fs ~cred (p "/d"));
+  ok (Fs.write_file fs ~cred (p "/d/version") "0");
+  ignore (N.add_watch n (p "/d/version") [ E.Modified; E.Delete_self ]);
+  ok (Fs.write_file fs ~cred (p "/d/version") "1");
+  ok (Fs.write_file fs ~cred (p "/d/other") "x");
+  ok (Fs.unlink fs ~cred (p "/d/version"));
+  Alcotest.(check (list string)) "only the version file's events"
+    [ "modified"; "modified"; "delete_self" ]
+    (kinds (N.read_events n))
+
+let test_mask_filtering () =
+  let fs, n = setup () in
+  ok (Fs.mkdir fs ~cred (p "/d"));
+  ignore (N.add_watch n (p "/d") [ E.Created ]);
+  ok (Fs.write_file fs ~cred (p "/d/f") "x");
+  ok (Fs.unlink fs ~cred (p "/d/f"));
+  Alcotest.(check (list string)) "only created" [ "created" ]
+    (kinds (N.read_events n))
+
+let test_move_events () =
+  let fs, n = setup () in
+  ok (Fs.mkdir fs ~cred (p "/a"));
+  ok (Fs.mkdir fs ~cred (p "/b"));
+  ok (Fs.write_file fs ~cred (p "/a/f") "x");
+  ignore (N.add_watch n (p "/a") N.all);
+  ignore (N.add_watch n (p "/b") N.all);
+  ok (Fs.rename fs ~cred ~src:(p "/a/f") ~dst:(p "/b/g"));
+  Alcotest.(check (list string)) "moved_from then moved_to"
+    [ "moved_from"; "moved_to" ]
+    (kinds (N.read_events n))
+
+let test_recursive_watch () =
+  let fs, n = setup () in
+  ok (Fs.mkdir_p fs ~cred (p "/deep/a/b"));
+  ignore (N.add_watch ~recursive:true n (p "/deep") N.all);
+  ok (Fs.write_file fs ~cred (p "/deep/a/b/f") "x");
+  let evs = N.read_events n in
+  Alcotest.(check bool) "saw nested create" true
+    (List.exists (fun (e : E.t) -> e.kind = E.Created) evs);
+  Alcotest.(check bool) "full path reported" true
+    (List.exists
+       (fun (e : E.t) -> Path.to_string e.path = "/deep/a/b/f")
+       evs)
+
+let test_attrib_events () =
+  let fs, n = setup () in
+  ok (Fs.write_file fs ~cred (p "/f") "x");
+  ignore (N.add_watch n (p "/f") N.all);
+  ok (Fs.chmod fs ~cred (p "/f") 0o600);
+  ok (Fs.setxattr fs ~cred (p "/f") ~name:"a" ~value:"b");
+  Alcotest.(check (list string)) "attrib twice" [ "attrib"; "attrib" ]
+    (kinds (N.read_events n))
+
+let test_watch_future_path () =
+  (* A watch on a path that does not exist yet becomes live when the
+     object appears — drivers rely on this. *)
+  let fs, n = setup () in
+  ignore (N.add_watch n (p "/later") N.all);
+  ok (Fs.mkdir fs ~cred (p "/later"));
+  ok (Fs.write_file fs ~cred (p "/later/f") "x");
+  let evs = N.read_events n in
+  Alcotest.(check bool) "child create seen" true
+    (List.exists (fun (e : E.t) -> e.E.name = Some "f") evs)
+
+let test_rm_watch () =
+  let fs, n = setup () in
+  ok (Fs.mkdir fs ~cred (p "/d"));
+  let wd = N.add_watch n (p "/d") N.all in
+  ok (Fs.write_file fs ~cred (p "/d/f1") "");
+  N.rm_watch n wd;
+  ok (Fs.write_file fs ~cred (p "/d/f2") "");
+  let evs = N.read_events n in
+  Alcotest.(check bool) "no f2 events" true
+    (not (List.exists (fun (e : E.t) -> e.E.name = Some "f2") evs))
+
+let test_queue_overflow () =
+  let fs = Fs.create () in
+  let n = N.create ~queue_limit:5 fs in
+  ok (Fs.mkdir fs ~cred (p "/d"));
+  ignore (N.add_watch n (p "/d") N.all);
+  for i = 1 to 20 do
+    ok (Fs.create_file fs ~cred (p (Printf.sprintf "/d/f%d" i)))
+  done;
+  let evs = N.read_events n in
+  Alcotest.(check int) "bounded" 6 (List.length evs);
+  Alcotest.(check bool) "overflow marker" true
+    (List.exists (fun (e : E.t) -> e.kind = E.Overflow) evs)
+
+let test_close_detaches () =
+  let fs, n = setup () in
+  ok (Fs.mkdir fs ~cred (p "/d"));
+  ignore (N.add_watch n (p "/d") N.all);
+  N.close n;
+  ok (Fs.write_file fs ~cred (p "/d/f") "");
+  Alcotest.(check int) "nothing delivered" 0 (List.length (N.read_events n))
+
+let test_two_notifiers_independent () =
+  let fs = Fs.create () in
+  let n1 = N.create fs in
+  let n2 = N.create fs in
+  ok (Fs.mkdir fs ~cred (p "/d"));
+  ignore (N.add_watch n1 (p "/d") N.all);
+  ignore (N.add_watch n2 (p "/d") [ E.Deleted ]);
+  ok (Fs.write_file fs ~cred (p "/d/f") "");
+  Alcotest.(check bool) "n1 sees create" true (N.pending n1 > 0);
+  Alcotest.(check int) "n2 filtered" 0 (N.pending n2)
+
+let test_read_events_charges_syscall () =
+  let fs, n = setup () in
+  let c = Fs.cost fs in
+  Vfs.Cost.reset c;
+  ignore (N.read_events n);
+  Alcotest.(check int) "one crossing" 1 (Vfs.Cost.crossings c)
+
+let () =
+  Alcotest.run "fsnotify"
+    [ ( "events",
+        [ Alcotest.test_case "create" `Quick test_create_events;
+          Alcotest.test_case "modify+delete" `Quick test_modify_and_delete;
+          Alcotest.test_case "self watch on file" `Quick test_file_watch_self;
+          Alcotest.test_case "mask filtering" `Quick test_mask_filtering;
+          Alcotest.test_case "moves" `Quick test_move_events;
+          Alcotest.test_case "recursive" `Quick test_recursive_watch;
+          Alcotest.test_case "attrib" `Quick test_attrib_events;
+          Alcotest.test_case "watch future path" `Quick test_watch_future_path ] );
+      ( "lifecycle",
+        [ Alcotest.test_case "rm_watch" `Quick test_rm_watch;
+          Alcotest.test_case "overflow" `Quick test_queue_overflow;
+          Alcotest.test_case "close" `Quick test_close_detaches;
+          Alcotest.test_case "independent notifiers" `Quick test_two_notifiers_independent;
+          Alcotest.test_case "read charges a syscall" `Quick
+            test_read_events_charges_syscall ] ) ]

@@ -1,0 +1,205 @@
+(* Tests for libyanc (paper §8.1): the shared-memory fastpath and the
+   zero-copy ring. The key invariant: the fastpath produces exactly the
+   same file-system state as the slow path, at a fraction of the kernel
+   crossings. *)
+
+module Y = Yancfs
+module Fs = Vfs.Fs
+module OF = Openflow
+
+let cred = Vfs.Cred.root
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected errno %s" (Vfs.Errno.to_string e)
+
+let setup () =
+  let fs = Fs.create () in
+  let yfs = Y.Yanc_fs.create fs in
+  ignore (Fs.mkdir fs ~cred (Y.Layout.switch ~root:Y.Layout.default_root "sw1"));
+  fs, yfs
+
+let sample_flow i =
+  { Y.Flowdir.default with
+    Y.Flowdir.of_match =
+      { OF.Of_match.any with
+        OF.Of_match.dl_type = Some 0x0800; tp_dst = Some (1000 + i) };
+    actions = [ OF.Action.Output (OF.Action.Physical ((i mod 4) + 1)) ];
+    priority = i }
+
+let test_fastpath_one_crossing_per_batch () =
+  let fs, yfs = setup () in
+  let fp = Libyanc.Fastpath.create yfs in
+  let cost = Fs.cost fs in
+  Vfs.Cost.reset cost;
+  (match
+     Libyanc.Fastpath.push_flows fp
+       (List.init 100 (fun i -> "sw1", Printf.sprintf "f%d" i, sample_flow i))
+   with
+  | Ok 100 -> ()
+  | Ok n -> Alcotest.failf "wrote %d" n
+  | Error e -> Alcotest.failf "push: %s" (Vfs.Errno.to_string e));
+  Alcotest.(check int) "100 flows, ONE crossing" 1 (Vfs.Cost.crossings cost);
+  Alcotest.(check int) "all present" 100
+    (List.length (Y.Yanc_fs.flow_names yfs ~cred "sw1"));
+  Alcotest.(check bool) "saved crossings accounted" true
+    (Libyanc.Fastpath.crossings_saved fp > 500)
+
+let test_fastpath_state_identical_to_slow_path () =
+  (* Same flows via both paths -> byte-identical flow directories. *)
+  let fs_slow, yfs_slow = setup () in
+  let fs_fast, yfs_fast = setup () in
+  let flows = List.init 10 (fun i -> Printf.sprintf "f%d" i, sample_flow i) in
+  List.iter
+    (fun (name, flow) ->
+      ok (Y.Yanc_fs.create_flow yfs_slow ~cred ~switch:"sw1" ~name flow))
+    flows;
+  let fp = Libyanc.Fastpath.create yfs_fast in
+  ok
+    (Result.map ignore
+       (Libyanc.Fastpath.push_flows fp
+          (List.map (fun (name, flow) -> "sw1", name, flow) flows)));
+  let dump fs =
+    let out = ref [] in
+    ok
+      (Fs.walk fs ~cred (Y.Layout.default_root) (fun path st ->
+           let content =
+             if st.Fs.kind = Fs.File then
+               match Fs.read_file fs ~cred path with Ok v -> v | Error _ -> ""
+             else ""
+           in
+           out := (Vfs.Path.to_string path, content) :: !out));
+    List.rev !out
+  in
+  Alcotest.(check (list (pair string string))) "identical trees" (dump fs_slow)
+    (dump fs_fast)
+
+let test_fastpath_create_flow () =
+  let fs, yfs = setup () in
+  let fp = Libyanc.Fastpath.create yfs in
+  let cost = Fs.cost fs in
+  Vfs.Cost.reset cost;
+  ok (Libyanc.Fastpath.create_flow fp ~switch:"sw1" ~name:"one" (sample_flow 1));
+  Alcotest.(check int) "one crossing" 1 (Vfs.Cost.crossings cost);
+  (* the flow is a normal committed flow *)
+  match Y.Yanc_fs.read_flow yfs ~cred ~switch:"sw1" "one" with
+  | Ok flow -> Alcotest.(check int) "committed" 1 flow.Y.Flowdir.version
+  | Error e -> Alcotest.fail e
+
+let test_fastpath_delete_and_read () =
+  let fs, yfs = setup () in
+  let fp = Libyanc.Fastpath.create yfs in
+  ok
+    (Result.map ignore
+       (Libyanc.Fastpath.push_flows fp
+          [ "sw1", "a", sample_flow 1; "sw1", "b", sample_flow 2 ]));
+  (* counters written by a driver *)
+  ok
+    (Y.Flowdir.write_counters fs ~cred
+       (Y.Layout.flow ~root:Y.Layout.default_root ~switch:"sw1" "a")
+       ~packets:5L ~bytes:500L ~duration_s:1);
+  let cost = Fs.cost fs in
+  Vfs.Cost.reset cost;
+  let counters = Libyanc.Fastpath.read_flow_counters fp ~switch:"sw1" in
+  Alcotest.(check int) "bulk read = one crossing" 1 (Vfs.Cost.crossings cost);
+  Alcotest.(check (list (triple string int64 int64))) "counters" [ "a", 5L, 500L ]
+    counters;
+  ok (Libyanc.Fastpath.delete_flows fp [ "sw1", "a"; "sw1", "b"; "sw1", "ghost" ]);
+  Alcotest.(check (list string)) "deleted" [] (Y.Yanc_fs.flow_names yfs ~cred "sw1")
+
+let test_fastpath_slow_path_cost_contrast () =
+  (* The §8.1 claim in miniature: per-flow slow-path crossings are an
+     order of magnitude above fastpath crossings. *)
+  let fs, yfs = setup () in
+  let cost = Fs.cost fs in
+  Vfs.Cost.reset cost;
+  ok (Y.Yanc_fs.create_flow yfs ~cred ~switch:"sw1" ~name:"slow" (sample_flow 1));
+  let slow = Vfs.Cost.crossings cost in
+  Alcotest.(check bool) "slow path is many syscalls" true (slow >= 8);
+  Vfs.Cost.reset cost;
+  let fp = Libyanc.Fastpath.create yfs in
+  ok (Libyanc.Fastpath.create_flow fp ~switch:"sw1" ~name:"fast" (sample_flow 2));
+  Alcotest.(check int) "fastpath is one" 1 (Vfs.Cost.crossings cost)
+
+(* --- shm ring ------------------------------------------------------------------- *)
+
+let test_ring_fifo () =
+  let ring = Libyanc.Shm_ring.create ~capacity:4 in
+  Alcotest.(check bool) "push 1" true (Libyanc.Shm_ring.push ring "a");
+  Alcotest.(check bool) "push 2" true (Libyanc.Shm_ring.push ring "b");
+  Alcotest.(check (option string)) "pop fifo" (Some "a") (Libyanc.Shm_ring.pop ring);
+  Alcotest.(check bool) "push 3" true (Libyanc.Shm_ring.push ring "c");
+  Alcotest.(check (list string)) "drain order" [ "b"; "c" ]
+    (Libyanc.Shm_ring.pop_all ring);
+  Alcotest.(check (option string)) "empty" None (Libyanc.Shm_ring.pop ring)
+
+let test_ring_bounded () =
+  let ring = Libyanc.Shm_ring.create ~capacity:2 in
+  ignore (Libyanc.Shm_ring.push ring 1);
+  ignore (Libyanc.Shm_ring.push ring 2);
+  Alcotest.(check bool) "full rejects" false (Libyanc.Shm_ring.push ring 3);
+  Alcotest.(check int) "drop counted" 1 (Libyanc.Shm_ring.dropped ring);
+  ignore (Libyanc.Shm_ring.pop ring);
+  Alcotest.(check bool) "space again" true (Libyanc.Shm_ring.push ring 3);
+  Alcotest.(check int) "pushed total" 3 (Libyanc.Shm_ring.pushed ring)
+
+let test_ring_wraparound () =
+  let ring = Libyanc.Shm_ring.create ~capacity:3 in
+  for round = 0 to 9 do
+    Alcotest.(check bool) "push" true (Libyanc.Shm_ring.push ring round);
+    Alcotest.(check (option int)) "pop" (Some round) (Libyanc.Shm_ring.pop ring)
+  done;
+  Alcotest.(check int) "length settles" 0 (Libyanc.Shm_ring.length ring)
+
+let test_ring_zero_copy () =
+  (* References, not copies: the consumer receives the producer's exact
+     buffer. *)
+  let ring = Libyanc.Shm_ring.create ~capacity:2 in
+  let buffer = Bytes.of_string "packet-payload" in
+  ignore (Libyanc.Shm_ring.push ring buffer);
+  match Libyanc.Shm_ring.pop ring with
+  | Some received -> Alcotest.(check bool) "same physical buffer" true (received == buffer)
+  | None -> Alcotest.fail "lost the buffer"
+
+let prop_ring_preserves_order =
+  QCheck.Test.make ~name:"ring preserves FIFO order under mixed ops" ~count:200
+    QCheck.(list (int_bound 1))
+    (fun script ->
+      let ring = Libyanc.Shm_ring.create ~capacity:8 in
+      let reference = Queue.create () in
+      let next = ref 0 in
+      List.for_all
+        (fun op ->
+          if op = 0 then begin
+            let v = !next in
+            incr next;
+            let pushed = Libyanc.Shm_ring.push ring v in
+            if pushed then Queue.push v reference;
+            true
+          end
+          else
+            match Libyanc.Shm_ring.pop ring, Queue.take_opt reference with
+            | Some a, Some b -> a = b
+            | None, None -> true
+            | _ -> false)
+        script)
+
+let qcheck_cases = List.map QCheck_alcotest.to_alcotest [ prop_ring_preserves_order ]
+
+let () =
+  Alcotest.run "libyanc"
+    [ ( "fastpath",
+        [ Alcotest.test_case "one crossing per batch" `Quick
+            test_fastpath_one_crossing_per_batch;
+          Alcotest.test_case "state identical to slow path" `Quick
+            test_fastpath_state_identical_to_slow_path;
+          Alcotest.test_case "atomic create" `Quick test_fastpath_create_flow;
+          Alcotest.test_case "bulk delete/read" `Quick test_fastpath_delete_and_read;
+          Alcotest.test_case "cost contrast" `Quick
+            test_fastpath_slow_path_cost_contrast ] );
+      ( "shm-ring",
+        [ Alcotest.test_case "fifo" `Quick test_ring_fifo;
+          Alcotest.test_case "bounded" `Quick test_ring_bounded;
+          Alcotest.test_case "wraparound" `Quick test_ring_wraparound;
+          Alcotest.test_case "zero copy" `Quick test_ring_zero_copy ] );
+      "properties", qcheck_cases ]

@@ -1,0 +1,329 @@
+(* Wire-format tests for the packet library. *)
+
+module P = Packet
+
+let mac = Alcotest.testable P.Mac.pp P.Mac.equal
+
+let ip = Alcotest.testable P.Ipv4_addr.pp P.Ipv4_addr.equal
+
+let eth = Alcotest.testable P.Eth.pp P.Eth.equal
+
+let m s = Option.get (P.Mac.of_string s)
+
+let a s = Option.get (P.Ipv4_addr.of_string s)
+
+(* --- addresses -------------------------------------------------------------- *)
+
+let test_mac_strings () =
+  Alcotest.(check (option string)) "roundtrip" (Some "0a:1b:2c:3d:4e:5f")
+    (Option.map P.Mac.to_string (P.Mac.of_string "0a:1b:2c:3d:4e:5f"));
+  Alcotest.(check (option string)) "bad" None
+    (Option.map P.Mac.to_string (P.Mac.of_string "nonsense"));
+  Alcotest.(check (option string)) "short" None
+    (Option.map P.Mac.to_string (P.Mac.of_string "0a:1b"));
+  Alcotest.check mac "octets roundtrip" (m "12:34:56:78:9a:bc")
+    (P.Mac.of_octets (P.Mac.to_octets (m "12:34:56:78:9a:bc")))
+
+let test_mac_classes () =
+  Alcotest.(check bool) "broadcast" true (P.Mac.is_broadcast P.Mac.broadcast);
+  Alcotest.(check bool) "broadcast is multicast" true
+    (P.Mac.is_multicast P.Mac.broadcast);
+  Alcotest.(check bool) "lldp group is multicast" true
+    (P.Mac.is_multicast P.Lldp.multicast_mac);
+  Alcotest.(check bool) "unicast" false (P.Mac.is_multicast (m "02:00:00:00:00:01"))
+
+let test_ipv4_strings () =
+  Alcotest.(check (option string)) "roundtrip" (Some "10.1.2.3")
+    (Option.map P.Ipv4_addr.to_string (P.Ipv4_addr.of_string "10.1.2.3"));
+  Alcotest.(check (option string)) "range" None
+    (Option.map P.Ipv4_addr.to_string (P.Ipv4_addr.of_string "256.0.0.1"));
+  Alcotest.(check (option string)) "trailing junk" None
+    (Option.map P.Ipv4_addr.to_string (P.Ipv4_addr.of_string "1.2.3"));
+  Alcotest.check ip "octets" (a "192.168.0.1")
+    (P.Ipv4_addr.of_octets (P.Ipv4_addr.to_octets (a "192.168.0.1")))
+
+let test_prefixes () =
+  let pfx = Option.get (P.Ipv4_addr.Prefix.of_string "10.0.0.0/8") in
+  Alcotest.(check bool) "matches inside" true
+    (P.Ipv4_addr.Prefix.matches pfx (a "10.200.3.4"));
+  Alcotest.(check bool) "misses outside" false
+    (P.Ipv4_addr.Prefix.matches pfx (a "11.0.0.1"));
+  Alcotest.(check string) "normalizes base" "10.0.0.0/8"
+    (P.Ipv4_addr.Prefix.to_string
+       (Option.get (P.Ipv4_addr.Prefix.of_string "10.9.9.9/8")));
+  Alcotest.(check string) "host prefix prints bare" "1.2.3.4"
+    (P.Ipv4_addr.Prefix.to_string (P.Ipv4_addr.Prefix.host (a "1.2.3.4")));
+  let narrower = Option.get (P.Ipv4_addr.Prefix.of_string "10.1.0.0/16") in
+  Alcotest.(check bool) "subsumes" true (P.Ipv4_addr.Prefix.subsumes pfx narrower);
+  Alcotest.(check bool) "not vice versa" false
+    (P.Ipv4_addr.Prefix.subsumes narrower pfx);
+  Alcotest.(check bool) "/0 matches all" true
+    (P.Ipv4_addr.Prefix.matches P.Ipv4_addr.Prefix.all (a "8.8.8.8"))
+
+(* --- frame roundtrips ----------------------------------------------------------- *)
+
+let roundtrip frame =
+  match P.Eth.of_wire (P.Eth.to_wire frame) with
+  | Some decoded -> Alcotest.check eth "wire roundtrip" frame decoded
+  | None -> Alcotest.fail "failed to decode the encoded frame"
+
+let test_arp_roundtrip () =
+  roundtrip
+    (P.Builder.arp_request ~src_mac:(m "02:00:00:00:00:01") ~src_ip:(a "10.0.0.1")
+       ~target:(a "10.0.0.2"));
+  roundtrip
+    (P.Eth.make ~src:(m "02:00:00:00:00:02") ~dst:(m "02:00:00:00:00:01")
+       (P.Eth.Arp
+          (P.Arp.reply ~sha:(m "02:00:00:00:00:02") ~spa:(a "10.0.0.2")
+             ~tha:(m "02:00:00:00:00:01") ~tpa:(a "10.0.0.1"))))
+
+let test_icmp_roundtrip () =
+  roundtrip
+    (P.Builder.ping ~src_mac:(m "02:00:00:00:00:01") ~dst_mac:(m "02:00:00:00:00:02")
+       ~src_ip:(a "10.0.0.1") ~dst_ip:(a "10.0.0.2") ~id:7 ~seq:3)
+
+let test_tcp_roundtrip () =
+  roundtrip
+    (P.Builder.tcp_syn ~src_mac:(m "02:00:00:00:00:01")
+       ~dst_mac:(m "02:00:00:00:00:02") ~src_ip:(a "10.0.0.1")
+       ~dst_ip:(a "10.0.0.2") ~src_port:43210 ~dst_port:22);
+  roundtrip
+    (P.Eth.make ~src:(m "02:00:00:00:00:01") ~dst:(m "02:00:00:00:00:02")
+       (P.Eth.Ipv4
+          (P.Ipv4.make ~src:(a "1.1.1.1") ~dst:(a "2.2.2.2")
+             (P.Ipv4.Tcp
+                (P.Tcp.make ~seq:77l ~ack_no:88l ~flags:P.Tcp.syn_ack
+                   ~payload:"hello" ~src_port:80 ~dst_port:1024 ())))))
+
+let test_udp_roundtrip () =
+  roundtrip
+    (P.Builder.udp ~src_mac:(m "02:00:00:00:00:01") ~dst_mac:(m "02:00:00:00:00:02")
+       ~src_ip:(a "10.0.0.1") ~dst_ip:(a "10.0.0.2") ~src_port:5353 ~dst_port:53
+       "query")
+
+let test_lldp_roundtrip () =
+  roundtrip (P.Builder.lldp ~src_mac:(m "02:00:00:00:00:01") ~dpid:42L ~port:3);
+  let lldp = { P.Lldp.chassis_id = 0x1234567890abcdefL; port_id = 65535; ttl = 120 } in
+  match P.Lldp.of_wire (P.Lldp.to_wire lldp) with
+  | Some back -> Alcotest.(check bool) "lldp tlvs" true (P.Lldp.equal lldp back)
+  | None -> Alcotest.fail "lldp decode failed"
+
+let test_dhcp_roundtrip () =
+  let dhcp =
+    P.Dhcp.make ~msg_type:P.Dhcp.Offer ~xid:99l ~chaddr:(m "02:00:00:00:00:09")
+      ~yiaddr:(a "10.0.0.9") ~siaddr:(a "10.0.255.254")
+      ~server_id:(a "10.0.255.254") ~lease:3600l ~netmask:(a "255.255.0.0") ()
+  in
+  (match P.Dhcp.of_wire (P.Dhcp.to_wire dhcp) with
+  | Some back -> Alcotest.(check bool) "dhcp fields" true (P.Dhcp.equal dhcp back)
+  | None -> Alcotest.fail "dhcp decode failed");
+  (* and embedded in a full frame *)
+  roundtrip
+    (P.Eth.make ~src:(m "02:00:00:00:00:09") ~dst:P.Mac.broadcast
+       (P.Eth.Ipv4
+          (P.Ipv4.make ~src:P.Ipv4_addr.any ~dst:P.Ipv4_addr.broadcast
+             (P.Ipv4.Udp
+                { P.Udp.src_port = 68; dst_port = 67; payload = P.Udp.Dhcp dhcp }))))
+
+let test_vlan_roundtrip () =
+  roundtrip
+    (P.Eth.make
+       ~vlan:{ P.Eth.vid = 42; pcp = 5 }
+       ~src:(m "02:00:00:00:00:01") ~dst:(m "02:00:00:00:00:02")
+       (P.Eth.Raw (0x9999, "opaque")))
+
+let test_ipv4_checksum () =
+  let frame =
+    P.Builder.ping ~src_mac:(m "02:00:00:00:00:01") ~dst_mac:(m "02:00:00:00:00:02")
+      ~src_ip:(a "10.0.0.1") ~dst_ip:(a "10.0.0.2") ~id:1 ~seq:1
+  in
+  let wire = Bytes.of_string (P.Eth.to_wire frame) in
+  (* Corrupt one byte in the IP header (the TTL at eth(14)+8). *)
+  Bytes.set wire 22 '\042';
+  match P.Eth.of_wire (Bytes.to_string wire) with
+  | Some { P.Eth.payload = P.Eth.Ipv4 _; _ } ->
+    Alcotest.fail "corrupted header accepted"
+  | Some { P.Eth.payload = P.Eth.Raw _; _ } -> () (* fell back to raw: good *)
+  | Some _ | None -> ()
+
+let test_ttl_decrement () =
+  let ipkt = P.Ipv4.make ~ttl:2 ~src:(a "1.1.1.1") ~dst:(a "2.2.2.2") (P.Ipv4.Raw (99, "")) in
+  (match P.Ipv4.decrement_ttl ipkt with
+  | Some x -> Alcotest.(check int) "ttl 1" 1 x.P.Ipv4.ttl
+  | None -> Alcotest.fail "should survive");
+  let dying = { ipkt with P.Ipv4.ttl = 1 } in
+  Alcotest.(check bool) "dies at 1" true (P.Ipv4.decrement_ttl dying = None)
+
+let test_truncated_inputs () =
+  Alcotest.(check bool) "empty" true (P.Eth.of_wire "" = None);
+  Alcotest.(check bool) "short eth" true (P.Eth.of_wire "123456" = None);
+  Alcotest.(check bool) "arp garbage" true (P.Arp.of_wire "xx" = None);
+  Alcotest.(check bool) "dhcp garbage" true (P.Dhcp.of_wire "yy" = None);
+  Alcotest.(check bool) "lldp garbage" true (P.Lldp.of_wire (String.make 3 'z') = None)
+
+(* --- headers view ------------------------------------------------------------------ *)
+
+let test_headers_of_tcp () =
+  let frame =
+    P.Builder.tcp_syn ~src_mac:(m "02:00:00:00:00:01")
+      ~dst_mac:(m "02:00:00:00:00:02") ~src_ip:(a "10.0.0.1")
+      ~dst_ip:(a "10.0.0.2") ~src_port:1234 ~dst_port:22
+  in
+  let h = P.Headers.of_eth ~in_port:7 frame in
+  Alcotest.(check int) "in_port" 7 h.P.Headers.in_port;
+  Alcotest.(check int) "dl_type" 0x0800 h.P.Headers.dl_type;
+  Alcotest.(check (option int)) "proto" (Some 6) h.P.Headers.nw_proto;
+  Alcotest.(check (option int)) "tp_dst" (Some 22) h.P.Headers.tp_dst;
+  Alcotest.check (Alcotest.option ip) "nw_src" (Some (a "10.0.0.1")) h.P.Headers.nw_src
+
+let test_headers_of_arp () =
+  let frame =
+    P.Builder.arp_request ~src_mac:(m "02:00:00:00:00:01") ~src_ip:(a "10.0.0.1")
+      ~target:(a "10.0.0.2")
+  in
+  let h = P.Headers.of_eth ~in_port:1 frame in
+  Alcotest.(check int) "dl_type arp" 0x0806 h.P.Headers.dl_type;
+  Alcotest.(check (option int)) "opcode as proto" (Some 1) h.P.Headers.nw_proto;
+  Alcotest.check (Alcotest.option ip) "target" (Some (a "10.0.0.2")) h.P.Headers.nw_dst
+
+let test_headers_of_vlan () =
+  let frame =
+    P.Eth.make
+      ~vlan:{ P.Eth.vid = 7; pcp = 3 }
+      ~src:(m "02:00:00:00:00:01") ~dst:(m "02:00:00:00:00:02")
+      (P.Eth.Raw (0x1234, ""))
+  in
+  let h = P.Headers.of_eth ~in_port:1 frame in
+  Alcotest.(check (option int)) "vid" (Some 7) h.P.Headers.dl_vlan;
+  Alcotest.(check (option int)) "pcp" (Some 3) h.P.Headers.dl_vlan_pcp;
+  Alcotest.(check int) "inner ethertype" 0x1234 h.P.Headers.dl_type
+
+(* --- builders ---------------------------------------------------------------------- *)
+
+let test_pong_of () =
+  let ping =
+    P.Builder.ping ~src_mac:(m "02:00:00:00:00:01") ~dst_mac:(m "02:00:00:00:00:02")
+      ~src_ip:(a "10.0.0.1") ~dst_ip:(a "10.0.0.2") ~id:9 ~seq:4
+  in
+  match P.Builder.pong_of ping with
+  | None -> Alcotest.fail "no pong"
+  | Some pong -> (
+    Alcotest.check mac "pong dst" (m "02:00:00:00:00:01") pong.P.Eth.dst;
+    match pong.P.Eth.payload with
+    | P.Eth.Ipv4 { P.Ipv4.payload = P.Ipv4.Icmp icmp; src; dst; _ } ->
+      Alcotest.(check bool) "reply kind" true (icmp.P.Icmp.kind = P.Icmp.Echo_reply);
+      Alcotest.(check int) "seq preserved" 4 icmp.P.Icmp.seq;
+      Alcotest.check ip "src swapped" (a "10.0.0.2") src;
+      Alcotest.check ip "dst swapped" (a "10.0.0.1") dst
+    | _ -> Alcotest.fail "not icmp")
+
+let test_arp_reply_to () =
+  let req =
+    P.Builder.arp_request ~src_mac:(m "02:00:00:00:00:01") ~src_ip:(a "10.0.0.1")
+      ~target:(a "10.0.0.2")
+  in
+  match P.Builder.arp_reply_to req ~mac:(m "02:00:00:00:00:02") with
+  | None -> Alcotest.fail "no reply"
+  | Some reply -> (
+    match reply.P.Eth.payload with
+    | P.Eth.Arp arp ->
+      Alcotest.(check bool) "is reply" true (arp.P.Arp.op = P.Arp.Reply);
+      Alcotest.check ip "spa is requested ip" (a "10.0.0.2") arp.P.Arp.spa;
+      Alcotest.check mac "delivered to requester" (m "02:00:00:00:00:01")
+        reply.P.Eth.dst
+    | _ -> Alcotest.fail "not arp");
+  Alcotest.(check bool) "reply-to-reply is None" true
+    (P.Builder.arp_reply_to
+       (Option.get (P.Builder.arp_reply_to req ~mac:(m "02:00:00:00:00:02")))
+       ~mac:(m "02:00:00:00:00:02")
+    = None)
+
+(* --- properties --------------------------------------------------------------------- *)
+
+let mac_gen = QCheck.Gen.(map P.Mac.of_int (int_bound ((1 lsl 48) - 1)))
+
+let ip_gen = QCheck.Gen.(map (fun i -> P.Ipv4_addr.of_int32 (Int32.of_int i)) int)
+
+let prop_mac_roundtrip =
+  QCheck.Test.make ~name:"mac string roundtrip" ~count:300 (QCheck.make mac_gen)
+    (fun mc -> P.Mac.of_string (P.Mac.to_string mc) = Some mc)
+
+let prop_ip_roundtrip =
+  QCheck.Test.make ~name:"ipv4 string roundtrip" ~count:300 (QCheck.make ip_gen)
+    (fun addr -> P.Ipv4_addr.of_string (P.Ipv4_addr.to_string addr) = Some addr)
+
+let prop_prefix_contains_base =
+  QCheck.Test.make ~name:"prefix matches its own base" ~count:300
+    (QCheck.make QCheck.Gen.(pair ip_gen (int_range 0 32)))
+    (fun (addr, bits) ->
+      let pfx = P.Ipv4_addr.Prefix.make addr bits in
+      P.Ipv4_addr.Prefix.matches pfx pfx.P.Ipv4_addr.Prefix.base)
+
+let frame_gen =
+  let open QCheck.Gen in
+  let mac2 = pair mac_gen mac_gen in
+  let tcp =
+    map2
+      (fun (sp, dp) payload ->
+        P.Ipv4.Tcp (P.Tcp.make ~payload ~src_port:sp ~dst_port:dp ()))
+      (pair (int_bound 0xffff) (int_bound 0xffff))
+      (string_size ~gen:printable (int_bound 32))
+  in
+  let udp =
+    map2
+      (fun (sp, dp) payload ->
+        P.Ipv4.Udp { P.Udp.src_port = sp; dst_port = dp; payload = P.Udp.Data payload })
+      (pair (int_range 1 9999) (int_range 1 9999))
+      (string_size ~gen:printable (int_bound 32))
+  in
+  let icmp =
+    map2
+      (fun id seq -> P.Ipv4.Icmp { P.Icmp.kind = P.Icmp.Echo_request; id; seq; payload = "x" })
+      (int_bound 0xffff) (int_bound 0xffff)
+  in
+  let ipv4 =
+    map2
+      (fun (src, dst) payload -> fun (smac, dmac) ->
+        P.Eth.make ~src:smac ~dst:dmac (P.Eth.Ipv4 (P.Ipv4.make ~src ~dst payload)))
+      (pair ip_gen ip_gen) (oneof [ tcp; udp; icmp ])
+  in
+  map2 (fun f macs -> f macs) ipv4 mac2
+
+let prop_frame_roundtrip =
+  QCheck.Test.make ~name:"random ip frames roundtrip the wire" ~count:200
+    (QCheck.make frame_gen) (fun frame ->
+      match P.Eth.of_wire (P.Eth.to_wire frame) with
+      | Some back -> P.Eth.equal frame back
+      | None -> false)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_mac_roundtrip; prop_ip_roundtrip; prop_prefix_contains_base;
+      prop_frame_roundtrip ]
+
+let () =
+  Alcotest.run "packet"
+    [ ( "addresses",
+        [ Alcotest.test_case "mac strings" `Quick test_mac_strings;
+          Alcotest.test_case "mac classes" `Quick test_mac_classes;
+          Alcotest.test_case "ipv4 strings" `Quick test_ipv4_strings;
+          Alcotest.test_case "prefixes" `Quick test_prefixes ] );
+      ( "roundtrips",
+        [ Alcotest.test_case "arp" `Quick test_arp_roundtrip;
+          Alcotest.test_case "icmp" `Quick test_icmp_roundtrip;
+          Alcotest.test_case "tcp" `Quick test_tcp_roundtrip;
+          Alcotest.test_case "udp" `Quick test_udp_roundtrip;
+          Alcotest.test_case "lldp" `Quick test_lldp_roundtrip;
+          Alcotest.test_case "dhcp" `Quick test_dhcp_roundtrip;
+          Alcotest.test_case "vlan" `Quick test_vlan_roundtrip;
+          Alcotest.test_case "checksum" `Quick test_ipv4_checksum;
+          Alcotest.test_case "ttl" `Quick test_ttl_decrement;
+          Alcotest.test_case "truncated" `Quick test_truncated_inputs ] );
+      ( "headers",
+        [ Alcotest.test_case "tcp headers" `Quick test_headers_of_tcp;
+          Alcotest.test_case "arp headers" `Quick test_headers_of_arp;
+          Alcotest.test_case "vlan headers" `Quick test_headers_of_vlan ] );
+      ( "builders",
+        [ Alcotest.test_case "pong" `Quick test_pong_of;
+          Alcotest.test_case "arp reply" `Quick test_arp_reply_to ] );
+      "properties", qcheck_cases ]

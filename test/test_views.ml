@@ -1,0 +1,417 @@
+(* Tests for network views (paper §4.2): slicing, the big-switch
+   virtualizer, stacking, and namespace isolation (§5.3). *)
+
+module Y = Yancfs
+module N = Netsim
+module OF = Openflow
+module P = Packet
+module Fs = Vfs.Fs
+
+let cred = Vfs.Cred.root
+
+let pfx s = Option.get (P.Ipv4_addr.Prefix.of_string s)
+
+let controller built =
+  let ctl = Yanc.Controller.create ~net:built.N.Topo_gen.net () in
+  Yanc.Controller.attach_switches ctl;
+  ctl
+
+let ssh_flowspace =
+  { OF.Of_match.any with
+    OF.Of_match.dl_type = Some 0x0800;
+    nw_proto = Some 6;
+    tp_dst = Some 22 }
+
+(* A slice of sw1 (all its ports), confined to ssh traffic. *)
+let slice_rig () =
+  let built = N.Topo_gen.linear ~hosts_per_switch:2 1 in
+  let ctl = controller built in
+  Yanc.Controller.run_for ctl 0.3;
+  let slicer =
+    match
+      Views.Slicer.create ~master:(Yanc.Controller.yfs ctl)
+        { Views.Slicer.view = "ssh-slice";
+          switches = [ "sw1", [] ];
+          flowspace = ssh_flowspace;
+          priority_cap = 30000 }
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "slicer create: %s" (Vfs.Errno.to_string e)
+  in
+  Yanc.Controller.add_app ctl (Views.Slicer.app slicer);
+  Yanc.Controller.run_for ctl 0.3;
+  built, ctl, slicer
+
+let test_slice_mirrors_switch () =
+  let _, _, slicer = slice_rig () in
+  let vy = Views.Slicer.view_fs slicer in
+  Alcotest.(check (list string)) "switch visible in view" [ "sw1" ]
+    (Y.Yanc_fs.switch_names vy);
+  Alcotest.(check (list int)) "ports mirrored" [ 1; 2 ]
+    (Y.Yanc_fs.port_numbers vy ~cred "sw1")
+
+let test_slice_flow_inside_flowspace () =
+  let built, ctl, slicer = slice_rig () in
+  let vy = Views.Slicer.view_fs slicer in
+  (* the tenant writes an ssh flow in its view *)
+  let flow =
+    { Y.Flowdir.default with
+      Y.Flowdir.of_match = { ssh_flowspace with OF.Of_match.nw_dst = Some (pfx "10.0.0.2") };
+      actions = [ OF.Action.Output (OF.Action.Physical 2) ];
+      priority = 100 }
+  in
+  (match Y.Yanc_fs.create_flow vy ~cred ~switch:"sw1" ~name:"to-h2" flow with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "create: %s" (Vfs.Errno.to_string e));
+  Yanc.Controller.run_for ctl 0.3;
+  Alcotest.(check int) "accepted" 1 (Views.Slicer.flows_accepted slicer);
+  (* it landed on the master under a slice-prefixed name *)
+  let master = Yanc.Controller.yfs ctl in
+  Alcotest.(check bool) "master flow exists" true
+    (List.mem "s.ssh-slice.to-h2" (Y.Yanc_fs.flow_names master ~cred "sw1"));
+  (* and reached hardware *)
+  let sw = Option.get (N.Network.switch built.net 1L) in
+  (match N.Sim_switch.table sw 0 with
+  | Some t -> Alcotest.(check int) "in hardware" 1 (N.Flow_table.length t)
+  | None -> Alcotest.fail "no table")
+
+let test_slice_rejects_flowspace_escape () =
+  let _, ctl, slicer = slice_rig () in
+  let vy = Views.Slicer.view_fs slicer in
+  (* http is outside the ssh flowspace *)
+  let escape =
+    { Y.Flowdir.default with
+      Y.Flowdir.of_match =
+        { OF.Of_match.any with
+          OF.Of_match.dl_type = Some 0x0800; nw_proto = Some 6; tp_dst = Some 80 };
+      actions = [ OF.Action.Output (OF.Action.Physical 1) ] }
+  in
+  ignore (Y.Yanc_fs.create_flow vy ~cred ~switch:"sw1" ~name:"http" escape);
+  Yanc.Controller.run_for ctl 0.3;
+  Alcotest.(check int) "rejected" 1 (Views.Slicer.flows_rejected slicer);
+  let master = Yanc.Controller.yfs ctl in
+  Alcotest.(check bool) "nothing on master" false
+    (List.mem "s.ssh-slice.http" (Y.Yanc_fs.flow_names master ~cred "sw1"));
+  (* the tenant is told via the error file *)
+  let vdir = Y.Layout.flow ~root:(Y.Yanc_fs.root vy) ~switch:"sw1" "http" in
+  Alcotest.(check bool) "error file" true
+    (Fs.exists (Y.Yanc_fs.fs vy) ~cred (Vfs.Path.child vdir "error"))
+
+let test_slice_widens_to_intersection () =
+  (* A tenant wildcard flow is narrowed to the flowspace, not rejected. *)
+  let _, ctl, slicer = slice_rig () in
+  let vy = Views.Slicer.view_fs slicer in
+  let broad =
+    { Y.Flowdir.default with
+      Y.Flowdir.actions = [ OF.Action.Output (OF.Action.Physical 1) ];
+      priority = 50000 (* above the cap, must be clamped *) }
+  in
+  ignore (Y.Yanc_fs.create_flow vy ~cred ~switch:"sw1" ~name:"all" broad);
+  Yanc.Controller.run_for ctl 0.3;
+  let master = Yanc.Controller.yfs ctl in
+  match Y.Yanc_fs.read_flow master ~cred ~switch:"sw1" "s.ssh-slice.all" with
+  | Error e -> Alcotest.fail e
+  | Ok mflow ->
+    Alcotest.(check (option int)) "narrowed to tp 22" (Some 22)
+      mflow.Y.Flowdir.of_match.OF.Of_match.tp_dst;
+    Alcotest.(check int) "priority clamped" 30000 mflow.Y.Flowdir.priority
+
+let test_slice_rejects_foreign_port () =
+  let built = N.Topo_gen.linear ~hosts_per_switch:2 1 in
+  let ctl = controller built in
+  Yanc.Controller.run_for ctl 0.3;
+  (* slice that owns only port 1 *)
+  let slicer =
+    Result.get_ok
+      (Views.Slicer.create ~master:(Yanc.Controller.yfs ctl)
+         { Views.Slicer.view = "narrow"; switches = [ "sw1", [ 1 ] ];
+           flowspace = OF.Of_match.any; priority_cap = 30000 })
+  in
+  Yanc.Controller.add_app ctl (Views.Slicer.app slicer);
+  let vy = Views.Slicer.view_fs slicer in
+  ignore
+    (Y.Yanc_fs.create_flow vy ~cred ~switch:"sw1" ~name:"out2"
+       { Y.Flowdir.default with
+         Y.Flowdir.actions = [ OF.Action.Output (OF.Action.Physical 2) ] });
+  Yanc.Controller.run_for ctl 0.3;
+  Alcotest.(check int) "foreign output rejected" 1 (Views.Slicer.flows_rejected slicer);
+  (* Flood rewrites to the allowed ports only *)
+  ignore
+    (Y.Yanc_fs.create_flow vy ~cred ~switch:"sw1" ~name:"fl"
+       { Y.Flowdir.default with
+         Y.Flowdir.actions = [ OF.Action.Output OF.Action.Flood ] });
+  Yanc.Controller.run_for ctl 0.3;
+  let master = Yanc.Controller.yfs ctl in
+  match Y.Yanc_fs.read_flow master ~cred ~switch:"sw1" "s.narrow.fl" with
+  | Error e -> Alcotest.fail e
+  | Ok mflow ->
+    Alcotest.(check bool) "flood -> explicit allowed ports" true
+      (mflow.Y.Flowdir.actions = [ OF.Action.Output (OF.Action.Physical 1) ])
+
+let test_slice_event_filtering () =
+  let built, ctl, slicer = slice_rig () in
+  let vy = Views.Slicer.view_fs slicer in
+  (* a tenant app subscribes inside the view *)
+  ignore
+    (Y.Eventdir.subscribe (Y.Yanc_fs.fs vy) ~cred ~root:(Y.Yanc_fs.root vy)
+       ~switch:"sw1" ~app:"tenant");
+  Yanc.Controller.run_for ctl 0.2;
+  (* ssh packet -> miss -> should reach the tenant; http -> filtered *)
+  let h2mac = N.Topo_gen.host_mac 2 in
+  let send port =
+    N.Network.send_from_host built.net "h1"
+      [ P.Builder.tcp_syn ~src_mac:(N.Topo_gen.host_mac 1) ~dst_mac:h2mac
+          ~src_ip:(N.Topo_gen.host_ip 1) ~dst_ip:(N.Topo_gen.host_ip 2)
+          ~src_port:5555 ~dst_port:port ]
+  in
+  send 22;
+  send 80;
+  Yanc.Controller.run_for ctl 0.5;
+  let events =
+    Y.Eventdir.consume (Y.Yanc_fs.fs vy) ~cred ~root:(Y.Yanc_fs.root vy)
+      ~switch:"sw1" ~app:"tenant"
+  in
+  Alcotest.(check int) "only the ssh packet" 1 (List.length events);
+  match Y.Eventdir.frame_of (List.hd events) with
+  | Some { P.Eth.payload = P.Eth.Ipv4 { P.Ipv4.payload = P.Ipv4.Tcp t; _ }; _ } ->
+    Alcotest.(check int) "port 22" 22 t.P.Tcp.dst_port
+  | _ -> Alcotest.fail "wrong frame"
+
+(* --- big switch ------------------------------------------------------------------ *)
+
+let bigsw_rig () =
+  let built = N.Topo_gen.linear 3 in
+  let ctl = controller built in
+  let topo = Apps.Topology.create (Yanc.Controller.yfs ctl) in
+  Yanc.Controller.add_app ctl (Apps.Topology.app topo);
+  Yanc.Controller.run_for ctl 3.0;
+  let bigsw =
+    Result.get_ok
+      (Views.Big_switch.create ~master:(Yanc.Controller.yfs ctl) ~view:"one-big" ())
+  in
+  Yanc.Controller.add_app ctl (Views.Big_switch.app bigsw);
+  Yanc.Controller.run_for ctl 0.3;
+  built, ctl, bigsw
+
+let test_bigswitch_ports () =
+  let _, _, bigsw = bigsw_rig () in
+  (* 3 switches, 1 host each: 3 edge ports -> 3 virtual ports *)
+  let map = Views.Big_switch.port_map bigsw in
+  Alcotest.(check int) "3 virtual ports" 3 (List.length map);
+  let vy = Views.Big_switch.view_fs bigsw in
+  Alcotest.(check (list string)) "one big switch" [ "big0" ]
+    (Y.Yanc_fs.switch_names vy);
+  Alcotest.(check (list int)) "virtual port numbers" [ 1; 2; 3 ]
+    (Y.Yanc_fs.port_numbers vy ~cred "big0")
+
+let test_bigswitch_flow_compilation () =
+  let built, ctl, bigsw = bigsw_rig () in
+  let vy = Views.Big_switch.view_fs bigsw in
+  (* all traffic to h3's address leaves virtual port 3 *)
+  let vport3_real = List.assoc 3 (Views.Big_switch.port_map bigsw) in
+  ignore
+    (Y.Yanc_fs.create_flow vy ~cred ~switch:"big0" ~name:"to-h3"
+       { Y.Flowdir.default with
+         Y.Flowdir.of_match =
+           { OF.Of_match.any with
+             OF.Of_match.dl_type = Some 0x0800;
+             nw_dst = Some (P.Ipv4_addr.Prefix.host (N.Topo_gen.host_ip 3)) };
+         actions = [ OF.Action.Output (OF.Action.Physical 3) ];
+         priority = 300 });
+  Yanc.Controller.run_for ctl 0.5;
+  Alcotest.(check int) "compiled" 1 (Views.Big_switch.flows_compiled bigsw);
+  (* per-switch rules landed on the master *)
+  let master = Yanc.Controller.yfs ctl in
+  let egress_sw = fst vport3_real in
+  Alcotest.(check bool) "egress rule exists" true
+    (List.exists
+       (fun n -> n = "v.one-big.to-h3." ^ egress_sw)
+       (Y.Yanc_fs.flow_names master ~cred egress_sw));
+  (* the data plane actually delivers along the compiled path, once the
+     underlay also knows how to reach h1 (reverse rule for replies) *)
+  ignore
+    (Y.Yanc_fs.create_flow vy ~cred ~switch:"big0" ~name:"to-h1"
+       { Y.Flowdir.default with
+         Y.Flowdir.of_match =
+           { OF.Of_match.any with
+             OF.Of_match.dl_type = Some 0x0800;
+             nw_dst = Some (P.Ipv4_addr.Prefix.host (N.Topo_gen.host_ip 1)) };
+         actions = [ OF.Action.Output (OF.Action.Physical 1) ];
+         priority = 300 });
+  (* plus ARP handling via flood both ways *)
+  ignore
+    (Y.Yanc_fs.create_flow vy ~cred ~switch:"big0" ~name:"arp"
+       { Y.Flowdir.default with
+         Y.Flowdir.of_match =
+           { OF.Of_match.any with OF.Of_match.dl_type = Some 0x0806 };
+         actions = [ OF.Action.Output OF.Action.Flood ];
+         priority = 200 });
+  Yanc.Controller.run_for ctl 0.5;
+  let h1 = Option.get (N.Network.host built.net "h1") in
+  N.Network.send_from_host built.net "h1"
+    (N.Sim_host.ping h1 ~now:(N.Network.now built.net)
+       ~dst:(N.Topo_gen.host_ip 3) ~seq:1);
+  Alcotest.(check bool) "ping across the virtual big switch" true
+    (Yanc.Controller.run_until ctl (fun () -> N.Sim_host.ping_results h1 <> []))
+
+let test_bigswitch_flood_compiles () =
+  let _, ctl, bigsw = bigsw_rig () in
+  let vy = Views.Big_switch.view_fs bigsw in
+  ignore
+    (Y.Yanc_fs.create_flow vy ~cred ~switch:"big0" ~name:"multi"
+       { Y.Flowdir.default with
+         Y.Flowdir.actions =
+           [ OF.Action.Output (OF.Action.Physical 1);
+             OF.Action.Output (OF.Action.Physical 2) ] });
+  Yanc.Controller.run_for ctl 0.3;
+  (* multi-output flows are the documented limitation: error, not silence *)
+  let vdir = Y.Layout.flow ~root:(Y.Yanc_fs.root vy) ~switch:"big0" "multi" in
+  Alcotest.(check bool) "limitation reported" true
+    (Fs.exists (Y.Yanc_fs.fs vy) ~cred (Vfs.Path.child vdir "error"))
+
+let test_bigswitch_packet_in_translation () =
+  let built, ctl, bigsw = bigsw_rig () in
+  let vy = Views.Big_switch.view_fs bigsw in
+  ignore
+    (Y.Eventdir.subscribe (Y.Yanc_fs.fs vy) ~cred ~root:(Y.Yanc_fs.root vy)
+       ~switch:"big0" ~app:"tenant");
+  Yanc.Controller.run_for ctl 0.2;
+  (* traffic from h2 (edge of sw2) misses and surfaces on the big switch *)
+  let h2 = Option.get (N.Network.host built.net "h2") in
+  N.Network.send_from_host built.net "h2"
+    [ N.Sim_host.arp_probe h2 ~target:(N.Topo_gen.host_ip 1) ];
+  Yanc.Controller.run_for ctl 0.5;
+  let events =
+    Y.Eventdir.consume (Y.Yanc_fs.fs vy) ~cred ~root:(Y.Yanc_fs.root vy)
+      ~switch:"big0" ~app:"tenant"
+  in
+  Alcotest.(check bool) "event surfaced" true (events <> []);
+  let vport = (List.hd events).Y.Eventdir.in_port in
+  Alcotest.(check (option (pair string int))) "virtual ingress maps to h2's port"
+    (Some ("sw2", 3))
+    (List.assoc_opt vport (Views.Big_switch.port_map bigsw))
+
+(* --- namespace isolation (paper §5.1/§5.3) -------------------------------------------- *)
+
+let test_namespace_isolation () =
+  let built = N.Topo_gen.linear 1 in
+  let ctl = controller built in
+  let yfs = Yanc.Controller.yfs ctl in
+  Yanc.Controller.run_for ctl 0.2;
+  let alice = Vfs.Cred.make ~uid:100 ~gid:100 () in
+  let bob = Vfs.Cred.make ~uid:200 ~gid:200 () in
+  let alice_view =
+    Result.get_ok (Views.Namespace.provision yfs ~view:"alice" ~owner:alice)
+  in
+  ignore (Views.Namespace.provision yfs ~view:"bob" ~owner:bob);
+  (* alice works in her own view *)
+  (match
+     Y.Yanc_fs.create_flow alice_view ~cred:alice ~switch:"private-sw"
+       ~name:"f" Y.Flowdir.default
+   with
+  | Error Vfs.Errno.ENOENT -> () (* no switch dir yet: fine, make one *)
+  | _ -> ());
+  ignore
+    (Fs.mkdir (Y.Yanc_fs.fs yfs) ~cred:alice
+       (Y.Layout.switch ~root:(Y.Yanc_fs.root alice_view) "private-sw"));
+  (match
+     Y.Yanc_fs.create_flow alice_view ~cred:alice ~switch:"private-sw" ~name:"f"
+       Y.Flowdir.default
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "alice blocked in her own view: %s" (Vfs.Errno.to_string e));
+  (* bob cannot enter alice's view *)
+  (match Views.Namespace.enter yfs ~cred:bob ~view:"alice" with
+  | Error Vfs.Errno.EACCES -> ()
+  | Error e -> Alcotest.failf "expected eacces, got %s" (Vfs.Errno.to_string e)
+  | Ok _ -> Alcotest.fail "bob entered alice's namespace");
+  (* nor read her files *)
+  Alcotest.(check bool) "bob cannot read" true
+    (Fs.readdir (Y.Yanc_fs.fs yfs) ~cred:bob
+       (Y.Layout.switches_dir ~root:(Y.Yanc_fs.root alice_view))
+    = Error Vfs.Errno.EACCES);
+  (* root sees everything *)
+  match Views.Namespace.enter yfs ~cred:Vfs.Cred.root ~view:"alice" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "root blocked: %s" (Vfs.Errno.to_string e)
+
+let test_switch_protected_by_chmod () =
+  (* §5.1: "while individual flows can be protected for specific
+     processes, so too can an entire switch". *)
+  let built = N.Topo_gen.linear 1 in
+  let ctl = controller built in
+  let fs = Yanc.Controller.fs ctl in
+  Yanc.Controller.run_for ctl 0.2;
+  let swdir = Y.Layout.switch ~root:Y.Layout.default_root "sw1" in
+  ignore (Fs.chmod fs ~cred swdir 0o700);
+  let intruder = Vfs.Cred.make ~uid:666 ~gid:666 () in
+  Alcotest.(check bool) "flows unreadable" true
+    (Fs.readdir fs ~cred:intruder (Y.Layout.flows_dir ~root:Y.Layout.default_root "sw1")
+    = Error Vfs.Errno.EACCES);
+  Alcotest.(check bool) "cannot write flows" true
+    (Fs.mkdir fs ~cred:intruder
+       (Y.Layout.flow ~root:Y.Layout.default_root ~switch:"sw1" "evil")
+    = Error Vfs.Errno.EACCES)
+
+(* --- stacking: slice on top of a big switch -------------------------------------------- *)
+
+let test_stacked_views () =
+  let built, ctl, bigsw = bigsw_rig () in
+  ignore built;
+  (* slice the virtual big switch: ssh-only tenant on top of the
+     virtualized network — "views can be stacked arbitrarily" *)
+  let inner =
+    Result.get_ok
+      (Views.Slicer.create ~master:(Views.Big_switch.view_fs bigsw)
+         { Views.Slicer.view = "ssh-on-big"; switches = [ "big0", [] ];
+           flowspace = ssh_flowspace; priority_cap = 1000 })
+  in
+  Yanc.Controller.add_app ctl (Views.Slicer.app inner);
+  Yanc.Controller.run_for ctl 0.3;
+  let tenant = Views.Slicer.view_fs inner in
+  Alcotest.(check string) "doubly nested root"
+    "/net/views/one-big/views/ssh-on-big"
+    (Vfs.Path.to_string (Y.Yanc_fs.root tenant));
+  ignore
+    (Y.Yanc_fs.create_flow tenant ~cred ~switch:"big0" ~name:"deep"
+       { Y.Flowdir.default with
+         Y.Flowdir.of_match = ssh_flowspace;
+         actions = [ OF.Action.Output (OF.Action.Physical 1) ];
+         priority = 10 });
+  Yanc.Controller.run_for ctl 0.5;
+  (* flow propagated: tenant -> big0 view -> physical master *)
+  let master = Yanc.Controller.yfs ctl in
+  let all_master_flows =
+    List.concat_map
+      (fun sw -> Y.Yanc_fs.flow_names master ~cred sw)
+      (Y.Yanc_fs.switch_names master)
+  in
+  Alcotest.(check bool) "reached physical switches" true
+    (List.exists
+       (fun n ->
+         String.length n > 2 && String.sub n 0 2 = "v.")
+       all_master_flows)
+
+let () =
+  Alcotest.run "views"
+    [ ( "slicer",
+        [ Alcotest.test_case "mirrors switch" `Quick test_slice_mirrors_switch;
+          Alcotest.test_case "accepts in-space flows" `Quick
+            test_slice_flow_inside_flowspace;
+          Alcotest.test_case "rejects escapes" `Quick test_slice_rejects_flowspace_escape;
+          Alcotest.test_case "narrows wildcards, clamps priority" `Quick
+            test_slice_widens_to_intersection;
+          Alcotest.test_case "port confinement" `Quick test_slice_rejects_foreign_port;
+          Alcotest.test_case "event filtering" `Quick test_slice_event_filtering ] );
+      ( "big-switch",
+        [ Alcotest.test_case "virtual ports" `Quick test_bigswitch_ports;
+          Alcotest.test_case "flow compilation + ping" `Quick
+            test_bigswitch_flow_compilation;
+          Alcotest.test_case "multi-output limitation" `Quick
+            test_bigswitch_flood_compiles;
+          Alcotest.test_case "packet-in translation" `Quick
+            test_bigswitch_packet_in_translation ] );
+      ( "isolation",
+        [ Alcotest.test_case "namespaces" `Quick test_namespace_isolation;
+          Alcotest.test_case "chmod a switch" `Quick test_switch_protected_by_chmod ] );
+      "stacking", [ Alcotest.test_case "slice on big switch" `Quick test_stacked_views ] ]
