@@ -566,6 +566,139 @@ let ext_qos () =
         (100. *. float_of_int (frames - !delivered) /. float_of_int frames))
     [ 1; 10; 100 ]
 
+(* ================================================================== *)
+(* E13 — the VFS dentry/attribute cache: every yanc operation is a path
+   lookup, so the OS trick of caching resolved paths (Linux's dcache)
+   applies directly. Cold vs warm component walks, the whole-stack
+   effect on a fastpath flow push, and what rename churn costs. *)
+(* ================================================================== *)
+
+let e13_dcache () =
+  let pa = Vfs.Path.of_string_exn in
+  section "E13a dcache: component walks per lookup, cold vs warm";
+  row "  %6s | %15s | %20s | %6s\n" "depth" "cold components"
+    "warm components/call" "ratio";
+  List.iter
+    (fun depth ->
+      let fs = Fs.create () in
+      let rec build path i =
+        if i > depth then path
+        else begin
+          let path = Vfs.Path.child path (Printf.sprintf "d%d" i) in
+          ignore (Fs.mkdir fs ~cred path);
+          build path (i + 1)
+        end
+      in
+      let file = Vfs.Path.child (build Vfs.Path.root 1) "f" in
+      ignore (Fs.write_file fs ~cred file "x");
+      let cost = Fs.cost fs in
+      Vfs.Cost.reset cost;
+      ignore (Fs.read_file fs ~cred file);
+      let cold = Vfs.Cost.components cost in
+      let warm_calls = 100 in
+      Vfs.Cost.reset cost;
+      for _ = 1 to warm_calls do
+        ignore (Fs.read_file fs ~cred file)
+      done;
+      let warm =
+        float_of_int (Vfs.Cost.components cost) /. float_of_int warm_calls
+      in
+      row "  %6d | %15d | %20.2f | %5.0fx\n" depth cold warm
+        (float_of_int cold /. Float.max warm 0.01))
+    [ 2; 4; 8; 16 ];
+  (* whole-stack effect: a fastpath batch is hundreds of lookups under
+     one crossing, so the cache shows up in walked components *)
+  section "E13b flow push (fastpath batch of 200): dcache on vs off";
+  let components_with enabled =
+    let fs, yfs = fresh_yancfs () in
+    Fs.set_dcache_enabled fs enabled;
+    let fp = Libyanc.Fastpath.create yfs in
+    let cost = Fs.cost fs in
+    Vfs.Cost.reset cost;
+    ignore
+      (Libyanc.Fastpath.push_flows fp
+         (List.init 200 (fun i -> "sw1", Printf.sprintf "f%d" i, sample_flow i)));
+    Vfs.Cost.components cost
+  in
+  let off = components_with false in
+  let on = components_with true in
+  row "  components walked: %6d (cache off) | %6d (cache on) | %.1fx fewer\n"
+    off on
+    (float_of_int off /. float_of_int (max 1 on));
+  (* rename churn: a moving namespace pays invalidations and re-walks *)
+  section "E13c rename churn: cache hit rate under namespace motion";
+  let fs = Fs.create () in
+  ignore (Fs.mkdir_p fs ~cred (pa "/app/cfg"));
+  ignore (Fs.write_file fs ~cred (pa "/app/cfg/f") "x");
+  let cost = Fs.cost fs in
+  let churn renames_per_lookup lookups =
+    Vfs.Cost.reset cost;
+    for i = 1 to lookups do
+      if renames_per_lookup > 0 && i mod renames_per_lookup = 0 then begin
+        ignore (Fs.rename fs ~cred ~src:(pa "/app") ~dst:(pa "/app2"));
+        ignore (Fs.rename fs ~cred ~src:(pa "/app2") ~dst:(pa "/app"))
+      end;
+      ignore (Fs.read_file fs ~cred (pa "/app/cfg/f"))
+    done;
+    ( Vfs.Cost.dentry_hits cost,
+      Vfs.Cost.dentry_misses cost,
+      Vfs.Cost.invalidations cost )
+  in
+  row "  %22s | %8s | %8s | %13s\n" "workload (1000 lookups)" "hits" "misses"
+    "invalidations";
+  List.iter
+    (fun (label, per) ->
+      let hits, misses, inv = churn per 1000 in
+      row "  %22s | %8d | %8d | %13d\n" label hits misses inv)
+    [ "no renames", 0; "rename every 100", 100; "rename every 10", 10 ]
+
+(* E13d — wall-clock for the same contrast. *)
+let e13_walltime () =
+  section "E13d wall time per warm lookup: dcache on vs off";
+  let fs_on = Fs.create () in
+  let fs_off = Fs.create () in
+  Fs.set_dcache_enabled fs_off false;
+  let file = Vfs.Path.of_string_exn "/d1/d2/d3/d4/f" in
+  List.iter
+    (fun fs ->
+      ignore (Fs.mkdir_p fs ~cred (Vfs.Path.of_string_exn "/d1/d2/d3/d4"));
+      ignore (Fs.write_file fs ~cred file "x"))
+    [ fs_on; fs_off ];
+  print_benchmarks "e13d"
+    (run_benchmarks
+       [ test "lookup/dcache_on" (fun () ->
+             ignore (Fs.read_file fs_on ~cred file));
+         test "lookup/dcache_off" (fun () ->
+             ignore (Fs.read_file fs_off ~cred file)) ])
+
+(* The @bench-smoke gate: prove the acceptance ratio (warm lookups walk
+   >= 5x fewer components than cold) in a fraction of a second, so
+   `dune runtest` fails fast if the cache regresses. *)
+let smoke () =
+  let fs = Fs.create () in
+  let dir = Vfs.Path.of_string_exn "/a/b/c/d/e" in
+  let file = Vfs.Path.child dir "f" in
+  ignore (Fs.mkdir_p fs ~cred dir);
+  ignore (Fs.write_file fs ~cred file "x");
+  let cost = Fs.cost fs in
+  Vfs.Cost.reset cost;
+  ignore (Fs.read_file fs ~cred file);
+  let cold = Vfs.Cost.components cost in
+  let warm_calls = 10 in
+  for _ = 1 to warm_calls do
+    ignore (Fs.read_file fs ~cred file)
+  done;
+  let warm = Vfs.Cost.components cost - cold in
+  Printf.printf
+    "bench-smoke: cold lookup = %d components, %d warm lookups = %d components\n"
+    cold warm_calls warm;
+  if warm * 5 > cold then begin
+    Printf.printf
+      "bench-smoke: FAIL — warm lookups should walk >= 5x fewer components than cold\n";
+    exit 1
+  end;
+  Printf.printf "bench-smoke: ok (warm/cold ratio holds)\n"
+
 let e_wire_volume () =
   section "AUX  control-channel bytes per operation (driver wire cost)";
   let built = N.Topo_gen.linear 1 in
@@ -598,6 +731,10 @@ let e_wire_volume () =
     fm10 fm13
 
 let () =
+  if Array.exists (fun a -> a = "smoke") Sys.argv then begin
+    smoke ();
+    exit 0
+  end;
   print_endline "yanc-ml benchmark harness (see EXPERIMENTS.md for the paper mapping)";
   e1_figure ();
   e8_crossings ();
@@ -610,6 +747,8 @@ let () =
   e9_reactive ();
   e6_views ();
   ablation_reactive_granularity ();
+  e13_dcache ();
+  e13_walltime ();
   ext_qos ();
   e_wire_volume ();
   print_endline "\ndone."

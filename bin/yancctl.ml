@@ -179,6 +179,35 @@ let tree_cmd topo of13 =
   print_string (Yancfs.Yanc_fs.tree (Yanc.Controller.yfs ctl));
   0
 
+let counters_cmd topo of13 apps duration switch =
+  setup_logs ();
+  let ctl = build ~topo ~of13 ~apps in
+  Yanc.Controller.run_for ctl duration;
+  let yfs = Yanc.Controller.yfs ctl in
+  let fp = Libyanc.Fastpath.create yfs in
+  let switches =
+    match switch with
+    | Some s -> [ s ]
+    | None -> Yancfs.Yanc_fs.switch_names yfs
+  in
+  let code = ref 0 in
+  List.iter
+    (fun sw ->
+      match Libyanc.Fastpath.read_flow_counters fp ~switch:sw with
+      | Ok rows ->
+        Printf.printf "%s: %d flows reporting\n" sw (List.length rows);
+        List.iter
+          (fun (flow, packets, bytes) ->
+            Printf.printf "  %-24s %10Ld pkts %12Ld bytes\n" flow packets bytes)
+          rows
+      | Error e ->
+        (* The errno matters here: an unknown switch (enoent) and a
+           permission problem (eacces) print differently and fail. *)
+        code := 1;
+        Printf.eprintf "yancctl: counters: %s: %s\n" sw (Vfs.Errno.message e))
+    switches;
+  !code
+
 let shell_cmd topo of13 apps script_file lines =
   setup_logs ();
   let ctl = build ~topo ~of13 ~apps in
@@ -285,10 +314,25 @@ let shell_t =
     (Cmd.info "shell" ~doc:"Run shell commands or a script against a live controller.")
     Term.(const shell_cmd $ topo_arg $ of13_arg $ apps_arg $ script_arg $ lines_arg)
 
+let switch_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "s"; "switch" ] ~docv:"SWITCH"
+        ~doc:"Only this switch (default: all discovered switches).")
+
+let counters_t =
+  Cmd.v
+    (Cmd.info "counters"
+       ~doc:"Dump per-flow packet/byte counters via the libyanc fastpath.")
+    Term.(
+      const counters_cmd $ topo_arg $ of13_arg $ apps_arg $ duration_arg
+      $ switch_arg)
+
 let main =
   Cmd.group
     (Cmd.info "yancctl" ~version:"1.0.0"
        ~doc:"yanc: a file-system-centric SDN controller (simulated).")
-    [ run_t; tree_t; shell_t ]
+    [ run_t; tree_t; shell_t; counters_t ]
 
 let () = exit (Cmd.eval' main)

@@ -18,7 +18,17 @@ let audit yfs ~cred =
       List.iter
         (fun child ->
           let p = Y.Layout.switch_attr ~root switch child in
-          if not (Fs.is_dir fs ~cred p) then
+          (* kind_of, not is_dir: an unreadable child is a different
+             problem than a missing one, and the bool form hides it. *)
+          match Fs.kind_of fs ~cred p with
+          | Ok Fs.Dir -> ()
+          | Ok _ ->
+            add (finding `Error "switch %s: %s is not a directory" switch child)
+          | Error Vfs.Errno.EACCES ->
+            add
+              (finding `Warning "switch %s: %s/ not auditable (permission denied)"
+                 switch child)
+          | Error _ ->
             add (finding `Error "switch %s: missing %s/" switch child))
         [ "flows"; "ports"; "counters"; "events" ];
       (if Y.Yanc_fs.switch_dpid yfs switch = None then
@@ -34,8 +44,14 @@ let audit yfs ~cred =
             match Y.Yanc_fs.read_flow yfs ~cred ~switch flow with
             | Ok f -> parsed := (flow, f) :: !parsed
             | Error e -> add (finding `Error "flow %s/%s: %s" switch flow e)));
-          if Fs.exists fs ~cred (Vfs.Path.child dir Y.Layout.error_file) then
-            add (finding `Error "flow %s/%s: driver reported an error" switch flow))
+          match Fs.kind_of fs ~cred (Vfs.Path.child dir Y.Layout.error_file) with
+          | Ok _ ->
+            add (finding `Error "flow %s/%s: driver reported an error" switch flow)
+          | Error Vfs.Errno.EACCES ->
+            add
+              (finding `Warning "flow %s/%s: error file not readable (permission denied)"
+                 switch flow)
+          | Error _ -> ())
         (Y.Yanc_fs.flow_names yfs ~cred switch);
       (* Conflicts: two committed flows at the same priority whose
          matches overlap but whose actions differ — which one a packet

@@ -76,18 +76,28 @@ let read_flow_counters t ~switch =
   Vfs.Cost.suspended c (fun () ->
       let fs = Y.Yanc_fs.fs t.yfs in
       let root = Y.Yanc_fs.root t.yfs in
-      List.filter_map
-        (fun flow ->
-          t.saved <- t.saved + 2;
-          let counters = Y.Layout.flow_counters ~root ~switch flow in
-          let read file =
-            match Vfs.Fs.read_file fs ~cred:t.cred (Vfs.Path.child counters file) with
-            | Ok v -> Int64.of_string_opt (String.trim v)
-            | Error _ -> None
-          in
-          match read "packets", read "bytes" with
-          | Some p, Some b -> Some (flow, p, b)
-          | _ -> None)
-        (Y.Yanc_fs.flow_names t.yfs ~cred:t.cred switch))
+      let ( let* ) = Result.bind in
+      (* A missing or unreadable switch is an error, not an empty list —
+         matching every sibling call here. Flows whose counter files are
+         absent (the driver has not reported yet) are merely skipped. *)
+      let* flows =
+        Vfs.Fs.readdir fs ~cred:t.cred (Y.Layout.flows_dir ~root switch)
+      in
+      Ok
+        (List.filter_map
+           (fun flow ->
+             t.saved <- t.saved + 2;
+             let counters = Y.Layout.flow_counters ~root ~switch flow in
+             let read file =
+               match
+                 Vfs.Fs.read_file fs ~cred:t.cred (Vfs.Path.child counters file)
+               with
+               | Ok v -> Int64.of_string_opt (String.trim v)
+               | Error _ -> None
+             in
+             match read "packets", read "bytes" with
+             | Some p, Some b -> Some (flow, p, b)
+             | _ -> None)
+           flows))
 
 let crossings_saved t = t.saved

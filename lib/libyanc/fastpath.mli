@@ -29,8 +29,11 @@ val push_flows :
 val delete_flows : t -> (string * string) list -> (unit, Vfs.Errno.t) result
 
 val read_flow_counters :
-  t -> switch:string -> (string * int64 * int64) list
-(** [(flow, packets, bytes)] for every flow of a switch, one crossing. *)
+  t -> switch:string -> ((string * int64 * int64) list, Vfs.Errno.t) result
+(** [(flow, packets, bytes)] for every flow of a switch, one crossing.
+    Errors from reaching the switch's flow directory ([ENOENT] for an
+    unknown switch, [EACCES]…) are propagated like every sibling call;
+    flows whose counter files have not been written yet are skipped. *)
 
 val batch : t -> (Yancfs.Yanc_fs.t -> 'a) -> 'a
 (** Run arbitrary file-system work as one crossing — the general form

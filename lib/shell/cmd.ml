@@ -342,7 +342,8 @@ let find env ~args ~run_exec =
         let rootp = Env.resolve env arg in
         let rootdepth = List.length (Path.components rootp) in
         match
-          Fs.walk env.Env.fs ~cred:env.Env.cred rootp (fun path st ->
+          Fs.fold env.Env.fs ~cred:env.Env.cred rootp ~init:()
+            (fun () path st ->
               let depth = List.length (Path.components path) - rootdepth in
               let depth_ok =
                 match opts.maxdepth with Some d -> depth <= d | None -> true
@@ -372,7 +373,15 @@ let find env ~args ~run_exec =
                   in
                   let r = run_exec argv in
                   Buffer.add_string buf r
-              end)
+              end;
+              (* Prune instead of filtering: below maxdepth nothing can
+                 match, so don't even visit it. *)
+              let action =
+                match opts.maxdepth with
+                | Some d when depth >= d -> `Skip_subtree
+                | Some _ | None -> `Continue
+              in
+              ((), action))
         with
         | Ok () -> ()
         | Error e ->

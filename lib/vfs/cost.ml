@@ -3,10 +3,20 @@ type t = {
   mutable crossings : int;
   mutable charged_ns : float;
   mutable suspended : int; (* depth of [suspended] nesting *)
+  (* name-lookup accounting (dcache instrumentation) *)
+  mutable components : int;
+  mutable dentry_hits : int;
+  mutable dentry_misses : int;
+  mutable negative_hits : int;
+  mutable attr_hits : int;
+  mutable attr_misses : int;
+  mutable invalidations : int;
 }
 
 let create ?(switch_cost_ns = 1000.) () =
-  { switch_cost_ns; crossings = 0; charged_ns = 0.; suspended = 0 }
+  { switch_cost_ns; crossings = 0; charged_ns = 0.; suspended = 0;
+    components = 0; dentry_hits = 0; dentry_misses = 0; negative_hits = 0;
+    attr_hits = 0; attr_misses = 0; invalidations = 0 }
 
 let crossings t = t.crossings
 
@@ -22,10 +32,52 @@ let suspended t f =
   t.suspended <- t.suspended + 1;
   Fun.protect ~finally:(fun () -> t.suspended <- t.suspended - 1) f
 
+(* Lookup work is counted even inside [suspended]: it measures dentry
+   walking, not kernel crossings, and a libyanc batch still walks. *)
+let component_resolved t = t.components <- t.components + 1
+
+let dentry_hit t = t.dentry_hits <- t.dentry_hits + 1
+
+let dentry_miss t = t.dentry_misses <- t.dentry_misses + 1
+
+let negative_hit t = t.negative_hits <- t.negative_hits + 1
+
+let attr_hit t = t.attr_hits <- t.attr_hits + 1
+
+let attr_miss t = t.attr_misses <- t.attr_misses + 1
+
+let invalidated t n = t.invalidations <- t.invalidations + n
+
+let components t = t.components
+
+let dentry_hits t = t.dentry_hits
+
+let dentry_misses t = t.dentry_misses
+
+let negative_hits t = t.negative_hits
+
+let attr_hits t = t.attr_hits
+
+let attr_misses t = t.attr_misses
+
+let invalidations t = t.invalidations
+
 let reset t =
   t.crossings <- 0;
-  t.charged_ns <- 0.
+  t.charged_ns <- 0.;
+  t.components <- 0;
+  t.dentry_hits <- 0;
+  t.dentry_misses <- 0;
+  t.negative_hits <- 0;
+  t.attr_hits <- 0;
+  t.attr_misses <- 0;
+  t.invalidations <- 0
 
 let pp ppf t =
-  Format.fprintf ppf "%d crossings (%.1f us modelled)" t.crossings
+  Format.fprintf ppf
+    "%d crossings (%.1f us modelled), %d components walked, dcache %d/%d \
+     hit/miss (%d negative), %d invalidated"
+    t.crossings
     (t.charged_ns /. 1000.)
+    t.components (t.dentry_hits + t.negative_hits) t.dentry_misses
+    t.negative_hits t.invalidations

@@ -1,4 +1,4 @@
-(** Kernel-crossing cost model (paper §8.1).
+(** Kernel-crossing cost model (paper §8.1) and name-lookup counters.
 
     Every public {!Fs} operation models one [syscall] — a user→kernel
     context switch. The paper's performance concern is that "writing flow
@@ -6,7 +6,14 @@
     context switches"; libyanc's shared-memory fastpath exists to remove
     them. This module counts crossings and charges a configurable cost so
     benches can report both the crossing count and the modelled overhead
-    of the file-system path versus the fastpath. *)
+    of the file-system path versus the fastpath.
+
+    It also carries the {!Dcache} instrumentation: how many path
+    components were resolved by walking the tree, how often the dentry
+    and attribute caches hit, and how many cached entries were
+    invalidated by mutations. Lookup counters are {e not} gated by
+    {!suspended} — a libyanc batch still walks dentries even though it
+    crosses the kernel boundary once. *)
 
 type t
 
@@ -28,6 +35,34 @@ val suspended : t -> (unit -> 'a) -> 'a
     {!Libyanc} batches, where many logical operations share one
     crossing, and by kernel-internal recursion (an op implemented in
     terms of other ops must not double-count). *)
+
+(** {1 Name-lookup / dcache counters}
+
+    Bumped by {!Fs} resolution and by {!Dcache}; read by benches. *)
+
+val component_resolved : t -> unit
+(** One path component resolved the slow way (hash lookup in a
+    directory, plus the traversal permission check). *)
+
+val dentry_hit : t -> unit
+val dentry_miss : t -> unit
+val negative_hit : t -> unit
+(** A cached ENOENT answered without walking. *)
+
+val attr_hit : t -> unit
+val attr_miss : t -> unit
+(** Permission-decision (attribute) cache hits/misses. *)
+
+val invalidated : t -> int -> unit
+(** [n] cached entries dropped by a mutation. *)
+
+val components : t -> int
+val dentry_hits : t -> int
+val dentry_misses : t -> int
+val negative_hits : t -> int
+val attr_hits : t -> int
+val attr_misses : t -> int
+val invalidations : t -> int
 
 val reset : t -> unit
 

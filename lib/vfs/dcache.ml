@@ -1,0 +1,123 @@
+(* Dentry + permission-decision cache for the VFS hot path.
+
+   The cache is generic in the node type so it can live below [Fs]
+   (which owns the concrete node representation) without a dependency
+   cycle. Soundness rests on three rules enforced by the caller:
+
+   - only resolutions that traversed NO symlink are inserted, so every
+     cached key is its own canonical path and prefix invalidation by
+     canonical op paths reaches every alias;
+   - only [Ok _] and [Error ENOENT] results are inserted — EACCES and
+     ENOTDIR depend on intermediate state in ways not worth modelling;
+   - every mutation invalidates (prefix for namespace ops, ino for
+     attribute ops) BEFORE hooks run, so subscribers never observe a
+     stale lookup. *)
+
+type dkey = {
+  uid : int;
+  gid : int;
+  groups : int list;
+  follow : bool;
+  name : string; (* Path.to_string of the queried path *)
+}
+
+type 'a dentry = { dpath : Path.t; value : ('a, Errno.t) result }
+
+type akey = {
+  a_ino : int;
+  a_uid : int;
+  a_gid : int;
+  a_groups : int list;
+  access : Perm.access;
+}
+
+type 'a t = {
+  cost : Cost.t;
+  max_entries : int;
+  mutable enabled : bool;
+  dentries : (dkey, 'a dentry) Hashtbl.t;
+  attrs : (akey, bool) Hashtbl.t;
+}
+
+let create ?(max_entries = 8192) cost =
+  { cost; max_entries; enabled = true;
+    dentries = Hashtbl.create 256; attrs = Hashtbl.create 256 }
+
+let flush t =
+  Hashtbl.reset t.dentries;
+  Hashtbl.reset t.attrs
+
+let enabled t = t.enabled
+
+let set_enabled t b =
+  if not b then flush t;
+  t.enabled <- b
+
+let dkey ~cred ~follow path =
+  { uid = cred.Cred.uid; gid = cred.Cred.gid; groups = cred.Cred.groups;
+    follow; name = Path.to_string path }
+
+let akey ~ino ~cred ~access =
+  { a_ino = ino; a_uid = cred.Cred.uid; a_gid = cred.Cred.gid;
+    a_groups = cred.Cred.groups; access }
+
+let find t ~cred ~follow path =
+  if not t.enabled then None
+  else
+    match Hashtbl.find_opt t.dentries (dkey ~cred ~follow path) with
+    | Some { value = Ok _ as v; _ } ->
+      Cost.dentry_hit t.cost;
+      Some v
+    | Some { value = Error _ as v; _ } ->
+      Cost.negative_hit t.cost;
+      Some v
+    | None ->
+      Cost.dentry_miss t.cost;
+      None
+
+let add t ~cred ~follow path value =
+  if t.enabled then
+    match value with
+    | Ok _ | Error Errno.ENOENT ->
+      if Hashtbl.length t.dentries >= t.max_entries then
+        Hashtbl.reset t.dentries;
+      Hashtbl.replace t.dentries (dkey ~cred ~follow path)
+        { dpath = path; value }
+    | Error _ -> ()
+
+let find_perm t ~ino ~cred ~access =
+  if not t.enabled then None
+  else
+    match Hashtbl.find_opt t.attrs (akey ~ino ~cred ~access) with
+    | Some _ as hit ->
+      Cost.attr_hit t.cost;
+      hit
+    | None ->
+      Cost.attr_miss t.cost;
+      None
+
+let add_perm t ~ino ~cred ~access allowed =
+  if t.enabled then begin
+    if Hashtbl.length t.attrs >= t.max_entries then Hashtbl.reset t.attrs;
+    Hashtbl.replace t.attrs (akey ~ino ~cred ~access) allowed
+  end
+
+let invalidate_prefix t prefix =
+  let doomed =
+    Hashtbl.fold
+      (fun k e acc -> if Path.is_prefix prefix e.dpath then k :: acc else acc)
+      t.dentries []
+  in
+  List.iter (Hashtbl.remove t.dentries) doomed;
+  Cost.invalidated t.cost (List.length doomed)
+
+let invalidate_attrs t ~ino =
+  let doomed =
+    Hashtbl.fold
+      (fun k _ acc -> if k.a_ino = ino then k :: acc else acc)
+      t.attrs []
+  in
+  List.iter (Hashtbl.remove t.attrs) doomed;
+  Cost.invalidated t.cost (List.length doomed)
+
+let length t = Hashtbl.length t.dentries, Hashtbl.length t.attrs

@@ -1,0 +1,61 @@
+(** Dentry + attribute cache — the stand-in for Linux's dcache.
+
+    Linux amortises path resolution with a dentry hash (including
+    negative dentries for failed lookups) instead of re-walking every
+    component on every syscall; permission results are likewise served
+    from the in-core inode. This module gives {!Fs.resolve} the same
+    shape: a (credential, follow-flag, path) → resolution map with
+    negative entries for [ENOENT], and a per-inode cache of
+    permission-check decisions.
+
+    The cache is generic in ['a] (the node type) because [Fs] owns the
+    node representation and sits above this module.
+
+    {b Soundness contract} (enforced by the caller, i.e. [Fs]):
+    - insert only resolutions that traversed {e no} symlink, so cached
+      keys are their own canonical paths and canonical-path prefix
+      invalidation reaches everything;
+    - insert only [Ok _] and [Error ENOENT];
+    - invalidate before notifying mutation subscribers.
+
+    All hit/miss/invalidation traffic is recorded on the {!Cost.t}
+    handed to {!create}. *)
+
+type 'a t
+
+val create : ?max_entries:int -> Cost.t -> 'a t
+(** [max_entries] (default 8192) bounds each table; on overflow the
+    table is flushed wholesale, which is always safe (a cache miss just
+    re-walks). *)
+
+val enabled : 'a t -> bool
+
+val set_enabled : 'a t -> bool -> unit
+(** Disabling flushes both tables, so re-enabling starts cold. *)
+
+val find :
+  'a t -> cred:Cred.t -> follow:bool -> Path.t -> ('a, Errno.t) result option
+(** Cached resolution for this exact (credential, follow, path) triple;
+    counts a dentry/negative hit or a miss. *)
+
+val add :
+  'a t -> cred:Cred.t -> follow:bool -> Path.t -> ('a, Errno.t) result -> unit
+(** Insert a resolution. Silently drops anything but [Ok _] /
+    [Error ENOENT]. The caller must only pass symlink-free resolutions. *)
+
+val find_perm :
+  'a t -> ino:int -> cred:Cred.t -> access:Perm.access -> bool option
+
+val add_perm :
+  'a t -> ino:int -> cred:Cred.t -> access:Perm.access -> bool -> unit
+
+val invalidate_prefix : 'a t -> Path.t -> unit
+(** Drop every dentry whose path is [prefix] or below it. *)
+
+val invalidate_attrs : 'a t -> ino:int -> unit
+(** Drop every cached permission decision for this inode. *)
+
+val flush : 'a t -> unit
+
+val length : 'a t -> int * int
+(** (live dentries, live attribute decisions) — for tests. *)

@@ -42,6 +42,7 @@ type hook = int
 type t = {
   root : node;
   cost : Cost.t;
+  dcache : node Dcache.t;
   mutable now : float;
   mutable readonly : bool;
   mutable next_ino : int;
@@ -67,20 +68,23 @@ let fresh_node t ~mode ~uid ~gid payload =
     xattrs = []; acl = Acl.empty; payload }
 
 let create ?(cost = Cost.create ()) () =
-  let rec t =
-    { root; cost; now = 0.; readonly = false; next_ino = 2; next_fd = 3;
-      next_hook = 0; fds = Hashtbl.create 16; hooks = [];
-      rmdir_policy = (fun _ -> false);
-      symlink_policy = (fun _ ~target:_ -> true);
-      objects = 1; bytes_used = 0 }
-  and root =
+  let root =
     { ino = 1; mode = 0o755; uid = 0; gid = 0; atime = 0.; mtime = 0.;
       ctime = 0.; xattrs = []; acl = Acl.empty;
       payload = P_dir (Hashtbl.create 16) }
   in
-  t
+  { root; cost; dcache = Dcache.create cost; now = 0.; readonly = false;
+    next_ino = 2; next_fd = 3;
+    next_hook = 0; fds = Hashtbl.create 16; hooks = [];
+    rmdir_policy = (fun _ -> false);
+    symlink_policy = (fun _ ~target:_ -> true);
+    objects = 1; bytes_used = 0 }
 
 let cost t = t.cost
+
+let set_dcache_enabled t b = Dcache.set_enabled t.dcache b
+
+let dcache_enabled t = Dcache.enabled t.dcache
 
 let time t = t.now
 
@@ -112,12 +116,22 @@ let set_symlink_policy t f = t.symlink_policy <- f
 
 (* --- permission checks --------------------------------------------------- *)
 
-let node_allows node cred access =
-  Acl.check ~acl:node.acl ~mode:node.mode ~owner:node.uid ~group:node.gid cred
-    access
+(* The attribute side of the dcache: permission decisions are a pure
+   function of (inode attributes, credential, access), so they are
+   served from a per-ino cache that chmod/chown/set_acl invalidate. *)
+let node_allows t node cred access =
+  match Dcache.find_perm t.dcache ~ino:node.ino ~cred ~access with
+  | Some allowed -> allowed
+  | None ->
+    let allowed =
+      Acl.check ~acl:node.acl ~mode:node.mode ~owner:node.uid
+        ~group:node.gid cred access
+    in
+    Dcache.add_perm t.dcache ~ino:node.ino ~cred ~access allowed;
+    allowed
 
-let require node cred access =
-  if node_allows node cred access then Ok () else Error Errno.EACCES
+let require t node cred access =
+  if node_allows t node cred access then Ok () else Error Errno.EACCES
 
 let require_owner node cred =
   if Cred.is_root cred || cred.Cred.uid = node.uid then Ok ()
@@ -129,32 +143,52 @@ let require_rw t = if t.readonly then Error Errno.EROFS else Ok ()
 
 (* Walk from the root, following symlinks, requiring +x on every
    traversed directory. Returns the node together with its canonical
-   (symlink-free) path. *)
+   (symlink-free) path.
+
+   The dentry cache is consulted first. Only symlink-free resolutions
+   are inserted, which keeps the cache sound under prefix invalidation
+   (mutation ops carry canonical paths, and a symlink-free key IS its
+   canonical path) and means a hit can return the queried path as the
+   canonical path unchanged. Both [Ok] and [ENOENT] (negative entries)
+   are cached; see {!Dcache}. *)
 let resolve t cred ~follow_last path =
-  let rec walk node canon_rev comps budget =
-    match comps with
-    | [] -> Ok (node, List.rev canon_rev)
-    | name :: rest -> (
-      match node.payload with
-      | P_file _ | P_symlink _ -> Error Errno.ENOTDIR
-      | P_dir children ->
-        let* () = require node cred Perm.x_ok in
-        (match Hashtbl.find_opt children name with
-        | None -> Error Errno.ENOENT
-        | Some child -> (
-          match child.payload with
-          | P_symlink target when rest <> [] || follow_last ->
-            if budget = 0 then Error Errno.ELOOP
-            else
-              let* tpath = Path.of_string target in
-              let tcomps = Path.components tpath in
-              if String.length target > 0 && target.[0] = '/' then
-                walk t.root [] (tcomps @ rest) (budget - 1)
-              else walk node canon_rev (tcomps @ rest) (budget - 1)
-          | _ -> walk child (name :: canon_rev) rest budget)))
-  in
-  let* node, canon = walk t.root [] (Path.components path) max_symlinks in
-  Ok (node, Path.of_components canon)
+  match Dcache.find t.dcache ~cred ~follow:follow_last path with
+  | Some (Ok node) -> Ok (node, path)
+  | Some (Error e) -> Error e
+  | None ->
+    let symlinked = ref false in
+    let rec walk node canon_rev comps budget =
+      match comps with
+      | [] -> Ok (node, List.rev canon_rev)
+      | name :: rest -> (
+        match node.payload with
+        | P_file _ | P_symlink _ -> Error Errno.ENOTDIR
+        | P_dir children ->
+          Cost.component_resolved t.cost;
+          let* () = require t node cred Perm.x_ok in
+          (match Hashtbl.find_opt children name with
+          | None -> Error Errno.ENOENT
+          | Some child -> (
+            match child.payload with
+            | P_symlink target when rest <> [] || follow_last ->
+              if budget = 0 then Error Errno.ELOOP
+              else begin
+                symlinked := true;
+                let* tpath = Path.of_string target in
+                let tcomps = Path.components tpath in
+                if String.length target > 0 && target.[0] = '/' then
+                  walk t.root [] (tcomps @ rest) (budget - 1)
+                else walk node canon_rev (tcomps @ rest) (budget - 1)
+              end
+            | _ -> walk child (name :: canon_rev) rest budget)))
+    in
+    let result = walk t.root [] (Path.components path) max_symlinks in
+    if not !symlinked then
+      Dcache.add t.dcache ~cred ~follow:follow_last path
+        (Result.map fst result);
+    (match result with
+    | Ok (node, canon) -> Ok (node, Path.of_components canon)
+    | Error _ as e -> e)
 
 (* Resolve the parent directory of [path] (following symlinks throughout,
    including a final symlink-to-directory in the parent position) and
@@ -206,13 +240,13 @@ let sys t = Cost.syscall t.cost
 let mkdir_raw ?(mode = 0o755) t ~cred path ~emit_op =
   let* () = require_rw t in
   let* pnode, pcanon, name = resolve_parent t cred path in
-  let* () = require pnode cred Perm.x_ok in
+  let* () = require t pnode cred Perm.x_ok in
   let* children = dir_children pnode in
   (* Lookup precedes the write check, as on Linux: an existing entry is
      EEXIST even when the parent is not writable by the caller. *)
   if Hashtbl.mem children name then Error Errno.EEXIST
   else
-    let* () = require pnode cred Perm.w_ok in
+    let* () = require t pnode cred Perm.w_ok in
     begin
     let node =
       fresh_node t ~mode ~uid:cred.Cred.uid ~gid:cred.Cred.gid
@@ -221,6 +255,8 @@ let mkdir_raw ?(mode = 0o755) t ~cred path ~emit_op =
     Hashtbl.replace children name node;
     pnode.mtime <- t.now;
     let canon = Path.child pcanon name in
+    (* Kills any negative entry for the new name. *)
+    Dcache.invalidate_prefix t.dcache canon;
     if emit_op then emit t (Op.Mkdir { path = canon; mode });
     Ok ()
   end
@@ -244,11 +280,11 @@ let mkdir_p ?mode t ~cred path =
 let create_file_raw ?(mode = 0o644) t ~cred path ~emit_op =
   let* () = require_rw t in
   let* pnode, pcanon, name = resolve_parent t cred path in
-  let* () = require pnode cred Perm.x_ok in
+  let* () = require t pnode cred Perm.x_ok in
   let* children = dir_children pnode in
   if Hashtbl.mem children name then Error Errno.EEXIST
   else
-    let* () = require pnode cred Perm.w_ok in
+    let* () = require t pnode cred Perm.w_ok in
     begin
     let node =
       fresh_node t ~mode ~uid:cred.Cred.uid ~gid:cred.Cred.gid
@@ -257,6 +293,7 @@ let create_file_raw ?(mode = 0o644) t ~cred path ~emit_op =
     Hashtbl.replace children name node;
     pnode.mtime <- t.now;
     let canon = Path.child pcanon name in
+    Dcache.invalidate_prefix t.dcache canon;
     if emit_op then emit t (Op.Create { path = canon; mode });
     Ok (node, canon)
   end
@@ -275,7 +312,7 @@ let file_data node =
 let read_file t ~cred path =
   sys t;
   let* node, _ = resolve t cred ~follow_last:true path in
-  let* () = require node cred Perm.r_ok in
+  let* () = require t node cred Perm.r_ok in
   let* f = file_data node in
   node.atime <- t.now;
   Ok (Bytes.sub_string f.bytes 0 f.len)
@@ -303,7 +340,7 @@ let write_file_raw t ~cred path data ~emit_op =
   let* existing =
     match resolve t cred ~follow_last:true path with
     | Ok (node, canon) ->
-      let* () = require node cred Perm.w_ok in
+      let* () = require t node cred Perm.w_ok in
       let* f = file_data node in
       Ok (node, canon, f, true)
     | Error Errno.ENOENT ->
@@ -333,7 +370,7 @@ let append_file t ~cred path data =
   let* node, canon, f =
     match resolve t cred ~follow_last:true path with
     | Ok (node, canon) ->
-      let* () = require node cred Perm.w_ok in
+      let* () = require t node cred Perm.w_ok in
       let* f = file_data node in
       Ok (node, canon, f)
     | Error Errno.ENOENT ->
@@ -353,7 +390,7 @@ let truncate t ~cred path size =
   if size < 0 then Error Errno.EINVAL
   else
     let* node, canon = resolve t cred ~follow_last:true path in
-    let* () = require node cred Perm.w_ok in
+    let* () = require t node cred Perm.w_ok in
     let* f = file_data node in
     if size <= f.len then begin
       t.bytes_used <- t.bytes_used - (f.len - size);
@@ -378,8 +415,8 @@ let drop_node t node =
 let unlink_raw t ~cred path ~emit_op =
   let* () = require_rw t in
   let* pnode, pcanon, name = resolve_parent t cred path in
-  let* () = require pnode cred Perm.w_ok in
-  let* () = require pnode cred Perm.x_ok in
+  let* () = require t pnode cred Perm.w_ok in
+  let* () = require t pnode cred Perm.x_ok in
   let* children = dir_children pnode in
   match Hashtbl.find_opt children name with
   | None -> Error Errno.ENOENT
@@ -390,7 +427,9 @@ let unlink_raw t ~cred path ~emit_op =
       Hashtbl.remove children name;
       drop_node t node;
       pnode.mtime <- t.now;
-      if emit_op then emit t (Op.Unlink { path = Path.child pcanon name });
+      let canon = Path.child pcanon name in
+      Dcache.invalidate_prefix t.dcache canon;
+      if emit_op then emit t (Op.Unlink { path = canon });
       Ok ())
 
 let unlink t ~cred path =
@@ -400,14 +439,19 @@ let unlink t ~cred path =
 (* Depth-first removal; emits one op per removed entry so that both
    fsnotify watchers and distributed replicas see every deletion. *)
 let rec remove_tree t ~cred canon node ~emit_op =
+  (* Per-entry invalidation, not just one prefix sweep at the top: the
+     per-entry ops emitted below run hooks that may look paths up and
+     re-populate the cache with entries this very removal is about to
+     delete. *)
   match node.payload with
   | P_file _ | P_symlink _ ->
     drop_node t node;
+    Dcache.invalidate_prefix t.dcache canon;
     if emit_op then emit t (Op.Unlink { path = canon });
     Ok ()
   | P_dir children ->
-    let* () = require node cred Perm.w_ok in
-    let* () = require node cred Perm.x_ok in
+    let* () = require t node cred Perm.w_ok in
+    let* () = require t node cred Perm.x_ok in
     let entries =
       Hashtbl.fold (fun name child acc -> (name, child) :: acc) children []
       |> List.sort (fun (a, _) (b, _) -> String.compare a b)
@@ -417,18 +461,22 @@ let rec remove_tree t ~cred canon node ~emit_op =
       | (name, child) :: rest ->
         let* () = remove_tree t ~cred (Path.child canon name) child ~emit_op in
         Hashtbl.remove children name;
+        (* Again after the parent-side removal: the emit above ran while
+           the entry was still linked. *)
+        Dcache.invalidate_prefix t.dcache (Path.child canon name);
         go rest
     in
     let* () = go entries in
     drop_node t node;
+    Dcache.invalidate_prefix t.dcache canon;
     if emit_op then emit t (Op.Rmdir { path = canon; recursive = false });
     Ok ()
 
 let rmdir_raw ?(recursive = false) t ~cred path ~emit_op =
   let* () = require_rw t in
   let* pnode, pcanon, name = resolve_parent t cred path in
-  let* () = require pnode cred Perm.w_ok in
-  let* () = require pnode cred Perm.x_ok in
+  let* () = require t pnode cred Perm.w_ok in
+  let* () = require t pnode cred Perm.x_ok in
   let* children = dir_children pnode in
   match Hashtbl.find_opt children name with
   | None -> Error Errno.ENOENT
@@ -441,6 +489,7 @@ let rmdir_raw ?(recursive = false) t ~cred path ~emit_op =
         Hashtbl.remove children name;
         drop_node t node;
         pnode.mtime <- t.now;
+        Dcache.invalidate_prefix t.dcache canon;
         if emit_op then emit t (Op.Rmdir { path = canon; recursive = false });
         Ok ()
       end
@@ -450,6 +499,7 @@ let rmdir_raw ?(recursive = false) t ~cred path ~emit_op =
         let* () = remove_tree t ~cred canon node ~emit_op in
         Hashtbl.remove children name;
         pnode.mtime <- t.now;
+        Dcache.invalidate_prefix t.dcache canon;
         Ok ())
 
 let rmdir ?recursive t ~cred path =
@@ -459,7 +509,7 @@ let rmdir ?recursive t ~cred path =
 let readdir t ~cred path =
   sys t;
   let* node, _ = resolve t cred ~follow_last:true path in
-  let* () = require node cred Perm.r_ok in
+  let* () = require t node cred Perm.r_ok in
   let* children = dir_children node in
   node.atime <- t.now;
   Ok (Hashtbl.fold (fun name _ acc -> name :: acc) children []
@@ -470,13 +520,13 @@ let symlink_raw t ~cred ~target path ~emit_op =
   if target = "" then Error Errno.EINVAL
   else
     let* pnode, pcanon, name = resolve_parent t cred path in
-    let* () = require pnode cred Perm.x_ok in
+    let* () = require t pnode cred Perm.x_ok in
     let* children = dir_children pnode in
     if Hashtbl.mem children name then Error Errno.EEXIST
     else if not (t.symlink_policy (Path.child pcanon name) ~target) then
       Error Errno.EINVAL
     else
-      let* () = require pnode cred Perm.w_ok in
+      let* () = require t pnode cred Perm.w_ok in
       begin
       let node =
         fresh_node t ~mode:0o777 ~uid:cred.Cred.uid ~gid:cred.Cred.gid
@@ -484,8 +534,9 @@ let symlink_raw t ~cred ~target path ~emit_op =
       in
       Hashtbl.replace children name node;
       pnode.mtime <- t.now;
-      if emit_op then
-        emit t (Op.Symlink { path = Path.child pcanon name; target });
+      let canon = Path.child pcanon name in
+      Dcache.invalidate_prefix t.dcache canon;
+      if emit_op then emit t (Op.Symlink { path = canon; target });
       Ok ()
     end
 
@@ -503,16 +554,16 @@ let readlink t ~cred path =
 let rename_raw t ~cred ~src ~dst ~emit_op =
   let* () = require_rw t in
   let* spnode, spcanon, sname = resolve_parent t cred src in
-  let* () = require spnode cred Perm.w_ok in
-  let* () = require spnode cred Perm.x_ok in
+  let* () = require t spnode cred Perm.w_ok in
+  let* () = require t spnode cred Perm.x_ok in
   let* schildren = dir_children spnode in
   match Hashtbl.find_opt schildren sname with
   | None -> Error Errno.ENOENT
   | Some node ->
     let scanon = Path.child spcanon sname in
     let* dpnode, dpcanon, dname = resolve_parent t cred dst in
-    let* () = require dpnode cred Perm.w_ok in
-    let* () = require dpnode cred Perm.x_ok in
+    let* () = require t dpnode cred Perm.w_ok in
+    let* () = require t dpnode cred Perm.x_ok in
     let* dchildren = dir_children dpnode in
     let dcanon = Path.child dpcanon dname in
     if Path.equal scanon dcanon then Ok ()
@@ -544,6 +595,10 @@ let rename_raw t ~cred ~src ~dst ~emit_op =
       spnode.mtime <- t.now;
       dpnode.mtime <- t.now;
       node.ctime <- t.now;
+      (* The whole moved subtree changes names, and any negative entry
+         under the destination is now wrong. *)
+      Dcache.invalidate_prefix t.dcache scanon;
+      Dcache.invalidate_prefix t.dcache dcanon;
       if emit_op then emit t (Op.Rename { src = scanon; dst = dcanon });
       Ok ()
     end
@@ -570,8 +625,8 @@ let openfile ?(mode = 0o644) t ~cred path flags =
       Cost.suspended t.cost (fun () -> create_file_raw ~mode t ~cred path ~emit_op:true)
     | Error _ as e -> e
   in
-  let* () = if readable then require node cred Perm.r_ok else Ok () in
-  let* () = if writable then require node cred Perm.w_ok else Ok () in
+  let* () = if readable then require t node cred Perm.r_ok else Ok () in
+  let* () = if writable then require t node cred Perm.w_ok else Ok () in
   let* () =
     if writable then match node.payload with
       | P_dir _ -> Error Errno.EISDIR
@@ -649,17 +704,32 @@ let lstat t ~cred path =
   let* node, _ = resolve t cred ~follow_last:false path in
   Ok (stat_of_node node)
 
+let kind_of_raw t ~cred ~follow path =
+  let* node, _ = resolve t cred ~follow_last:follow path in
+  Ok
+    (match node.payload with
+    | P_dir _ -> Dir
+    | P_file _ -> File
+    | P_symlink _ -> Symlink)
+
+let kind_of ?(follow = true) t ~cred path =
+  sys t;
+  kind_of_raw t ~cred ~follow path
+
+(* The bool forms are sugar over [kind_of] and conflate every failure —
+   EACCES looks like ENOENT. Callers that must tell the difference use
+   [kind_of] directly. *)
 let exists t ~cred path =
   Cost.suspended t.cost (fun () ->
-      match resolve t cred ~follow_last:true path with
+      match kind_of_raw t ~cred ~follow:true path with
       | Ok _ -> true
       | Error _ -> false)
 
 let is_dir t ~cred path =
   Cost.suspended t.cost (fun () ->
-      match resolve t cred ~follow_last:true path with
-      | Ok (node, _) -> (match node.payload with P_dir _ -> true | _ -> false)
-      | Error _ -> false)
+      match kind_of_raw t ~cred ~follow:true path with
+      | Ok Dir -> true
+      | Ok _ | Error _ -> false)
 
 let chmod t ~cred path mode =
   sys t;
@@ -668,6 +738,10 @@ let chmod t ~cred path mode =
   let* () = require_owner node cred in
   node.mode <- mode land 0o7777;
   node.ctime <- t.now;
+  (* Prefix, not just the node: a changed x-bit on a directory decides
+     traversal for everything cached below it. *)
+  Dcache.invalidate_prefix t.dcache canon;
+  Dcache.invalidate_attrs t.dcache ~ino:node.ino;
   emit t (Op.Chmod { path = canon; mode = node.mode });
   Ok ()
 
@@ -680,6 +754,8 @@ let chown t ~cred path ~uid ~gid =
     node.uid <- uid;
     node.gid <- gid;
     node.ctime <- t.now;
+    Dcache.invalidate_prefix t.dcache canon;
+    Dcache.invalidate_attrs t.dcache ~ino:node.ino;
     emit t (Op.Chown { path = canon; uid; gid });
     Ok ()
   end
@@ -687,7 +763,7 @@ let chown t ~cred path ~uid ~gid =
 let access t ~cred path a =
   sys t;
   let* node, _ = resolve t cred ~follow_last:true path in
-  require node cred a
+  require t node cred a
 
 let canonicalize t ~cred path =
   sys t;
@@ -702,7 +778,7 @@ let setxattr t ~cred path ~name ~value =
   if name = "" then Error Errno.EINVAL
   else
     let* node, canon = resolve t cred ~follow_last:true path in
-    let* () = require node cred Perm.w_ok in
+    let* () = require t node cred Perm.w_ok in
     node.xattrs <- (name, value) :: List.remove_assoc name node.xattrs;
     node.ctime <- t.now;
     emit t (Op.Set_xattr { path = canon; name; value });
@@ -711,7 +787,7 @@ let setxattr t ~cred path ~name ~value =
 let getxattr t ~cred path ~name =
   sys t;
   let* node, _ = resolve t cred ~follow_last:true path in
-  let* () = require node cred Perm.r_ok in
+  let* () = require t node cred Perm.r_ok in
   match List.assoc_opt name node.xattrs with
   | Some v -> Ok v
   | None -> Error Errno.ENOENT
@@ -719,14 +795,14 @@ let getxattr t ~cred path ~name =
 let listxattr t ~cred path =
   sys t;
   let* node, _ = resolve t cred ~follow_last:true path in
-  let* () = require node cred Perm.r_ok in
+  let* () = require t node cred Perm.r_ok in
   Ok (List.map fst node.xattrs |> List.sort String.compare)
 
 let removexattr t ~cred path ~name =
   sys t;
   let* () = require_rw t in
   let* node, canon = resolve t cred ~follow_last:true path in
-  let* () = require node cred Perm.w_ok in
+  let* () = require t node cred Perm.w_ok in
   if List.mem_assoc name node.xattrs then begin
     node.xattrs <- List.remove_assoc name node.xattrs;
     node.ctime <- t.now;
@@ -746,6 +822,8 @@ let set_acl t ~cred path acl =
     let* () = require_owner node cred in
     node.acl <- acl;
     node.ctime <- t.now;
+    Dcache.invalidate_prefix t.dcache canon;
+    Dcache.invalidate_attrs t.dcache ~ino:node.ino;
     emit t (Op.Set_acl { path = canon; acl });
     Ok ()
 
@@ -816,17 +894,25 @@ let replay_raw t op =
         | Ok () | Error Errno.EEXIST -> Ok ()
         | Error _ as e -> e)
       | Chmod { path; mode } -> (
+        (* Attribute ops are applied inline here rather than through
+           [chmod] (replay must not re-check ownership), so they carry
+           their own cache invalidation — this is what keeps a replica's
+           dcache honest under [replay ~emit:false]. *)
         match resolve t cred ~follow_last:true path with
-        | Ok (node, _) ->
+        | Ok (node, canon) ->
           node.mode <- mode land 0o7777;
+          Dcache.invalidate_prefix t.dcache canon;
+          Dcache.invalidate_attrs t.dcache ~ino:node.ino;
           Ok ()
         | Error Errno.ENOENT -> Ok ()
         | Error _ as e -> Result.map (fun _ -> ()) e)
       | Chown { path; uid; gid } -> (
         match resolve t cred ~follow_last:true path with
-        | Ok (node, _) ->
+        | Ok (node, canon) ->
           node.uid <- uid;
           node.gid <- gid;
+          Dcache.invalidate_prefix t.dcache canon;
+          Dcache.invalidate_attrs t.dcache ~ino:node.ino;
           Ok ()
         | Error Errno.ENOENT -> Ok ()
         | Error _ as e -> Result.map (fun _ -> ()) e)
@@ -846,8 +932,10 @@ let replay_raw t op =
         | Error _ as e -> Result.map (fun _ -> ()) e)
       | Set_acl { path; acl } -> (
         match resolve t cred ~follow_last:true path with
-        | Ok (node, _) ->
+        | Ok (node, canon) ->
           node.acl <- acl;
+          Dcache.invalidate_prefix t.dcache canon;
+          Dcache.invalidate_attrs t.dcache ~ino:node.ino;
           Ok ()
         | Error Errno.ENOENT -> Ok ()
         | Error _ as e -> Result.map (fun _ -> ()) e))
@@ -860,51 +948,103 @@ let replay ?(emit = false) t op =
     (match result with Ok () -> emit_op_to_hooks t op | Error _ -> ());
   result
 
+type fold_action = [ `Continue | `Skip_subtree | `Stop ]
+
+(* Internal pre-order traversal over nodes with early-stop; charges no
+   crossing itself so that each public entry point stays at exactly
+   one. Children are visited in sorted name order; child symlinks are
+   never followed (only [follow] applies, to the starting path). *)
+let fold_nodes t ~cred ~follow path ~init f =
+  let* start, canon = resolve t cred ~follow_last:follow path in
+  let stop = ref false in
+  let rec go acc canon node =
+    let acc, action = f acc canon node in
+    match (action : fold_action) with
+    | `Stop ->
+      stop := true;
+      acc
+    | `Skip_subtree -> acc
+    | `Continue -> (
+      match node.payload with
+      | P_file _ | P_symlink _ -> acc
+      | P_dir children ->
+        Hashtbl.fold (fun name child acc -> (name, child) :: acc) children []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        |> List.fold_left
+             (fun acc (name, child) ->
+               if !stop then acc else go acc (Path.child canon name) child)
+             acc)
+  in
+  Ok (go init canon start)
+
+let fold ?(follow = false) t ~cred path ~init f =
+  sys t;
+  fold_nodes t ~cred ~follow path ~init (fun acc canon node ->
+      f acc canon (stat_of_node node))
+
 let walk t ~cred path visit =
   sys t;
-  let* node, canon = resolve t cred ~follow_last:false path in
-  let rec go canon node =
-    visit canon (stat_of_node node);
-    match node.payload with
-    | P_file _ | P_symlink _ -> ()
-    | P_dir children ->
-      Hashtbl.fold (fun name child acc -> (name, child) :: acc) children []
-      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-      |> List.iter (fun (name, child) -> go (Path.child canon name) child)
+  let* () =
+    Result.map ignore
+      (fold_nodes t ~cred ~follow:false path ~init:() (fun () canon node ->
+           visit canon (stat_of_node node);
+           ((), `Continue)))
   in
-  go canon node;
   Ok ()
 
 let tree t ~cred path =
   sys t;
-  let* node, _ = resolve t cred ~follow_last:true path in
-  let buf = Buffer.create 256 in
-  Buffer.add_string buf
-    (match Path.basename path with Some b -> b | None -> "/");
-  Buffer.add_char buf '\n';
-  let rec go prefix node =
-    match node.payload with
-    | P_file _ | P_symlink _ -> ()
-    | P_dir children ->
-      let entries =
-        Hashtbl.fold (fun name child acc -> (name, child) :: acc) children []
-        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-      in
-      let n = List.length entries in
-      List.iteri
-        (fun i (name, child) ->
-          let last = i = n - 1 in
-          Buffer.add_string buf prefix;
-          Buffer.add_string buf (if last then "└── " else "├── ");
-          Buffer.add_string buf name;
-          (match child.payload with
-          | P_symlink target -> Buffer.add_string buf (" -> " ^ target)
-          | P_dir _ | P_file _ -> ());
-          Buffer.add_char buf '\n';
-          go (prefix ^ if last then "    " else "│   ") child)
-        entries
+  let* entries =
+    fold_nodes t ~cred ~follow:true path ~init:[] (fun acc canon node ->
+        let name =
+          match Path.basename canon with Some b -> b | None -> "/"
+        in
+        let label =
+          match node.payload with
+          | P_symlink target -> name ^ " -> " ^ target
+          | P_dir _ | P_file _ -> name
+        in
+        ((canon, label) :: acc, `Continue))
   in
-  go "" node;
-  Ok (Buffer.contents buf)
+  match List.rev entries with
+  | [] -> Error Errno.ENOENT (* unreachable: the start node is visited *)
+  | (root_canon, _) :: rest ->
+    (* Pre-order visits siblings in sorted order, so grouping by parent
+       preserves each directory's listing order. *)
+    let children : (string, (Path.t * string) list ref) Hashtbl.t =
+      Hashtbl.create 32
+    in
+    List.iter
+      (fun (canon, label) ->
+        match Path.parent canon with
+        | None -> ()
+        | Some parent ->
+          let key = Path.to_string parent in
+          (match Hashtbl.find_opt children key with
+          | Some l -> l := (canon, label) :: !l
+          | None -> Hashtbl.replace children key (ref [ canon, label ])))
+      rest;
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf
+      (match Path.basename path with Some b -> b | None -> "/");
+    Buffer.add_char buf '\n';
+    let rec render prefix canon =
+      match Hashtbl.find_opt children (Path.to_string canon) with
+      | None -> ()
+      | Some kids ->
+        let kids = List.rev !kids in
+        let n = List.length kids in
+        List.iteri
+          (fun i (kcanon, label) ->
+            let last = i = n - 1 in
+            Buffer.add_string buf prefix;
+            Buffer.add_string buf (if last then "└── " else "├── ");
+            Buffer.add_string buf label;
+            Buffer.add_char buf '\n';
+            render (prefix ^ if last then "    " else "│   ") kcanon)
+          kids
+    in
+    render "" root_canon;
+    Ok (Buffer.contents buf)
 
 let size_info t = (t.objects, t.bytes_used)

@@ -43,6 +43,21 @@ val create : ?cost:Cost.t -> unit -> t
 
 val cost : t -> Cost.t
 
+(** {1 Dentry + attribute cache}
+
+    Path resolution is served through a {!Dcache} — a dentry map with
+    negative entries plus per-inode cached permission decisions —
+    invalidated through the same mutation path that feeds the op
+    stream, including {!replay} on DFS replicas. The cache is
+    semantically invisible: every operation returns the same result and
+    emits the same ops with it on or off; only the counters on
+    {!Cost.t} differ. Enabled by default. *)
+
+val set_dcache_enabled : t -> bool -> unit
+(** Disabling also flushes, so re-enabling starts cold. *)
+
+val dcache_enabled : t -> bool
+
 (** {1 Simulated time}
 
     Timestamps come from a per-filesystem clock that the embedding
@@ -160,8 +175,20 @@ val stat : t -> cred:Cred.t -> Path.t -> (stat, Errno.t) result
 
 val lstat : t -> cred:Cred.t -> Path.t -> (stat, Errno.t) result
 
+val kind_of :
+  ?follow:bool -> t -> cred:Cred.t -> Path.t -> (kind, Errno.t) result
+(** The kind of the object at this path, with the full errno: [ENOENT],
+    [EACCES], [ENOTDIR], [ELOOP]… are all distinguishable, unlike the
+    bool helpers below. [follow] (default true) follows a final
+    symlink; with [~follow:false] the answer can be [Symlink]. *)
+
 val exists : t -> cred:Cred.t -> Path.t -> bool
+(** Sugar over {!kind_of} that conflates {e every} failure: a path the
+    credential may not traverse ([EACCES]) is reported exactly like a
+    missing one ([ENOENT]). Use {!kind_of} when the difference matters. *)
+
 val is_dir : t -> cred:Cred.t -> Path.t -> bool
+(** Same conflation caveat as {!exists}. *)
 
 val chmod : t -> cred:Cred.t -> Path.t -> int -> (unit, Errno.t) result
 val chown : t -> cred:Cred.t -> Path.t -> uid:int -> gid:int -> (unit, Errno.t) result
@@ -187,11 +214,28 @@ val get_acl : t -> cred:Cred.t -> Path.t -> (Acl.t, Errno.t) result
 
 (** {1 Whole-tree helpers} *)
 
+type fold_action = [ `Continue | `Skip_subtree | `Stop ]
+
+val fold :
+  ?follow:bool -> t -> cred:Cred.t -> Path.t -> init:'acc ->
+  ('acc -> Path.t -> stat -> 'acc * fold_action) ->
+  ('acc, Errno.t) result
+(** Depth-first pre-order traversal with an accumulator and early
+    stop. The visitor decides, per object, whether to [`Continue] into
+    its children, [`Skip_subtree] (prune below a directory), or [`Stop]
+    the whole traversal; the accumulator as of the stop is returned.
+    [follow] (default false) applies only to the starting path; child
+    symlinks are never followed, so the traversal is a finite tree even
+    with symlink cycles. Children are visited in sorted name order.
+    Costs exactly one kernel crossing regardless of subtree size.
+    {!walk} and {!tree} are implemented on this. *)
+
 val walk :
   t -> cred:Cred.t -> Path.t ->
   (Path.t -> stat -> unit) -> (unit, Errno.t) result
-(** Depth-first pre-order traversal (does not follow symlinks), calling
-    the visitor on every object under and including the given path. *)
+(** [fold] without accumulator or early stop: depth-first pre-order
+    traversal (does not follow symlinks), calling the visitor on every
+    object under and including the given path. *)
 
 val tree : t -> cred:Cred.t -> Path.t -> (string, Errno.t) result
 (** An ASCII rendering of the subtree, in the style of tree(1) — used to

@@ -8,10 +8,11 @@ let provision master ~view ~owner =
   let fs = Y.Yanc_fs.fs master in
   let vroot = Y.Yanc_fs.root vyfs in
   let* () =
-    Fs.walk fs ~cred:Vfs.Cred.root vroot (fun path _ ->
+    Fs.fold fs ~cred:Vfs.Cred.root vroot ~init:() (fun () path _ ->
         ignore
           (Fs.chown fs ~cred:Vfs.Cred.root path ~uid:owner.Vfs.Cred.uid
-             ~gid:owner.Vfs.Cred.gid))
+             ~gid:owner.Vfs.Cred.gid);
+        ((), `Continue))
   in
   let* () = Fs.chmod fs ~cred:Vfs.Cred.root vroot 0o700 in
   Ok vyfs

@@ -1,0 +1,355 @@
+(* The dentry + attribute cache must be semantically invisible: every
+   operation returns the same result and emits the same ops with the
+   cache on or off — the cache may only change the Cost counters. These
+   tests chase the invalidation edges where a stale entry would show
+   (rename over a cached prefix, symlink retarget, replay on a replica,
+   readonly flips, negative-entry expiry) and finish with a scripted
+   cache-on vs cache-off equivalence check over errno results and
+   fsnotify event sequences. *)
+
+module Fs = Vfs.Fs
+module Path = Vfs.Path
+module Cred = Vfs.Cred
+module Cost = Vfs.Cost
+
+let root = Cred.root
+
+let alice = Cred.make ~uid:100 ~gid:100 ()
+
+let p = Path.of_string_exn
+
+let check_ok what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: unexpected error %s" what (Vfs.Errno.to_string e)
+
+let check_err what expected = function
+  | Ok _ -> Alcotest.failf "%s: expected %s, got Ok" what (Vfs.Errno.to_string expected)
+  | Error e ->
+    Alcotest.(check string) what (Vfs.Errno.to_string expected) (Vfs.Errno.to_string e)
+
+let fresh () = Fs.create ()
+
+(* --- hit/miss accounting --------------------------------------------------- *)
+
+let test_warm_lookup_hits () =
+  let fs = fresh () in
+  check_ok "mkdir" (Fs.mkdir_p fs ~cred:root (p "/a/b/c/d/e"));
+  check_ok "write" (Fs.write_file fs ~cred:root (p "/a/b/c/d/e/f") "x");
+  let cost = Fs.cost fs in
+  Cost.reset cost;
+  ignore (check_ok "cold read" (Fs.read_file fs ~cred:root (p "/a/b/c/d/e/f")));
+  let cold = Cost.components cost in
+  Alcotest.(check bool) "cold lookup walks every component" true (cold >= 6);
+  for _ = 1 to 10 do
+    ignore (check_ok "warm read" (Fs.read_file fs ~cred:root (p "/a/b/c/d/e/f")))
+  done;
+  let warm = Cost.components cost - cold in
+  (* the acceptance bar: warm resolution >= 5x fewer component walks *)
+  Alcotest.(check bool)
+    (Printf.sprintf "warm walks (%d) at least 5x below cold (%d)" warm cold)
+    true (warm * 5 <= cold);
+  Alcotest.(check bool) "dentry hits recorded" true (Cost.dentry_hits cost >= 10);
+  Alcotest.(check bool) "attr hits recorded" true (Cost.attr_hits cost >= 9)
+
+let test_negative_entry_expiry () =
+  let fs = fresh () in
+  check_ok "mkdir" (Fs.mkdir fs ~cred:root (p "/a"));
+  let cost = Fs.cost fs in
+  Cost.reset cost;
+  check_err "cold miss" Vfs.Errno.ENOENT (Fs.stat fs ~cred:root (p "/a/ghost"));
+  let cold = Cost.components cost in
+  check_err "warm miss" Vfs.Errno.ENOENT (Fs.stat fs ~cred:root (p "/a/ghost"));
+  Alcotest.(check int) "negative entry answers without walking" cold
+    (Cost.components cost);
+  Alcotest.(check bool) "negative hit counted" true (Cost.negative_hits cost >= 1);
+  (* create_file must kill the negative entry *)
+  check_ok "create" (Fs.create_file fs ~cred:root (p "/a/ghost"));
+  ignore (check_ok "visible after create" (Fs.stat fs ~cred:root (p "/a/ghost")))
+
+(* --- namespace invalidation ------------------------------------------------ *)
+
+let test_rename_over_cached_prefix () =
+  let fs = fresh () in
+  check_ok "mkdir" (Fs.mkdir_p fs ~cred:root (p "/a/b"));
+  check_ok "write" (Fs.write_file fs ~cred:root (p "/a/b/f") "one");
+  Alcotest.(check string) "cached" "one"
+    (check_ok "read" (Fs.read_file fs ~cred:root (p "/a/b/f")));
+  check_ok "rename" (Fs.rename fs ~cred:root ~src:(p "/a") ~dst:(p "/z"));
+  check_err "old prefix gone" Vfs.Errno.ENOENT
+    (Fs.read_file fs ~cred:root (p "/a/b/f"));
+  Alcotest.(check string) "new prefix live" "one"
+    (check_ok "read moved" (Fs.read_file fs ~cred:root (p "/z/b/f")));
+  (* and back: the ENOENT just cached for /a/b/f must die with the
+     destination-prefix invalidation *)
+  check_ok "rename back" (Fs.rename fs ~cred:root ~src:(p "/z") ~dst:(p "/a"));
+  Alcotest.(check string) "negative killed by rename dst" "one"
+    (check_ok "read back" (Fs.read_file fs ~cred:root (p "/a/b/f")))
+
+let test_rename_onto_cached_destination () =
+  let fs = fresh () in
+  check_ok "mkdir" (Fs.mkdir fs ~cred:root (p "/d"));
+  check_ok "write src" (Fs.write_file fs ~cred:root (p "/d/src") "S");
+  check_ok "write dst" (Fs.write_file fs ~cred:root (p "/d/dst") "D");
+  Alcotest.(check string) "dst cached" "D"
+    (check_ok "read dst" (Fs.read_file fs ~cred:root (p "/d/dst")));
+  check_ok "rename" (Fs.rename fs ~cred:root ~src:(p "/d/src") ~dst:(p "/d/dst"));
+  Alcotest.(check string) "replacement visible" "S"
+    (check_ok "read dst again" (Fs.read_file fs ~cred:root (p "/d/dst")));
+  check_err "src gone" Vfs.Errno.ENOENT (Fs.read_file fs ~cred:root (p "/d/src"))
+
+let test_symlink_retarget () =
+  let fs = fresh () in
+  check_ok "mkdir t1" (Fs.mkdir fs ~cred:root (p "/t1"));
+  check_ok "mkdir t2" (Fs.mkdir fs ~cred:root (p "/t2"));
+  check_ok "write t1" (Fs.write_file fs ~cred:root (p "/t1/x") "one");
+  check_ok "write t2" (Fs.write_file fs ~cred:root (p "/t2/x") "two");
+  check_ok "link" (Fs.symlink fs ~cred:root ~target:"/t1" (p "/ln"));
+  (* resolutions through the link are never cached, so the retarget
+     cannot leave an alias behind *)
+  Alcotest.(check string) "via link" "one"
+    (check_ok "read" (Fs.read_file fs ~cred:root (p "/ln/x")));
+  Alcotest.(check string) "via link again" "one"
+    (check_ok "read" (Fs.read_file fs ~cred:root (p "/ln/x")));
+  check_ok "unlink" (Fs.unlink fs ~cred:root (p "/ln"));
+  check_ok "relink" (Fs.symlink fs ~cred:root ~target:"/t2" (p "/ln"));
+  Alcotest.(check string) "retargeted" "two"
+    (check_ok "read" (Fs.read_file fs ~cred:root (p "/ln/x")));
+  (* the canonical path itself stays warm and correct *)
+  Alcotest.(check string) "canonical untouched" "one"
+    (check_ok "read" (Fs.read_file fs ~cred:root (p "/t1/x")))
+
+let test_rmdir_recursive_invalidates () =
+  let fs = fresh () in
+  check_ok "mkdir" (Fs.mkdir_p fs ~cred:root (p "/top/sub"));
+  check_ok "write" (Fs.write_file fs ~cred:root (p "/top/sub/f") "x");
+  ignore (check_ok "cache it" (Fs.stat fs ~cred:root (p "/top/sub/f")));
+  check_ok "rmdir -r" (Fs.rmdir ~recursive:true fs ~cred:root (p "/top"));
+  check_err "deep path gone" Vfs.Errno.ENOENT
+    (Fs.stat fs ~cred:root (p "/top/sub/f"));
+  check_err "top gone" Vfs.Errno.ENOENT (Fs.stat fs ~cred:root (p "/top"))
+
+(* --- attribute invalidation ------------------------------------------------ *)
+
+let test_chmod_invalidates_traversal () =
+  let fs = fresh () in
+  check_ok "mkdir" (Fs.mkdir fs ~cred:root (p "/priv"));
+  check_ok "write" (Fs.write_file fs ~cred:root (p "/priv/f") "secret");
+  check_ok "chmod f" (Fs.chmod fs ~cred:root (p "/priv/f") 0o644);
+  Alcotest.(check string) "alice reads while open" "secret"
+    (check_ok "read" (Fs.read_file fs ~cred:alice (p "/priv/f")));
+  (* closing the x bit on the directory must evict the cached positive
+     resolution of everything below it *)
+  check_ok "close dir" (Fs.chmod fs ~cred:root (p "/priv") 0o700);
+  check_err "alice locked out" Vfs.Errno.EACCES
+    (Fs.read_file fs ~cred:alice (p "/priv/f"));
+  check_ok "reopen dir" (Fs.chmod fs ~cred:root (p "/priv") 0o755);
+  Alcotest.(check string) "alice back in" "secret"
+    (check_ok "read" (Fs.read_file fs ~cred:alice (p "/priv/f")))
+
+let test_chown_invalidates_decision () =
+  let fs = fresh () in
+  check_ok "write" (Fs.write_file fs ~cred:root (p "/f") "x");
+  check_ok "chmod" (Fs.chmod fs ~cred:root (p "/f") 0o600);
+  check_err "alice denied (decision cached)" Vfs.Errno.EACCES
+    (Fs.read_file fs ~cred:alice (p "/f"));
+  check_ok "chown to alice" (Fs.chown fs ~cred:root (p "/f") ~uid:100 ~gid:100);
+  Alcotest.(check string) "alice owns it now" "x"
+    (check_ok "read" (Fs.read_file fs ~cred:alice (p "/f")))
+
+let test_set_acl_invalidates_decision () =
+  let fs = fresh () in
+  check_ok "write" (Fs.write_file fs ~cred:root (p "/f") "x");
+  check_ok "chmod" (Fs.chmod fs ~cred:root (p "/f") 0o600);
+  check_err "alice denied" Vfs.Errno.EACCES (Fs.read_file fs ~cred:alice (p "/f"));
+  let acl =
+    Vfs.Acl.add
+      (Vfs.Acl.add Vfs.Acl.empty { Vfs.Acl.tag = Vfs.Acl.User 100; perms = 4 })
+      { Vfs.Acl.tag = Vfs.Acl.Mask; perms = 7 }
+  in
+  check_ok "grant via acl" (Fs.set_acl fs ~cred:root (p "/f") acl);
+  Alcotest.(check string) "acl read" "x"
+    (check_ok "read" (Fs.read_file fs ~cred:alice (p "/f")));
+  check_ok "revoke acl" (Fs.set_acl fs ~cred:root (p "/f") Vfs.Acl.empty);
+  check_err "alice denied again" Vfs.Errno.EACCES
+    (Fs.read_file fs ~cred:alice (p "/f"))
+
+(* --- replay on a replica --------------------------------------------------- *)
+
+let test_replay_keeps_replica_honest () =
+  let primary = fresh () in
+  let replica = fresh () in
+  (* pipe the primary's op stream straight into the replica, the way the
+     DFS layer replicates, without re-emitting (~emit:false) *)
+  ignore
+    (Fs.subscribe primary (fun op ->
+         ignore (Fs.replay ~emit:false replica op)));
+  check_ok "mkdir" (Fs.mkdir primary ~cred:root (p "/a"));
+  check_ok "write" (Fs.write_file primary ~cred:root (p "/a/f") "v1");
+  (* warm the replica's cache *)
+  Alcotest.(check string) "replica serves" "v1"
+    (check_ok "read" (Fs.read_file replica ~cred:root (p "/a/f")));
+  check_err "replica negative" Vfs.Errno.ENOENT
+    (Fs.read_file replica ~cred:root (p "/a/g"));
+  Alcotest.(check string) "alice too" "v1"
+    (check_ok "read" (Fs.read_file replica ~cred:alice (p "/a/f")));
+  (* structural op: replayed create must kill the negative entry *)
+  check_ok "create g" (Fs.write_file primary ~cred:root (p "/a/g") "new");
+  Alcotest.(check string) "negative expired on replica" "new"
+    (check_ok "read" (Fs.read_file replica ~cred:root (p "/a/g")));
+  (* attribute op: replay applies chmod inline, bypassing [chmod] — the
+     replica's cached traversal + permission decisions must still die *)
+  check_ok "chmod" (Fs.chmod primary ~cred:root (p "/a") 0o700);
+  check_err "alice locked out of replica" Vfs.Errno.EACCES
+    (Fs.read_file replica ~cred:alice (p "/a/f"));
+  (* rename: the replica's cached old path must move *)
+  check_ok "rename" (Fs.rename primary ~cred:root ~src:(p "/a") ~dst:(p "/b"));
+  check_err "old path gone on replica" Vfs.Errno.ENOENT
+    (Fs.read_file replica ~cred:root (p "/a/f"));
+  Alcotest.(check string) "new path live on replica" "v1"
+    (check_ok "read" (Fs.read_file replica ~cred:root (p "/b/f")));
+  (* unlink *)
+  check_ok "unlink" (Fs.unlink primary ~cred:root (p "/b/f"));
+  check_err "unlinked on replica" Vfs.Errno.ENOENT
+    (Fs.read_file replica ~cred:root (p "/b/f"))
+
+(* --- readonly flips -------------------------------------------------------- *)
+
+let test_readonly_flips () =
+  let fs = fresh () in
+  check_ok "write" (Fs.write_file fs ~cred:root (p "/f") "x");
+  Alcotest.(check string) "warm" "x"
+    (check_ok "read" (Fs.read_file fs ~cred:root (p "/f")));
+  Fs.set_readonly fs true;
+  (* lookups keep working warm; mutations fail with EROFS, and the
+     failure must not poison the cache *)
+  Alcotest.(check string) "read under readonly" "x"
+    (check_ok "read" (Fs.read_file fs ~cred:root (p "/f")));
+  Alcotest.(check bool) "exists under readonly" true (Fs.exists fs ~cred:root (p "/f"));
+  check_err "write blocked" Vfs.Errno.EROFS
+    (Fs.write_file fs ~cred:root (p "/f") "y");
+  check_err "create blocked" Vfs.Errno.EROFS
+    (Fs.create_file fs ~cred:root (p "/g"));
+  Fs.set_readonly fs false;
+  check_ok "write after flip back" (Fs.write_file fs ~cred:root (p "/f") "y");
+  Alcotest.(check string) "new content" "y"
+    (check_ok "read" (Fs.read_file fs ~cred:root (p "/f")));
+  check_err "no stale entry for /g" Vfs.Errno.ENOENT
+    (Fs.read_file fs ~cred:root (p "/g"));
+  check_ok "create after flip back" (Fs.create_file fs ~cred:root (p "/g"));
+  Alcotest.(check bool) "g exists" true (Fs.exists fs ~cred:root (p "/g"))
+
+(* --- enable/disable -------------------------------------------------------- *)
+
+let test_disable_flushes () =
+  let fs = fresh () in
+  check_ok "write" (Fs.write_file fs ~cred:root (p "/a")  "x");
+  ignore (check_ok "warm" (Fs.read_file fs ~cred:root (p "/a")));
+  Alcotest.(check bool) "enabled by default" true (Fs.dcache_enabled fs);
+  Fs.set_dcache_enabled fs false;
+  Alcotest.(check bool) "disabled" false (Fs.dcache_enabled fs);
+  let cost = Fs.cost fs in
+  Cost.reset cost;
+  Alcotest.(check string) "still correct" "x"
+    (check_ok "read" (Fs.read_file fs ~cred:root (p "/a")));
+  Alcotest.(check int) "no hits while disabled" 0
+    (Cost.dentry_hits cost + Cost.attr_hits cost + Cost.negative_hits cost);
+  Fs.set_dcache_enabled fs true;
+  ignore (check_ok "warms again" (Fs.read_file fs ~cred:root (p "/a")));
+  ignore (check_ok "hit" (Fs.read_file fs ~cred:root (p "/a")));
+  Alcotest.(check bool) "hits again" true (Cost.dentry_hits cost >= 1)
+
+(* --- cache-on vs cache-off equivalence ------------------------------------- *)
+
+(* A workload touching every invalidation edge; every step's outcome is
+   recorded as a string, and a recursive fsnotify watch on / records the
+   emitted event sequence. Cache on and cache off must produce
+   bit-identical traces. *)
+let run_equivalence_script fs =
+  let n = Fsnotify.Notifier.create fs in
+  ignore (Fsnotify.Notifier.add_watch ~recursive:true n Path.root Fsnotify.Notifier.all);
+  let out = ref [] in
+  let record what r =
+    let s =
+      match r with Ok () -> "ok" | Error e -> Vfs.Errno.to_string e
+    in
+    out := (what ^ ":" ^ s) :: !out
+  in
+  let u r = Result.map (fun _ -> ()) r in
+  record "mkdir" (Fs.mkdir_p fs ~cred:root (p "/net/sw1/flows"));
+  record "write" (Fs.write_file fs ~cred:root (p "/net/sw1/flows/f1") "a");
+  record "read" (u (Fs.read_file fs ~cred:root (p "/net/sw1/flows/f1")));
+  record "read-again" (u (Fs.read_file fs ~cred:root (p "/net/sw1/flows/f1")));
+  record "miss" (u (Fs.stat fs ~cred:root (p "/net/sw1/flows/nope")));
+  record "miss-again" (u (Fs.stat fs ~cred:root (p "/net/sw1/flows/nope")));
+  record "fill-miss" (Fs.write_file fs ~cred:root (p "/net/sw1/flows/nope") "b");
+  record "read-filled" (u (Fs.read_file fs ~cred:root (p "/net/sw1/flows/nope")));
+  record "alice-denied" (u (Fs.read_file fs ~cred:alice (p "/net/sw1/flows/f1")));
+  record "open-up" (Fs.chmod fs ~cred:root (p "/net/sw1/flows/f1") 0o644);
+  record "alice-read" (u (Fs.read_file fs ~cred:alice (p "/net/sw1/flows/f1")));
+  record "lock-dir" (Fs.chmod fs ~cred:root (p "/net/sw1") 0o700);
+  record "alice-locked" (u (Fs.read_file fs ~cred:alice (p "/net/sw1/flows/f1")));
+  record "unlock-dir" (Fs.chmod fs ~cred:root (p "/net/sw1") 0o755);
+  record "alice-back" (u (Fs.read_file fs ~cred:alice (p "/net/sw1/flows/f1")));
+  record "rename" (Fs.rename fs ~cred:root ~src:(p "/net/sw1") ~dst:(p "/net/sw2"));
+  record "old-gone" (u (Fs.read_file fs ~cred:root (p "/net/sw1/flows/f1")));
+  record "new-live" (u (Fs.read_file fs ~cred:root (p "/net/sw2/flows/f1")));
+  record "symlink" (Fs.symlink fs ~cred:root ~target:"/net/sw2" (p "/net/sw1"));
+  record "via-link" (u (Fs.read_file fs ~cred:root (p "/net/sw1/flows/f1")));
+  record "unlink-link" (Fs.unlink fs ~cred:root (p "/net/sw1"));
+  record "link-gone" (u (Fs.read_file fs ~cred:root (p "/net/sw1/flows/f1")));
+  Fs.set_readonly fs true;
+  record "ro-write" (Fs.write_file fs ~cred:root (p "/net/sw2/flows/f1") "c");
+  record "ro-read" (u (Fs.read_file fs ~cred:root (p "/net/sw2/flows/f1")));
+  Fs.set_readonly fs false;
+  record "rw-write" (Fs.write_file fs ~cred:root (p "/net/sw2/flows/f1") "c");
+  record "replay"
+    (Fs.replay ~emit:true fs
+       (Vfs.Op.Chmod { path = p "/net/sw2/flows/f1"; mode = 0o600 }));
+  record "alice-replayed-out" (u (Fs.read_file fs ~cred:alice (p "/net/sw2/flows/f1")));
+  record "rmdir" (Fs.rmdir ~recursive:true fs ~cred:root (p "/net/sw2"));
+  record "all-gone" (u (Fs.stat fs ~cred:root (p "/net/sw2/flows/f1")));
+  let events =
+    List.map
+      (Format.asprintf "%a" Fsnotify.Event.pp)
+      (Fsnotify.Notifier.read_events n)
+  in
+  List.rev !out, events
+
+let test_equivalence_cache_on_off () =
+  let on = fresh () in
+  let off = fresh () in
+  Fs.set_dcache_enabled off false;
+  let results_on, events_on = run_equivalence_script on in
+  let results_off, events_off = run_equivalence_script off in
+  Alcotest.(check (list string)) "identical errno results" results_off results_on;
+  Alcotest.(check (list string)) "identical fsnotify event sequences" events_off
+    events_on;
+  Alcotest.(check bool) "events actually flowed" true (List.length events_on > 10)
+
+let () =
+  Alcotest.run "dcache"
+    [ ( "accounting",
+        [ Alcotest.test_case "warm lookups hit" `Quick test_warm_lookup_hits;
+          Alcotest.test_case "negative entry expiry" `Quick
+            test_negative_entry_expiry ] );
+      ( "namespace invalidation",
+        [ Alcotest.test_case "rename over cached prefix" `Quick
+            test_rename_over_cached_prefix;
+          Alcotest.test_case "rename onto cached destination" `Quick
+            test_rename_onto_cached_destination;
+          Alcotest.test_case "symlink retarget" `Quick test_symlink_retarget;
+          Alcotest.test_case "recursive rmdir" `Quick
+            test_rmdir_recursive_invalidates ] );
+      ( "attribute invalidation",
+        [ Alcotest.test_case "chmod" `Quick test_chmod_invalidates_traversal;
+          Alcotest.test_case "chown" `Quick test_chown_invalidates_decision;
+          Alcotest.test_case "set_acl" `Quick test_set_acl_invalidates_decision ] );
+      ( "replication",
+        [ Alcotest.test_case "replay ~emit:false on a replica" `Quick
+            test_replay_keeps_replica_honest ] );
+      ( "modes",
+        [ Alcotest.test_case "readonly flips" `Quick test_readonly_flips;
+          Alcotest.test_case "disable flushes" `Quick test_disable_flushes ] );
+      ( "equivalence",
+        [ Alcotest.test_case "cache on = cache off" `Quick
+            test_equivalence_cache_on_off ] ) ]

@@ -100,7 +100,7 @@ let test_fastpath_delete_and_read () =
        ~packets:5L ~bytes:500L ~duration_s:1);
   let cost = Fs.cost fs in
   Vfs.Cost.reset cost;
-  let counters = Libyanc.Fastpath.read_flow_counters fp ~switch:"sw1" in
+  let counters = ok (Libyanc.Fastpath.read_flow_counters fp ~switch:"sw1") in
   Alcotest.(check int) "bulk read = one crossing" 1 (Vfs.Cost.crossings cost);
   Alcotest.(check (list (triple string int64 int64))) "counters" [ "a", 5L, 500L ]
     counters;

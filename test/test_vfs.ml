@@ -513,6 +513,85 @@ let test_tree_rendering () =
   Alcotest.(check bool) "mentions hosts" true (contains text "hosts");
   Alcotest.(check bool) "symlink arrow" true (contains text "link -> /x")
 
+let test_fold_accumulator () =
+  let fs = fresh () in
+  check_ok "mk" (Fs.mkdir_p fs ~cred (p "/a/b"));
+  check_ok "w1" (Fs.write_file fs ~cred (p "/a/f1") "xx");
+  check_ok "w2" (Fs.write_file fs ~cred (p "/a/b/f2") "yyy");
+  let bytes =
+    check_ok "fold"
+      (Fs.fold fs ~cred (p "/a") ~init:0 (fun acc _ st ->
+           (if st.Fs.kind = Fs.File then acc + st.Fs.size else acc), `Continue))
+  in
+  Alcotest.(check int) "file sizes summed" 5 bytes
+
+let test_fold_skip_subtree () =
+  let fs = fresh () in
+  check_ok "mk" (Fs.mkdir_p fs ~cred (p "/a/skip/deep"));
+  check_ok "mk2" (Fs.mkdir fs ~cred (p "/a/keep"));
+  check_ok "w" (Fs.write_file fs ~cred (p "/a/skip/deep/f") "");
+  let visited =
+    check_ok "fold"
+      (Fs.fold fs ~cred (p "/a") ~init:[] (fun acc path _ ->
+           let acc = Path.to_string path :: acc in
+           if Path.to_string path = "/a/skip" then acc, `Skip_subtree
+           else acc, `Continue))
+  in
+  Alcotest.(check (list string)) "pruned below /a/skip"
+    [ "/a"; "/a/keep"; "/a/skip" ] (List.rev visited)
+
+let test_fold_early_stop () =
+  let fs = fresh () in
+  check_ok "mk" (Fs.mkdir fs ~cred (p "/a"));
+  List.iter
+    (fun n -> check_ok "w" (Fs.write_file fs ~cred (p ("/a/" ^ n)) ""))
+    [ "f1"; "f2"; "f3"; "f4" ];
+  let seen =
+    check_ok "fold"
+      (Fs.fold fs ~cred (p "/a") ~init:0 (fun acc _ _ ->
+           let acc = acc + 1 in
+           acc, (if acc >= 3 then `Stop else `Continue)))
+  in
+  Alcotest.(check int) "stopped after three entries" 3 seen
+
+let test_kind_of () =
+  let fs = fresh () in
+  check_ok "mk" (Fs.mkdir fs ~cred (p "/d"));
+  check_ok "w" (Fs.write_file fs ~cred (p "/d/f") "x");
+  check_ok "ln" (Fs.symlink fs ~cred ~target:"/d/f" (p "/ln"));
+  (match Fs.kind_of fs ~cred (p "/d") with
+  | Ok Fs.Dir -> ()
+  | _ -> Alcotest.fail "expected Dir");
+  (match Fs.kind_of fs ~cred (p "/d/f") with
+  | Ok Fs.File -> ()
+  | _ -> Alcotest.fail "expected File");
+  (match Fs.kind_of ~follow:false fs ~cred (p "/ln") with
+  | Ok Fs.Symlink -> ()
+  | _ -> Alcotest.fail "expected Symlink");
+  (match Fs.kind_of fs ~cred (p "/ln") with
+  | Ok Fs.File -> ()
+  | _ -> Alcotest.fail "expected followed File");
+  check_err "missing is ENOENT" Vfs.Errno.ENOENT
+    (Result.map (fun _ -> ()) (Fs.kind_of fs ~cred (p "/nope")))
+
+let test_kind_of_eacces_vs_enoent () =
+  (* The reason kind_of exists: [exists]/[is_dir] conflate "not there"
+     with "not allowed to look". kind_of keeps them apart. *)
+  let fs = fresh () in
+  let alice = Cred.make ~uid:100 ~gid:100 () in
+  check_ok "mk" (Fs.mkdir_p fs ~cred (p "/priv/sub"));
+  check_ok "w" (Fs.write_file fs ~cred (p "/priv/f") "x");
+  check_ok "lock" (Fs.chmod fs ~cred (p "/priv") 0o700);
+  check_err "denied, not missing" Vfs.Errno.EACCES
+    (Result.map (fun _ -> ()) (Fs.kind_of fs ~cred:alice (p "/priv/f")));
+  check_err "missing, not denied" Vfs.Errno.ENOENT
+    (Result.map (fun _ -> ()) (Fs.kind_of fs ~cred:alice (p "/nope")));
+  (* the bool forms flatten both to false *)
+  Alcotest.(check bool) "exists conflates" false
+    (Fs.exists fs ~cred:alice (p "/priv/f"));
+  Alcotest.(check bool) "is_dir conflates" false
+    (Fs.is_dir fs ~cred:alice (p "/priv/sub"))
+
 (* --- edge cases ----------------------------------------------------------------------- *)
 
 let test_edge_not_a_directory () =
@@ -687,7 +766,13 @@ let () =
           Alcotest.test_case "suspension" `Quick test_cost_suspended ] );
       ( "traversal",
         [ Alcotest.test_case "walk" `Quick test_walk;
-          Alcotest.test_case "tree" `Quick test_tree_rendering ] );
+          Alcotest.test_case "tree" `Quick test_tree_rendering;
+          Alcotest.test_case "fold accumulator" `Quick test_fold_accumulator;
+          Alcotest.test_case "fold skip subtree" `Quick test_fold_skip_subtree;
+          Alcotest.test_case "fold early stop" `Quick test_fold_early_stop;
+          Alcotest.test_case "kind_of" `Quick test_kind_of;
+          Alcotest.test_case "kind_of eacces vs enoent" `Quick
+            test_kind_of_eacces_vs_enoent ] );
       ( "edge-cases",
         [ Alcotest.test_case "not-a-directory" `Quick test_edge_not_a_directory;
           Alcotest.test_case "append creates" `Quick test_edge_append_creates;
