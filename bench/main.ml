@@ -262,7 +262,7 @@ let ablation_notify () =
          (Vfs.Path.child
             (Y.Layout.flow ~root:net_root ~switch:"sw1" (Printf.sprintf "f%d" i))
             "version")
-         [ Fsnotify.Event.Modified ])
+         (Fsnotify.Notifier.mask [ Fsnotify.Event.Modified ]))
   done;
   (* coarse: one recursive watch *)
   let fs2 = build () in
@@ -652,6 +652,142 @@ let e13_dcache () =
       row "  %22s | %8d | %8d | %13d\n" label hits misses inv)
     [ "no renames", 0; "rename every 100", 100; "rename every 10", 10 ]
 
+(* ================================================================== *)
+(* E14 — event routing under fan-out: N watching apps x M switches.
+   yanc's application model is event-driven through fsnotify (paper
+   5.2), so write->notify dispatch is the control plane's fan-out hot
+   path. The routing index (hash + trie) replaces the per-mutation
+   linear watch scan; this measures watches visited per mutation and
+   wall time, indexed vs the retained linear reference, under a
+   flow-mod storm plus port-status churn. *)
+(* ================================================================== *)
+
+let e14_sw i ~switches =
+  Y.Yanc_fs.switch_name_of_dpid (Int64.of_int ((i mod switches) + 1))
+
+(* N apps, each holding a recursive watch on "its" switch's flow tree,
+   an exact watch on the switches directory (switch_watcher-style), and
+   a recursive watch on its ports directory. *)
+let e14_world ~backend ~apps ~switches () =
+  let fs, yfs = fresh_yancfs ~switches () in
+  let notifiers =
+    List.init apps (fun i ->
+        let n = Fsnotify.Notifier.create ~backend fs in
+        let sw = e14_sw i ~switches in
+        ignore
+          (Fsnotify.Notifier.add_watch ~recursive:true n
+             (Y.Layout.flows_dir ~root:net_root sw)
+             Fsnotify.Notifier.all);
+        ignore
+          (Fsnotify.Notifier.add_watch n
+             (Y.Layout.switches_dir ~root:net_root)
+             (Fsnotify.Notifier.mask Fsnotify.Event.[ Created; Deleted ]));
+        ignore
+          (Fsnotify.Notifier.add_watch ~recursive:true n
+             (Y.Layout.ports_dir ~root:net_root sw)
+             (Fsnotify.Notifier.mask
+                Fsnotify.Event.[ Created; Modified; Attrib ]));
+        n)
+  in
+  fs, yfs, notifiers
+
+(* Flow-mod storm + counter refreshes + port churn; returns how many
+   VFS mutations the storm produced (counted by a subscriber, the same
+   stream the notifiers route). *)
+let e14_storm fs yfs ~switches ~rounds ~drain_every notifiers =
+  let muts = ref 0 in
+  let hook = Fs.subscribe fs (fun _ -> incr muts) in
+  for r = 1 to rounds do
+    for s = 1 to switches do
+      let sw = Y.Yanc_fs.switch_name_of_dpid (Int64.of_int s) in
+      let name = Printf.sprintf "e14r%d" r in
+      ignore
+        (Y.Yanc_fs.create_flow yfs ~cred ~switch:sw ~name (sample_flow (r + s)));
+      ignore
+        (Y.Flowdir.write_counters fs ~cred
+           (Y.Layout.flow ~root:net_root ~switch:sw name)
+           ~packets:(Int64.of_int r) ~bytes:(Int64.of_int (r * 64))
+           ~duration_s:r);
+      ignore
+        (Y.Yanc_fs.set_port yfs ~switch:sw
+           (OF.Of_types.Port_info.make ~port_no:1 ~hw_addr:(P.Mac.of_int s) ()))
+    done;
+    if r mod drain_every = 0 then
+      List.iter
+        (fun n -> ignore (Fsnotify.Notifier.read_events ~max:4096 n))
+        notifiers
+  done;
+  Fs.unsubscribe fs hook;
+  List.iter (fun n -> ignore (Fsnotify.Notifier.read_events n)) notifiers;
+  !muts
+
+let e14_run ~backend ~apps ~switches ~rounds =
+  let fs, yfs, notifiers = e14_world ~backend ~apps ~switches () in
+  let cost = Fs.cost fs in
+  Vfs.Cost.reset cost;
+  let muts = e14_storm fs yfs ~switches ~rounds ~drain_every:5 notifiers in
+  let visited = Vfs.Cost.watches_visited cost in
+  let dispatched = Vfs.Cost.events_dispatched cost in
+  let coalesced = Vfs.Cost.events_coalesced cost in
+  List.iter Fsnotify.Notifier.close notifiers;
+  muts, visited, dispatched, coalesced
+
+let e14_routing () =
+  section
+    "E14a event routing fan-out: watches visited per mutation, indexed vs \
+     linear";
+  row "  %4s x %-4s | %6s | %12s | %12s | %7s | %10s | %9s\n" "apps" "sw"
+    "muts" "linear v/mut" "indexed v/mut" "ratio" "dispatched" "coalesced";
+  List.iter
+    (fun (apps, switches) ->
+      let muts_l, vis_l, _, _ =
+        e14_run ~backend:Fsnotify.Notifier.Linear ~apps ~switches ~rounds:20
+      in
+      let muts_i, vis_i, disp, coal =
+        e14_run ~backend:Fsnotify.Notifier.Indexed ~apps ~switches ~rounds:20
+      in
+      row "  %4d x %-4d | %6d | %12.1f | %12.1f | %6.1fx | %10d | %9d\n" apps
+        switches muts_i
+        (float_of_int vis_l /. float_of_int (max 1 muts_l))
+        (float_of_int vis_i /. float_of_int (max 1 muts_i))
+        (float_of_int vis_l /. float_of_int (max 1 vis_i))
+        disp coal)
+    [ 8, 8; 32, 16; 128, 32 ]
+
+(* E14b — wall-clock for the same contrast: one committed-version write
+   routed to 64 apps' watches. *)
+let e14_walltime () =
+  section
+    "E14b wall time per routed version write: indexed vs linear (64 apps x \
+     16 switches)";
+  let mk backend =
+    let fs, yfs, notifiers = e14_world ~backend ~apps:64 ~switches:16 () in
+    for s = 1 to 16 do
+      ignore
+        (Y.Yanc_fs.create_flow yfs ~cred
+           ~switch:(Y.Yanc_fs.switch_name_of_dpid (Int64.of_int s))
+           ~name:"f" (sample_flow s))
+    done;
+    List.iter (fun n -> ignore (Fsnotify.Notifier.read_events n)) notifiers;
+    let i = ref 0 in
+    fun () ->
+      incr i;
+      let sw = e14_sw !i ~switches:16 in
+      ignore
+        (Fs.write_file fs ~cred
+           (Vfs.Path.child (Y.Layout.flow ~root:net_root ~switch:sw "f")
+              "version")
+           (string_of_int !i));
+      if !i mod 256 = 0 then
+        List.iter
+          (fun n -> ignore (Fsnotify.Notifier.read_events n))
+          notifiers
+  in
+  print_benchmarks "e14b"
+    (run_benchmarks
+       [ test "route_version_write/indexed" (mk Fsnotify.Notifier.Indexed);
+         test "route_version_write/linear" (mk Fsnotify.Notifier.Linear) ])
+
 (* E13d — wall-clock for the same contrast. *)
 let e13_walltime () =
   section "E13d wall time per warm lookup: dcache on vs off";
@@ -697,7 +833,35 @@ let smoke () =
       "bench-smoke: FAIL — warm lookups should walk >= 5x fewer components than cold\n";
     exit 1
   end;
-  Printf.printf "bench-smoke: ok (warm/cold ratio holds)\n"
+  Printf.printf "bench-smoke: ok (warm/cold ratio holds)\n";
+  (* The routing-index gate: a small E14 fan-out (40 apps x 8 switches)
+     must visit >= 5x fewer watches per mutation than the linear
+     reference. *)
+  let muts_l, vis_l, disp_l, coal_l =
+    e14_run ~backend:Fsnotify.Notifier.Linear ~apps:40 ~switches:8 ~rounds:5
+  in
+  let muts_i, vis_i, disp_i, coal_i =
+    e14_run ~backend:Fsnotify.Notifier.Indexed ~apps:40 ~switches:8 ~rounds:5
+  in
+  Printf.printf
+    "bench-smoke: fan-out routed %d mutations: linear visited %d watches, \
+     indexed %d\n"
+    muts_i vis_l vis_i;
+  if muts_l <> muts_i || disp_l <> disp_i || coal_l <> coal_i then begin
+    Printf.printf
+      "bench-smoke: FAIL — backends disagree on routed events \
+       (linear %d/%d, indexed %d/%d)\n"
+      disp_l coal_l disp_i coal_i;
+    exit 1
+  end;
+  if vis_l < 5 * vis_i then begin
+    Printf.printf
+      "bench-smoke: FAIL — the routing index should visit >= 5x fewer \
+       watches than the linear scan\n";
+    exit 1
+  end;
+  Printf.printf "bench-smoke: ok (indexed/linear visited ratio holds, %.1fx)\n"
+    (float_of_int vis_l /. float_of_int (max 1 vis_i))
 
 let e_wire_volume () =
   section "AUX  control-channel bytes per operation (driver wire cost)";
@@ -749,6 +913,8 @@ let () =
   ablation_reactive_granularity ();
   e13_dcache ();
   e13_walltime ();
+  e14_routing ();
+  e14_walltime ();
   ext_qos ();
   e_wire_volume ();
   print_endline "\ndone."

@@ -79,9 +79,14 @@ let build ~topo ~of13 ~apps =
         Yanc.Controller.add_app ctl
           (Apps.Switch_watcher.app (Apps.Switch_watcher.create yfs))
       | "auditor" ->
+        (* change-gated: quiet periods cost an event drain, not a walk *)
         Yanc.Controller.add_app ctl
-          (Apps.Auditor.app yfs ~cred ~out:(Vfs.Path.of_string_exn "/var/log/audit")
-             ~period:5.)
+          (Apps.Auditor.watched_app yfs ~cred
+             ~out:(Vfs.Path.of_string_exn "/var/log/audit") ~period:5.)
+      | "flow-watcher" ->
+        Yanc.Controller.add_app ctl
+          (Apps.Flow_pusher.watching yfs ~cred
+             ~path:(Vfs.Path.of_string_exn "/etc/flows"))
       | "accounting" ->
         Yanc.Controller.add_app ctl
           (Apps.Accounting.app yfs ~cred
@@ -168,7 +173,7 @@ let run_cmd config_file topo of13 apps duration execs pings stats =
   if stats then begin
     let delivered, dropped = N.Network.stats topo.N.Topo_gen.net in
     Printf.printf "-- frames: %d delivered, %d dropped; %s\n" delivered dropped
-      (Format.asprintf "%a" Vfs.Cost.pp (Vfs.Fs.cost (Yanc.Controller.fs ctl)))
+      (Format.asprintf "%a" Vfs.Cost.pp (Yanc.Controller.cost ctl))
   end;
   0
 
@@ -206,6 +211,14 @@ let counters_cmd topo of13 apps duration switch =
         code := 1;
         Printf.eprintf "yancctl: counters: %s: %s\n" sw (Vfs.Errno.message e))
     switches;
+  let cost = Yanc.Controller.cost ctl in
+  Printf.printf
+    "notify: %d events dispatched, %d watches visited, %d coalesced, %d \
+     overflow-dropped\n"
+    (Vfs.Cost.events_dispatched cost)
+    (Vfs.Cost.watches_visited cost)
+    (Vfs.Cost.events_coalesced cost)
+    (Vfs.Cost.overflows cost);
   !code
 
 let shell_cmd topo of13 apps script_file lines =
@@ -258,7 +271,8 @@ let apps_arg =
     & info [ "a"; "apps" ] ~docv:"APPS"
         ~doc:
           "Applications to run: topology, router, learning, arpd, auditor, \
-           accounting, switch-watcher.")
+           accounting, switch-watcher, flow-watcher (re-pushes /etc/flows on \
+           change).")
 
 let duration_arg =
   Arg.(
@@ -324,7 +338,9 @@ let switch_arg =
 let counters_t =
   Cmd.v
     (Cmd.info "counters"
-       ~doc:"Dump per-flow packet/byte counters via the libyanc fastpath.")
+       ~doc:
+         "Dump per-flow packet/byte counters via the libyanc fastpath, plus \
+          the controller's fsnotify routing counters.")
     Term.(
       const counters_cmd $ topo_arg $ of13_arg $ apps_arg $ duration_arg
       $ switch_arg)

@@ -14,10 +14,14 @@ type t = {
   name : string;
   schedule : schedule;
   run : now:float -> unit;
+  pending : (unit -> bool) option;
+      (** Event-driven daemons expose whether work is queued (typically
+          [Fsnotify.Notifier.pending > 0]); the scheduler skips their
+          tick when nothing is. [None] means "always run". *)
 }
 
-let daemon ~name run = { name; schedule = Daemon; run }
+let daemon ?pending ~name run = { name; schedule = Daemon; run; pending }
 
-let cron ~name ~period run = { name; schedule = Cron period; run }
+let cron ~name ~period run = { name; schedule = Cron period; run; pending = None }
 
-let oneshot ~name run = { name; schedule = Oneshot; run }
+let oneshot ~name run = { name; schedule = Oneshot; run; pending = None }

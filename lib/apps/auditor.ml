@@ -130,3 +130,20 @@ let run_to_file yfs ~cred ~out =
 let app yfs ~cred ~out ~period =
   App_intf.cron ~name:"auditor" ~period (fun ~now:_ ->
       ignore (run_to_file yfs ~cred ~out))
+
+let watched_app yfs ~cred ~out ~period =
+  (* A full audit walks the whole tree; gate the cron behind one
+     recursive watch so quiet periods cost a (coalesced, batched) event
+     drain instead of a tree walk. *)
+  let notifier = Fsnotify.Notifier.create (Y.Yanc_fs.fs yfs) in
+  ignore
+    (Fsnotify.Notifier.add_watch ~recursive:true notifier
+       (Y.Layout.switches_dir ~root:(Y.Yanc_fs.root yfs))
+       Fsnotify.Notifier.all);
+  let audited_once = ref false in
+  App_intf.cron ~name:"auditor" ~period (fun ~now:_ ->
+      let changed = Fsnotify.Notifier.read_events notifier <> [] in
+      if changed || not !audited_once then begin
+        audited_once := true;
+        ignore (run_to_file yfs ~cred ~out)
+      end)

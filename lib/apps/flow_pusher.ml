@@ -118,3 +118,24 @@ let oneshot yfs ~cred ~config =
       match push_config yfs ~cred config with
       | Ok n -> Logs.info (fun m -> m "flow-pusher: wrote %d flows" n)
       | Error e -> Logs.err (fun m -> m "flow-pusher: %s" e))
+
+let watching yfs ~cred ~path =
+  (* The paper's "static" pusher, made live: the config is itself a file
+     in the tree, so a watch turns every edit into a push. A save storm
+     coalesces into one Modified event, hence one push per drain. *)
+  let fs = Y.Yanc_fs.fs yfs in
+  let notifier = Fsnotify.Notifier.create fs in
+  ignore
+    (Fsnotify.Notifier.add_watch notifier path
+       (Fsnotify.Notifier.mask
+          Fsnotify.Event.[ Created; Modified; Moved_to; Overflow ]));
+  App_intf.daemon ~name:"flow-pusher"
+    ~pending:(fun () -> Fsnotify.Notifier.pending notifier > 0)
+    (fun ~now:_ ->
+      if Fsnotify.Notifier.read_events notifier <> [] then
+        match Vfs.Fs.read_file fs ~cred path with
+        | Error _ -> () (* deleted or unreadable: keep the installed flows *)
+        | Ok config -> (
+          match push_config yfs ~cred config with
+          | Ok n -> Logs.info (fun m -> m "flow-pusher: wrote %d flows" n)
+          | Error e -> Logs.err (fun m -> m "flow-pusher: %s" e)))

@@ -30,3 +30,10 @@ val push_config :
   Yancfs.Yanc_fs.t -> cred:Vfs.Cred.t -> string -> (int, string) result
 
 val oneshot : Yancfs.Yanc_fs.t -> cred:Vfs.Cred.t -> config:string -> App_intf.t
+
+val watching :
+  Yancfs.Yanc_fs.t -> cred:Vfs.Cred.t -> path:Vfs.Path.t -> App_intf.t
+(** A daemon that watches a config file {e inside} the VFS and re-pushes
+    it whenever it is created, modified or renamed into place. Bursty
+    rewrites coalesce to a single push. The daemon is skipped by the
+    scheduler while no config events are pending. *)

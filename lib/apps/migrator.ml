@@ -9,6 +9,35 @@ let map_action port_map = function
 let map_match port_map (m : OF.Of_match.t) =
   { m with OF.Of_match.in_port = Option.map port_map m.OF.Of_match.in_port }
 
+let copy_one yfs ~cred ~src ~dst ~port_map ~target name =
+  match Y.Yanc_fs.read_flow yfs ~cred ~switch:src name with
+  | Error e -> Error (Printf.sprintf "%s/%s: %s" src name e)
+  | Ok flow ->
+    let flow =
+      { flow with
+        Y.Flowdir.of_match = map_match port_map flow.of_match;
+        actions = List.map (map_action port_map) flow.actions;
+        version = 0;
+        buffer_id = None }
+    in
+    let result =
+      match Y.Yanc_fs.create_flow yfs ~cred ~switch:dst ~name:target flow with
+      | Ok () -> Ok ()
+      | Error Vfs.Errno.EEXIST ->
+        (* Update in place, preserving the version chain. *)
+        let dir = Y.Layout.flow ~root:(Y.Yanc_fs.root yfs) ~switch:dst target in
+        let version =
+          Option.value ~default:0
+            (Y.Flowdir.read_version (Y.Yanc_fs.fs yfs) ~cred dir)
+        in
+        Y.Flowdir.write (Y.Yanc_fs.fs yfs) ~cred dir
+          { flow with Y.Flowdir.version }
+      | Error _ as e -> e
+    in
+    (match result with
+    | Ok () -> Ok ()
+    | Error e -> Error (Printf.sprintf "%s/%s: %s" dst target (Vfs.Errno.message e)))
+
 let copy_flows yfs ~cred ~src ~dst ?(port_map = Fun.id) ?(rename = Fun.id) () =
   let flows = Y.Yanc_fs.flow_names yfs ~cred src in
   List.fold_left
@@ -16,38 +45,9 @@ let copy_flows yfs ~cred ~src ~dst ?(port_map = Fun.id) ?(rename = Fun.id) () =
       match acc with
       | Error _ as e -> e
       | Ok count -> (
-        match Y.Yanc_fs.read_flow yfs ~cred ~switch:src name with
-        | Error e -> Error (Printf.sprintf "%s/%s: %s" src name e)
-        | Ok flow ->
-          let flow =
-            { flow with
-              Y.Flowdir.of_match = map_match port_map flow.of_match;
-              actions = List.map (map_action port_map) flow.actions;
-              version = 0;
-              buffer_id = None }
-          in
-          let target = rename name in
-          let result =
-            match
-              Y.Yanc_fs.create_flow yfs ~cred ~switch:dst ~name:target flow
-            with
-            | Ok () -> Ok ()
-            | Error Vfs.Errno.EEXIST ->
-              let dir =
-                Y.Layout.flow ~root:(Y.Yanc_fs.root yfs) ~switch:dst target
-              in
-              let version =
-                Option.value ~default:0
-                  (Y.Flowdir.read_version (Y.Yanc_fs.fs yfs) ~cred dir)
-              in
-              Y.Flowdir.write (Y.Yanc_fs.fs yfs) ~cred dir
-                { flow with Y.Flowdir.version }
-            | Error _ as e -> e
-          in
-          (match result with
-          | Ok () -> Ok (count + 1)
-          | Error e ->
-            Error (Printf.sprintf "%s/%s: %s" dst target (Vfs.Errno.message e)))))
+        match copy_one yfs ~cred ~src ~dst ~port_map ~target:(rename name) name with
+        | Ok () -> Ok (count + 1)
+        | Error _ as e -> e))
     (Ok 0) flows
 
 let move_flows yfs ~cred ~src ~dst ?port_map () =
@@ -64,3 +64,55 @@ let oneshot yfs ~cred ~src ~dst =
       match move_flows yfs ~cred ~src ~dst () with
       | Ok n -> Logs.info (fun m -> m "migrator: moved %d flows %s -> %s" n src dst)
       | Error e -> Logs.err (fun m -> m "migrator: %s" e))
+
+let mirror yfs ~cred ~src ~dst ?(port_map = Fun.id) ?(batch = 256) () =
+  (* LIME live migration: keep [dst] converging on [src] while traffic
+     still runs — one recursive watch on the source flow tree, per-flow
+     incremental copies/deletes driven by the routed events. Writes go
+     only to [dst], so the mirror never feeds itself. *)
+  let fs = Y.Yanc_fs.fs yfs in
+  let flows_dir = Y.Layout.flows_dir ~root:(Y.Yanc_fs.root yfs) src in
+  let notifier = Fsnotify.Notifier.create fs in
+  ignore
+    (Fsnotify.Notifier.add_watch ~recursive:true notifier flows_dir
+       (Fsnotify.Notifier.mask
+          Fsnotify.Event.
+            [ Created; Modified; Deleted; Moved_from; Moved_to; Overflow ]));
+  let sync_flow name =
+    if List.mem name (Y.Yanc_fs.flow_names yfs ~cred src) then (
+      match copy_one yfs ~cred ~src ~dst ~port_map ~target:name name with
+      | Ok () -> ()
+      | Error e -> Logs.err (fun m -> m "migrator-mirror: %s" e))
+    else ignore (Y.Yanc_fs.delete_flow yfs ~cred ~switch:dst name)
+  in
+  let resync () =
+    (* Events were lost: converge from a full listing. *)
+    let src_flows = Y.Yanc_fs.flow_names yfs ~cred src in
+    List.iter sync_flow src_flows;
+    List.iter
+      (fun name ->
+        if not (List.mem name src_flows) then
+          ignore (Y.Yanc_fs.delete_flow yfs ~cred ~switch:dst name))
+      (Y.Yanc_fs.flow_names yfs ~cred dst)
+  in
+  App_intf.daemon
+    ~name:(Printf.sprintf "migrator-mirror:%s->%s" src dst)
+    ~pending:(fun () -> Fsnotify.Notifier.pending notifier > 0)
+    (fun ~now:_ ->
+      let evs = Fsnotify.Notifier.read_events ~max:batch notifier in
+      if evs <> [] then
+        if List.exists (fun (e : Fsnotify.Event.t) -> e.kind = Fsnotify.Event.Overflow) evs
+        then resync ()
+        else begin
+          let dirty = Hashtbl.create 8 in
+          List.iter
+            (fun (e : Fsnotify.Event.t) ->
+              match Vfs.Path.strip_prefix ~prefix:flows_dir e.path with
+              | Some rest -> (
+                match Vfs.Path.components rest with
+                | flow :: _ -> Hashtbl.replace dirty flow ()
+                | [] -> ())
+              | None -> ())
+            evs;
+          Hashtbl.iter (fun flow () -> sync_flow flow) dirty
+        end)

@@ -5,19 +5,22 @@ type change = Added of string | Removed of string
 type t = {
   yfs : Y.Yanc_fs.t;
   notifier : Fsnotify.Notifier.t;
+  batch : int;
   on_change : change -> unit;
   mutable log : (float * change) list;
   mutable present : string list;
 }
 
-let create ?(on_change = fun _ -> ()) ?cred yfs =
+let create ?(on_change = fun _ -> ()) ?cred ?(batch = 512) yfs =
   ignore cred;
   let notifier = Fsnotify.Notifier.create (Y.Yanc_fs.fs yfs) in
   ignore
     (Fsnotify.Notifier.add_watch notifier
        (Y.Layout.switches_dir ~root:(Y.Yanc_fs.root yfs))
-       Fsnotify.Event.[ Created; Deleted; Moved_from; Moved_to; Overflow ]);
-  { yfs; notifier; on_change; log = []; present = Y.Yanc_fs.switch_names yfs }
+       (Fsnotify.Notifier.mask
+          Fsnotify.Event.[ Created; Deleted; Moved_from; Moved_to; Overflow ]));
+  { yfs; notifier; batch; on_change; log = [];
+    present = Y.Yanc_fs.switch_names yfs }
 
 let record t ~now change =
   t.log <- (now, change) :: t.log;
@@ -44,9 +47,12 @@ let run t ~now =
       | (Fsnotify.Event.Deleted | Fsnotify.Event.Moved_from), Some name ->
         record t ~now (Removed name)
       | _ -> ())
-    (Fsnotify.Notifier.read_events t.notifier)
+    (Fsnotify.Notifier.read_events ~max:t.batch t.notifier)
 
-let app t = App_intf.daemon ~name:"switch-watcher" (fun ~now -> run t ~now)
+let app t =
+  App_intf.daemon ~name:"switch-watcher"
+    ~pending:(fun () -> Fsnotify.Notifier.pending t.notifier > 0)
+    (fun ~now -> run t ~now)
 
 let log t = List.rev t.log
 

@@ -9,12 +9,17 @@ type change = Added of string | Removed of string
 type t
 
 val create :
-  ?on_change:(change -> unit) -> ?cred:Vfs.Cred.t -> Yancfs.Yanc_fs.t -> t
-(** Places the watch immediately; changes are processed on each {!run}. *)
+  ?on_change:(change -> unit) -> ?cred:Vfs.Cred.t -> ?batch:int ->
+  Yancfs.Yanc_fs.t -> t
+(** Places the watch immediately; changes are processed on each {!run},
+    at most [batch] (default 512) events per tick — leftovers carry to
+    the next tick, so one arrival storm cannot starve other apps. *)
 
 val run : t -> now:float -> unit
 
 val app : t -> App_intf.t
+(** The daemon reports pending work to the scheduler, so its tick is
+    skipped entirely while no switch events are queued. *)
 
 val log : t -> (float * change) list
 (** All changes observed, oldest first, with the time they were seen. *)

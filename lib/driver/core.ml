@@ -248,9 +248,14 @@ module Make (P : Driver_intf.PROTOCOL) = struct
                ~in_port:req.in_port ~actions:req.actions ~data:req.data))
         (Y.Outdir.consume (fs t) ~root:(root t) ~switch:name)
 
+  (* Bounded drain: a flow-mod storm is spread over successive steps
+     instead of monopolizing one; the dirty flags persist, and events
+     left queued re-trigger classification next step. *)
+  let event_batch = 4096
+
   let classify_fs_events t =
     match t.switch_name with
-    | None -> ignore (Fsnotify.Notifier.read_events t.notifier)
+    | None -> ignore (Fsnotify.Notifier.read_events ~max:event_batch t.notifier)
     | Some name ->
       let flows = Y.Layout.flows_dir ~root:(root t) name in
       let ports = Y.Layout.ports_dir ~root:(root t) name in
@@ -272,7 +277,7 @@ module Make (P : Driver_intf.PROTOCOL) = struct
               t.ports_dirty <- true
             | _ -> ()
           end)
-        (Fsnotify.Notifier.read_events t.notifier)
+        (Fsnotify.Notifier.read_events ~max:event_batch t.notifier)
 
   let step t ~now =
     List.iter (OF.Framing.push t.framing)

@@ -16,6 +16,17 @@ type t = {
   name : string option;
 }
 
+let bit = function
+  | Created -> 0x001
+  | Deleted -> 0x002
+  | Modified -> 0x004
+  | Attrib -> 0x008
+  | Moved_from -> 0x010
+  | Moved_to -> 0x020
+  | Delete_self -> 0x040
+  | Move_self -> 0x080
+  | Overflow -> 0x100
+
 let kind_to_string = function
   | Created -> "created"
   | Deleted -> "deleted"

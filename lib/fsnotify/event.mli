@@ -22,5 +22,11 @@ type t = {
   name : string option;  (** entry name relative to a watched directory *)
 }
 
+val bit : kind -> int
+(** Each kind's bit in a {!Notifier.mask} bitset. Mask tests are a
+    single [land] instead of a [List.mem] walk on the dispatch hot
+    path. [Overflow] has a bit for mask-construction convenience, but
+    overflow sentinels are delivered unconditionally. *)
+
 val kind_to_string : kind -> string
 val pp : Format.formatter -> t -> unit

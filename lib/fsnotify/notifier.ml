@@ -1,68 +1,121 @@
-type mask = Event.kind list
+module Path = Vfs.Path
+
+type mask = int
+
+let mask kinds = List.fold_left (fun m k -> m lor Event.bit k) 0 kinds
 
 let all =
-  Event.
-    [ Created; Deleted; Modified; Attrib; Moved_from; Moved_to; Delete_self;
-      Move_self ]
+  mask
+    Event.
+      [ Created; Deleted; Modified; Attrib; Moved_from; Moved_to; Delete_self;
+        Move_self ]
 
-type watch = { wd : int; path : Vfs.Path.t; mask : mask; recursive : bool }
+let mask_mem k m = m land Event.bit k <> 0
+
+type backend = Indexed | Linear
 
 type t = {
   fs : Vfs.Fs.t;
+  backend : backend;
   queue_limit : int;
   queue : Event.t Queue.t;
-  mutable overflowed : bool;
-  mutable watches : watch list;
+  index : Routing.t;                    (* Indexed backend *)
+  mutable watches : Routing.watch list; (* Linear backend *)
+  mutable n_watches : int;
   mutable next_wd : int;
+  mutable last : Event.t option; (* tail of [queue], for coalescing *)
+  mutable overflowed : bool;     (* an Overflow sentinel is queued *)
+  mutable coalesced : int;
+  mutable overflows : int;
   mutable hook : Vfs.Fs.hook option;
 }
 
+let cost t = Vfs.Fs.cost t.fs
+
+let overflow_event =
+  { Event.wd = -1; kind = Event.Overflow; path = Path.root; name = None }
+
 let enqueue t (ev : Event.t) =
-  if Queue.length t.queue >= t.queue_limit then begin
-    if not t.overflowed then begin
-      t.overflowed <- true;
-      Queue.push
-        { Event.wd = -1; kind = Event.Overflow; path = Vfs.Path.root; name = None }
-        t.queue
-    end
+  let c = cost t in
+  let coalesces =
+    ev.kind = Event.Modified
+    &&
+    match t.last with
+    | Some l ->
+      l.kind = Event.Modified && l.wd = ev.wd && Path.equal l.path ev.path
+      && l.name = ev.name
+    | None -> false
+  in
+  if coalesces then begin
+    (* Identical to the event at the tail of the queue: merge, as
+       inotify merges back-to-back IN_MODIFY. Never merges across an
+       intervening event on another path or watch. *)
+    t.coalesced <- t.coalesced + 1;
+    Vfs.Cost.event_coalesced c
   end
-  else Queue.push ev t.queue
+  else if t.overflowed then begin
+    t.overflows <- t.overflows + 1;
+    Vfs.Cost.overflow_dropped c
+  end
+  else if Queue.length t.queue >= t.queue_limit - 1 then begin
+    (* The final slot is reserved for the sentinel, so the queue never
+       exceeds [queue_limit]; the triggering event is dropped, as
+       inotify drops the event that would not fit. *)
+    t.overflowed <- true;
+    t.overflows <- t.overflows + 1;
+    Vfs.Cost.overflow_dropped c;
+    Queue.push overflow_event t.queue;
+    t.last <- Some overflow_event
+  end
+  else begin
+    Queue.push ev t.queue;
+    t.last <- Some ev;
+    Vfs.Cost.event_dispatched c
+  end
 
 let deliver t ~kind ~path =
   (* A change to [path] is reported to watches on its parent directory
      (child event, with [name]), to watches on the object itself, and to
      recursive watches on any ancestor. *)
-  let parent = Vfs.Path.parent path in
-  let name = Vfs.Path.basename path in
-  let self_kind =
-    match (kind : Event.kind) with
-    | Deleted -> Event.Delete_self
-    | Moved_from -> Event.Move_self
-    | k -> k
+  let selfs, childs, visited =
+    match t.backend with
+    | Indexed -> Routing.route t.index path
+    | Linear -> Routing.route_linear t.watches path
   in
-  List.iter
-    (fun w ->
-      let interested k = List.mem k w.mask in
-      if Vfs.Path.equal w.path path then begin
+  Vfs.Cost.visit_watches (cost t) visited;
+  if selfs <> [] || childs <> [] then begin
+    let name = Path.basename path in
+    let self_kind =
+      match (kind : Event.kind) with
+      | Deleted -> Event.Delete_self
+      | Moved_from -> Event.Move_self
+      | k -> k
+    in
+    let acc = ref [] in
+    List.iter
+      (fun (w : Routing.watch) ->
         (* Self events: Modify/Attrib stay as-is, deletion/rename become
            *_self. Created on the watched path itself is not a self event. *)
         match kind with
         | Event.Created -> ()
         | _ ->
-          if interested self_kind then
-            enqueue t { Event.wd = w.wd; kind = self_kind; path; name = None }
-      end
-      else
-        let is_parent =
-          match parent with Some p -> Vfs.Path.equal w.path p | None -> false
-        in
-        let is_ancestor = w.recursive && Vfs.Path.is_prefix w.path path in
-        if (is_parent || is_ancestor) && interested kind then
-          enqueue t { Event.wd = w.wd; kind; path; name })
-    t.watches
+          if mask_mem self_kind w.mask then
+            acc := { Event.wd = w.wd; kind = self_kind; path; name = None } :: !acc)
+      selfs;
+    List.iter
+      (fun (w : Routing.watch) ->
+        if mask_mem kind w.mask then
+          acc := { Event.wd = w.wd; kind; path; name } :: !acc)
+      childs;
+    (* Canonical per-mutation order: ascending watch descriptor. Both
+       backends agree, so routed sequences are comparable byte for
+       byte. *)
+    let evs = List.sort (fun (a : Event.t) b -> compare a.wd b.wd) !acc in
+    List.iter (enqueue t) evs
+  end
 
 let on_op t (op : Vfs.Op.t) =
-  if t.watches <> [] then
+  if t.n_watches > 0 then
     match op with
     | Mkdir { path; _ } | Create { path; _ } | Symlink { path; _ } ->
       deliver t ~kind:Event.Created ~path
@@ -76,10 +129,11 @@ let on_op t (op : Vfs.Op.t) =
     | Remove_xattr { path; _ } | Set_acl { path; _ } ->
       deliver t ~kind:Event.Attrib ~path
 
-let create ?(queue_limit = 16384) fs =
+let create ?(backend = Indexed) ?(queue_limit = 16384) fs =
   let t =
-    { fs; queue_limit; queue = Queue.create (); overflowed = false;
-      watches = []; next_wd = 1; hook = None }
+    { fs; backend; queue_limit; queue = Queue.create (); index = Routing.create ();
+      watches = []; n_watches = 0; next_wd = 1; last = None; overflowed = false;
+      coalesced = 0; overflows = 0; hook = None }
   in
   t.hook <- Some (Vfs.Fs.subscribe fs (on_op t));
   t
@@ -94,18 +148,41 @@ let close t =
 let add_watch ?(recursive = false) t path mask =
   let wd = t.next_wd in
   t.next_wd <- wd + 1;
-  t.watches <- { wd; path; mask; recursive } :: t.watches;
+  let w = { Routing.wd; path; mask; recursive } in
+  (match t.backend with
+  | Indexed -> Routing.add t.index w
+  | Linear -> t.watches <- w :: t.watches);
+  t.n_watches <- t.n_watches + 1;
   wd
 
-let rm_watch t wd = t.watches <- List.filter (fun w -> w.wd <> wd) t.watches
+let rm_watch t wd =
+  match t.backend with
+  | Indexed -> if Routing.remove t.index wd then t.n_watches <- t.n_watches - 1
+  | Linear ->
+    let before = List.length t.watches in
+    t.watches <- List.filter (fun (w : Routing.watch) -> w.wd <> wd) t.watches;
+    t.n_watches <- t.n_watches - (before - List.length t.watches)
 
-let read_events t =
+let read_events ?max t =
   Vfs.Cost.syscall (Vfs.Fs.cost t.fs);
-  t.overflowed <- false;
-  let evs = Queue.fold (fun acc e -> e :: acc) [] t.queue in
-  Queue.clear t.queue;
-  List.rev evs
+  let n =
+    match max with
+    | None -> Queue.length t.queue
+    | Some m -> min (Stdlib.max m 0) (Queue.length t.queue)
+  in
+  let out = ref [] in
+  for _ = 1 to n do
+    let e = Queue.pop t.queue in
+    if e.Event.kind = Event.Overflow then t.overflowed <- false;
+    out := e :: !out
+  done;
+  if Queue.is_empty t.queue then t.last <- None;
+  List.rev !out
 
 let pending t = Queue.length t.queue
 
-let has_watches t = t.watches <> []
+let has_watches t = t.n_watches > 0
+
+let coalesced t = t.coalesced
+
+let overflows t = t.overflows

@@ -9,19 +9,46 @@
     handles across rename); a watch placed on a directory reports events
     for its direct children, a watch placed on a file reports events on
     the file itself, and [~recursive:true] extends a directory watch to
-    the whole subtree (fanotify-style). *)
+    the whole subtree (fanotify-style).
+
+    Dispatch is served by an {!Routing} index — hash probes for exact
+    and parent watches, a component trie for recursive ones — so a
+    mutation costs O(path depth + matching watches) rather than a scan
+    of every watch. Within one mutation, events are delivered in
+    ascending watch-descriptor order.
+
+    Back-to-back identical [Modified] events on the same (watch, path)
+    coalesce into one, as inotify merges repeated IN_MODIFY: an event
+    merges only with the event currently at the {e tail} of the queue,
+    so an intervening event on any other path or watch — or a drain
+    that empties the queue — is a coalescing boundary. *)
 
 type t
 
-type mask = Event.kind list
-(** Event kinds the watch is interested in. *)
+type mask = int
+(** A bitset of {!Event.bit} values: the event kinds the watch is
+    interested in. *)
+
+val mask : Event.kind list -> mask
 
 val all : mask
+(** Every kind except [Overflow] (overflow sentinels are delivered
+    unconditionally). *)
 
-val create : ?queue_limit:int -> Vfs.Fs.t -> t
-(** [queue_limit] (default 16384) bounds the pending-event queue; on
-    overflow an {!Event.Overflow} event replaces the excess, as inotify
-    does. *)
+val mask_mem : Event.kind -> mask -> bool
+
+type backend =
+  | Indexed  (** the routing index; the default *)
+  | Linear   (** the reference full scan, kept for equivalence tests and
+                 benches *)
+
+val create : ?backend:backend -> ?queue_limit:int -> Vfs.Fs.t -> t
+(** [queue_limit] (default 16384) bounds the pending-event queue,
+    sentinel included: once the queue holds [queue_limit - 1] events the
+    next event is dropped and replaced by a final {!Event.Overflow}
+    sentinel, so the queue never exceeds [queue_limit]. Further events
+    are counted as dropped (see {!overflows}) until the sentinel is
+    read. *)
 
 val close : t -> unit
 (** Detach from the file system; pending events remain readable. *)
@@ -34,10 +61,18 @@ val add_watch : ?recursive:bool -> t -> Vfs.Path.t -> mask -> int
 
 val rm_watch : t -> int -> unit
 
-val read_events : t -> Event.t list
-(** Drain all pending events, oldest first. Counts as one kernel
-    crossing against the file system's cost model. *)
+val read_events : ?max:int -> t -> Event.t list
+(** Drain pending events, oldest first; at most [max] of them when
+    given, leaving the rest queued for the next call — the batched
+    drain watch-driven daemons use to bound their per-tick work. Counts
+    as one kernel crossing against the file system's cost model. *)
 
 val pending : t -> int
 
 val has_watches : t -> bool
+
+val coalesced : t -> int
+(** Events merged into their predecessor over this notifier's lifetime. *)
+
+val overflows : t -> int
+(** Events dropped on queue overflow over this notifier's lifetime. *)

@@ -1,0 +1,45 @@
+(** The event-routing index behind {!Notifier}.
+
+    [Notifier.deliver] used to scan every watch for every mutation —
+    O(mutations × watches), the event-dispatch bottleneck the SDN
+    surveys attribute to centralized control planes. The index answers
+    "which watches care about a change to [path]?" with one walk of a
+    component trie holding every watch at the node of its anchor —
+    O(path depth + matching watches), allocation-free on the hot
+    path.
+
+    The original linear scan is retained as {!route_linear} so tests can
+    prove the two implementations route identically and benches can
+    measure the gap. *)
+
+type watch = {
+  wd : int;
+  path : Vfs.Path.t;
+  mask : int;          (** bitset over {!Event.bit} *)
+  recursive : bool;
+}
+
+type t
+
+val create : unit -> t
+
+val count : t -> int
+(** Live watches in the index. *)
+
+val add : t -> watch -> unit
+
+val remove : t -> int -> bool
+(** Remove by watch descriptor; false if unknown. *)
+
+val route : t -> Vfs.Path.t -> watch list * watch list * int
+(** [route t path] is [(selfs, childs, visited)]: watches anchored
+    exactly at [path] (candidates for self events), watches anchored at
+    the parent or — if recursive — any strict ancestor (candidates for
+    child events, each watch appearing once), and the number of
+    candidate watches examined. Mask filtering and event construction
+    are the caller's job; candidate order is unspecified (the notifier
+    sorts by [wd]). *)
+
+val route_linear : watch list -> Vfs.Path.t -> watch list * watch list * int
+(** The reference full scan over a plain watch list; same contract as
+    {!route}, with [visited] equal to the total number of watches. *)

@@ -11,12 +11,19 @@ type t = {
   mutable attr_hits : int;
   mutable attr_misses : int;
   mutable invalidations : int;
+  (* event-routing accounting (fsnotify instrumentation) *)
+  mutable events_dispatched : int;
+  mutable watches_visited : int;
+  mutable events_coalesced : int;
+  mutable overflows : int;
 }
 
 let create ?(switch_cost_ns = 1000.) () =
   { switch_cost_ns; crossings = 0; charged_ns = 0.; suspended = 0;
     components = 0; dentry_hits = 0; dentry_misses = 0; negative_hits = 0;
-    attr_hits = 0; attr_misses = 0; invalidations = 0 }
+    attr_hits = 0; attr_misses = 0; invalidations = 0;
+    events_dispatched = 0; watches_visited = 0; events_coalesced = 0;
+    overflows = 0 }
 
 let crossings t = t.crossings
 
@@ -62,6 +69,25 @@ let attr_misses t = t.attr_misses
 
 let invalidations t = t.invalidations
 
+(* Event-routing work is counted like lookup work: it measures watches
+   examined and events queued, not kernel crossings, so it is never gated
+   by [suspended]. *)
+let event_dispatched t = t.events_dispatched <- t.events_dispatched + 1
+
+let visit_watches t n = t.watches_visited <- t.watches_visited + n
+
+let event_coalesced t = t.events_coalesced <- t.events_coalesced + 1
+
+let overflow_dropped t = t.overflows <- t.overflows + 1
+
+let events_dispatched t = t.events_dispatched
+
+let watches_visited t = t.watches_visited
+
+let events_coalesced t = t.events_coalesced
+
+let overflows t = t.overflows
+
 let reset t =
   t.crossings <- 0;
   t.charged_ns <- 0.;
@@ -71,13 +97,19 @@ let reset t =
   t.negative_hits <- 0;
   t.attr_hits <- 0;
   t.attr_misses <- 0;
-  t.invalidations <- 0
+  t.invalidations <- 0;
+  t.events_dispatched <- 0;
+  t.watches_visited <- 0;
+  t.events_coalesced <- 0;
+  t.overflows <- 0
 
 let pp ppf t =
   Format.fprintf ppf
     "%d crossings (%.1f us modelled), %d components walked, dcache %d/%d \
-     hit/miss (%d negative), %d invalidated"
+     hit/miss (%d negative), %d invalidated, notify %d dispatched / %d \
+     watches visited / %d coalesced / %d overflow-dropped"
     t.crossings
     (t.charged_ns /. 1000.)
     t.components (t.dentry_hits + t.negative_hits) t.dentry_misses
-    t.negative_hits t.invalidations
+    t.negative_hits t.invalidations t.events_dispatched t.watches_visited
+    t.events_coalesced t.overflows

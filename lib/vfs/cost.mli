@@ -64,6 +64,33 @@ val attr_hits : t -> int
 val attr_misses : t -> int
 val invalidations : t -> int
 
+(** {1 Event-routing / fsnotify counters}
+
+    Bumped by {!Fsnotify.Notifier} dispatch; read by benches and
+    [yancctl]. Like the lookup counters these are {e not} gated by
+    {!suspended}: they measure routing work, not kernel crossings. *)
+
+val event_dispatched : t -> unit
+(** One event enqueued onto a notifier's queue. *)
+
+val visit_watches : t -> int -> unit
+(** [n] candidate watches examined while routing one mutation. The
+    linear reference scans every watch; the routing index visits only
+    the exact-path, parent and ancestor-trie candidates. *)
+
+val event_coalesced : t -> unit
+(** A [Modified] event merged into the identical event already at the
+    tail of the queue (inotify-style coalescing). *)
+
+val overflow_dropped : t -> unit
+(** An event dropped because the queue was full (the reader finds an
+    {!Fsnotify.Event.Overflow} sentinel instead). *)
+
+val events_dispatched : t -> int
+val watches_visited : t -> int
+val events_coalesced : t -> int
+val overflows : t -> int
+
 val reset : t -> unit
 
 val pp : Format.formatter -> t -> unit

@@ -16,6 +16,8 @@ let create ?root ?fs:fs_opt ~net () =
 
 let fs t = t.fs
 
+let cost t = Vfs.Fs.cost t.fs
+
 let yfs t = t.yfs
 
 let net t = t.net

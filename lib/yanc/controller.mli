@@ -17,6 +17,13 @@ val create :
   ?root:Vfs.Path.t -> ?fs:Vfs.Fs.t -> net:Netsim.Network.t -> unit -> t
 
 val fs : t -> Vfs.Fs.t
+
+val cost : t -> Vfs.Cost.t
+(** The controller file system's cost model — kernel crossings, dcache
+    counters and the fsnotify routing counters (events dispatched,
+    watches visited, coalesced, overflow-dropped) that [yancctl]
+    surfaces. *)
+
 val yfs : t -> Yancfs.Yanc_fs.t
 val net : t -> Netsim.Network.t
 val manager : t -> Driver.Manager.t

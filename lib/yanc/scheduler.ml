@@ -4,22 +4,30 @@ type entry = {
   mutable done_ : bool;
 }
 
-type t = { mutable entries : entry list }
+(* A Queue, not a list with [@ [x]] appends: registration order is
+   preserved and registering N apps is O(N), not O(N^2). Entries are
+   never removed (oneshots just mark themselves done). *)
+type t = { entries : entry Queue.t }
 
-let create () = { entries = [] }
+let create () = { entries = Queue.create () }
 
 let add t app =
-  t.entries <- t.entries @ [ { app; next_run = neg_infinity; done_ = false } ]
+  Queue.push { app; next_run = neg_infinity; done_ = false } t.entries
 
 let tick t ~now =
-  List.fold_left
+  Queue.fold
     (fun ran e ->
       if e.done_ then ran
       else
         match e.app.Apps.App_intf.schedule with
-        | Apps.App_intf.Daemon ->
-          e.app.run ~now;
-          ran + 1
+        | Apps.App_intf.Daemon -> (
+          (* Event-driven daemons are skipped while their queues are
+             empty — the batch-drain tick runs only when work exists. *)
+          match e.app.Apps.App_intf.pending with
+          | Some pending when not (pending ()) -> ran
+          | _ ->
+            e.app.run ~now;
+            ran + 1)
         | Apps.App_intf.Oneshot ->
           e.done_ <- true;
           e.app.run ~now;
@@ -33,4 +41,6 @@ let tick t ~now =
           else ran)
     0 t.entries
 
-let apps t = List.map (fun e -> e.app.Apps.App_intf.name) t.entries
+let apps t =
+  List.rev
+    (Queue.fold (fun acc e -> e.app.Apps.App_intf.name :: acc) [] t.entries)

@@ -7,10 +7,12 @@ type t
 val create : unit -> t
 
 val add : t -> Apps.App_intf.t -> unit
+(** O(1); registration order is the tick order. *)
 
 val tick : t -> now:float -> int
 (** Run everything due at [now]; returns how many app iterations ran.
-    Daemons run every tick, cron apps when their period has elapsed,
-    oneshots exactly once. *)
+    Daemons run every tick — except event-driven daemons that report no
+    pending work (see {!Apps.App_intf.t}), which are skipped — cron apps
+    when their period has elapsed, oneshots exactly once. *)
 
 val apps : t -> string list

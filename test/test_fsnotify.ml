@@ -1,4 +1,7 @@
-(* Tests for the inotify-like notifier (paper §5.2). *)
+(* Tests for the inotify-like notifier (paper §5.2): event semantics,
+   masks-as-bitsets, coalescing, bounded drains, overflow clamping, and
+   the equivalence of the indexed routing backend with the retained
+   linear reference. *)
 
 module Fs = Vfs.Fs
 module Path = Vfs.Path
@@ -14,6 +17,8 @@ let ok = function
   | Error e -> Alcotest.failf "unexpected errno %s" (Vfs.Errno.to_string e)
 
 let kinds evs = List.map (fun (e : E.t) -> E.kind_to_string e.kind) evs
+
+let strings evs = List.map (Format.asprintf "%a" E.pp) evs
 
 let setup () =
   let fs = Fs.create () in
@@ -42,26 +47,27 @@ let test_modify_and_delete () =
   ignore (N.add_watch n (p "/d") N.all);
   ok (Fs.write_file fs ~cred (p "/d/f") "2");
   ok (Fs.unlink fs ~cred (p "/d/f"));
+  (* truncate + write coalesce into one modified *)
   Alcotest.(check (list string)) "modify then delete"
-    [ "modified"; "modified"; "deleted" ] (* truncate + write *)
+    [ "modified"; "deleted" ]
     (kinds (N.read_events n))
 
 let test_file_watch_self () =
   let fs, n = setup () in
   ok (Fs.mkdir fs ~cred (p "/d"));
   ok (Fs.write_file fs ~cred (p "/d/version") "0");
-  ignore (N.add_watch n (p "/d/version") [ E.Modified; E.Delete_self ]);
+  ignore (N.add_watch n (p "/d/version") (N.mask [ E.Modified; E.Delete_self ]));
   ok (Fs.write_file fs ~cred (p "/d/version") "1");
   ok (Fs.write_file fs ~cred (p "/d/other") "x");
   ok (Fs.unlink fs ~cred (p "/d/version"));
   Alcotest.(check (list string)) "only the version file's events"
-    [ "modified"; "modified"; "delete_self" ]
+    [ "modified"; "delete_self" ]
     (kinds (N.read_events n))
 
 let test_mask_filtering () =
   let fs, n = setup () in
   ok (Fs.mkdir fs ~cred (p "/d"));
-  ignore (N.add_watch n (p "/d") [ E.Created ]);
+  ignore (N.add_watch n (p "/d") (N.mask [ E.Created ]));
   ok (Fs.write_file fs ~cred (p "/d/f") "x");
   ok (Fs.unlink fs ~cred (p "/d/f"));
   Alcotest.(check (list string)) "only created" [ "created" ]
@@ -131,10 +137,21 @@ let test_queue_overflow () =
   for i = 1 to 20 do
     ok (Fs.create_file fs ~cred (p (Printf.sprintf "/d/f%d" i)))
   done;
+  (* The queue is clamped at queue_limit, sentinel included: 4 real
+     events plus the overflow marker; the other 16 are dropped and
+     counted. *)
+  Alcotest.(check int) "clamped at queue_limit" 5 (N.pending n);
   let evs = N.read_events n in
-  Alcotest.(check int) "bounded" 6 (List.length evs);
-  Alcotest.(check bool) "overflow marker" true
-    (List.exists (fun (e : E.t) -> e.kind = E.Overflow) evs)
+  Alcotest.(check int) "bounded" 5 (List.length evs);
+  Alcotest.(check string) "overflow marker is last" "overflow"
+    (E.kind_to_string (List.nth evs 4).E.kind);
+  Alcotest.(check int) "dropped events counted" 16 (N.overflows n);
+  Alcotest.(check int) "dropped events in cost model" 16
+    (Vfs.Cost.overflows (Fs.cost fs));
+  (* after the sentinel is read, delivery resumes *)
+  ok (Fs.create_file fs ~cred (p "/d/after"));
+  Alcotest.(check (list string)) "resumes after drain" [ "created" ]
+    (kinds (N.read_events n))
 
 let test_close_detaches () =
   let fs, n = setup () in
@@ -150,7 +167,7 @@ let test_two_notifiers_independent () =
   let n2 = N.create fs in
   ok (Fs.mkdir fs ~cred (p "/d"));
   ignore (N.add_watch n1 (p "/d") N.all);
-  ignore (N.add_watch n2 (p "/d") [ E.Deleted ]);
+  ignore (N.add_watch n2 (p "/d") (N.mask [ E.Deleted ]));
   ok (Fs.write_file fs ~cred (p "/d/f") "");
   Alcotest.(check bool) "n1 sees create" true (N.pending n1 > 0);
   Alcotest.(check int) "n2 filtered" 0 (N.pending n2)
@@ -161,6 +178,221 @@ let test_read_events_charges_syscall () =
   Vfs.Cost.reset c;
   ignore (N.read_events n);
   Alcotest.(check int) "one crossing" 1 (Vfs.Cost.crossings c)
+
+(* --- coalescing --------------------------------------------------------- *)
+
+let test_coalesce_repeated_writes () =
+  let fs, n = setup () in
+  ok (Fs.mkdir fs ~cred (p "/d"));
+  ok (Fs.write_file fs ~cred (p "/d/f") "0");
+  ignore (N.add_watch n (p "/d") N.all);
+  for i = 1 to 5 do
+    ok (Fs.write_file fs ~cred (p "/d/f") (string_of_int i))
+  done;
+  (* 5 writes = 10 Modified mutations, all back-to-back on one (wd,
+     path): one queued event. *)
+  Alcotest.(check (list string)) "one modified" [ "modified" ]
+    (kinds (N.read_events n));
+  Alcotest.(check int) "coalesced counter" 9 (N.coalesced n);
+  Alcotest.(check int) "cost counter agrees" 9
+    (Vfs.Cost.events_coalesced (Fs.cost fs))
+
+let test_coalesce_interleaving_boundary () =
+  let fs, n = setup () in
+  ok (Fs.mkdir fs ~cred (p "/d"));
+  ok (Fs.write_file fs ~cred (p "/d/f1") "0");
+  ok (Fs.write_file fs ~cred (p "/d/f2") "0");
+  ignore (N.add_watch n (p "/d") N.all);
+  ok (Fs.write_file fs ~cred (p "/d/f1") "1");
+  ok (Fs.write_file fs ~cred (p "/d/f2") "1");
+  ok (Fs.write_file fs ~cred (p "/d/f1") "2");
+  ok (Fs.write_file fs ~cred (p "/d/f2") "2");
+  (* interleaved paths never merge (only the truncate+write inside each
+     write_file coalesces) *)
+  let evs = N.read_events n in
+  Alcotest.(check (list string)) "alternating modifies survive"
+    [ "modified"; "modified"; "modified"; "modified" ]
+    (kinds evs);
+  Alcotest.(check (list (option string))) "per-file order"
+    [ Some "f1"; Some "f2"; Some "f1"; Some "f2" ]
+    (List.map (fun (e : E.t) -> e.name) evs)
+
+let test_coalesce_drain_boundary () =
+  let fs, n = setup () in
+  ok (Fs.mkdir fs ~cred (p "/d"));
+  ok (Fs.write_file fs ~cred (p "/d/f") "0");
+  ignore (N.add_watch n (p "/d") N.all);
+  ok (Fs.write_file fs ~cred (p "/d/f") "1");
+  Alcotest.(check (list string)) "first write delivered" [ "modified" ]
+    (kinds (N.read_events n));
+  (* the queue was emptied: an identical write afterwards must NOT merge
+     into the already-read event *)
+  ok (Fs.write_file fs ~cred (p "/d/f") "2");
+  Alcotest.(check (list string)) "second write delivered" [ "modified" ]
+    (kinds (N.read_events n))
+
+let test_coalesce_distinct_watches () =
+  (* A self watch and a parent watch both report the same write; each
+     event merges only with the queue tail, so the pair never collapses
+     across watches (inotify behaves the same way). *)
+  let fs, n = setup () in
+  ok (Fs.mkdir fs ~cred (p "/d"));
+  ok (Fs.write_file fs ~cred (p "/d/f") "0");
+  let wd_dir = N.add_watch n (p "/d") N.all in
+  let wd_file = N.add_watch n (p "/d/f") N.all in
+  ok (Fs.write_file fs ~cred (p "/d/f") "1");
+  (* truncate + write, each fanned out to both watches in ascending wd
+     order: the alternating wds keep any pair from merging at the tail *)
+  let evs = N.read_events n in
+  Alcotest.(check (list string)) "both watches fire for both mutations"
+    [ "modified"; "modified"; "modified"; "modified" ]
+    (kinds evs);
+  Alcotest.(check (list int)) "ascending wd order within each mutation"
+    [ wd_dir; wd_file; wd_dir; wd_file ]
+    (List.map (fun (e : E.t) -> e.wd) evs)
+
+(* --- bounded drain ------------------------------------------------------ *)
+
+let test_read_events_max () =
+  let fs, n = setup () in
+  ok (Fs.mkdir fs ~cred (p "/d"));
+  ignore (N.add_watch n (p "/d") N.all);
+  for i = 1 to 10 do
+    ok (Fs.create_file fs ~cred (p (Printf.sprintf "/d/f%d" i)))
+  done;
+  let batch = N.read_events ~max:3 n in
+  Alcotest.(check int) "bounded batch" 3 (List.length batch);
+  Alcotest.(check (list (option string))) "oldest first"
+    [ Some "f1"; Some "f2"; Some "f3" ]
+    (List.map (fun (e : E.t) -> e.name) batch);
+  Alcotest.(check int) "rest still queued" 7 (N.pending n);
+  Alcotest.(check int) "max:0 drains nothing" 0
+    (List.length (N.read_events ~max:0 n));
+  Alcotest.(check int) "remainder drains in order" 7
+    (List.length (N.read_events n));
+  Alcotest.(check int) "empty" 0 (N.pending n)
+
+(* --- the routing index -------------------------------------------------- *)
+
+let test_indexed_visits_few_watches () =
+  (* 100 watches on unrelated directories: the linear reference examines
+     all of them for every mutation, the index only the matching one. *)
+  let visited backend =
+    let fs = Fs.create () in
+    let n = N.create ~backend fs in
+    for i = 1 to 100 do
+      ok (Fs.mkdir fs ~cred (p (Printf.sprintf "/d%d" i)));
+      ignore (N.add_watch n (p (Printf.sprintf "/d%d" i)) N.all)
+    done;
+    Vfs.Cost.reset (Fs.cost fs);
+    ok (Fs.write_file fs ~cred (p "/d50/f") "x");
+    Vfs.Cost.watches_visited (Fs.cost fs)
+  in
+  (* write_file is create + write: two mutations *)
+  Alcotest.(check int) "linear scans everything" 200 (visited N.Linear);
+  Alcotest.(check bool) "index visits only the parent watch" true
+    (visited N.Indexed <= 2)
+
+(* Randomized structural equivalence: the indexed router must emit a
+   byte-identical event sequence to the retained linear reference for
+   arbitrary workloads — creates/writes/renames/attribs/deletes under
+   nested directories, mixed exact/parent/recursive watches with random
+   masks, watches added and removed mid-stream, bounded drains at random
+   points. *)
+let test_randomized_equivalence () =
+  let rng = Random.State.make [| 0xE14; 7 |] in
+  let pick arr = arr.(Random.State.int rng (Array.length arr)) in
+  let fs = Fs.create () in
+  let lin = N.create ~backend:N.Linear fs in
+  let idx = N.create ~backend:N.Indexed fs in
+  let dirs =
+    [| "/a"; "/a/b"; "/a/b/c"; "/a/b/c/d"; "/a/x"; "/m"; "/m/n"; "/m/n/o";
+       "/z" |]
+  in
+  let files =
+    Array.map (fun d -> d ^ "/file") dirs
+    |> Array.append [| "/a/f0"; "/a/b/f1"; "/m/f2"; "/m/n/o/f3"; "/z/f4" |]
+  in
+  let anchors = Array.append dirs files in
+  let all_kinds =
+    E.
+      [ Created; Deleted; Modified; Attrib; Moved_from; Moved_to; Delete_self;
+        Move_self ]
+  in
+  let random_mask () =
+    let m =
+      List.filter (fun _ -> Random.State.bool rng) all_kinds |> N.mask
+    in
+    if m = 0 then N.all else m
+  in
+  let live_wds = ref [] in
+  let drain_and_compare ?max () =
+    let a = strings (N.read_events ?max lin) in
+    let b = strings (N.read_events ?max idx) in
+    Alcotest.(check (list string)) "identical event sequences" a b
+  in
+  for _ = 1 to 600 do
+    match Random.State.int rng 10 with
+    | 0 -> ignore (Fs.mkdir_p fs ~cred (p (pick dirs)))
+    | 1 | 2 ->
+      ignore (Fs.write_file fs ~cred (p (pick files)) (string_of_int (Random.State.int rng 3)))
+    | 3 -> ignore (Fs.unlink fs ~cred (p (pick files)))
+    | 4 ->
+      ignore (Fs.rename fs ~cred ~src:(p (pick anchors)) ~dst:(p (pick anchors)))
+    | 5 -> ignore (Fs.chmod fs ~cred (p (pick anchors)) 0o700)
+    | 6 ->
+      ignore
+        (Fs.setxattr fs ~cred (p (pick anchors)) ~name:"k"
+           ~value:(string_of_int (Random.State.int rng 10)))
+    | 7 ->
+      let anchor = p (pick anchors) in
+      let recursive = Random.State.bool rng in
+      let mask = random_mask () in
+      let wd_l = N.add_watch ~recursive lin anchor mask in
+      let wd_i = N.add_watch ~recursive idx anchor mask in
+      Alcotest.(check int) "same wd on both backends" wd_l wd_i;
+      live_wds := wd_l :: !live_wds
+    | 8 -> (
+      match !live_wds with
+      | [] -> ()
+      | wds ->
+        let wd = List.nth wds (Random.State.int rng (List.length wds)) in
+        N.rm_watch lin wd;
+        N.rm_watch idx wd;
+        live_wds := List.filter (fun w -> w <> wd) wds)
+    | _ ->
+      if Random.State.bool rng then
+        drain_and_compare ~max:(Random.State.int rng 5) ()
+  done;
+  drain_and_compare ();
+  Alcotest.(check int) "same pending" (N.pending lin) (N.pending idx);
+  Alcotest.(check int) "same coalescing" (N.coalesced lin) (N.coalesced idx);
+  Alcotest.(check int) "same overflow accounting" (N.overflows lin)
+    (N.overflows idx)
+
+(* Same equivalence under queue pressure: a tiny queue forces overflow
+   sentinels and dropped events; both backends must clamp and resume
+   identically. *)
+let test_equivalence_under_overflow () =
+  let fs = Fs.create () in
+  let lin = N.create ~backend:N.Linear ~queue_limit:4 fs in
+  let idx = N.create ~backend:N.Indexed ~queue_limit:4 fs in
+  ok (Fs.mkdir fs ~cred (p "/d"));
+  ignore (N.add_watch lin (p "/d") N.all);
+  ignore (N.add_watch idx (p "/d") N.all);
+  for round = 1 to 3 do
+    for i = 1 to 10 do
+      ok
+        (Fs.write_file fs ~cred
+           (p (Printf.sprintf "/d/r%d_f%d" round i))
+           "x")
+    done;
+    let a = strings (N.read_events lin) in
+    let b = strings (N.read_events idx) in
+    Alcotest.(check (list string)) "identical under overflow" a b;
+    Alcotest.(check int) "clamped" 4 (List.length a)
+  done;
+  Alcotest.(check int) "same drop count" (N.overflows lin) (N.overflows idx)
 
 let () =
   Alcotest.run "fsnotify"
@@ -179,4 +411,22 @@ let () =
           Alcotest.test_case "close" `Quick test_close_detaches;
           Alcotest.test_case "independent notifiers" `Quick test_two_notifiers_independent;
           Alcotest.test_case "read charges a syscall" `Quick
-            test_read_events_charges_syscall ] ) ]
+            test_read_events_charges_syscall ] );
+      ( "coalescing",
+        [ Alcotest.test_case "repeated writes merge" `Quick
+            test_coalesce_repeated_writes;
+          Alcotest.test_case "interleaved paths do not merge" `Quick
+            test_coalesce_interleaving_boundary;
+          Alcotest.test_case "drain is a boundary" `Quick
+            test_coalesce_drain_boundary;
+          Alcotest.test_case "watches are a boundary" `Quick
+            test_coalesce_distinct_watches ] );
+      ( "batching",
+        [ Alcotest.test_case "read_events ?max" `Quick test_read_events_max ] );
+      ( "routing",
+        [ Alcotest.test_case "index visits few watches" `Quick
+            test_indexed_visits_few_watches;
+          Alcotest.test_case "randomized equivalence" `Quick
+            test_randomized_equivalence;
+          Alcotest.test_case "equivalence under overflow" `Quick
+            test_equivalence_under_overflow ] ) ]
