@@ -330,6 +330,144 @@ let ablation_lookup () =
   print_benchmarks "abl2" (run_benchmarks tests)
 
 (* ================================================================== *)
+(* E15 — the tuple-space classifier (DESIGN.md): entries examined per
+   lookup and wall time, Linear vs Exact_hash vs Classifier, over a
+   mixed-mask rule set (per-MAC forwarding + /24 subnets + port ACLs +
+   exact microflows) like a router-plus-ACL controller installs. *)
+(* ================================================================== *)
+
+let e15_frame i =
+  P.Builder.tcp_syn
+    ~src_mac:(P.Mac.of_int (0x020000000000 lor 0xbeef))
+    ~dst_mac:(P.Mac.of_int (0x020000000000 lor i))
+    ~src_ip:(P.Ipv4_addr.of_int32 0x0a640001l)
+    ~dst_ip:
+      (P.Ipv4_addr.of_int32
+         (Int32.of_int (0x0a000000 lor ((i land 0xff) lsl 8) lor 1)))
+    ~src_port:(1024 + (i land 0xff))
+    ~dst_port:(1024 + (i land 0x3fff))
+
+let e15_rules size =
+  List.init size (fun i ->
+      match i mod 4 with
+      | 0 ->
+        ( 100,
+          { OF.Of_match.any with
+            OF.Of_match.dl_dst = Some (P.Mac.of_int (0x020000000000 lor i)) } )
+      | 1 ->
+        ( 200,
+          { OF.Of_match.any with
+            OF.Of_match.dl_type = Some 0x0800;
+            nw_dst =
+              Some
+                (P.Ipv4_addr.Prefix.make
+                   (P.Ipv4_addr.of_int32
+                      (Int32.of_int (0x0a000000 lor ((i land 0xff) lsl 8))))
+                   24) } )
+      | 2 ->
+        ( 300,
+          { OF.Of_match.any with
+            OF.Of_match.dl_type = Some 0x0800; nw_proto = Some 6;
+            tp_dst = Some (1024 + (i land 0x3fff)) } )
+      | _ ->
+        400, OF.Of_match.exact_of_headers (P.Headers.of_eth ~in_port:1 (e15_frame i)))
+
+let e15_probes n =
+  Array.init n (fun k -> P.Headers.of_eth ~in_port:1 (e15_frame (k mod 256)))
+
+let e15_table strategy size =
+  let t = N.Flow_table.create ~strategy () in
+  List.iter
+    (fun (priority, of_match) ->
+      N.Flow_table.add t ~now:0. ~of_match ~priority
+        ~actions:[ OF.Action.Output (OF.Action.Physical 1) ] ())
+    (e15_rules size);
+  t
+
+let e15_strategies =
+  [ "linear", N.Flow_table.Linear; "hash", N.Flow_table.Exact_hash;
+    "classifier", N.Flow_table.Classifier ]
+
+let e15_classifier () =
+  section "E15a classifier: entries examined per lookup over mixed-mask rules";
+  row "  %6s | %-10s | %12s | %12s | %10s | %8s\n" "flows" "strategy"
+    "entries/lkp" "subtbl/lkp" "micro hit%" "matched";
+  let probes = e15_probes 2048 in
+  List.iter
+    (fun size ->
+      List.iter
+        (fun (label, strategy) ->
+          let t = e15_table strategy size in
+          let cost = N.Flow_table.cost t in
+          N.Flow_table.Cost.reset cost;
+          let won = ref 0 in
+          Array.iter
+            (fun h ->
+              match N.Flow_table.lookup t ~now:0. h with
+              | Some _ -> incr won
+              | None -> ())
+            probes;
+          let lkps = float_of_int (max 1 (N.Flow_table.Cost.lookups cost)) in
+          let hits = N.Flow_table.Cost.micro_hits cost in
+          let cache_probes = hits + N.Flow_table.Cost.micro_misses cost in
+          row "  %6d | %-10s | %12.1f | %12.2f | %9.1f%% | %8d\n" size label
+            (float_of_int (N.Flow_table.Cost.entries_examined cost) /. lkps)
+            (float_of_int (N.Flow_table.Cost.subtables_visited cost) /. lkps)
+            (100. *. float_of_int hits /. float_of_int (max 1 cache_probes))
+            !won)
+        e15_strategies)
+    [ 100; 300; 1000 ];
+  section "E15b wall time per lookup: 1000 mixed-mask flows";
+  let tests =
+    List.map
+      (fun (label, strategy) ->
+        let t = e15_table strategy 1000 in
+        let i = ref 0 in
+        test
+          (Printf.sprintf "lookup/%s/1000_mixed" label)
+          (fun () ->
+            incr i;
+            ignore (N.Flow_table.lookup t ~now:0. probes.(!i land 2047))))
+      e15_strategies
+  in
+  print_benchmarks "e15b" (run_benchmarks tests);
+  section "E15c reactive workload: fat-tree ping sweep, linear vs classifier";
+  row "  %-10s | %10s | %14s | %12s\n" "datapath" "frames" "entries/lookup"
+    "wall s";
+  List.iter
+    (fun (label, strategy) ->
+      let built = N.Topo_gen.fat_tree ~k:4 ~strategy () in
+      let ctl = Yanc.Controller.create ~net:built.N.Topo_gen.net () in
+      Yanc.Controller.attach_switches ctl;
+      let yfs = Yanc.Controller.yfs ctl in
+      Yanc.Controller.add_app ctl (Apps.Topology.app (Apps.Topology.create yfs));
+      Yanc.Controller.add_app ctl (Apps.Router.app (Apps.Router.create yfs));
+      let t0 = Sys.time () in
+      Yanc.Controller.run_for ctl 3.0;
+      let net = built.N.Topo_gen.net in
+      let h1 = Option.get (N.Network.host net "h1") in
+      List.iteri
+        (fun i _ ->
+          let n = i + 1 in
+          if n > 1 then begin
+            N.Network.send_from_host net "h1"
+              (N.Sim_host.ping h1 ~now:(N.Network.now net)
+                 ~dst:(N.Topo_gen.host_ip n) ~seq:n);
+            ignore
+              (Yanc.Controller.run_until ctl (fun () ->
+                   List.length (N.Sim_host.ping_results h1) >= n - 1))
+          end)
+        built.N.Topo_gen.host_names;
+      let wall = Sys.time () -. t0 in
+      let dcost = Yanc.Controller.datapath_cost ctl in
+      let delivered, _ = N.Network.stats net in
+      row "  %-10s | %10d | %14.1f | %12.3f\n" label delivered
+        (float_of_int (N.Flow_table.Cost.entries_examined dcost)
+        /. float_of_int (max 1 (N.Flow_table.Cost.lookups dcost)))
+        wall)
+    [ "linear", N.Flow_table.Linear; "classifier", N.Flow_table.Classifier ]
+
+(* ================================================================== *)
 (* E7 — distributed controller: consistency trade-offs (paper 6). *)
 (* ================================================================== *)
 
@@ -861,7 +999,60 @@ let smoke () =
     exit 1
   end;
   Printf.printf "bench-smoke: ok (indexed/linear visited ratio holds, %.1fx)\n"
-    (float_of_int vis_l /. float_of_int (max 1 vis_i))
+    (float_of_int vis_l /. float_of_int (max 1 vis_i));
+  (* The classifier gate (E15): at 1000 mixed-mask flows the classifier
+     must examine >= 5x fewer entries per lookup than the linear scan,
+     agree with it on every winner, and win on wall clock. *)
+  let probes = e15_probes 512 in
+  let run strategy =
+    let t = e15_table strategy 1000 in
+    let cost = N.Flow_table.cost t in
+    N.Flow_table.Cost.reset cost;
+    let winners =
+      Array.map
+        (fun h ->
+          Option.map
+            (fun e -> e.N.Flow_table.priority)
+            (N.Flow_table.lookup t ~now:0. h))
+        probes
+    in
+    let t0 = Sys.time () in
+    for _ = 1 to 20 do
+      Array.iter (fun h -> ignore (N.Flow_table.lookup t ~now:0. h)) probes
+    done;
+    let wall = Sys.time () -. t0 in
+    winners, N.Flow_table.Cost.entries_examined cost, wall
+  in
+  let win_l, exam_l, wall_l = run N.Flow_table.Linear in
+  let win_c, exam_c, wall_c = run N.Flow_table.Classifier in
+  Printf.printf
+    "bench-smoke: classifier @1000 flows: linear examined %d entries, \
+     classifier %d (%.1fx); wall %.3fs vs %.3fs\n"
+    exam_l exam_c
+    (float_of_int exam_l /. float_of_int (max 1 exam_c))
+    wall_l wall_c;
+  if win_l <> win_c then begin
+    Printf.printf
+      "bench-smoke: FAIL — classifier disagrees with the linear scan on some \
+       winner\n";
+    exit 1
+  end;
+  if exam_l < 5 * exam_c then begin
+    Printf.printf
+      "bench-smoke: FAIL — the classifier should examine >= 5x fewer entries \
+       than the linear scan\n";
+    exit 1
+  end;
+  if wall_c >= wall_l then begin
+    Printf.printf
+      "bench-smoke: FAIL — the classifier should beat the linear scan on wall \
+       time\n";
+    exit 1
+  end;
+  Printf.printf
+    "bench-smoke: ok (classifier examines %.1fx fewer entries and wins on \
+     wall time)\n"
+    (float_of_int exam_l /. float_of_int (max 1 exam_c))
 
 let e_wire_volume () =
   section "AUX  control-channel bytes per operation (driver wire cost)";
@@ -907,6 +1098,7 @@ let () =
   e4_fanout ();
   ablation_notify ();
   ablation_lookup ();
+  e15_classifier ();
   e7_dfs ();
   e9_reactive ();
   e6_views ();

@@ -17,35 +17,41 @@ let setup_logs () =
 
 (* --- topology specs: "<kind>:<n>" ---------------------------------------------- *)
 
+(* A spec parses to a builder awaiting the datapath strategy (its own
+   flag), so the two compose regardless of option order. *)
 let parse_topo spec =
   let fail () = Error (`Msg (Printf.sprintf "unknown topology %S" spec)) in
   match String.split_on_char ':' spec with
   | [ "linear"; n ] -> (
     match int_of_string_opt n with
-    | Some n when n > 0 -> Ok (N.Topo_gen.linear n)
+    | Some n when n > 0 -> Ok (fun strategy -> N.Topo_gen.linear ~strategy n)
     | _ -> fail ())
   | [ "ring"; n ] -> (
     match int_of_string_opt n with
-    | Some n when n >= 3 -> Ok (N.Topo_gen.ring n)
+    | Some n when n >= 3 -> Ok (fun strategy -> N.Topo_gen.ring ~strategy n)
     | _ -> fail ())
   | [ "star"; n ] -> (
     match int_of_string_opt n with
-    | Some n when n > 0 -> Ok (N.Topo_gen.star ~leaves:n ())
+    | Some n when n > 0 ->
+      Ok (fun strategy -> N.Topo_gen.star ~leaves:n ~strategy ())
     | _ -> fail ())
   | [ "tree"; spec2 ] -> (
     match String.split_on_char 'x' spec2 with
     | [ f; d ] -> (
       match int_of_string_opt f, int_of_string_opt d with
-      | Some fanout, Some depth -> Ok (N.Topo_gen.tree ~fanout ~depth ())
+      | Some fanout, Some depth ->
+        Ok (fun strategy -> N.Topo_gen.tree ~fanout ~depth ~strategy ())
       | _ -> fail ())
     | _ -> fail ())
   | [ "fat-tree"; k ] -> (
     match int_of_string_opt k with
-    | Some k when k mod 2 = 0 -> Ok (N.Topo_gen.fat_tree ~k ())
+    | Some k when k mod 2 = 0 ->
+      Ok (fun strategy -> N.Topo_gen.fat_tree ~k ~strategy ())
     | _ -> fail ())
   | [ "random"; n ] -> (
     match int_of_string_opt n with
-    | Some n when n > 0 -> Ok (N.Topo_gen.random ~extra_links:(n / 2) n)
+    | Some n when n > 0 ->
+      Ok (fun strategy -> N.Topo_gen.random ~extra_links:(n / 2) ~strategy n)
     | _ -> fail ())
   | _ -> fail ()
 
@@ -129,7 +135,7 @@ let read_file path =
   close_in ic;
   content
 
-let run_cmd config_file topo of13 apps duration execs pings stats =
+let run_cmd config_file topo datapath of13 apps duration execs pings stats =
   setup_logs ();
   (* a config file, when given, takes precedence over the flags *)
   let topo, of13, apps, duration, flows =
@@ -141,12 +147,11 @@ let run_cmd config_file topo of13 apps duration execs pings stats =
         Printf.eprintf "yancctl: %s: %s\n" path e;
         exit 2
       | Ok c ->
-        (parse_topo c.Yanc.Config.topology :> (N.Topo_gen.built, [ `Msg of string ]) result),
-        c.of13, c.apps, c.duration, c.flows )
+        parse_topo c.Yanc.Config.topology, c.of13, c.apps, c.duration, c.flows )
   in
   let topo =
     match topo with
-    | Ok t -> t
+    | Ok f -> f datapath
     | Error (`Msg e) ->
       Printf.eprintf "yancctl: %s\n" e;
       exit 2
@@ -173,20 +178,23 @@ let run_cmd config_file topo of13 apps duration execs pings stats =
   if stats then begin
     let delivered, dropped = N.Network.stats topo.N.Topo_gen.net in
     Printf.printf "-- frames: %d delivered, %d dropped; %s\n" delivered dropped
-      (Format.asprintf "%a" Vfs.Cost.pp (Yanc.Controller.cost ctl))
+      (Format.asprintf "%a" Vfs.Cost.pp (Yanc.Controller.cost ctl));
+    Printf.printf "-- datapath: %s\n"
+      (Format.asprintf "%a" N.Flow_table.Cost.pp
+         (Yanc.Controller.datapath_cost ctl))
   end;
   0
 
-let tree_cmd topo of13 =
+let tree_cmd topo datapath of13 =
   setup_logs ();
-  let ctl = build ~topo ~of13 ~apps:[ "topology" ] in
+  let ctl = build ~topo:(topo datapath) ~of13 ~apps:[ "topology" ] in
   Yanc.Controller.run_for ctl 3.0;
   print_string (Yancfs.Yanc_fs.tree (Yanc.Controller.yfs ctl));
   0
 
-let counters_cmd topo of13 apps duration switch =
+let counters_cmd topo datapath of13 apps duration switch =
   setup_logs ();
-  let ctl = build ~topo ~of13 ~apps in
+  let ctl = build ~topo:(topo datapath) ~of13 ~apps in
   Yanc.Controller.run_for ctl duration;
   let yfs = Yanc.Controller.yfs ctl in
   let fp = Libyanc.Fastpath.create yfs in
@@ -219,11 +227,21 @@ let counters_cmd topo of13 apps duration switch =
     (Vfs.Cost.watches_visited cost)
     (Vfs.Cost.events_coalesced cost)
     (Vfs.Cost.overflows cost);
+  let dp = Yanc.Controller.datapath_cost ctl in
+  Printf.printf
+    "datapath: %d lookups, %d entries examined, %d subtables visited, \
+     microflow %d/%d hit/miss, %d invalidations\n"
+    (N.Flow_table.Cost.lookups dp)
+    (N.Flow_table.Cost.entries_examined dp)
+    (N.Flow_table.Cost.subtables_visited dp)
+    (N.Flow_table.Cost.micro_hits dp)
+    (N.Flow_table.Cost.micro_misses dp)
+    (N.Flow_table.Cost.invalidations dp);
   !code
 
-let shell_cmd topo of13 apps script_file lines =
+let shell_cmd topo datapath of13 apps script_file lines =
   setup_logs ();
-  let ctl = build ~topo ~of13 ~apps in
+  let ctl = build ~topo:(topo datapath) ~of13 ~apps in
   Yanc.Controller.run_for ctl 1.0;
   let env = Shell.Env.create (Yanc.Controller.fs ctl) in
   let code = ref 0 in
@@ -255,11 +273,26 @@ open Cmdliner
 let topo_arg =
   Arg.(
     value
-    & opt topo_conv (N.Topo_gen.linear 2)
+    & opt topo_conv (fun strategy -> N.Topo_gen.linear ~strategy 2)
     & info [ "t"; "topo" ] ~docv:"TOPOLOGY"
         ~doc:
           "Simulated topology: linear:N, ring:N, star:N, tree:FxD, \
            fat-tree:K, random:N.")
+
+let datapath_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ "linear", N.Flow_table.Linear;
+             "hash", N.Flow_table.Exact_hash;
+             "classifier", N.Flow_table.Classifier ])
+        N.Flow_table.Classifier
+    & info [ "datapath" ] ~docv:"STRATEGY"
+        ~doc:
+          "Switch flow-table lookup strategy: classifier (tuple-space \
+           search with a microflow cache, the default), hash (exact-match \
+           fast path), or linear (the reference scan).")
 
 let of13_arg =
   Arg.(value & flag & info [ "of13" ] ~doc:"Attach OpenFlow 1.3 drivers instead of 1.0.")
@@ -306,13 +339,13 @@ let run_t =
   Cmd.v
     (Cmd.info "run" ~doc:"Run a controller over a simulated network.")
     Term.(
-      const run_cmd $ config_arg $ topo_arg $ of13_arg $ apps_arg
-      $ duration_arg $ exec_arg $ ping_arg $ stats_arg)
+      const run_cmd $ config_arg $ topo_arg $ datapath_arg $ of13_arg
+      $ apps_arg $ duration_arg $ exec_arg $ ping_arg $ stats_arg)
 
 let tree_t =
   Cmd.v
     (Cmd.info "tree" ~doc:"Print the /net hierarchy after discovery (Figure 2).")
-    Term.(const tree_cmd $ topo_arg $ of13_arg)
+    Term.(const tree_cmd $ topo_arg $ datapath_arg $ of13_arg)
 
 let script_arg =
   Arg.(
@@ -326,7 +359,9 @@ let lines_arg =
 let shell_t =
   Cmd.v
     (Cmd.info "shell" ~doc:"Run shell commands or a script against a live controller.")
-    Term.(const shell_cmd $ topo_arg $ of13_arg $ apps_arg $ script_arg $ lines_arg)
+    Term.(
+      const shell_cmd $ topo_arg $ datapath_arg $ of13_arg $ apps_arg
+      $ script_arg $ lines_arg)
 
 let switch_arg =
   Arg.(
@@ -342,8 +377,8 @@ let counters_t =
          "Dump per-flow packet/byte counters via the libyanc fastpath, plus \
           the controller's fsnotify routing counters.")
     Term.(
-      const counters_cmd $ topo_arg $ of13_arg $ apps_arg $ duration_arg
-      $ switch_arg)
+      const counters_cmd $ topo_arg $ datapath_arg $ of13_arg $ apps_arg
+      $ duration_arg $ switch_arg)
 
 let main =
   Cmd.group

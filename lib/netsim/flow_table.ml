@@ -1,10 +1,64 @@
 module Of_match = Openflow.Of_match
+module Packed = Of_match.Packed
 
-type strategy = Linear | Exact_hash
+(* --- datapath lookup counters ------------------------------------------------ *)
+
+module Cost = struct
+  type t = {
+    mutable lookups : int;
+    mutable entries_examined : int;
+    mutable subtables_visited : int;
+    mutable micro_hits : int;
+    mutable micro_misses : int;
+    mutable invalidations : int;
+  }
+
+  let create () =
+    { lookups = 0; entries_examined = 0; subtables_visited = 0;
+      micro_hits = 0; micro_misses = 0; invalidations = 0 }
+
+  let lookups t = t.lookups
+
+  let entries_examined t = t.entries_examined
+
+  let subtables_visited t = t.subtables_visited
+
+  let micro_hits t = t.micro_hits
+
+  let micro_misses t = t.micro_misses
+
+  let invalidations t = t.invalidations
+
+  let absorb ~into c =
+    into.lookups <- into.lookups + c.lookups;
+    into.entries_examined <- into.entries_examined + c.entries_examined;
+    into.subtables_visited <- into.subtables_visited + c.subtables_visited;
+    into.micro_hits <- into.micro_hits + c.micro_hits;
+    into.micro_misses <- into.micro_misses + c.micro_misses;
+    into.invalidations <- into.invalidations + c.invalidations
+
+  let reset t =
+    t.lookups <- 0;
+    t.entries_examined <- 0;
+    t.subtables_visited <- 0;
+    t.micro_hits <- 0;
+    t.micro_misses <- 0;
+    t.invalidations <- 0
+
+  let pp ppf t =
+    Format.fprintf ppf
+      "%d lookups / %d entries examined, %d subtables visited, microflow \
+       %d/%d hit/miss, %d invalidations"
+      t.lookups t.entries_examined t.subtables_visited t.micro_hits
+      t.micro_misses t.invalidations
+end
+
+type strategy = Linear | Exact_hash | Classifier
 
 type entry = {
   of_match : Of_match.t;
   priority : int;
+  seq : int;
   actions : Openflow.Action.t list;
   cookie : int64;
   idle_timeout : int;
@@ -16,68 +70,69 @@ type entry = {
   mutable bytes : int64;
 }
 
-(* The exact-match fast path keys entries by the packet's full header
-   tuple; only entries produced by [Of_match.exact_of_headers]-style
-   matches can live there. *)
-type t = {
-  strategy : strategy;
-  mutable wildcard : entry list; (* sorted by priority, descending *)
-  exact : (string, entry) Hashtbl.t;
+(* One tuple-space subtable: every entry in it shares the same wildcard
+   mask, so membership is a single hash probe on the masked packet.
+   A bucket holds the entries with identical packed (mask, value) — the
+   same match region at different priorities — best-first (priority
+   descending, then install order). *)
+type subtable = {
+  s_mask : Packed.t;
+  buckets : entry list Packed.Tbl.t; (* keyed by the rule's packed value *)
+  mutable s_max_priority : int;
+  mutable s_count : int;
 }
 
-let create ?(strategy = Linear) () =
-  { strategy; wildcard = []; exact = Hashtbl.create 64 }
+type classifier = {
+  mutable subtables : subtable list; (* sorted by s_max_priority, descending *)
+  by_mask : subtable Packed.Tbl.t;
+  (* The microflow cache: packed packet headers -> (generation, winner).
+     Any mutation that could change an answer bumps [generation], which
+     orphans every cached binding at once; stale bindings are discarded
+     lazily when probed. *)
+  micro : (int * entry) Packed.Tbl.t;
+  mutable generation : int;
+}
+
+(* Bound the microflow cache; reached, it is simply emptied (a coarse
+   but obviously-correct eviction — steady state refills it in one
+   probe per flow). *)
+let micro_cap = 8192
+
+type store =
+  | Linear_s of { mutable entries : entry list }
+  | Exact_s of { mutable wildcard : entry list; exact : entry Packed.Tbl.t }
+  | Classifier_s of classifier
+
+type t = {
+  strategy : strategy;
+  cost : Cost.t;
+  mutable next_seq : int;
+  store : store;
+}
+
+let create ?(strategy = Linear) ?cost () =
+  let cost = match cost with Some c -> c | None -> Cost.create () in
+  let store =
+    match strategy with
+    | Linear -> Linear_s { entries = [] }
+    | Exact_hash -> Exact_s { wildcard = []; exact = Packed.Tbl.create 64 }
+    | Classifier ->
+      Classifier_s
+        { subtables = []; by_mask = Packed.Tbl.create 16;
+          micro = Packed.Tbl.create 256; generation = 0 }
+  in
+  { strategy; cost; next_seq = 0; store }
 
 let strategy t = t.strategy
 
-(* A compact binary key over the full tuple; only sound for
-   fully-specified matches. *)
-let exact_key (m : Of_match.t) =
-  let b = Buffer.create 48 in
-  let i v = Buffer.add_string b (string_of_int v); Buffer.add_char b ';' in
-  let o = function Some v -> i v | None -> Buffer.add_char b '*' in
-  o m.Of_match.in_port;
-  o (Option.map Packet.Mac.to_int m.dl_src);
-  o (Option.map Packet.Mac.to_int m.dl_dst);
-  o m.dl_vlan;
-  o m.dl_vlan_pcp;
-  o m.dl_type;
-  o (Option.map
-       (fun (p : Packet.Ipv4_addr.Prefix.t) ->
-         Int32.to_int (Packet.Ipv4_addr.to_int32 p.base))
-       m.nw_src);
-  o (Option.map
-       (fun (p : Packet.Ipv4_addr.Prefix.t) ->
-         Int32.to_int (Packet.Ipv4_addr.to_int32 p.base))
-       m.nw_dst);
-  o m.nw_proto;
-  o m.nw_tos;
-  o m.tp_src;
-  o m.tp_dst;
-  Buffer.contents b
-
-let headers_key (h : Packet.Headers.t) =
-  let b = Buffer.create 48 in
-  let i v = Buffer.add_string b (string_of_int v); Buffer.add_char b ';' in
-  let o = function Some v -> i v | None -> Buffer.add_char b '*' in
-  i h.Packet.Headers.in_port;
-  i (Packet.Mac.to_int h.dl_src);
-  i (Packet.Mac.to_int h.dl_dst);
-  o h.dl_vlan;
-  o h.dl_vlan_pcp;
-  i h.dl_type;
-  o (Option.map (fun a -> Int32.to_int (Packet.Ipv4_addr.to_int32 a)) h.nw_src);
-  o (Option.map (fun a -> Int32.to_int (Packet.Ipv4_addr.to_int32 a)) h.nw_dst);
-  o h.nw_proto;
-  o h.nw_tos;
-  o h.tp_src;
-  o h.tp_dst;
-  Buffer.contents b
+let cost t = t.cost
 
 let is_hashable t (m : Of_match.t) =
   t.strategy = Exact_hash && Of_match.is_exact m
   && m.dl_vlan_pcp <> None = (m.dl_vlan <> None)
 
+(* Descending priority; equal priorities keep FIFO install order (the
+   new entry carries the largest [seq], and goes after its peers). *)
 let insert_sorted entry l =
   let rec go = function
     | [] -> [ entry ]
@@ -88,112 +143,321 @@ let insert_sorted entry l =
 
 let same_rule a (m, p) = Of_match.equal a.of_match m && a.priority = p
 
+(* Priority first, install order second — the total order every
+   strategy resolves ties with. *)
+let better a b =
+  a.priority > b.priority || (a.priority = b.priority && a.seq < b.seq)
+
+let by_rank a b =
+  match compare b.priority a.priority with 0 -> compare a.seq b.seq | c -> c
+
+let expired e ~now =
+  (e.hard_timeout > 0 && now -. e.install_time >= float_of_int e.hard_timeout)
+  || (e.idle_timeout > 0 && now -. e.last_hit >= float_of_int e.idle_timeout)
+
+(* --- classifier internals ---------------------------------------------------- *)
+
+let invalidate cls (cost : Cost.t) =
+  cls.generation <- cls.generation + 1;
+  cost.invalidations <- cost.invalidations + 1
+
+let resort cls =
+  cls.subtables <-
+    List.sort (fun a b -> compare b.s_max_priority a.s_max_priority)
+      cls.subtables
+
+let subtable_max st =
+  Packed.Tbl.fold
+    (fun _ es acc -> match es with e :: _ -> max acc e.priority | [] -> acc)
+    st.buckets min_int
+
+let cls_add cls cost entry =
+  let r = Of_match.pack_rule entry.of_match in
+  let st =
+    match Packed.Tbl.find_opt cls.by_mask r.Packed.mask with
+    | Some st -> st
+    | None ->
+      let st =
+        { s_mask = r.Packed.mask; buckets = Packed.Tbl.create 16;
+          s_max_priority = min_int; s_count = 0 }
+      in
+      Packed.Tbl.replace cls.by_mask r.Packed.mask st;
+      cls.subtables <- st :: cls.subtables;
+      st
+  in
+  let old =
+    Option.value ~default:[] (Packed.Tbl.find_opt st.buckets r.Packed.value)
+  in
+  (* OpenFlow ADD: an entry with identical match and priority is
+     replaced (it had the same priority, so the max is unaffected). *)
+  let kept =
+    List.filter
+      (fun e -> not (same_rule e (entry.of_match, entry.priority)))
+      old
+  in
+  st.s_count <- st.s_count + 1 + List.length kept - List.length old;
+  Packed.Tbl.replace st.buckets r.Packed.value (insert_sorted entry kept);
+  st.s_max_priority <- max st.s_max_priority entry.priority;
+  resort cls;
+  invalidate cls cost
+
+(* Remove every entry satisfying [pred]; empty subtables are dropped and
+   max priorities refreshed so pruning stays tight. *)
+let cls_remove_if cls pred =
+  let removed = ref [] in
+  List.iter
+    (fun st ->
+      let doomed =
+        Packed.Tbl.fold
+          (fun k es acc -> if List.exists pred es then (k, es) :: acc else acc)
+          st.buckets []
+      in
+      List.iter
+        (fun (k, es) ->
+          let drop, keep = List.partition pred es in
+          removed := drop @ !removed;
+          st.s_count <- st.s_count - List.length drop;
+          if keep = [] then Packed.Tbl.remove st.buckets k
+          else Packed.Tbl.replace st.buckets k keep)
+        doomed)
+    cls.subtables;
+  if !removed <> [] then begin
+    cls.subtables <-
+      List.filter
+        (fun st ->
+          if st.s_count = 0 then begin
+            Packed.Tbl.remove cls.by_mask st.s_mask;
+            false
+          end
+          else begin
+            st.s_max_priority <- subtable_max st;
+            true
+          end)
+        cls.subtables;
+    resort cls
+  end;
+  !removed
+
+exception Pruned
+
+let cls_search cls (cost : Cost.t) ~now key =
+  let best = ref None in
+  (try
+     List.iter
+       (fun st ->
+         (* Subtables are sorted by max priority: once below the current
+            winner, no later subtable can beat it (equal max priority
+            can still win the install-order tie-break, so keep going). *)
+         (match !best with
+         | Some b when st.s_max_priority < b.priority -> raise Pruned
+         | _ -> ());
+         cost.subtables_visited <- cost.subtables_visited + 1;
+         match Packed.Tbl.find_opt st.buckets (Packed.logand key st.s_mask) with
+         | None -> ()
+         | Some es ->
+           (* Everything in the bucket matches the packet; the first
+              live entry is the bucket's best. *)
+           let rec first = function
+             | [] -> None
+             | e :: rest ->
+               cost.entries_examined <- cost.entries_examined + 1;
+               if expired e ~now then first rest else Some e
+           in
+           (match first es with
+           | None -> ()
+           | Some e -> (
+             match !best with
+             | Some b when not (better e b) -> ()
+             | _ -> best := Some e)))
+       cls.subtables
+   with Pruned -> ());
+  !best
+
+let cls_lookup cls (cost : Cost.t) ~now key =
+  match Packed.Tbl.find_opt cls.micro key with
+  | Some (g, e) when g = cls.generation && not (expired e ~now) ->
+    cost.micro_hits <- cost.micro_hits + 1;
+    Some e
+  | probe ->
+    if probe <> None then Packed.Tbl.remove cls.micro key;
+    cost.micro_misses <- cost.micro_misses + 1;
+    let won = cls_search cls cost ~now key in
+    (match won with
+    | Some e ->
+      if Packed.Tbl.length cls.micro >= micro_cap then
+        Packed.Tbl.reset cls.micro;
+      Packed.Tbl.replace cls.micro key (cls.generation, e)
+    | None -> ());
+    won
+
+(* --- table operations -------------------------------------------------------- *)
+
 let add t ~now ~of_match ~priority ~actions ?(cookie = 0L) ?(idle_timeout = 0)
     ?(hard_timeout = 0) ?(notify_removal = false) () =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
   let entry =
-    { of_match; priority; actions; cookie; idle_timeout; hard_timeout;
+    { of_match; priority; seq; actions; cookie; idle_timeout; hard_timeout;
       notify_removal; install_time = now; last_hit = now; packets = 0L;
       bytes = 0L }
   in
-  if is_hashable t of_match then
-    Hashtbl.replace t.exact (exact_key of_match) entry
-  else begin
-    t.wildcard <-
+  match t.store with
+  | Linear_s s ->
+    s.entries <-
       insert_sorted entry
-        (List.filter (fun e -> not (same_rule e (of_match, priority))) t.wildcard)
-  end
+        (List.filter (fun e -> not (same_rule e (of_match, priority))) s.entries)
+  | Exact_s s ->
+    if is_hashable t of_match then
+      Packed.Tbl.replace s.exact (Of_match.pack_rule of_match).Packed.value
+        entry
+    else
+      s.wildcard <-
+        insert_sorted entry
+          (List.filter
+             (fun e -> not (same_rule e (of_match, priority)))
+             s.wildcard)
+  | Classifier_s cls -> cls_add cls t.cost entry
 
 let modify t ~of_match ~actions =
   let count = ref 0 in
-  t.wildcard <-
-    List.map
-      (fun e ->
-        if Of_match.equal e.of_match of_match then begin
-          incr count;
-          { e with actions }
-        end
-        else e)
-      t.wildcard;
-  (match Hashtbl.find_opt t.exact (exact_key of_match) with
-  | Some e when Of_match.equal e.of_match of_match ->
-    incr count;
-    Hashtbl.replace t.exact (exact_key of_match) { e with actions }
-  | Some _ | None -> ());
+  let update e =
+    if Of_match.equal e.of_match of_match then begin
+      incr count;
+      { e with actions }
+    end
+    else e
+  in
+  (match t.store with
+  | Linear_s s -> s.entries <- List.map update s.entries
+  | Exact_s s ->
+    s.wildcard <- List.map update s.wildcard;
+    let key = (Of_match.pack_rule of_match).Packed.value in
+    (match Packed.Tbl.find_opt s.exact key with
+    | Some e when Of_match.equal e.of_match of_match ->
+      incr count;
+      Packed.Tbl.replace s.exact key { e with actions }
+    | Some _ | None -> ())
+  | Classifier_s cls ->
+    let r = Of_match.pack_rule of_match in
+    (match Packed.Tbl.find_opt cls.by_mask r.Packed.mask with
+    | None -> ()
+    | Some st -> (
+      match Packed.Tbl.find_opt st.buckets r.Packed.value with
+      | None -> ()
+      | Some es ->
+        let es = List.map update es in
+        if !count > 0 then Packed.Tbl.replace st.buckets r.Packed.value es));
+    if !count > 0 then invalidate cls t.cost);
   !count
 
-let delete t ~of_match =
-  let removed = ref [] in
-  t.wildcard <-
-    List.filter
-      (fun e ->
-        if Of_match.subsumes of_match e.of_match then begin
-          removed := e :: !removed;
-          false
-        end
-        else true)
-      t.wildcard;
-  let doomed =
-    Hashtbl.fold
-      (fun k e acc -> if Of_match.subsumes of_match e.of_match then (k, e) :: acc else acc)
-      t.exact []
+let delete ?(strict = false) ?priority t ~of_match =
+  let doomed e =
+    if strict then
+      Of_match.equal e.of_match of_match
+      && (match priority with Some p -> e.priority = p | None -> true)
+    else Of_match.subsumes of_match e.of_match
   in
-  List.iter
-    (fun (k, e) ->
-      removed := e :: !removed;
-      Hashtbl.remove t.exact k)
-    doomed;
-  !removed
+  match t.store with
+  | Linear_s s ->
+    let removed, kept = List.partition doomed s.entries in
+    s.entries <- kept;
+    removed
+  | Exact_s s ->
+    let removed, kept = List.partition doomed s.wildcard in
+    s.wildcard <- kept;
+    let dead =
+      Packed.Tbl.fold
+        (fun k e acc -> if doomed e then (k, e) :: acc else acc)
+        s.exact []
+    in
+    List.iter (fun (k, _) -> Packed.Tbl.remove s.exact k) dead;
+    removed @ List.map snd dead
+  | Classifier_s cls ->
+    let removed = cls_remove_if cls doomed in
+    if removed <> [] then invalidate cls t.cost;
+    removed
 
-let lookup t ~now:_ headers =
-  let exact_hit =
-    if t.strategy = Exact_hash then Hashtbl.find_opt t.exact (headers_key headers)
-    else None
+(* Scan in (priority, install order); count every entry whose match we
+   evaluate. Expired entries no longer match — they are skipped here and
+   reaped by the next {!expire} sweep. *)
+let linear_find (cost : Cost.t) ~now entries headers =
+  let rec go = function
+    | [] -> None
+    | e :: rest ->
+      cost.entries_examined <- cost.entries_examined + 1;
+      if (not (expired e ~now)) && Of_match.matches e.of_match headers then
+        Some e
+      else go rest
   in
-  let wildcard_hit () =
-    List.find_opt (fun e -> Of_match.matches e.of_match headers) t.wildcard
-  in
-  match exact_hit with
-  | Some e -> begin
-    (* A wildcard entry of strictly higher priority still wins. *)
-    match wildcard_hit () with
-    | Some w when w.priority > e.priority -> Some w
-    | Some _ | None -> Some e
+  go entries
+
+let lookup t ~now headers =
+  let cost = t.cost in
+  cost.lookups <- cost.lookups + 1;
+  match t.store with
+  | Linear_s s -> linear_find cost ~now s.entries headers
+  | Exact_s s -> begin
+    let exact_hit =
+      match Packed.Tbl.find_opt s.exact (Packed.of_headers headers) with
+      | Some e ->
+        cost.entries_examined <- cost.entries_examined + 1;
+        if expired e ~now then None else Some e
+      | None -> None
+    in
+    let wildcard_hit () = linear_find cost ~now s.wildcard headers in
+    match exact_hit with
+    | Some e -> begin
+      (* A wildcard entry of strictly higher priority still wins. *)
+      match wildcard_hit () with
+      | Some w when w.priority > e.priority -> Some w
+      | Some _ | None -> Some e
+    end
+    | None -> wildcard_hit ()
   end
-  | None -> wildcard_hit ()
+  | Classifier_s cls -> cls_lookup cls cost ~now (Packed.of_headers headers)
 
 let hit entry ~now ~bytes =
   entry.last_hit <- now;
   entry.packets <- Int64.add entry.packets 1L;
   entry.bytes <- Int64.add entry.bytes (Int64.of_int bytes)
 
-let expired e ~now =
-  (e.hard_timeout > 0 && now -. e.install_time >= float_of_int e.hard_timeout)
-  || (e.idle_timeout > 0 && now -. e.last_hit >= float_of_int e.idle_timeout)
-
 let expire t ~now =
-  let removed = ref [] in
-  t.wildcard <-
-    List.filter
-      (fun e ->
-        if expired e ~now then begin
-          removed := e :: !removed;
-          false
-        end
-        else true)
-      t.wildcard;
-  let doomed =
-    Hashtbl.fold (fun k e acc -> if expired e ~now then (k, e) :: acc else acc)
-      t.exact []
-  in
-  List.iter
-    (fun (k, e) ->
-      removed := e :: !removed;
-      Hashtbl.remove t.exact k)
-    doomed;
-  !removed
+  let dead e = expired e ~now in
+  match t.store with
+  | Linear_s s ->
+    let removed, kept = List.partition dead s.entries in
+    s.entries <- kept;
+    removed
+  | Exact_s s ->
+    let removed, kept = List.partition dead s.wildcard in
+    s.wildcard <- kept;
+    let doomed =
+      Packed.Tbl.fold
+        (fun k e acc -> if dead e then (k, e) :: acc else acc)
+        s.exact []
+    in
+    List.iter (fun (k, _) -> Packed.Tbl.remove s.exact k) doomed;
+    removed @ List.map snd doomed
+  | Classifier_s cls ->
+    let removed = cls_remove_if cls dead in
+    if removed <> [] then invalidate cls t.cost;
+    removed
 
 let entries t =
-  let hashed = Hashtbl.fold (fun _ e acc -> e :: acc) t.exact [] in
-  List.sort (fun a b -> compare b.priority a.priority) (hashed @ t.wildcard)
+  let all =
+    match t.store with
+    | Linear_s s -> s.entries
+    | Exact_s s -> Packed.Tbl.fold (fun _ e acc -> e :: acc) s.exact s.wildcard
+    | Classifier_s cls ->
+      List.concat_map
+        (fun st -> Packed.Tbl.fold (fun _ es acc -> es @ acc) st.buckets [])
+        cls.subtables
+  in
+  List.sort by_rank all
 
-let length t = List.length t.wildcard + Hashtbl.length t.exact
+let length t =
+  match t.store with
+  | Linear_s s -> List.length s.entries
+  | Exact_s s -> List.length s.wildcard + Packed.Tbl.length s.exact
+  | Classifier_s cls ->
+    List.fold_left (fun acc st -> acc + st.s_count) 0 cls.subtables

@@ -1,19 +1,66 @@
 (** One OpenFlow flow table: priority-ordered wildcard matching with
     per-entry counters and idle/hard timeouts.
 
-    Two lookup strategies are provided so the cost of wildcard scanning
-    can be measured (an ablation bench): [Linear] scans the
-    priority-sorted entry list; [Exact_hash] additionally keeps
-    fully-specified entries in a hash table keyed by the packet
-    12-tuple, falling back to the scan only for wildcard entries — the
-    classic OVS-style exact-match fast path. Both strategies implement
-    identical OpenFlow semantics. *)
+    Three lookup strategies are provided so the cost of wildcard
+    classification can be measured (an ablation bench): [Linear] scans
+    the priority-sorted entry list; [Exact_hash] additionally keeps
+    fully-specified entries in a hash table keyed by the packed packet
+    12-tuple, falling back to the scan for wildcard entries;
+    [Classifier] is OVS-style tuple-space search — entries are
+    partitioned into subtables by their wildcard mask, each subtable a
+    hash table from the masked packed tuple to its entries, walked in
+    descending max-priority order with pruning, and fronted by an
+    exact-match microflow cache so steady-state forwarding is one hash
+    probe. All strategies implement identical OpenFlow semantics;
+    [Linear] is the executable specification the others are tested
+    against. *)
 
-type strategy = Linear | Exact_hash
+(** Datapath lookup counters — the flow-table analogue of {!Vfs.Cost}.
+    One {!t} per switch (shared by all its tables, see
+    {!Sim_switch.datapath_cost}); {!Network.datapath_cost} aggregates
+    them per network. Benches gate on these rather than wall time where
+    possible. *)
+module Cost : sig
+  type t
+
+  val create : unit -> t
+
+  val lookups : t -> int
+  (** Packets run through {!val-lookup}. *)
+
+  val entries_examined : t -> int
+  (** Entries whose match was evaluated — the classifier's headline
+      saving over the linear scan. *)
+
+  val subtables_visited : t -> int
+  (** Classifier subtables probed (one hash probe each). *)
+
+  val micro_hits : t -> int
+
+  val micro_misses : t -> int
+  (** Microflow-cache outcomes; a hit answers a lookup with a single
+      hash probe, touching no subtable. *)
+
+  val invalidations : t -> int
+  (** Generation bumps: mutations (add/modify/delete/expire) that could
+      change some cached answer, each orphaning the whole microflow
+      cache. *)
+
+  val absorb : into:t -> t -> unit
+  (** Add a switch's counters into an aggregate. *)
+
+  val reset : t -> unit
+  val pp : Format.formatter -> t -> unit
+end
+
+type strategy = Linear | Exact_hash | Classifier
 
 type entry = {
   of_match : Openflow.Of_match.t;
   priority : int;
+  seq : int;  (** install order — the deterministic tie-break: among
+                  equal priorities the earliest install wins, and
+                  {!entries} lists it first. *)
   actions : Openflow.Action.t list;
   cookie : int64;
   idle_timeout : int;   (** seconds; 0 = never *)
@@ -27,9 +74,13 @@ type entry = {
 
 type t
 
-val create : ?strategy:strategy -> unit -> t
+val create : ?strategy:strategy -> ?cost:Cost.t -> unit -> t
+(** [cost] lets several tables (a switch's pipeline) share one counter
+    set; a fresh one is created otherwise. *)
 
 val strategy : t -> strategy
+
+val cost : t -> Cost.t
 
 val add :
   t -> now:float ->
@@ -38,21 +89,28 @@ val add :
   ?cookie:int64 -> ?idle_timeout:int -> ?hard_timeout:int ->
   ?notify_removal:bool -> unit -> unit
 (** OpenFlow ADD: an entry with identical match and priority is
-    replaced (its counters reset). *)
+    replaced (its counters reset; it re-enters install order as the
+    newest entry, as a fresh add would). *)
 
 val modify : t -> of_match:Openflow.Of_match.t -> actions:Openflow.Action.t list -> int
 (** OpenFlow MODIFY: update the actions of every entry whose match
     equals the given one; returns how many were updated (0 means the
     caller should treat it as an add). *)
 
-val delete : t -> of_match:Openflow.Of_match.t -> entry list
-(** OpenFlow DELETE: remove every entry whose match is subsumed by the
-    given match (so the [any] match empties the table); returns the
-    removed entries. *)
+val delete :
+  ?strict:bool -> ?priority:int -> t ->
+  of_match:Openflow.Of_match.t -> entry list
+(** OpenFlow DELETE: by default remove every entry whose match is
+    subsumed by the given match (so the [any] match empties the table),
+    ignoring priority; returns the removed entries. With [~strict:true]
+    (DELETE_STRICT) remove only entries whose match equals [of_match]
+    exactly and — when [priority] is given — whose priority equals it. *)
 
 val lookup : t -> now:float -> Packet.Headers.t -> entry option
-(** Highest-priority matching entry; updates its counters is the
-    caller's job (see {!hit}). *)
+(** Highest-priority live matching entry (ties broken by install
+    order). Entries past their idle or hard timeout at [now] no longer
+    match, even before an {!expire} sweep reaps them. Updating the
+    winner's counters is the caller's job (see {!hit}). *)
 
 val hit : entry -> now:float -> bytes:int -> unit
 (** Record one matched packet. *)
@@ -61,6 +119,8 @@ val expire : t -> now:float -> entry list
 (** Remove and return entries past their idle or hard timeout. *)
 
 val entries : t -> entry list
-(** All live entries, highest priority first. *)
+(** All live entries, highest priority first; priority ties in install
+    order (oldest first), independent of strategy and hash iteration
+    order. *)
 
 val length : t -> int

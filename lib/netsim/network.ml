@@ -107,6 +107,14 @@ let hosts t =
   Hashtbl.fold (fun _ h acc -> h :: acc) t.hosts []
   |> List.sort (fun a b -> String.compare (Sim_host.name a) (Sim_host.name b))
 
+let datapath_cost t =
+  let total = Flow_table.Cost.create () in
+  Hashtbl.iter
+    (fun _ sw ->
+      Flow_table.Cost.absorb ~into:total (Sim_switch.datapath_cost sw))
+    t.switches;
+  total
+
 let ensure_port t = function
   | Hst _ -> ()
   | Sw (dpid, port) -> (

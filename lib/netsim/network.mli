@@ -27,6 +27,10 @@ val host : t -> string -> Sim_host.t option
 val switches : t -> Sim_switch.t list
 val hosts : t -> Sim_host.t list
 
+val datapath_cost : t -> Flow_table.Cost.t
+(** A fresh aggregate of every switch's datapath lookup counters (a
+    snapshot — later lookups are not reflected in the returned value). *)
+
 val link : ?latency:float -> t -> endpoint -> endpoint -> unit
 (** Connect two endpoints with a bidirectional link. Linking a switch
     port that does not exist yet creates it. *)

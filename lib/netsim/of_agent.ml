@@ -113,8 +113,12 @@ let handle10 t ~now ~xid (msg : OF.Of10.msg) =
       ignore
         (Sim_switch.flow_modify t.switch ~now ~of_match:fm.of_match
            ~actions:fm.actions ())
-    | OF.Of10.Delete ->
-      let removed = Sim_switch.flow_delete t.switch ~of_match:fm.of_match () in
+    | OF.Of10.Delete | OF.Of10.Delete_strict ->
+      let strict = fm.command = OF.Of10.Delete_strict in
+      let removed =
+        Sim_switch.flow_delete t.switch ~strict ~priority:fm.priority
+          ~of_match:fm.of_match ()
+      in
       List.iter
         (fun (e : Flow_table.entry) ->
           if e.notify_removal then
@@ -180,10 +184,11 @@ let handle13 t ~now ~xid (msg : OF.Of13.msg) =
       ignore
         (Sim_switch.flow_modify t.switch ~table_id:fm.table_id ~now
            ~of_match:fm.of_match ~actions ())
-    | OF.Of13.Delete ->
+    | OF.Of13.Delete | OF.Of13.Delete_strict ->
+      let strict = fm.command = OF.Of13.Delete_strict in
       let removed =
-        Sim_switch.flow_delete t.switch ~table_id:fm.table_id
-          ~of_match:fm.of_match ()
+        Sim_switch.flow_delete t.switch ~table_id:fm.table_id ~strict
+          ~priority:fm.priority ~of_match:fm.of_match ()
       in
       List.iter
         (fun (e : Flow_table.entry) ->

@@ -33,6 +33,7 @@ type t = {
   dpid : int64;
   n_buffers : int;
   miss_send_len : int;
+  cost : Flow_table.Cost.t; (* shared by every table of the pipeline *)
   tables : Flow_table.t array;
   ports : (int, port_state) Hashtbl.t;
   buffers : (int32, int * P.Eth.t) Hashtbl.t;
@@ -51,6 +52,8 @@ let port_mac dpid port_no =
 
 let dpid t = t.dpid
 
+let datapath_cost t = t.cost
+
 let n_tables t = Array.length t.tables
 
 let n_buffers t = t.n_buffers
@@ -68,9 +71,12 @@ let make_port t ?(speed_mbps = 1000) port_no =
    Pass a small value to exercise the buffering path. *)
 let create ?(n_tables = 1) ?(n_buffers = 256) ?(miss_send_len = 0xffff)
     ?(strategy = Flow_table.Linear) ?(n_ports = 4) ~dpid () =
+  let cost = Flow_table.Cost.create () in
   let t =
-    { dpid; n_buffers; miss_send_len;
-      tables = Array.init (max 1 n_tables) (fun _ -> Flow_table.create ~strategy ());
+    { dpid; n_buffers; miss_send_len; cost;
+      tables =
+        Array.init (max 1 n_tables) (fun _ ->
+            Flow_table.create ~strategy ~cost ());
       ports = Hashtbl.create 16;
       buffers = Hashtbl.create 64;
       buffer_order = [];
@@ -206,13 +212,15 @@ let flow_modify t ?(table_id = 0) ~now ~of_match ~actions () =
         Flow_table.add table ~now ~of_match ~priority:0x8000 ~actions ())
     (check_table t table_id)
 
-let flow_delete t ?table_id ~of_match () =
+let flow_delete t ?table_id ?strict ?priority ~of_match () =
   let tables =
     match table_id with
     | Some id -> (match check_table t id with Ok tbl -> [ tbl ] | Error _ -> [])
     | None -> Array.to_list t.tables
   in
-  List.concat_map (fun tbl -> Flow_table.delete tbl ~of_match) tables
+  List.concat_map
+    (fun tbl -> Flow_table.delete ?strict ?priority tbl ~of_match)
+    tables
 
 let flow_stats t ?table_id ~of_match () =
   let with_id =

@@ -31,6 +31,11 @@ val create :
     smaller limit is given. *)
 
 val dpid : t -> int64
+
+val datapath_cost : t -> Flow_table.Cost.t
+(** The lookup counters shared by every table of this switch's
+    pipeline. *)
+
 val n_tables : t -> int
 val n_buffers : t -> int
 val capabilities : t -> Openflow.Of_types.Capabilities.t
@@ -91,10 +96,11 @@ val flow_modify :
 (** Modify-or-add, per OpenFlow MODIFY semantics. *)
 
 val flow_delete :
-  t -> ?table_id:int -> of_match:Openflow.Of_match.t -> unit ->
-  Flow_table.entry list
+  t -> ?table_id:int -> ?strict:bool -> ?priority:int ->
+  of_match:Openflow.Of_match.t -> unit -> Flow_table.entry list
 (** Removed entries (for flow-removed notifications). [table_id] absent
-    means all tables. *)
+    means all tables; [strict]/[priority] select DELETE_STRICT
+    semantics, see {!Flow_table.delete}. *)
 
 val flow_stats :
   t -> ?table_id:int -> of_match:Openflow.Of_match.t -> unit ->

@@ -87,8 +87,8 @@ let linear ?(hosts_per_switch = 1) ?(dhcp = false) ?strategy ?miss_send_len n =
   with_hosts ~dhcp b hosts_per_switch dpids;
   finish b
 
-let ring ?(hosts_per_switch = 1) n =
-  let b = builder () in
+let ring ?(hosts_per_switch = 1) ?strategy n =
+  let b = builder ?strategy () in
   let dpids = List.init n (fun _ -> new_switch b) in
   let arr = Array.of_list dpids in
   for i = 0 to n - 1 do
@@ -97,16 +97,16 @@ let ring ?(hosts_per_switch = 1) n =
   with_hosts b hosts_per_switch dpids;
   finish b
 
-let star ?(leaves = 4) () =
-  let b = builder () in
+let star ?(leaves = 4) ?strategy () =
+  let b = builder ?strategy () in
   let core = new_switch b in
   let edge = List.init leaves (fun _ -> new_switch b) in
   List.iter (fun e -> connect b core e) edge;
   with_hosts b 1 edge;
   finish b
 
-let tree ?(fanout = 2) ?(depth = 3) () =
-  let b = builder () in
+let tree ?(fanout = 2) ?(depth = 3) ?strategy () =
+  let b = builder ?strategy () in
   let rec grow level parent =
     if level >= depth then ()
     else
@@ -123,9 +123,9 @@ let tree ?(fanout = 2) ?(depth = 3) () =
   if depth = 1 then b.host_names <- b.host_names @ [ attach_host b root ];
   finish b
 
-let fat_tree ?(k = 4) () =
+let fat_tree ?(k = 4) ?strategy () =
   if k < 2 || k mod 2 <> 0 then invalid_arg "Topo_gen.fat_tree: k must be even";
-  let b = builder () in
+  let b = builder ?strategy () in
   let half = k / 2 in
   (* Core switches first, then per pod: aggregation then edge. *)
   let cores = Array.init (half * half) (fun _ -> new_switch b) in
@@ -149,8 +149,8 @@ let fat_tree ?(k = 4) () =
   done;
   finish b
 
-let random ?(seed = 42) ?(extra_links = 0) ?(hosts_per_switch = 1) n =
-  let b = builder () in
+let random ?(seed = 42) ?(extra_links = 0) ?(hosts_per_switch = 1) ?strategy n =
+  let b = builder ?strategy () in
   let rng = Random.State.make [| seed |] in
   let dpids = Array.init n (fun _ -> new_switch b) in
   for i = 1 to n - 1 do

@@ -23,21 +23,23 @@ val linear :
   ?miss_send_len:int -> int -> built
 (** [linear n] — a chain of [n] switches, each with its hosts. *)
 
-val ring : ?hosts_per_switch:int -> int -> built
+val ring : ?hosts_per_switch:int -> ?strategy:Flow_table.strategy -> int -> built
 
-val star : ?leaves:int -> unit -> built
+val star : ?leaves:int -> ?strategy:Flow_table.strategy -> unit -> built
 (** One core switch, [leaves] edge switches with one host each. *)
 
-val tree : ?fanout:int -> ?depth:int -> unit -> built
+val tree :
+  ?fanout:int -> ?depth:int -> ?strategy:Flow_table.strategy -> unit -> built
 (** A [fanout]-ary tree of switches of the given [depth]; hosts hang off
     the leaf switches. *)
 
-val fat_tree : ?k:int -> unit -> built
+val fat_tree : ?k:int -> ?strategy:Flow_table.strategy -> unit -> built
 (** The classic k-ary fat tree: [k] pods, (k/2)² core switches, k²/4
     hosts per... sized as in the literature, with one host per edge
     switch port. [k] must be even (default 4: 20 switches, 16 hosts). *)
 
 val random :
-  ?seed:int -> ?extra_links:int -> ?hosts_per_switch:int -> int -> built
+  ?seed:int -> ?extra_links:int -> ?hosts_per_switch:int ->
+  ?strategy:Flow_table.strategy -> int -> built
 (** A random connected graph: a spanning tree over [n] switches plus
     [extra_links] random chords. Deterministic for a given [seed]. *)

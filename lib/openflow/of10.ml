@@ -12,7 +12,7 @@ type features = {
   ports : Of_types.Port_info.t list;
 }
 
-type flow_mod_command = Add | Modify | Delete
+type flow_mod_command = Add | Modify | Delete | Delete_strict
 
 type flow_mod = {
   of_match : Of_match.t;
@@ -405,7 +405,12 @@ let body_and_type = function
     let w = W.create () in
     encode_match w fm.of_match;
     W.u64 w fm.cookie;
-    W.u16 w (match fm.command with Add -> 0 | Modify -> 1 | Delete -> 3);
+    W.u16 w
+      (match fm.command with
+      | Add -> 0
+      | Modify -> 1
+      | Delete -> 3
+      | Delete_strict -> 4);
     W.u16 w fm.idle_timeout;
     W.u16 w fm.hard_timeout;
     W.u16 w fm.priority;
@@ -580,7 +585,8 @@ let decode_body ty r =
       match cmd with
       | 0 -> Ok Add
       | 1 | 2 -> Ok Modify
-      | 3 | 4 -> Ok Delete
+      | 3 -> Ok Delete
+      | 4 -> Ok Delete_strict
       | n -> Error (Printf.sprintf "unknown flow_mod command %d" n)
     in
     Result.bind command (fun command ->
@@ -732,7 +738,11 @@ let pp ppf m =
   match m with
   | Flow_mod fm ->
     Format.fprintf ppf "flow_mod[%s %a pri=%d -> %a]"
-      (match fm.command with Add -> "add" | Modify -> "mod" | Delete -> "del")
+      (match fm.command with
+      | Add -> "add"
+      | Modify -> "mod"
+      | Delete -> "del"
+      | Delete_strict -> "del-strict")
       Of_match.pp fm.of_match fm.priority Action.pp_list fm.actions
   | Packet_in { in_port; data; _ } ->
     Format.fprintf ppf "packet_in[port=%d %dB]" in_port (String.length data)

@@ -18,7 +18,7 @@ type features = {
   ports : Of_types.Port_info.t list;
 }
 
-type flow_mod_command = Add | Modify | Delete
+type flow_mod_command = Add | Modify | Delete | Delete_strict
 
 type flow_mod = {
   of_match : Of_match.t;

@@ -16,7 +16,7 @@ type features = {
   capabilities : Of_types.Capabilities.t;
 }
 
-type flow_mod_command = Add | Modify | Delete
+type flow_mod_command = Add | Modify | Delete | Delete_strict
 
 type flow_mod = {
   table_id : int;
@@ -575,7 +575,12 @@ let body_and_type = function
     W.u64 w fm.cookie;
     W.u64 w 0L; (* cookie mask *)
     W.u8 w fm.table_id;
-    W.u8 w (match fm.command with Add -> 0 | Modify -> 1 | Delete -> 3);
+    W.u8 w
+      (match fm.command with
+      | Add -> 0
+      | Modify -> 1
+      | Delete -> 3
+      | Delete_strict -> 4);
     W.u16 w fm.idle_timeout;
     W.u16 w fm.hard_timeout;
     W.u16 w fm.priority;
@@ -782,7 +787,8 @@ let decode_body ty r =
       match cmd with
       | 0 -> Ok Add
       | 1 | 2 -> Ok Modify
-      | 3 | 4 -> Ok Delete
+      | 3 -> Ok Delete
+      | 4 -> Ok Delete_strict
       | n -> Error (Printf.sprintf "unknown flow_mod command %d" n)
     in
     Ok
@@ -970,7 +976,11 @@ let pp ppf m =
   match m with
   | Flow_mod fm ->
     Format.fprintf ppf "flow_mod13[%s t=%d %a pri=%d -> %a]"
-      (match fm.command with Add -> "add" | Modify -> "mod" | Delete -> "del")
+      (match fm.command with
+      | Add -> "add"
+      | Modify -> "mod"
+      | Delete -> "del"
+      | Delete_strict -> "del-strict")
       fm.table_id Of_match.pp fm.of_match fm.priority Action.pp_list
       (actions_of_instructions fm.instructions)
   | Packet_in { in_port; data; table_id; _ } ->

@@ -23,7 +23,7 @@ type features = {
   capabilities : Of_types.Capabilities.t;
 }
 
-type flow_mod_command = Add | Modify | Delete
+type flow_mod_command = Add | Modify | Delete | Delete_strict
 
 type flow_mod = {
   table_id : int;

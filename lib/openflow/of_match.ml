@@ -195,6 +195,134 @@ let of_fields fields =
 
 let equal a b = a = b
 
+(* --- packed representation -------------------------------------------------- *)
+
+module Packed = struct
+  (* Field layout, bit offsets within each word (every word stays inside
+     OCaml's 63 tagged bits):
+       w0: dl_src[0..47]    dl_vlan[48..59]   dl_vlan_pcp[60..62]
+       w1: dl_dst[0..47]    nw_proto[48..55]
+       w2: nw_src[0..31]    dl_type[32..47]   nw_tos[48..55]
+       w3: nw_dst[0..31]    tp_src[32..47]    presence[48..55]
+       w4: in_port[0..31]   tp_dst[32..47]
+     Presence bits (w3, bit 48+i) distinguish "field absent from this
+     packet" from "field present with value 0": dl_vlan=0, dl_vlan_pcp=1,
+     nw_src=2, nw_dst=3, nw_proto=4, nw_tos=5, tp_src=6, tp_dst=7.
+     in_port, dl_src, dl_dst and dl_type exist in every packet and need
+     no presence bit. *)
+  type t = { w0 : int; w1 : int; w2 : int; w3 : int; w4 : int }
+
+  let zero = { w0 = 0; w1 = 0; w2 = 0; w3 = 0; w4 = 0 }
+
+  let p_dl_vlan = 1 lsl 48
+  let p_dl_vlan_pcp = 1 lsl 49
+  let p_nw_src = 1 lsl 50
+  let p_nw_dst = 1 lsl 51
+  let p_nw_proto = 1 lsl 52
+  let p_nw_tos = 1 lsl 53
+  let p_tp_src = 1 lsl 54
+  let p_tp_dst = 1 lsl 55
+
+  let equal a b =
+    a.w0 = b.w0 && a.w1 = b.w1 && a.w2 = b.w2 && a.w3 = b.w3 && a.w4 = b.w4
+
+  let hash p =
+    let mix h w = (h * 486187739) + w in
+    mix (mix (mix (mix (mix 17 p.w0) p.w1) p.w2) p.w3) p.w4 land max_int
+
+  let logand a b =
+    { w0 = a.w0 land b.w0; w1 = a.w1 land b.w1; w2 = a.w2 land b.w2;
+      w3 = a.w3 land b.w3; w4 = a.w4 land b.w4 }
+
+  let ip_bits a = Int32.to_int (P.Ipv4_addr.to_int32 a) land 0xffffffff
+
+  let of_headers (h : P.Headers.t) =
+    let pr = ref 0 in
+    let opt bit f = function
+      | Some v ->
+        pr := !pr lor bit;
+        f v
+      | None -> 0
+    in
+    let w0 =
+      P.Mac.to_int h.dl_src
+      lor opt p_dl_vlan (fun v -> v lsl 48) h.dl_vlan
+      lor opt p_dl_vlan_pcp (fun v -> v lsl 60) h.dl_vlan_pcp
+    in
+    let w1 =
+      P.Mac.to_int h.dl_dst lor opt p_nw_proto (fun v -> v lsl 48) h.nw_proto
+    in
+    let w2 =
+      opt p_nw_src ip_bits h.nw_src
+      lor (h.dl_type lsl 32)
+      lor opt p_nw_tos (fun v -> v lsl 48) h.nw_tos
+    in
+    let w3 =
+      opt p_nw_dst ip_bits h.nw_dst
+      lor opt p_tp_src (fun v -> v lsl 32) h.tp_src
+    in
+    let w4 =
+      (h.in_port land 0xffffffff) lor opt p_tp_dst (fun v -> v lsl 32) h.tp_dst
+    in
+    { w0; w1; w2; w3 = w3 lor !pr; w4 }
+
+  type rule = { mask : t; value : t }
+
+  let matches r key = equal (logand r.mask key) r.value
+
+  module Tbl = Hashtbl.Make (struct
+    type nonrec t = t
+
+    let equal = equal
+    let hash = hash
+  end)
+end
+
+(* The CIDR netmask as an int over the unsigned 32-bit address image —
+   the same bits [Ipv4_addr.Prefix.mask] selects. *)
+let pfx_mask bits =
+  if bits <= 0 then 0
+  else if bits >= 32 then 0xffffffff
+  else 0xffffffff lsl (32 - bits) land 0xffffffff
+
+let pack_rule (m : t) : Packed.rule =
+  let m0 = ref 0 and m1 = ref 0 and m2 = ref 0 and m3 = ref 0 and m4 = ref 0 in
+  let v0 = ref 0 and v1 = ref 0 and v2 = ref 0 and v3 = ref 0 and v4 = ref 0 in
+  let scalar mw vw pbit width shift = function
+    | None -> ()
+    | Some v ->
+      let field = (1 lsl width) - 1 in
+      mw := !mw lor (field lsl shift);
+      vw := !vw lor ((v land field) lsl shift);
+      m3 := !m3 lor pbit;
+      v3 := !v3 lor pbit
+  in
+  (* The prefix base goes into the value verbatim: an unnormalized base
+     (bits outside the netmask) then never compares equal, exactly as
+     [Prefix.matches] never holds for it. *)
+  let prefix mw vw pbit = function
+    | None -> ()
+    | Some (p : P.Ipv4_addr.Prefix.t) ->
+      mw := !mw lor pfx_mask p.bits;
+      vw := !vw lor Packed.ip_bits p.base;
+      m3 := !m3 lor pbit;
+      v3 := !v3 lor pbit
+  in
+  scalar m4 v4 0 32 0 m.in_port;
+  scalar m0 v0 0 48 0 (Option.map P.Mac.to_int m.dl_src);
+  scalar m1 v1 0 48 0 (Option.map P.Mac.to_int m.dl_dst);
+  scalar m0 v0 Packed.p_dl_vlan 12 48 m.dl_vlan;
+  scalar m0 v0 Packed.p_dl_vlan_pcp 3 60 m.dl_vlan_pcp;
+  scalar m2 v2 0 16 32 m.dl_type;
+  prefix m2 v2 Packed.p_nw_src m.nw_src;
+  prefix m3 v3 Packed.p_nw_dst m.nw_dst;
+  scalar m1 v1 Packed.p_nw_proto 8 48 m.nw_proto;
+  scalar m2 v2 Packed.p_nw_tos 8 48 m.nw_tos;
+  scalar m3 v3 Packed.p_tp_src 16 32 m.tp_src;
+  scalar m4 v4 Packed.p_tp_dst 16 32 m.tp_dst;
+  { Packed.mask = { w0 = !m0; w1 = !m1; w2 = !m2; w3 = !m3; w4 = !m4 };
+    value = { w0 = !v0; w1 = !v1; w2 = !v2; w3 = !v3; w4 = !v4 } }
+
 let pp ppf m =
   match to_fields m with
   | [] -> Format.pp_print_string ppf "*"

@@ -64,3 +64,43 @@ val set_field : t -> string -> string -> (t, string) result
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
+
+(** {1 Packed representation}
+
+    The 12-tuple packed into five OCaml ints, with presence bits
+    distinguishing an optional field that is absent from one present
+    with value 0. Packing a packet costs one five-word record and no
+    other allocation; comparing two packed tuples is five int
+    equalities. {!Flow_table}'s exact-match and classifier backends key
+    their hash tables with these instead of formatted strings. *)
+
+module Packed : sig
+  type t
+  (** The packed image of either a packet's headers ({!of_headers}) or
+      one side of a match rule ({!pack_rule}). *)
+
+  val zero : t
+  val equal : t -> t -> bool
+  val hash : t -> int
+
+  val logand : t -> t -> t
+  (** Word-wise AND — restricts a packed packet to a subtable's mask. *)
+
+  val of_headers : Packet.Headers.t -> t
+
+  type rule = { mask : t; value : t }
+
+  val matches : rule -> t -> bool
+  (** [matches r key] iff [logand r.mask key] equals [r.value] —
+      equivalent to {!Of_match.matches} on the unpacked forms. *)
+
+  module Tbl : Hashtbl.S with type key = t
+end
+
+val pack_rule : t -> Packed.rule
+(** The packed image of a match: [mask] has a bit set for every header
+    bit the match constrains (field bits — the CIDR netmask for the nw
+    prefixes — plus, for optional fields, the presence bit), and a
+    packet matches iff masking its packed headers yields [value]
+    exactly. Matches over the same field set share one [mask], which is
+    what partitions the classifier's subtables. *)

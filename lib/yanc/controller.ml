@@ -18,6 +18,8 @@ let fs t = t.fs
 
 let cost t = Vfs.Fs.cost t.fs
 
+let datapath_cost t = Netsim.Network.datapath_cost t.net
+
 let yfs t = t.yfs
 
 let net t = t.net

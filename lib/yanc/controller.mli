@@ -24,6 +24,11 @@ val cost : t -> Vfs.Cost.t
     watches visited, coalesced, overflow-dropped) that [yancctl]
     surfaces. *)
 
+val datapath_cost : t -> Netsim.Flow_table.Cost.t
+(** Aggregated switch datapath lookup counters (classifier subtables
+    visited, microflow hits/misses, invalidations) — a snapshot, see
+    {!Netsim.Network.datapath_cost}. *)
+
 val yfs : t -> Yancfs.Yanc_fs.t
 val net : t -> Netsim.Network.t
 val manager : t -> Driver.Manager.t

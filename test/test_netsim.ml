@@ -8,6 +8,8 @@ let m s = Option.get (P.Mac.of_string s)
 
 let a s = Option.get (P.Ipv4_addr.of_string s)
 
+let pfx s = Option.get (P.Ipv4_addr.Prefix.of_string s)
+
 let frame ?(src = "02:00:00:00:00:01") ?(dst = "02:00:00:00:00:02")
     ?(dst_port = 80) () =
   P.Builder.tcp_syn ~src_mac:(m src) ~dst_mac:(m dst) ~src_ip:(a "10.0.0.1")
@@ -19,9 +21,15 @@ let headers ?dst_port ~in_port () = P.Headers.of_eth ~in_port (frame ?dst_port (
 
 let table ?strategy () = N.Flow_table.create ?strategy ()
 
-let add ?(priority = 100) ?(idle = 0) ?(hard = 0) t of_match actions =
+let add ?(priority = 100) ?(idle = 0) ?(hard = 0) ?(notify = false) t of_match
+    actions =
   N.Flow_table.add t ~now:0. ~of_match ~priority ~actions ~idle_timeout:idle
-    ~hard_timeout:hard ()
+    ~hard_timeout:hard ~notify_removal:notify ()
+
+let all_strategies =
+  [ N.Flow_table.Linear, "linear";
+    N.Flow_table.Exact_hash, "hash";
+    N.Flow_table.Classifier, "classifier" ]
 
 let test_table_priority () =
   let t = table () in
@@ -93,6 +101,351 @@ let test_table_counters () =
     Alcotest.(check int64) "bytes" 100L e.N.Flow_table.bytes
   | None -> Alcotest.fail "no match"
 
+(* Regression: entries past their timeout stop matching in [lookup]
+   itself, before any [expire] sweep reaps them. *)
+let test_table_expired_skipped_in_lookup () =
+  List.iter
+    (fun (strategy, sname) ->
+      let name s = s ^ " (" ^ sname ^ ")" in
+      let t = table ~strategy () in
+      add ~priority:100 ~idle:5 t
+        { OF.Of_match.any with OF.Of_match.tp_dst = Some 80 }
+        [ OF.Action.Output (OF.Action.Physical 1) ];
+      add ~priority:10 t OF.Of_match.any [ OF.Action.Output (OF.Action.Physical 9) ];
+      (* an exact-match rule with a hard timeout, to cover the Exact_hash
+         fast path and the classifier's microflow cache *)
+      add ~priority:300 ~hard:3 t
+        (OF.Of_match.exact_of_headers (headers ~in_port:1 ()))
+        [ OF.Action.Output (OF.Action.Physical 2) ];
+      let prio_at now =
+        Option.map
+          (fun e -> e.N.Flow_table.priority)
+          (N.Flow_table.lookup t ~now (headers ~in_port:1 ()))
+      in
+      Alcotest.(check (option int)) (name "all live") (Some 300) (prio_at 1.);
+      Alcotest.(check (option int)) (name "hard-expired skipped") (Some 100)
+        (prio_at 3.);
+      Alcotest.(check (option int)) (name "idle-expired skipped") (Some 10)
+        (prio_at 5.);
+      (* the table was never swept; expire still reaps both *)
+      Alcotest.(check int) (name "expire reaps both") 2
+        (List.length (N.Flow_table.expire t ~now:5.)))
+    all_strategies
+
+let test_table_strict_delete () =
+  List.iter
+    (fun (strategy, sname) ->
+      let name s = s ^ " (" ^ sname ^ ")" in
+      let t = table ~strategy () in
+      let tp80 = { OF.Of_match.any with OF.Of_match.tp_dst = Some 80 } in
+      let narrow = { tp80 with OF.Of_match.in_port = Some 1 } in
+      add ~priority:100 t tp80 [];
+      add ~priority:200 t tp80 [];
+      add ~priority:100 t narrow [];
+      Alcotest.(check int) (name "strict + wrong priority removes nothing") 0
+        (List.length
+           (N.Flow_table.delete ~strict:true ~priority:50 t ~of_match:tp80));
+      (* strict removes only the exact match at the exact priority — not
+         the subsumed narrower rule, not the other priority *)
+      (match N.Flow_table.delete ~strict:true ~priority:200 t ~of_match:tp80 with
+      | [ e ] ->
+        Alcotest.(check int) (name "strict removed p200") 200
+          e.N.Flow_table.priority
+      | l -> Alcotest.failf "strict removed %d entries" (List.length l));
+      Alcotest.(check int) (name "two left") 2 (N.Flow_table.length t);
+      (* without a priority, strict still requires match equality *)
+      (match N.Flow_table.delete ~strict:true t ~of_match:narrow with
+      | [ e ] ->
+        Alcotest.(check bool) (name "strict needs exact match") true
+          (OF.Of_match.equal e.N.Flow_table.of_match narrow)
+      | l -> Alcotest.failf "strict/no-priority removed %d" (List.length l));
+      add ~priority:100 t narrow [];
+      (* non-strict subsumption takes the narrower rule too *)
+      Alcotest.(check int) (name "non-strict removes both") 2
+        (List.length (N.Flow_table.delete t ~of_match:tp80)))
+    all_strategies
+
+let test_table_entries_order () =
+  List.iter
+    (fun (strategy, sname) ->
+      let t = table ~strategy () in
+      let rule i = { OF.Of_match.any with OF.Of_match.tp_dst = Some (1000 + i) } in
+      List.iteri
+        (fun i priority ->
+          add ~priority t (rule i) [ OF.Action.Output (OF.Action.Physical i) ])
+        [ 100; 100; 100; 200 ];
+      let order () =
+        List.map
+          (fun e ->
+            match e.N.Flow_table.actions with
+            | [ OF.Action.Output (OF.Action.Physical i) ] -> i
+            | _ -> -1)
+          (N.Flow_table.entries t)
+      in
+      Alcotest.(check (list int))
+        ("priority desc, ties in install order (" ^ sname ^ ")")
+        [ 3; 0; 1; 2 ] (order ());
+      (* replacing an entry re-enters it as the newest of its priority *)
+      add ~priority:100 t (rule 0) [ OF.Action.Output (OF.Action.Physical 7) ];
+      Alcotest.(check (list int))
+        ("replace moves to back (" ^ sname ^ ")")
+        [ 3; 1; 2; 7 ] (order ()))
+    all_strategies
+
+let test_table_timeout_edges () =
+  let t = table () in
+  let tp80 = { OF.Of_match.any with OF.Of_match.tp_dst = Some 80 } in
+  add ~hard:5 ~notify:true t tp80 [];
+  (* hits do not extend a hard timeout *)
+  (match N.Flow_table.lookup t ~now:4. (headers ~in_port:1 ()) with
+  | Some e -> N.Flow_table.hit e ~now:4. ~bytes:64
+  | None -> Alcotest.fail "live before hard timeout");
+  Alcotest.(check bool) "hit does not extend hard timeout" true
+    (N.Flow_table.lookup t ~now:5. (headers ~in_port:1 ()) = None);
+  (match N.Flow_table.expire t ~now:5. with
+  | [ e ] ->
+    Alcotest.(check bool) "notify_removal preserved" true
+      e.N.Flow_table.notify_removal;
+    Alcotest.(check int64) "counters preserved" 1L e.N.Flow_table.packets
+  | l -> Alcotest.failf "expected 1 expiry, got %d" (List.length l));
+  (* idle timeouts measure from the last hit, not from install *)
+  add ~idle:3 t tp80 [];
+  (match N.Flow_table.lookup t ~now:2. (headers ~in_port:1 ()) with
+  | Some e -> N.Flow_table.hit e ~now:2. ~bytes:64
+  | None -> Alcotest.fail "live before idle timeout");
+  Alcotest.(check int) "idle refreshed by hit" 0
+    (List.length (N.Flow_table.expire t ~now:4.9));
+  Alcotest.(check bool) "idle fires 3s after last hit" true
+    (N.Flow_table.lookup t ~now:5. (headers ~in_port:1 ()) = None);
+  Alcotest.(check int) "swept" 1 (List.length (N.Flow_table.expire t ~now:5.));
+  (* zero means never *)
+  add t tp80 [];
+  Alcotest.(check int) "0 = no timeout" 0
+    (List.length (N.Flow_table.expire t ~now:1.0e9))
+
+(* --- classifier ------------------------------------------------------------------ *)
+
+let test_classifier_microflow () =
+  let t = table ~strategy:N.Flow_table.Classifier () in
+  let cost = N.Flow_table.cost t in
+  let tp80 = { OF.Of_match.any with OF.Of_match.tp_dst = Some 80 } in
+  add ~priority:10 t tp80 [ OF.Action.Output (OF.Action.Physical 1) ];
+  let h = headers ~in_port:1 () in
+  let prio () =
+    Option.map (fun e -> e.N.Flow_table.priority) (N.Flow_table.lookup t ~now:0. h)
+  in
+  Alcotest.(check (option int)) "cold lookup" (Some 10) (prio ());
+  Alcotest.(check int) "first lookup misses the cache" 1
+    (N.Flow_table.Cost.micro_misses cost);
+  Alcotest.(check (option int)) "warm lookup" (Some 10) (prio ());
+  Alcotest.(check int) "second lookup hits the cache" 1
+    (N.Flow_table.Cost.micro_hits cost);
+  let st = N.Flow_table.Cost.subtables_visited cost in
+  Alcotest.(check (option int)) "still cached" (Some 10) (prio ());
+  Alcotest.(check int) "cache hit probes no subtable" st
+    (N.Flow_table.Cost.subtables_visited cost);
+  (* any mutation invalidates: a higher-priority add must win at once *)
+  add ~priority:20 t
+    { OF.Of_match.any with OF.Of_match.in_port = Some 1 }
+    [ OF.Action.Output (OF.Action.Physical 2) ];
+  Alcotest.(check bool) "add invalidates" true
+    (N.Flow_table.Cost.invalidations cost >= 1);
+  Alcotest.(check (option int)) "new winner after invalidation" (Some 20)
+    (prio ());
+  ignore
+    (N.Flow_table.delete t
+       ~of_match:{ OF.Of_match.any with OF.Of_match.in_port = Some 1 });
+  Alcotest.(check (option int)) "old winner back after delete" (Some 10) (prio ())
+
+(* Shared generators for the randomized equivalence suites. *)
+
+let eq_macs = [| "02:00:00:00:00:01"; "02:00:00:00:00:02"; "02:00:00:00:00:03" |]
+
+let eq_ports = [| 22; 80; 443; 8080 |]
+
+let eq_prefixes = [| "10.0.0.0/8"; "10.0.0.0/24"; "10.0.0.2/32"; "10.0.1.0/24" |]
+
+let random_eth rng =
+  let ri n = Random.State.int rng n in
+  let pick arr = arr.(ri (Array.length arr)) in
+  frame ~src:(pick eq_macs) ~dst:(pick eq_macs) ~dst_port:(pick eq_ports) ()
+
+let random_headers rng =
+  P.Headers.of_eth ~in_port:(1 + Random.State.int rng 4) (random_eth rng)
+
+let random_match rng =
+  let ri n = Random.State.int rng n in
+  let pick arr = arr.(ri (Array.length arr)) in
+  if ri 6 = 0 then OF.Of_match.exact_of_headers (random_headers rng)
+  else begin
+    let mm = ref OF.Of_match.any in
+    if ri 3 = 0 then mm := { !mm with OF.Of_match.in_port = Some (1 + ri 4) };
+    if ri 3 = 0 then mm := { !mm with OF.Of_match.dl_src = Some (m (pick eq_macs)) };
+    if ri 3 = 0 then mm := { !mm with OF.Of_match.dl_dst = Some (m (pick eq_macs)) };
+    if ri 2 = 0 then begin
+      mm := { !mm with OF.Of_match.dl_type = Some 0x0800 };
+      if ri 2 = 0 then
+        mm := { !mm with OF.Of_match.nw_dst = Some (pfx (pick eq_prefixes)) };
+      if ri 3 = 0 then
+        mm := { !mm with OF.Of_match.nw_src = Some (pfx (pick eq_prefixes)) };
+      if ri 2 = 0 then begin
+        mm := { !mm with OF.Of_match.nw_proto = Some 6 };
+        if ri 2 = 0 then mm := { !mm with OF.Of_match.tp_dst = Some (pick eq_ports) }
+      end
+    end;
+    !mm
+  end
+
+(* Randomized equivalence: the classifier against the linear reference
+   over a mixed add/modify/delete/expire/lookup stream. [now] only moves
+   forward, as in the simulator. Both tables see exactly the same calls,
+   so their install-order counters stay aligned and winners can be
+   compared by (priority, seq). *)
+let test_classifier_equivalence () =
+  let rng = Random.State.make [| 0xC1A55 |] in
+  let ri n = Random.State.int rng n in
+  let pick arr = arr.(ri (Array.length arr)) in
+  let linear = table ~strategy:N.Flow_table.Linear () in
+  let cls = table ~strategy:N.Flow_table.Classifier () in
+  let both f =
+    let a = f linear in
+    let b = f cls in
+    a, b
+  in
+  let now = ref 0. in
+  let ident e = e.N.Flow_table.priority, e.N.Flow_table.seq in
+  let idents l = List.sort compare (List.map ident l) in
+  for step = 1 to 1500 do
+    if ri 4 = 0 then now := !now +. float_of_int (ri 3);
+    let ctx = Printf.sprintf "step %d" step in
+    match ri 10 with
+    | 0 | 1 | 2 ->
+      let of_match = random_match rng in
+      let priority = 10 * ri 8 in
+      let actions = [ OF.Action.Output (OF.Action.Physical step) ] in
+      let idle = pick [| 0; 0; 2; 5 |]
+      and hard = pick [| 0; 0; 3; 7 |] in
+      ignore
+        (both (fun t ->
+             N.Flow_table.add t ~now:!now ~of_match ~priority ~actions
+               ~idle_timeout:idle ~hard_timeout:hard ()))
+    | 3 ->
+      let of_match = random_match rng in
+      let actions = [ OF.Action.Output (OF.Action.Physical (10_000 + step)) ] in
+      let na, nb = both (fun t -> N.Flow_table.modify t ~of_match ~actions) in
+      Alcotest.(check int) (ctx ^ ": modify counts agree") na nb
+    | 4 ->
+      let of_match = random_match rng in
+      let strict = ri 2 = 0 in
+      let priority = if ri 2 = 0 then Some (10 * ri 8) else None in
+      let ra, rb = both (fun t -> N.Flow_table.delete ~strict ?priority t ~of_match) in
+      Alcotest.(check bool) (ctx ^ ": delete sets agree") true
+        (idents ra = idents rb)
+    | 5 ->
+      let ra, rb = both (fun t -> N.Flow_table.expire t ~now:!now) in
+      Alcotest.(check bool) (ctx ^ ": expiry sets agree") true
+        (idents ra = idents rb)
+    | _ -> (
+      let h = random_headers rng in
+      let ra, rb = both (fun t -> N.Flow_table.lookup t ~now:!now h) in
+      match ra, rb with
+      | None, None -> ()
+      | Some ea, Some eb when ident ea = ident eb ->
+        (* hit both winners so idle state stays in step on both sides *)
+        if ri 2 = 0 then begin
+          N.Flow_table.hit ea ~now:!now ~bytes:64;
+          N.Flow_table.hit eb ~now:!now ~bytes:64
+        end
+      | _ ->
+        let show = function
+          | None -> "none"
+          | Some e ->
+            Printf.sprintf "p%d#%d" e.N.Flow_table.priority e.N.Flow_table.seq
+        in
+        Alcotest.failf "%s: winners disagree (linear %s, classifier %s)" ctx
+          (show ra) (show rb))
+  done;
+  (* final state identical, in the deterministic [entries] order *)
+  let ea, eb = both (fun t -> List.map ident (N.Flow_table.entries t)) in
+  Alcotest.(check bool) "final tables identical" true (ea = eb);
+  Alcotest.(check int) "lengths agree" (N.Flow_table.length linear)
+    (N.Flow_table.length cls)
+
+(* Whole-pipeline equivalence: two multi-table switches driven with the
+   same flow mods and frames must produce identical effect streams,
+   whichever datapath backs them. *)
+let test_pipeline_equivalence () =
+  let rng = Random.State.make [| 0xD47A9 |] in
+  let ri n = Random.State.int rng n in
+  let pick arr = arr.(ri (Array.length arr)) in
+  let mk strategy =
+    N.Sim_switch.create ~n_tables:2 ~strategy ~n_ports:4 ~dpid:5L ()
+  in
+  let lin = mk N.Flow_table.Linear in
+  let cls = mk N.Flow_table.Classifier in
+  let both f =
+    let a = f lin in
+    let b = f cls in
+    a, b
+  in
+  let now = ref 0. in
+  for step = 1 to 400 do
+    if ri 3 = 0 then now := !now +. (0.5 *. float_of_int (ri 4));
+    match ri 10 with
+    | 0 | 1 ->
+      let table_id = ri 2 in
+      let of_match = random_match rng in
+      let priority = 10 * ri 8 in
+      let actions =
+        match ri 4 with
+        | 0 -> [] (* explicit drop *)
+        | 1 -> [ OF.Action.Output OF.Action.Flood ]
+        | 2 ->
+          [ OF.Action.Set_vlan (1 + ri 100);
+            OF.Action.Output (OF.Action.Physical (1 + ri 4)) ]
+        | _ -> [ OF.Action.Output (OF.Action.Physical (1 + ri 4)) ]
+      in
+      let idle = pick [| 0; 0; 2 |]
+      and hard = pick [| 0; 0; 4 |] in
+      let ra, rb =
+        both (fun s ->
+            N.Sim_switch.flow_add s ~table_id ~now:!now ~of_match ~priority
+              ~actions ~idle_timeout:idle ~hard_timeout:hard ())
+      in
+      Alcotest.(check bool) (Printf.sprintf "step %d: adds agree" step) true
+        (ra = rb)
+    | 2 ->
+      let of_match = random_match rng in
+      let strict = ri 2 = 0 in
+      let ra, rb =
+        both (fun s -> List.length (N.Sim_switch.flow_delete s ~strict ~of_match ()))
+      in
+      Alcotest.(check int) (Printf.sprintf "step %d: delete counts" step) ra rb
+    | 3 ->
+      let ra, rb =
+        both (fun s -> List.length (N.Sim_switch.expire_flows s ~now:!now))
+      in
+      Alcotest.(check int) (Printf.sprintf "step %d: expiry counts" step) ra rb
+    | _ ->
+      let f = random_eth rng in
+      let in_port = 1 + ri 4 in
+      let ra, rb = both (fun s -> N.Sim_switch.receive_frame s ~now:!now ~in_port f) in
+      if ra <> rb then Alcotest.failf "step %d: pipelines diverge" step
+  done;
+  let ta, tb =
+    both (fun s ->
+        List.concat_map
+          (fun i ->
+            match N.Sim_switch.table s i with
+            | Some t ->
+              List.map
+                (fun e -> i, e.N.Flow_table.priority, e.N.Flow_table.seq)
+                (N.Flow_table.entries t)
+            | None -> [])
+          [ 0; 1 ])
+  in
+  Alcotest.(check bool) "final pipelines identical" true (ta = tb)
+
 let prop_strategies_agree =
   QCheck.Test.make ~name:"lookup strategies agree" ~count:200
     (QCheck.make
@@ -102,6 +455,7 @@ let prop_strategies_agree =
     (fun (port, rules) ->
       let linear = table ~strategy:N.Flow_table.Linear () in
       let hashed = table ~strategy:N.Flow_table.Exact_hash () in
+      let cls = table ~strategy:N.Flow_table.Classifier () in
       List.iteri
         (fun i (in_port, kind) ->
           let of_match =
@@ -113,7 +467,8 @@ let prop_strategies_agree =
           in
           let actions = [ OF.Action.Output (OF.Action.Physical i) ] in
           add ~priority:(10 * i) linear of_match actions;
-          add ~priority:(10 * i) hashed of_match actions)
+          add ~priority:(10 * i) hashed of_match actions;
+          add ~priority:(10 * i) cls of_match actions)
         rules;
       let h = headers ~in_port:port () in
       let result t =
@@ -121,7 +476,7 @@ let prop_strategies_agree =
           (fun e -> e.N.Flow_table.priority, e.N.Flow_table.actions)
           (N.Flow_table.lookup t ~now:0. h)
       in
-      result linear = result hashed)
+      result linear = result hashed && result linear = result cls)
 
 (* --- switch ---------------------------------------------------------------------- *)
 
@@ -553,6 +908,47 @@ let test_agent_v13_port_desc () =
   in
   Alcotest.(check bool) "port desc served" true got_ports
 
+let test_agent_delete_strict () =
+  let net = N.Network.create () in
+  let s = N.Sim_switch.create ~n_ports:2 ~dpid:1L () in
+  N.Network.add_switch net s;
+  let sw_end, ctl_end = N.Control_channel.create () in
+  let agent =
+    N.Of_agent.create ~version:N.Of_agent.V10 ~switch:s ~endpoint:sw_end
+      ~network:net ()
+  in
+  let fm ~priority command =
+    OF.Of10.Flow_mod
+      { of_match = { OF.Of_match.any with OF.Of_match.tp_dst = Some 80 };
+        cookie = 0L; command; idle_timeout = 0; hard_timeout = 0; priority;
+        buffer_id = None; notify_removal = false; actions = [] }
+  in
+  let len () =
+    match N.Sim_switch.table s 0 with
+    | Some t -> N.Flow_table.length t
+    | None -> -1
+  in
+  N.Control_channel.send ctl_end (OF.Of10.encode ~xid:1l (fm ~priority:9 OF.Of10.Add));
+  N.Control_channel.send ctl_end (OF.Of10.encode ~xid:2l (fm ~priority:10 OF.Of10.Add));
+  N.Of_agent.step agent ~now:0.;
+  Alcotest.(check int) "two installed" 2 (len ());
+  (* DELETE_STRICT takes only the entry at the exact priority *)
+  N.Control_channel.send ctl_end
+    (OF.Of10.encode ~xid:3l (fm ~priority:10 OF.Of10.Delete_strict));
+  N.Of_agent.step agent ~now:0.;
+  Alcotest.(check int) "strict removed one" 1 (len ());
+  (match N.Sim_switch.table s 0 with
+  | Some t -> (
+    match N.Flow_table.entries t with
+    | [ e ] -> Alcotest.(check int) "survivor is p9" 9 e.N.Flow_table.priority
+    | _ -> Alcotest.fail "expected one entry")
+  | None -> Alcotest.fail "no table");
+  (* plain DELETE ignores priority and sweeps the rest *)
+  N.Control_channel.send ctl_end
+    (OF.Of10.encode ~xid:4l (fm ~priority:0 OF.Of10.Delete));
+  N.Of_agent.step agent ~now:0.;
+  Alcotest.(check int) "non-strict removed rest" 0 (len ())
+
 let test_agent_flow_removed_notification () =
   let net = N.Network.create () in
   let s = N.Sim_switch.create ~n_ports:2 ~dpid:1L () in
@@ -596,7 +992,18 @@ let () =
           Alcotest.test_case "delete subsumption" `Quick test_table_delete_subsumption;
           Alcotest.test_case "modify" `Quick test_table_modify;
           Alcotest.test_case "timeouts" `Quick test_table_timeouts;
-          Alcotest.test_case "counters" `Quick test_table_counters ] );
+          Alcotest.test_case "counters" `Quick test_table_counters;
+          Alcotest.test_case "expired entries don't match" `Quick
+            test_table_expired_skipped_in_lookup;
+          Alcotest.test_case "strict delete" `Quick test_table_strict_delete;
+          Alcotest.test_case "entries ordering" `Quick test_table_entries_order;
+          Alcotest.test_case "timeout edges" `Quick test_table_timeout_edges ] );
+      ( "classifier",
+        [ Alcotest.test_case "microflow cache" `Quick test_classifier_microflow;
+          Alcotest.test_case "randomized vs linear" `Quick
+            test_classifier_equivalence;
+          Alcotest.test_case "pipeline vs linear" `Quick
+            test_pipeline_equivalence ] );
       ( "switch",
         [ Alcotest.test_case "forward" `Quick test_switch_forward;
           Alcotest.test_case "miss -> packet-in" `Quick test_switch_miss_packet_in;
@@ -624,5 +1031,6 @@ let () =
           Alcotest.test_case "handshake v10" `Quick test_agent_handshake_v10;
           Alcotest.test_case "flow_mod + echo" `Quick test_agent_flow_mod_and_echo;
           Alcotest.test_case "v13 port desc" `Quick test_agent_v13_port_desc;
+          Alcotest.test_case "delete strict" `Quick test_agent_delete_strict;
           Alcotest.test_case "flow_removed" `Quick test_agent_flow_removed_notification ] );
       "properties", qcheck_cases ]

@@ -344,6 +344,21 @@ let test_of10_stats () =
     Alcotest.(check int64) "rx" 42L s.rx_packets
   | _ -> Alcotest.fail "wrong reply"
 
+let test_flow_mod_commands_roundtrip () =
+  List.iter
+    (fun command ->
+      let msg =
+        OF.Of10.Flow_mod
+          { of_match = some_match; cookie = 0L; command; idle_timeout = 0;
+            hard_timeout = 0; priority = 7; buffer_id = None;
+            notify_removal = false; actions = [] }
+      in
+      match roundtrip10 msg with
+      | OF.Of10.Flow_mod fm ->
+        Alcotest.(check bool) "of10 command preserved" true (fm.command = command)
+      | _ -> Alcotest.fail "wrong message")
+    [ OF.Of10.Add; OF.Of10.Modify; OF.Of10.Delete; OF.Of10.Delete_strict ]
+
 let test_of10_errors () =
   Alcotest.(check bool) "garbage rejected" true
     (Result.is_error (OF.Of10.decode "junk"));
@@ -409,6 +424,21 @@ let test_of13_udp_ports () =
   match roundtrip13 (flow_mod13 mm) with
   | OF.Of13.Flow_mod fm -> Alcotest.check of_match "udp oxm" mm fm.of_match
   | _ -> Alcotest.fail "wrong message"
+
+let test_of13_commands_roundtrip () =
+  List.iter
+    (fun command ->
+      let msg =
+        OF.Of13.Flow_mod
+          { table_id = 1; of_match = some_match; cookie = 0L; command;
+            idle_timeout = 0; hard_timeout = 0; priority = 7; buffer_id = None;
+            notify_removal = false; instructions = [] }
+      in
+      match roundtrip13 msg with
+      | OF.Of13.Flow_mod fm ->
+        Alcotest.(check bool) "of13 command preserved" true (fm.command = command)
+      | _ -> Alcotest.fail "wrong message")
+    [ OF.Of13.Add; OF.Of13.Modify; OF.Of13.Delete; OF.Of13.Delete_strict ]
 
 let test_of13_packet_in () =
   let data = P.Eth.to_wire (tcp_frame ()) in
@@ -537,6 +567,126 @@ let prop_match13_roundtrip =
       | Ok (_, OF.Of13.Flow_mod fm) -> OF.Of_match.equal mm fm.of_match
       | _ -> false)
 
+(* Header generator with variety in every packed field: macs, ips and
+   ports from small pools (so matches derived from one header often hit
+   another), optional vlan tag pushed by the rewrite engine. *)
+let mac_pool = [| "02:00:00:00:00:01"; "02:00:00:00:00:02"; "02:aa:00:00:00:03" |]
+
+let ip_pool = [| "10.0.0.1"; "10.1.2.3"; "192.168.1.9" |]
+
+let header_gen =
+  let open QCheck.Gen in
+  map
+    (fun ((smi, dmi, sii), (dii, spo, dpo), (inp, vlan)) ->
+      let f =
+        P.Builder.tcp_syn ~src_mac:(m mac_pool.(smi)) ~dst_mac:(m mac_pool.(dmi))
+          ~src_ip:(a ip_pool.(sii)) ~dst_ip:(a ip_pool.(dii)) ~src_port:spo
+          ~dst_port:dpo
+      in
+      let f =
+        match vlan with
+        | Some v -> OF.Action.apply_rewrites [ OF.Action.Set_vlan v ] f
+        | None -> f
+      in
+      P.Headers.of_eth ~in_port:inp f)
+    (triple
+       (triple (int_bound 2) (int_bound 2) (int_bound 2))
+       (triple (int_bound 2) (oneofl [ 1234; 4000 ]) (oneofl [ 22; 80; 443 ]))
+       (pair (int_range 1 8) (opt (int_bound 0xfff))))
+
+let prefix_pool =
+  [| "10.0.0.0/8"; "10.0.0.0/24"; "10.1.0.0/16"; "192.168.1.0/24"; "10.1.2.3/32" |]
+
+(* A match widened from a concrete header: each field kept exact,
+   dropped, or (for the nw prefixes) replaced by a pool CIDR. Returns
+   the source header too so positive matches are frequent. *)
+let widened_gen =
+  let open QCheck.Gen in
+  map2
+    (fun h (bits, (pi, pj)) ->
+      let e = OF.Of_match.exact_of_headers h in
+      let keep i v = if bits land (1 lsl i) <> 0 then v else None in
+      ( { OF.Of_match.in_port = keep 0 e.OF.Of_match.in_port;
+          dl_src = keep 1 e.OF.Of_match.dl_src;
+          dl_dst = keep 2 e.OF.Of_match.dl_dst;
+          dl_vlan = keep 3 e.OF.Of_match.dl_vlan;
+          dl_vlan_pcp = keep 4 e.OF.Of_match.dl_vlan_pcp;
+          dl_type = keep 5 e.OF.Of_match.dl_type;
+          nw_src =
+            (match (bits lsr 6) land 3 with
+            | 0 -> None
+            | 1 -> e.OF.Of_match.nw_src
+            | _ -> Some (pfx prefix_pool.(pi)));
+          nw_dst =
+            (match (bits lsr 8) land 3 with
+            | 0 -> None
+            | 1 -> e.OF.Of_match.nw_dst
+            | _ -> Some (pfx prefix_pool.(pj)));
+          nw_proto = keep 10 e.OF.Of_match.nw_proto;
+          nw_tos = keep 11 e.OF.Of_match.nw_tos;
+          tp_src = keep 12 e.OF.Of_match.tp_src;
+          tp_dst = keep 13 e.OF.Of_match.tp_dst },
+        h ))
+    header_gen
+    (pair (int_bound ((1 lsl 14) - 1)) (pair (int_bound 4) (int_bound 4)))
+
+let packed_matches mm h =
+  OF.Of_match.Packed.matches (OF.Of_match.pack_rule mm)
+    (OF.Of_match.Packed.of_headers h)
+
+let prop_packed_agrees =
+  QCheck.Test.make ~name:"packed matching = Of_match.matches" ~count:1000
+    (QCheck.make QCheck.Gen.(pair widened_gen header_gen)) (fun ((mm, src), h) ->
+      packed_matches mm src = OF.Of_match.matches mm src
+      && packed_matches mm h = OF.Of_match.matches mm h)
+
+(* Same agreement over the wire-oriented generator, whose prefixes have
+   arbitrary (unnormalized) bases: both representations must treat a
+   prefix whose base has host bits set as unmatchable, not mask it. *)
+let prop_packed_agrees_raw =
+  QCheck.Test.make ~name:"packed matching = matches (raw masks)" ~count:1000
+    (QCheck.make QCheck.Gen.(pair match_gen header_gen)) (fun (mm, h) ->
+      packed_matches mm h = OF.Of_match.matches mm h)
+
+let prop_subsumes_packed =
+  QCheck.Test.make ~name:"widening subsumes; subsumption sound on packed keys"
+    ~count:1000
+    (QCheck.make
+       QCheck.Gen.(triple widened_gen (int_bound ((1 lsl 14) - 1)) header_gen))
+    (fun ((b_, src), dropbits, h) ->
+      let drop i v = if dropbits land (1 lsl i) <> 0 then None else v in
+      let a_ =
+        { OF.Of_match.in_port = drop 0 b_.OF.Of_match.in_port;
+          dl_src = drop 1 b_.OF.Of_match.dl_src;
+          dl_dst = drop 2 b_.OF.Of_match.dl_dst;
+          dl_vlan = drop 3 b_.OF.Of_match.dl_vlan;
+          dl_vlan_pcp = drop 4 b_.OF.Of_match.dl_vlan_pcp;
+          dl_type = drop 5 b_.OF.Of_match.dl_type;
+          nw_src = drop 6 b_.OF.Of_match.nw_src;
+          nw_dst = drop 7 b_.OF.Of_match.nw_dst;
+          nw_proto = drop 8 b_.OF.Of_match.nw_proto;
+          nw_tos = drop 9 b_.OF.Of_match.nw_tos;
+          tp_src = drop 10 b_.OF.Of_match.tp_src;
+          tp_dst = drop 11 b_.OF.Of_match.tp_dst }
+      in
+      OF.Of_match.subsumes a_ b_
+      && List.for_all
+           (fun k -> (not (packed_matches b_ k)) || packed_matches a_ k)
+           [ src; h ])
+
+let prop_intersect_packed =
+  QCheck.Test.make ~name:"intersect is the packed conjunction" ~count:1000
+    (QCheck.make QCheck.Gen.(triple widened_gen widened_gen header_gen))
+    (fun ((a_, ha), (b_, hb), h) ->
+      let agrees k =
+        let ma = packed_matches a_ k
+        and mb = packed_matches b_ k in
+        match OF.Of_match.intersect a_ b_ with
+        | Some meet -> packed_matches meet k = (ma && mb)
+        | None -> not (ma && mb)
+      in
+      List.for_all agrees [ ha; hb; h ])
+
 let prop_subsumes_implies_matches =
   QCheck.Test.make ~name:"subsumption is sound for matching" ~count:300
     (QCheck.make QCheck.Gen.(pair match_gen (int_range 1 8))) (fun (mm, port) ->
@@ -568,7 +718,9 @@ let prop_decode_never_raises =
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [ prop_match10_roundtrip; prop_match13_roundtrip;
-      prop_subsumes_implies_matches; prop_decode_never_raises ]
+      prop_subsumes_implies_matches; prop_decode_never_raises;
+      prop_packed_agrees; prop_packed_agrees_raw; prop_subsumes_packed;
+      prop_intersect_packed ]
 
 let () =
   Alcotest.run "openflow"
@@ -593,11 +745,15 @@ let () =
           Alcotest.test_case "flow_mod" `Quick test_of10_flow_mod;
           Alcotest.test_case "packet in/out" `Quick test_of10_packet_in_out;
           Alcotest.test_case "stats" `Quick test_of10_stats;
+          Alcotest.test_case "flow-mod commands" `Quick
+            test_flow_mod_commands_roundtrip;
           Alcotest.test_case "malformed" `Quick test_of10_errors ] );
       ( "of13",
         [ Alcotest.test_case "flow_mod+instructions" `Quick test_of13_flow_mod;
           Alcotest.test_case "oxm masks" `Quick test_of13_oxm_prefix;
           Alcotest.test_case "udp oxm ports" `Quick test_of13_udp_ports;
+          Alcotest.test_case "flow-mod commands" `Quick
+            test_of13_commands_roundtrip;
           Alcotest.test_case "packet_in" `Quick test_of13_packet_in;
           Alcotest.test_case "port desc" `Quick test_of13_port_desc;
           Alcotest.test_case "set-field actions" `Quick test_of13_set_field_actions ] );
