@@ -945,6 +945,78 @@ let e13_walltime () =
          test "lookup/dcache_off" (fun () ->
              ignore (Fs.read_file fs_off ~cred file)) ])
 
+(* ================================================================== *)
+(* E16 — the telemetry layer: per-stage packet-in latency from the span
+   tracer, and what the tracing instrumentation itself costs. *)
+(* ================================================================== *)
+
+(* A reactive workload that exercises the whole traced pipeline:
+   discovery, then a ping sweep from h1 so the router keeps installing
+   fresh paths (each one: packet-in -> wake -> app -> flow write ->
+   flow-mod -> install). Returns the controller and the host wall time. *)
+let e16_workload ?telemetry ~pings () =
+  let built = N.Topo_gen.linear 4 in
+  let ctl = Yanc.Controller.create ?telemetry ~net:built.N.Topo_gen.net () in
+  Yanc.Controller.attach_switches ctl;
+  let yfs = Yanc.Controller.yfs ctl in
+  Yanc.Controller.add_app ctl (Apps.Topology.app (Apps.Topology.create yfs));
+  Yanc.Controller.add_app ctl (Apps.Router.app (Apps.Router.create yfs));
+  let t0 = Sys.time () in
+  Yanc.Controller.run_for ctl 3.0;
+  let net = built.N.Topo_gen.net in
+  let h1 = Option.get (N.Network.host net "h1") in
+  for seq = 1 to pings do
+    (* alternate destinations so paths keep being (re)installed *)
+    let dst = 2 + (seq mod 3) in
+    N.Network.send_from_host net "h1"
+      (N.Sim_host.ping h1 ~now:(N.Network.now net)
+         ~dst:(N.Topo_gen.host_ip dst) ~seq);
+    ignore
+      (Yanc.Controller.run_until ~tick:0.002 ctl (fun () ->
+           List.length (N.Sim_host.ping_results h1) >= seq))
+  done;
+  ctl, Sys.time () -. t0
+
+let e16_tracing () =
+  section
+    "E16a span tracer: per-stage end-to-end latency of a packet-in (sim \
+     clock)";
+  let ctl, _ = e16_workload ~pings:12 () in
+  let reg = Telemetry.registry (Yanc.Controller.telemetry ctl) in
+  row "  %-20s | %8s | %10s | %10s | %10s\n" "stage" "spans" "p50 ms"
+    "p99 ms" "max ms";
+  List.iter
+    (fun (name, h) ->
+      if String.length name > 6 && String.sub name 0 6 = "trace." then
+        row "  %-20s | %8d | %10.4f | %10.4f | %10.4f\n"
+          (String.sub name 6 (String.length name - 6))
+          (Telemetry.Registry.hist_count h)
+          (Telemetry.Registry.percentile h 0.5 *. 1e3)
+          (Telemetry.Registry.percentile h 0.99 *. 1e3)
+          (Telemetry.Registry.hist_max h *. 1e3))
+    (Telemetry.Registry.histograms reg);
+  row
+    "  (0.0000 = the stage finished in the same controller step that \
+     admitted the packet-in:\n\
+    \   the control loop runs below the scheduler quantum, so the sim clock \
+     never advances mid-trace)\n";
+  section "E16b tracing overhead: the same reactive sweep, tracer on vs off";
+  let best f =
+    let m = ref infinity in
+    for _ = 1 to 3 do
+      let _, w = f () in
+      if w < !m then m := w
+    done;
+    !m
+  in
+  let off =
+    best (fun () ->
+        e16_workload ~telemetry:(Telemetry.create ~tracing:false ()) ~pings:12 ())
+  in
+  let on = best (fun () -> e16_workload ~pings:12 ()) in
+  row "  tracer off %.4fs, on %.4fs (%+.1f%%)\n" off on
+    ((on -. off) /. off *. 100.)
+
 (* The @bench-smoke gate: prove the acceptance ratio (warm lookups walk
    >= 5x fewer components than cold) in a fraction of a second, so
    `dune runtest` fails fast if the cache regresses. *)
@@ -1052,7 +1124,81 @@ let smoke () =
   Printf.printf
     "bench-smoke: ok (classifier examines %.1fx fewer entries and wins on \
      wall time)\n"
-    (float_of_int exam_l /. float_of_int (max 1 exam_c))
+    (float_of_int exam_l /. float_of_int (max 1 exam_c));
+  (* The telemetry gate (E16): tracing must cost <= 5% wall time on the
+     reactive sweep, and /yanc/.proc/metrics must parse as "name value"
+     lines. The sweep runs ~25ms, so scheduler jitter swamps a single
+     measurement: interleave five runs of each side, compare the minima,
+     and keep a small absolute epsilon for the timer's own granularity. *)
+  let wall_off = ref infinity in
+  let wall_on = ref infinity in
+  let ctl_on = ref None in
+  for _ = 1 to 5 do
+    let _, w =
+      e16_workload ~telemetry:(Telemetry.create ~tracing:false ()) ~pings:6 ()
+    in
+    if w < !wall_off then wall_off := w;
+    let ctl, w = e16_workload ~pings:6 () in
+    if w < !wall_on then wall_on := w;
+    ctl_on := Some ctl
+  done;
+  let ctl_on = Option.get !ctl_on in
+  let wall_off = !wall_off and wall_on = !wall_on in
+  Printf.printf
+    "bench-smoke: tracing off %.4fs, on %.4fs (%+.1f%%)\n" wall_off wall_on
+    ((wall_on -. wall_off) /. wall_off *. 100.);
+  if wall_on > (wall_off *. 1.05) +. 0.005 then begin
+    Printf.printf
+      "bench-smoke: FAIL — span tracing should cost <= 5%% on the reactive \
+       sweep\n";
+    exit 1
+  end;
+  let metrics =
+    match
+      Fs.read_file (Yanc.Controller.fs ctl_on) ~cred
+        (Vfs.Path.of_string_exn "/yanc/.proc/metrics")
+    with
+    | Ok s -> s
+    | Error e ->
+      Printf.printf "bench-smoke: FAIL — /yanc/.proc/metrics: %s\n"
+        (Vfs.Errno.message e);
+      exit 1
+  in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' metrics)
+  in
+  List.iter
+    (fun line ->
+      match String.split_on_char ' ' line with
+      | [ _name; v ] when float_of_string_opt v <> None -> ()
+      | _ ->
+        Printf.printf
+          "bench-smoke: FAIL — /yanc/.proc/metrics line %S is not \"name \
+           value\"\n"
+          line;
+        exit 1)
+    lines;
+  let has prefix =
+    List.exists
+      (fun l ->
+        String.length l >= String.length prefix
+        && String.sub l 0 (String.length prefix) = prefix)
+      lines
+  in
+  List.iter
+    (fun p ->
+      if not (has p) then begin
+        Printf.printf
+          "bench-smoke: FAIL — /yanc/.proc/metrics is missing the %s* \
+           series\n"
+          p;
+        exit 1
+      end)
+    [ "vfs."; "fsnotify."; "datapath."; "sched."; "net."; "trace." ];
+  Printf.printf
+    "bench-smoke: ok (tracing overhead within 5%%, metrics file parses, %d \
+     series)\n"
+    (List.length lines)
 
 let e_wire_volume () =
   section "AUX  control-channel bytes per operation (driver wire cost)";
@@ -1107,6 +1253,7 @@ let () =
   e13_walltime ();
   e14_routing ();
   e14_walltime ();
+  e16_tracing ();
   ext_qos ();
   e_wire_volume ();
   print_endline "\ndone."

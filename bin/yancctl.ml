@@ -126,6 +126,25 @@ let do_ping ctl topo spec =
     | _ -> Printf.eprintf "bad ping spec %S (want hX:hY)\n" spec)
   | _ -> Printf.eprintf "bad ping spec %S (want hX:hY)\n" spec
 
+(* --- the one counter printer --------------------------------------------------------- *)
+
+(* Every command that reports counters goes through the registry
+   snapshot — the same data /yanc/.proc/metrics serves — filtered by
+   name prefix. One formatter, not one per command. *)
+let print_metrics ?(prefixes = []) ctl =
+  let starts_with p s =
+    String.length s >= String.length p && String.sub s 0 (String.length p) = p
+  in
+  let snap =
+    Telemetry.Registry.snapshot
+      (Telemetry.registry (Yanc.Controller.telemetry ctl))
+  in
+  List.iter
+    (fun (name, v) ->
+      if prefixes = [] || List.exists (fun p -> starts_with p name) prefixes
+      then Printf.printf "%s %s\n" name (Telemetry.Registry.render_value v))
+    (Telemetry.Registry.entries snap)
+
 (* --- commands ---------------------------------------------------------------------- *)
 
 let read_file path =
@@ -175,14 +194,9 @@ let run_cmd config_file topo datapath of13 apps duration execs pings stats =
       print_string r.Shell.Pipeline.out;
       prerr_string r.Shell.Pipeline.err)
     execs;
-  if stats then begin
-    let delivered, dropped = N.Network.stats topo.N.Topo_gen.net in
-    Printf.printf "-- frames: %d delivered, %d dropped; %s\n" delivered dropped
-      (Format.asprintf "%a" Vfs.Cost.pp (Yanc.Controller.cost ctl));
-    Printf.printf "-- datapath: %s\n"
-      (Format.asprintf "%a" N.Flow_table.Cost.pp
-         (Yanc.Controller.datapath_cost ctl))
-  end;
+  if stats then
+    print_metrics ctl
+      ~prefixes:[ "net."; "vfs."; "fs."; "fsnotify."; "datapath." ];
   0
 
 let tree_cmd topo datapath of13 =
@@ -219,25 +233,81 @@ let counters_cmd topo datapath of13 apps duration switch =
         code := 1;
         Printf.eprintf "yancctl: counters: %s: %s\n" sw (Vfs.Errno.message e))
     switches;
-  let cost = Yanc.Controller.cost ctl in
-  Printf.printf
-    "notify: %d events dispatched, %d watches visited, %d coalesced, %d \
-     overflow-dropped\n"
-    (Vfs.Cost.events_dispatched cost)
-    (Vfs.Cost.watches_visited cost)
-    (Vfs.Cost.events_coalesced cost)
-    (Vfs.Cost.overflows cost);
-  let dp = Yanc.Controller.datapath_cost ctl in
-  Printf.printf
-    "datapath: %d lookups, %d entries examined, %d subtables visited, \
-     microflow %d/%d hit/miss, %d invalidations\n"
-    (N.Flow_table.Cost.lookups dp)
-    (N.Flow_table.Cost.entries_examined dp)
-    (N.Flow_table.Cost.subtables_visited dp)
-    (N.Flow_table.Cost.micro_hits dp)
-    (N.Flow_table.Cost.micro_misses dp)
-    (N.Flow_table.Cost.invalidations dp);
+  print_metrics ctl ~prefixes:[ "fsnotify."; "datapath." ];
   !code
+
+let top_cmd topo datapath of13 apps duration =
+  setup_logs ();
+  let ctl = build ~topo:(topo datapath) ~of13 ~apps in
+  Yanc.Controller.run_for ctl duration;
+  Printf.printf "yanc top — %.2fs simulated\n\n" (Yanc.Controller.now ctl);
+  Printf.printf "%-16s %-10s %8s %10s %10s\n" "APP" "SCHEDULE" "ITER"
+    "CPU_MS" "LAST_RUN";
+  let by_runtime =
+    List.sort
+      (fun (_, (a : Yanc.Scheduler.app_stats)) (_, b) ->
+        compare b.Yanc.Scheduler.runtime_ns a.Yanc.Scheduler.runtime_ns)
+      (Yanc.Scheduler.stats (Yanc.Controller.scheduler ctl))
+  in
+  List.iter
+    (fun (name, (s : Yanc.Scheduler.app_stats)) ->
+      Printf.printf "%-16s %-10s %8d %10.3f %10s\n" name s.schedule
+        s.iterations
+        (float_of_int s.runtime_ns /. 1e6)
+        (if s.last_run = neg_infinity then "never"
+         else Printf.sprintf "%.2f" s.last_run))
+    by_runtime;
+  print_newline ();
+  (* The registry itself, read the way any application would read it:
+     cat(1) on the proc file, through the shell. *)
+  let env = Shell.Env.create (Yanc.Controller.fs ctl) in
+  let r = Shell.Pipeline.run env "cat /yanc/.proc/metrics" in
+  print_string r.Shell.Pipeline.out;
+  prerr_string r.Shell.Pipeline.err;
+  r.Shell.Pipeline.code
+
+let trace_cmd topo datapath of13 apps duration pings pipe =
+  setup_logs ();
+  let topo = topo datapath in
+  let ctl = build ~topo ~of13 ~apps in
+  Yanc.Controller.run_for ctl duration;
+  List.iter (do_ping ctl topo) pings;
+  (if pipe then begin
+     let env = Shell.Env.create (Yanc.Controller.fs ctl) in
+     let r = Shell.Pipeline.run env "cat /yanc/.proc/trace_pipe" in
+     print_string r.Shell.Pipeline.out;
+     prerr_string r.Shell.Pipeline.err;
+     print_newline ()
+   end);
+  let reg = Telemetry.registry (Yanc.Controller.telemetry ctl) in
+  let stages =
+    List.filter_map
+      (fun (name, h) ->
+        if String.length name > 6 && String.sub name 0 6 = "trace." then
+          Some (String.sub name 6 (String.length name - 6), h)
+        else None)
+      (Telemetry.Registry.histograms reg)
+  in
+  (* Mean end-to-end latency orders the stages as the pipeline ran. *)
+  let mean h =
+    if Telemetry.Registry.hist_count h = 0 then 0.
+    else
+      Telemetry.Registry.percentile h 0.5
+  in
+  let stages =
+    List.sort (fun (_, a) (_, b) -> compare (mean a) (mean b)) stages
+  in
+  Printf.printf "%-20s %8s %12s %12s %12s\n" "STAGE" "SPANS" "P50_MS"
+    "P99_MS" "MAX_MS";
+  List.iter
+    (fun (stage, h) ->
+      Printf.printf "%-20s %8d %12.4f %12.4f %12.4f\n" stage
+        (Telemetry.Registry.hist_count h)
+        (Telemetry.Registry.percentile h 0.5 *. 1e3)
+        (Telemetry.Registry.percentile h 0.99 *. 1e3)
+        (Telemetry.Registry.hist_max h *. 1e3))
+    stages;
+  0
 
 let shell_cmd topo datapath of13 apps script_file lines =
   setup_logs ();
@@ -380,10 +450,39 @@ let counters_t =
       const counters_cmd $ topo_arg $ datapath_arg $ of13_arg $ apps_arg
       $ duration_arg $ switch_arg)
 
+let top_t =
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Per-app scheduler accounting (iterations, CPU time, last run) \
+          followed by the full metrics registry as served by \
+          /yanc/.proc/metrics.")
+    Term.(
+      const top_cmd $ topo_arg $ datapath_arg $ of13_arg $ apps_arg
+      $ duration_arg)
+
+let pipe_arg =
+  Arg.(
+    value & flag
+    & info [ "pipe" ]
+        ~doc:"Also dump the raw span records from /yanc/.proc/trace_pipe.")
+
+let trace_t =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Trace packet-ins end to end: run a workload, then report \
+          per-stage latency percentiles from the span tracer \
+          (scheduler wake, app handler, yancfs write, flow-mod encode, \
+          switch install).")
+    Term.(
+      const trace_cmd $ topo_arg $ datapath_arg $ of13_arg $ apps_arg
+      $ duration_arg $ ping_arg $ pipe_arg)
+
 let main =
   Cmd.group
     (Cmd.info "yancctl" ~version:"1.0.0"
        ~doc:"yanc: a file-system-centric SDN controller (simulated).")
-    [ run_t; tree_t; shell_t; counters_t ]
+    [ run_t; tree_t; shell_t; counters_t; top_t; trace_t ]
 
 let () = exit (Cmd.eval' main)

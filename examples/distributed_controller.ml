@@ -86,9 +86,10 @@ let () =
     (String.concat "; " (Y.Yanc_fs.flow_names yfs_a ~cred "sw1"));
   Driver.Manager.run_control mgr ~now:7.;
 
-  let m = Dfs.Cluster.metrics cluster in
-  Printf.printf
-    "\ncluster metrics: %d ops originated, %d replicated, writers stalled %.1f ms total\n"
-    m.Dfs.Cluster.ops_originated m.Dfs.Cluster.ops_replicated
-    (m.Dfs.Cluster.writer_blocked_s *. 1000.);
+  (* the replication counters through the telemetry registry — the same
+     dfs.* series a full controller serves at /yanc/.proc/metrics *)
+  let reg = Telemetry.Registry.create () in
+  Dfs.Cluster.register cluster reg;
+  Printf.printf "\ncluster metrics (the registry's dfs.* series):\n%s"
+    (Telemetry.Registry.render (Telemetry.Registry.snapshot reg));
   print_endline "distributed_controller done."

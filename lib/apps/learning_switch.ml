@@ -42,7 +42,7 @@ let install_flow t ~switch ~dst ~out_port ~buffer_id =
   in
   ignore (Y.Yanc_fs.create_flow t.yfs ~cred:t.cred ~switch ~name flow)
 
-let handle_packet_in t ~switch (ev : Y.Eventdir.event) =
+let handle_frame t ~switch (ev : Y.Eventdir.event) =
   match Y.Eventdir.frame_of ev with
   | None -> ()
   | Some frame ->
@@ -74,6 +74,12 @@ let handle_packet_in t ~switch (ev : Y.Eventdir.event) =
                ~data:(if ev.buffer_id = None then ev.data else "")
                ()))
     end
+
+let handle_packet_in t ~switch (ev : Y.Eventdir.event) =
+  let tracer = Telemetry.tracer (Y.Yanc_fs.telemetry t.yfs) in
+  ignore (Telemetry.Tracer.resume tracer (Y.Layout.trace_key_event ev.seq));
+  Telemetry.Tracer.span tracer ~stage:"app.l2-learnd" (fun () ->
+      handle_frame t ~switch ev)
 
 let run t ~now:_ =
   List.iter

@@ -183,7 +183,7 @@ let install_path t ~headers ~ingress ~dst_loc ~buffer_id ~data =
                ~data ()))
       (List.rev flows)
 
-let handle t ~switch (ev : Y.Eventdir.event) =
+let handle_frame t ~switch (ev : Y.Eventdir.event) =
   match Y.Eventdir.frame_of ev with
   | None -> ()
   | Some frame -> (
@@ -204,6 +204,13 @@ let handle t ~switch (ev : Y.Eventdir.event) =
         | None ->
           broadcast t ~ingress:(Some ingress) ~data:ev.data
             ~buffer_id:ev.buffer_id)
+
+let handle t ~switch (ev : Y.Eventdir.event) =
+  let tracer = Telemetry.tracer (Y.Yanc_fs.telemetry t.yfs) in
+  (* Pick the publishing driver's trace back up by sequence number. *)
+  ignore (Telemetry.Tracer.resume tracer (Y.Layout.trace_key_event ev.seq));
+  Telemetry.Tracer.span tracer ~stage:"app.routerd" (fun () ->
+      handle_frame t ~switch ev)
 
 let run t ~now:_ =
   List.iter

@@ -170,3 +170,13 @@ let metrics (t : t) =
     ops_replicated = t.ops_replicated;
     writer_blocked_s = t.writer_blocked_s;
     max_queue = t.max_queue }
+
+let register (t : t) registry =
+  let g name f = Telemetry.Registry.gauge registry ("dfs." ^ name) f in
+  let gi name f = g name (fun () -> float_of_int (f ())) in
+  gi "ops_originated" (fun () -> t.ops_originated);
+  gi "ops_replicated" (fun () -> t.ops_replicated);
+  g "writer_blocked_s" (fun () -> t.writer_blocked_s);
+  gi "max_queue" (fun () -> t.max_queue);
+  gi "pending" (fun () -> pending t);
+  gi "nodes" (fun () -> size t)

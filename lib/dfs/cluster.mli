@@ -73,3 +73,9 @@ val effective_consistency : t -> origin:int -> Vfs.Path.t -> Consistency.t
 val partitioned : t -> int -> bool
 
 val metrics : t -> metrics
+
+val register : t -> Telemetry.Registry.t -> unit
+(** Publish the replication counters as [dfs.*] gauges (ops originated
+    and replicated, writer stall time, queue high-water mark, live
+    pending count, node count) — the cluster's seat in the controller's
+    unified registry. *)

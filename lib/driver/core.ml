@@ -6,6 +6,7 @@ module Make (P : Driver_intf.PROTOCOL) = struct
 
   type t = {
     yfs : Y.Yanc_fs.t;
+    telemetry : Telemetry.t;
     endpoint : Netsim.Control_channel.endpoint;
     framing : OF.Framing.t;
     notifier : Fsnotify.Notifier.t;
@@ -33,7 +34,8 @@ module Make (P : Driver_intf.PROTOCOL) = struct
 
   let create ?(stats_interval = 5.0) ~yfs ~endpoint () =
     let t =
-      { yfs; endpoint; framing = OF.Framing.create ();
+      { yfs; telemetry = Y.Yanc_fs.telemetry yfs; endpoint;
+        framing = OF.Framing.create ();
         notifier = Fsnotify.Notifier.create (Y.Yanc_fs.fs yfs);
         stats_interval; next_xid = 1l; switch_name = None; connected = false;
         flows_dirty = false; ports_dirty = false; spool_dirty = false;
@@ -85,6 +87,9 @@ module Make (P : Driver_intf.PROTOCOL) = struct
     watch (Y.Layout.flows_dir ~root:(root t) name);
     watch (Y.Layout.ports_dir ~root:(root t) name);
     watch (Y.Layout.packet_out_dir ~root:(root t) name);
+    Fsnotify.Notifier.register_metrics t.notifier
+      ~prefix:(Printf.sprintf "driver.%s" name)
+      (Telemetry.registry t.telemetry);
     t.connected <- true;
     (* Pick up anything written before the handshake finished. *)
     t.flows_dirty <- true;
@@ -118,9 +123,16 @@ module Make (P : Driver_intf.PROTOCOL) = struct
       match t.switch_name with
       | None -> ()
       | Some name ->
-        ignore
-          (Y.Eventdir.publish (fs t) ~root:(root t) ~switch:name ~in_port
-             ~reason ~buffer_id ~total_len ~data))
+        (* The packet-in is where a request enters the controller: mint
+           its trace here, publish under a span, and let consumers pick
+           the trace up by event sequence number. *)
+        let tracer = Telemetry.tracer t.telemetry in
+        ignore (Telemetry.Tracer.fresh tracer);
+        Telemetry.Tracer.span tracer ~stage:"driver.packet_in" (fun () ->
+            ignore
+              (Y.Eventdir.publish ~telemetry:t.telemetry (fs t) ~root:(root t)
+                 ~switch:name ~in_port ~reason ~buffer_id ~total_len ~data));
+        Telemetry.Tracer.clear tracer)
     | Driver_intf.Ev_port_status (reason, port) -> (
       match t.switch_name with
       | None -> ()
@@ -211,7 +223,17 @@ module Make (P : Driver_intf.PROTOCOL) = struct
                          && old.priority = flow.priority) ->
                   send t (P.flow_delete ~xid:(xid t) old.of_match)
                 | Some _ | None -> ());
-                send t (P.flow_add ~xid:(xid t) flow);
+                let tracer = Telemetry.tracer t.telemetry in
+                ignore
+                  (Telemetry.Tracer.resume tracer
+                     (Y.Layout.trace_key_flow ~switch:name flow_name));
+                let add_xid = xid t in
+                Telemetry.Tracer.span tracer ~stage:"driver.flow_mod"
+                  (fun () -> send t (P.flow_add ~xid:add_xid flow));
+                (* The agent resumes by xid when it installs the entry. *)
+                Telemetry.Tracer.stamp tracer
+                  (Netsim.Of_agent.trace_key_xid add_xid);
+                Telemetry.Tracer.clear tracer;
                 t.installed <- t.installed + 1;
                 (* The buffer reference is one-shot. *)
                 (if flow.buffer_id <> None then

@@ -33,8 +33,8 @@ let attach t ~dpid ~version =
       match version with V10 -> Netsim.Of_agent.V10 | V13 -> Netsim.Of_agent.V13
     in
     let agent =
-      Netsim.Of_agent.create ~version:agent_version ~switch:sw ~endpoint:sw_end
-        ~network:t.net ()
+      Netsim.Of_agent.create ~telemetry:(Yancfs.Yanc_fs.telemetry t.yfs)
+        ~version:agent_version ~switch:sw ~endpoint:sw_end ~network:t.net ()
     in
     let instance =
       match version with

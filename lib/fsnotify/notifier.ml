@@ -186,3 +186,13 @@ let has_watches t = t.n_watches > 0
 let coalesced t = t.coalesced
 
 let overflows t = t.overflows
+
+let register_metrics t ~prefix registry =
+  let gauge name f =
+    Telemetry.Registry.gauge registry
+      (Printf.sprintf "fsnotify.%s.%s" prefix name)
+      (fun () -> float_of_int (f t))
+  in
+  gauge "pending" pending;
+  gauge "coalesced" coalesced;
+  gauge "overflows" overflows

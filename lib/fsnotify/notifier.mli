@@ -76,3 +76,9 @@ val coalesced : t -> int
 
 val overflows : t -> int
 (** Events dropped on queue overflow over this notifier's lifetime. *)
+
+val register_metrics : t -> prefix:string -> Telemetry.Registry.t -> unit
+(** Publish this notifier's live queue depth and lifetime
+    coalesced/overflow counts as gauges named
+    [fsnotify.<prefix>.{pending,coalesced,overflows}] — the per-consumer
+    view beside the global dispatch counters {!Vfs.Cost} keeps. *)

@@ -10,6 +10,7 @@ type t = {
   framing : OF.Framing.t;
   mutable next_xid : int32;
   mutable handled : int;
+  telemetry : Telemetry.t;
 }
 
 let fresh_xid t =
@@ -50,10 +51,17 @@ let port_status t reason info =
   | V10 -> send10 t (OF.Of10.Port_status (reason, info))
   | V13 -> send13 t (OF.Of13.Port_status (reason, info))
 
-let create ~version ~switch ~endpoint ~network () =
+let trace_key_xid xid = Printf.sprintf "xid:%ld" xid
+
+let create ?telemetry ~version ~switch ~endpoint ~network () =
+  let telemetry =
+    match telemetry with
+    | Some t -> t
+    | None -> Telemetry.create ~tracing:false ()
+  in
   let t =
     { version; switch; endpoint; network; framing = OF.Framing.create ();
-      next_xid = 0x10000l; handled = 0 }
+      next_xid = 0x10000l; handled = 0; telemetry }
   in
   Network.set_controller_sink network (Sim_switch.dpid switch)
     (packet_in_of_effect t);
@@ -91,15 +99,19 @@ let handle10 t ~now ~xid (msg : OF.Of10.msg) =
   | OF.Of10.Flow_mod fm -> begin
     match fm.command with
     | OF.Of10.Add -> begin
+      let tracer = Telemetry.tracer t.telemetry in
+      ignore (Telemetry.Tracer.resume tracer (trace_key_xid xid));
       (match
-         Sim_switch.flow_add t.switch ~now ~of_match:fm.of_match
-           ~priority:fm.priority ~actions:fm.actions ~cookie:fm.cookie
-           ~idle_timeout:fm.idle_timeout ~hard_timeout:fm.hard_timeout
-           ~notify_removal:fm.notify_removal ()
+         Telemetry.Tracer.span tracer ~stage:"switch.install" (fun () ->
+             Sim_switch.flow_add t.switch ~now ~of_match:fm.of_match
+               ~priority:fm.priority ~actions:fm.actions ~cookie:fm.cookie
+               ~idle_timeout:fm.idle_timeout ~hard_timeout:fm.hard_timeout
+               ~notify_removal:fm.notify_removal ())
        with
       | Ok () -> ()
       | Error e ->
         send10x t ~xid (OF.Of10.Error_msg { ty = 3; code = 0; data = e }));
+      Telemetry.Tracer.clear tracer;
       (* A buffered packet attached to the flow-mod is released through
          the new actions. *)
       match fm.buffer_id with
@@ -164,15 +176,19 @@ let handle13 t ~now ~xid (msg : OF.Of13.msg) =
     let actions = OF.Of13.actions_of_instructions fm.instructions in
     match fm.command with
     | OF.Of13.Add -> begin
+      let tracer = Telemetry.tracer t.telemetry in
+      ignore (Telemetry.Tracer.resume tracer (trace_key_xid xid));
       (match
-         Sim_switch.flow_add t.switch ~table_id:fm.table_id ~now
-           ~of_match:fm.of_match ~priority:fm.priority ~actions
-           ~cookie:fm.cookie ~idle_timeout:fm.idle_timeout
-           ~hard_timeout:fm.hard_timeout ~notify_removal:fm.notify_removal ()
+         Telemetry.Tracer.span tracer ~stage:"switch.install" (fun () ->
+             Sim_switch.flow_add t.switch ~table_id:fm.table_id ~now
+               ~of_match:fm.of_match ~priority:fm.priority ~actions
+               ~cookie:fm.cookie ~idle_timeout:fm.idle_timeout
+               ~hard_timeout:fm.hard_timeout ~notify_removal:fm.notify_removal ())
        with
       | Ok () -> ()
       | Error e ->
         send13x t ~xid (OF.Of13.Error_msg { ty = 4; code = 0; data = e }));
+      Telemetry.Tracer.clear tracer;
       match fm.buffer_id with
       | Some id ->
         run_effects t

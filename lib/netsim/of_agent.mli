@@ -15,10 +15,18 @@ type version = V10 | V13
 type t
 
 val create :
-  version:version -> switch:Sim_switch.t ->
+  ?telemetry:Telemetry.t -> version:version -> switch:Sim_switch.t ->
   endpoint:Control_channel.endpoint -> network:Network.t -> unit -> t
 (** Registers the agent as the switch's controller sink in [network] and
-    subscribes to port-change notifications. *)
+    subscribes to port-change notifications. With [telemetry], each
+    flow-mod Add resumes the trace stamped under {!trace_key_xid} of its
+    xid and records a [switch.install] span — the last stage of the
+    packet-in→install pipeline. *)
+
+val trace_key_xid : int32 -> string
+(** ["xid:<n>"] — the correlation key the controller-side driver stamps
+    when it encodes a flow-mod, shared here because netsim cannot see
+    the driver library. *)
 
 val version : t -> version
 

@@ -1,0 +1,145 @@
+type counter = { mutable v : int }
+
+(* 63 buckets cover [1 ns, ~146 years); bucket i holds observations with
+   floor(log2 ns) = i, bucket 0 additionally takes ns <= 1. *)
+let n_buckets = 63
+
+type histogram = {
+  buckets : int array;
+  mutable count : int;
+  mutable sum : float;
+  mutable max_v : float;
+}
+
+type t = {
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, unit -> float) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create () =
+  { counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 32;
+    histograms = Hashtbl.create 16 }
+
+(* --- counters ---------------------------------------------------------------- *)
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c -> c
+  | None ->
+    let c = { v = 0 } in
+    Hashtbl.replace t.counters name c;
+    c
+
+let incr c = c.v <- c.v + 1
+
+let add c n = c.v <- c.v + n
+
+let value c = c.v
+
+(* --- gauges ------------------------------------------------------------------ *)
+
+let gauge t name f = Hashtbl.replace t.gauges name f
+
+(* --- histograms -------------------------------------------------------------- *)
+
+let histogram t name =
+  match Hashtbl.find_opt t.histograms name with
+  | Some h -> h
+  | None ->
+    let h =
+      { buckets = Array.make n_buckets 0; count = 0; sum = 0.; max_v = 0. }
+    in
+    Hashtbl.replace t.histograms name h;
+    h
+
+let rec msb n i = if n <= 1 then i else msb (n lsr 1) (i + 1)
+
+let bucket_of_seconds v =
+  let ns = int_of_float (v *. 1e9) in
+  if ns <= 1 then 0 else min (n_buckets - 1) (msb ns 0)
+
+(* Upper bound of bucket [i], back in seconds. *)
+let bucket_upper i = float_of_int (1 lsl (min 62 (i + 1))) *. 1e-9
+
+let observe h v =
+  let v = if v < 0. then 0. else v in
+  let i = bucket_of_seconds v in
+  h.buckets.(i) <- h.buckets.(i) + 1;
+  h.count <- h.count + 1;
+  h.sum <- h.sum +. v;
+  if v > h.max_v then h.max_v <- v
+
+let hist_count h = h.count
+
+let hist_max h = h.max_v
+
+let percentile h q =
+  if h.count = 0 then 0.
+  else begin
+    let rank =
+      let r = int_of_float (ceil (q *. float_of_int h.count)) in
+      if r < 1 then 1 else if r > h.count then h.count else r
+    in
+    let i = ref 0 in
+    let cum = ref h.buckets.(0) in
+    while !cum < rank && !i < n_buckets - 1 do
+      i := !i + 1;
+      cum := !cum + h.buckets.(!i)
+    done;
+    min (bucket_upper !i) h.max_v
+  end
+
+let by_name l = List.sort (fun (a, _) (b, _) -> compare a b) l
+
+let histograms t =
+  Hashtbl.fold (fun name h acc -> (name, h) :: acc) t.histograms [] |> by_name
+
+(* --- snapshots --------------------------------------------------------------- *)
+
+type snapshot = (string * float) list
+
+let snapshot t =
+  let entries =
+    Hashtbl.fold
+      (fun name c acc -> (name, float_of_int c.v) :: acc)
+      t.counters []
+  in
+  let entries =
+    Hashtbl.fold (fun name f acc -> (name, f ()) :: acc) t.gauges entries
+  in
+  let entries =
+    Hashtbl.fold
+      (fun name h acc ->
+        (name ^ ".count", float_of_int h.count)
+        :: (name ^ ".p50", percentile h 0.5)
+        :: (name ^ ".p99", percentile h 0.99)
+        :: (name ^ ".max", h.max_v)
+        :: acc)
+      t.histograms entries
+  in
+  by_name entries
+
+let entries s = s
+
+let find s name = List.assoc_opt name s
+
+(* Integers (the common case) render without a fractional part so the
+   file reads like /proc/net/snmp, not a float dump. *)
+let render_value v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let render s =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      Buffer.add_string b name;
+      Buffer.add_char b ' ';
+      Buffer.add_string b (render_value v);
+      Buffer.add_char b '\n')
+    s;
+  Buffer.contents b
+
+let pp fmt s = Format.pp_print_string fmt (render s)

@@ -1,0 +1,87 @@
+(** The unified metrics registry — one namespace for every counter the
+    controller exports, consumed through {!snapshot}/{!render} (the
+    bytes behind [/yanc/.proc/metrics]).
+
+    Three kinds of series:
+
+    - {e counters}: monotonically increasing integers owned by the
+      registry. [counter] returns a handle; {!incr}/{!add} on a handle
+      are plain field mutations — the record path allocates nothing.
+    - {e gauges}: sampled on demand from a callback. This is how the
+      pre-existing cost structs ({!Vfs.Cost}, [Flow_table.Cost],
+      [Dfs.Cluster.metrics]) join the registry without rewriting their
+      hot paths: they keep their mutable fields, the registry samples
+      them at snapshot time.
+    - {e histograms}: log₂-bucketed latency distributions (bucket [i]
+      holds observations in [[2^i, 2^{i+1})] nanoseconds). {!observe}
+      mutates a preallocated bucket array — no allocation per record.
+      Snapshots flatten each histogram to [.count]/[.p50]/[.p99]/[.max].
+
+    Names are dot-separated lowercase ([vfs.crossings],
+    [sched.routerd.iterations]); [counter]/[histogram] are get-or-create
+    so independent components may share a series by name. *)
+
+type t
+
+type counter
+type histogram
+
+val create : unit -> t
+
+(** {1 Counters} *)
+
+val counter : t -> string -> counter
+(** Get or create. The handle stays valid for the registry's lifetime. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+(** {1 Gauges} *)
+
+val gauge : t -> string -> (unit -> float) -> unit
+(** Register (or replace) a sampled series; the callback runs at each
+    {!snapshot} and must not recurse into the registry's consumers. *)
+
+(** {1 Histograms} *)
+
+val histogram : t -> string -> histogram
+
+val observe : histogram -> float -> unit
+(** Record one latency in seconds (bucketed at nanosecond granularity). *)
+
+val hist_count : histogram -> int
+val hist_max : histogram -> float
+
+val percentile : histogram -> float -> float
+(** [percentile h 0.99]: upper bound of the bucket holding the rank-q
+    observation, clamped to the true maximum — 0 on an empty series. *)
+
+val histograms : t -> (string * histogram) list
+(** Sorted by name. *)
+
+(** {1 Snapshots} *)
+
+type snapshot
+(** An immutable, point-in-time copy: later mutations of the registry
+    are not reflected in an already-taken snapshot. *)
+
+val snapshot : t -> snapshot
+
+val entries : snapshot -> (string * float) list
+(** Sorted by name; histograms appear flattened as [name.count],
+    [name.p50], [name.p99], [name.max]. *)
+
+val find : snapshot -> string -> float option
+
+val render : snapshot -> string
+(** One ["name value"] line per entry — the [/yanc/.proc/metrics]
+    format; every line splits on one space and the value parses as a
+    float. *)
+
+val render_value : float -> string
+(** The value formatting {!render} uses (integral values print without a
+    fractional part) — for consumers building their own listings over
+    {!entries}. *)
+
+val pp : Format.formatter -> snapshot -> unit

@@ -1,0 +1,32 @@
+(** The controller's observability layer (the procfs/ftrace analog):
+    one {!Registry} of named counters/gauges/histograms and one
+    {!Tracer} of request spans, created together and threaded through
+    the controller so every component reports into the same namespace.
+
+    Consumption is file I/O — the registry renders to
+    [/yanc/.proc/metrics] and the tracer to [/yanc/.proc/trace_pipe]
+    (see [Yancfs.Procdir]); nothing here depends on the VFS. *)
+
+module Registry = Registry
+module Tracer = Tracer
+
+type t = { registry : Registry.t; tracer : Tracer.t }
+
+let create ?(tracing = true) ?capacity () =
+  let registry = Registry.create () in
+  let tracer = Tracer.create ?capacity registry in
+  Tracer.set_enabled tracer tracing;
+  (* The tracer's own health is part of the registry. *)
+  Registry.gauge registry "trace.spans_recorded" (fun () ->
+      float_of_int (Tracer.spans_recorded tracer));
+  Registry.gauge registry "trace.dropped" (fun () ->
+      float_of_int (Tracer.drops tracer));
+  { registry; tracer }
+
+let registry t = t.registry
+
+let tracer t = t.tracer
+
+let set_tracing t b = Tracer.set_enabled t.tracer b
+
+let tracing t = Tracer.enabled t.tracer

@@ -1,0 +1,150 @@
+type record = {
+  trace : int;
+  span_id : int;
+  parent : int;
+  stage : string;
+  t0 : float;
+  t1 : float;
+  origin : float;
+}
+
+let no_record =
+  { trace = 0; span_id = 0; parent = 0; stage = ""; t0 = 0.; t1 = 0.;
+    origin = 0. }
+
+(* Correlation stamps are bounded FIFO: a stamp nobody resumed within
+   [stamp_cap] later stamps is forgotten, not leaked. *)
+let stamp_cap = 8192
+
+let max_depth = 64
+
+type t = {
+  registry : Registry.t;
+  capacity : int;
+  mutable ring : record array; (* [||] until the first push *)
+  mutable wpos : int; (* total records ever pushed *)
+  mutable rpos : int; (* total records ever consumed (read or dropped) *)
+  mutable dropped : int;
+  mutable enabled : bool;
+  mutable now : float;
+  mutable next_trace : int;
+  mutable next_span : int;
+  mutable cur_trace : int;
+  mutable cur_origin : float;
+  stack : int array; (* open span ids, innermost last *)
+  mutable depth : int;
+  stamps : (string, int * float) Hashtbl.t;
+  stamp_order : string Queue.t;
+}
+
+let create ?(capacity = 4096) registry =
+  { registry; capacity = max 1 capacity; ring = [||]; wpos = 0; rpos = 0;
+    dropped = 0; enabled = false; now = 0.; next_trace = 0; next_span = 0;
+    cur_trace = 0; cur_origin = 0.; stack = Array.make max_depth 0; depth = 0;
+    stamps = Hashtbl.create 64; stamp_order = Queue.create () }
+
+let set_enabled t b = t.enabled <- b
+
+let enabled t = t.enabled
+
+let set_now t f = t.now <- f
+
+let now t = t.now
+
+(* --- traces ------------------------------------------------------------------ *)
+
+let fresh t =
+  if not t.enabled then 0
+  else begin
+    t.next_trace <- t.next_trace + 1;
+    t.cur_trace <- t.next_trace;
+    t.cur_origin <- t.now;
+    t.cur_trace
+  end
+
+let current t = t.cur_trace
+
+let clear t =
+  t.cur_trace <- 0;
+  t.cur_origin <- 0.
+
+let stamp t key =
+  if t.enabled && t.cur_trace <> 0 then begin
+    if Queue.length t.stamp_order >= stamp_cap then
+      Hashtbl.remove t.stamps (Queue.pop t.stamp_order);
+    Hashtbl.replace t.stamps key (t.cur_trace, t.cur_origin);
+    Queue.push key t.stamp_order
+  end
+
+let resume t key =
+  if not t.enabled then false
+  else
+    match Hashtbl.find_opt t.stamps key with
+    | None -> false
+    | Some (trace, origin) ->
+      t.cur_trace <- trace;
+      t.cur_origin <- origin;
+      true
+
+(* --- the ring ---------------------------------------------------------------- *)
+
+let push t r =
+  if Array.length t.ring = 0 then t.ring <- Array.make t.capacity no_record;
+  if t.wpos - t.rpos >= t.capacity then begin
+    (* Overrun: the oldest unread record is gone. *)
+    t.rpos <- t.rpos + 1;
+    t.dropped <- t.dropped + 1
+  end;
+  t.ring.(t.wpos mod t.capacity) <- r;
+  t.wpos <- t.wpos + 1
+
+let spans_recorded t = t.wpos
+
+let drops t = t.dropped
+
+let drain t =
+  let n = t.wpos - t.rpos in
+  let out = ref [] in
+  for i = t.wpos - 1 downto t.wpos - n do
+    out := t.ring.(i mod t.capacity) :: !out
+  done;
+  t.rpos <- t.wpos;
+  !out
+
+(* --- spans ------------------------------------------------------------------- *)
+
+let span t ~stage f =
+  if not t.enabled then f ()
+  else begin
+    t.next_span <- t.next_span + 1;
+    let span_id = t.next_span in
+    let parent = if t.depth > 0 then t.stack.(t.depth - 1) else 0 in
+    if t.depth < max_depth then begin
+      t.stack.(t.depth) <- span_id;
+      t.depth <- t.depth + 1
+    end;
+    let t0 = t.now in
+    Fun.protect f ~finally:(fun () ->
+        if t.depth > 0 && t.stack.(t.depth - 1) = span_id then
+          t.depth <- t.depth - 1;
+        let t1 = t.now in
+        (* Attribution at end, so a resume inside the span counts. *)
+        let trace = t.cur_trace and origin = t.cur_origin in
+        push t { trace; span_id; parent; stage; t0; t1; origin };
+        if trace <> 0 then
+          Registry.observe
+            (Registry.histogram t.registry ("trace." ^ stage))
+            (t1 -. origin))
+  end
+
+let render_pipe t =
+  let rs = drain t in
+  let b = Buffer.create 256 in
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Printf.sprintf "trace=%d span=%d parent=%d stage=%s t0=%.9f t1=%.9f lat=%.9f\n"
+           r.trace r.span_id r.parent r.stage r.t0 r.t1
+           (if r.trace = 0 then 0. else r.t1 -. r.origin)))
+    rs;
+  Buffer.contents b

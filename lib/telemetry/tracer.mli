@@ -1,0 +1,90 @@
+(** The ftrace-style span tracer: a bounded ring buffer of completed
+    begin/end span records on the {e simulated} clock, drained through
+    [/yanc/.proc/trace_pipe] with consume-on-read semantics.
+
+    A {e trace} follows one logical request (a packet-in) across
+    components. The tracer keeps one ambient current trace — the
+    controller is single-threaded, so "the request being processed right
+    now" is well defined. Components that originate a request {!fresh} a
+    trace id; components that hand work to a later stage through the
+    file system {!stamp} a correlation key (an event sequence number, a
+    flow path, a protocol xid); the stage that picks the work up calls
+    {!resume} with the same key and inherits the trace id and origin
+    time. {!span} wraps a stage's work: on completion a record (trace
+    id, parent span, stage, begin/end time, trace origin) enters the
+    ring, and when the record belongs to a trace its end-to-end latency
+    [t1 - origin] feeds the [trace.<stage>] histogram of the attached
+    {!Registry}.
+
+    When the ring is full the oldest unread record is dropped and
+    counted — exactly inotify's (and ftrace's) overrun contract. With
+    tracing disabled every entry point is a no-op and {!span} runs its
+    thunk directly. *)
+
+type t
+
+type record = {
+  trace : int;  (** 0 when the span ran outside any trace *)
+  span_id : int;
+  parent : int;  (** enclosing span's id, 0 at top level *)
+  stage : string;
+  t0 : float;  (** simulated begin time *)
+  t1 : float;  (** simulated end time *)
+  origin : float;  (** birth time of the owning trace *)
+}
+
+val create : ?capacity:int -> Registry.t -> t
+(** Ring capacity defaults to 4096 records; the ring itself is
+    allocated on first use, so an idle tracer costs a few words. *)
+
+val set_enabled : t -> bool -> unit
+val enabled : t -> bool
+
+val set_now : t -> float -> unit
+(** Sync to the simulated clock ({!Vfs.Fs.set_time}'s sibling). *)
+
+val now : t -> float
+
+(** {1 Traces} *)
+
+val fresh : t -> int
+(** Mint a trace id, make it current with origin [now]. 0 if disabled. *)
+
+val current : t -> int
+(** The ambient trace id, 0 if none. *)
+
+val clear : t -> unit
+(** Drop the ambient trace (end of the originating batch). *)
+
+val stamp : t -> string -> unit
+(** Associate the current trace with a correlation key a later stage
+    will see (no-op without a current trace). Keys are bounded FIFO —
+    old stamps fall out rather than grow the table. *)
+
+val resume : t -> string -> bool
+(** Adopt the trace stamped under [key], if any. Non-consuming: a key
+    fanned out to several consumers resumes in each. *)
+
+(** {1 Spans} *)
+
+val span : t -> stage:string -> (unit -> 'a) -> 'a
+(** Run the thunk as one span of [stage]. Nesting gives parent links;
+    the trace attribution is read at span {e end}, so a stage that
+    resumes a trace mid-span is still attributed to it. *)
+
+(** {1 The ring} *)
+
+val spans_recorded : t -> int
+(** Total completed spans ever pushed (including later-dropped ones). *)
+
+val drops : t -> int
+(** Records overwritten before being read. *)
+
+val drain : t -> record list
+(** Every completed span since the last drain, oldest first; empties
+    the buffer — the second consecutive drain returns []. *)
+
+val render_pipe : t -> string
+(** {!drain} rendered one record per line:
+    [trace=<id> span=<id> parent=<id> stage=<name> t0=<s> t1=<s> lat=<s>]
+    — the [/yanc/.proc/trace_pipe] payload, consumed on read. *)

@@ -54,6 +54,9 @@ type t = {
   mutable symlink_policy : Path.t -> target:string -> bool;
   mutable objects : int;
   mutable bytes_used : int;
+  (* Procfs-style read-generated files, keyed by inode (inodes are
+     never reused, so entries for unlinked nodes are simply dead). *)
+  generators : (int, unit -> string) Hashtbl.t;
 }
 
 let ( let* ) = Result.bind
@@ -78,7 +81,7 @@ let create ?(cost = Cost.create ()) () =
     next_hook = 0; fds = Hashtbl.create 16; hooks = [];
     rmdir_policy = (fun _ -> false);
     symlink_policy = (fun _ ~target:_ -> true);
-    objects = 1; bytes_used = 0 }
+    objects = 1; bytes_used = 0; generators = Hashtbl.create 8 }
 
 let cost t = t.cost
 
@@ -313,9 +316,26 @@ let read_file t ~cred path =
   sys t;
   let* node, _ = resolve t cred ~follow_last:true path in
   let* () = require t node cred Perm.r_ok in
-  let* f = file_data node in
-  node.atime <- t.now;
-  Ok (Bytes.sub_string f.bytes 0 f.len)
+  match Hashtbl.find_opt t.generators node.ino with
+  | Some gen ->
+    (* Procfs semantics: content is produced by the kernel at read time;
+       the node stays empty (stat size 0) and no mutation is emitted. *)
+    node.atime <- t.now;
+    Ok (gen ())
+  | None ->
+    let* f = file_data node in
+    node.atime <- t.now;
+    Ok (Bytes.sub_string f.bytes 0 f.len)
+
+let set_generator t path gen =
+  match resolve t Cred.root ~follow_last:true path with
+  | Error _ as e -> Result.map (fun _ -> ()) e
+  | Ok (node, _) ->
+    (match file_data node with
+    | Error _ as e -> Result.map (fun _ -> ()) e
+    | Ok _ ->
+      Hashtbl.replace t.generators node.ino gen;
+      Ok ())
 
 let grow f size =
   if Bytes.length f.bytes < size then begin

@@ -135,6 +135,16 @@ val create_file :
 
 val read_file : t -> cred:Cred.t -> Path.t -> (string, Errno.t) result
 
+val set_generator :
+  t -> Path.t -> (unit -> string) -> (unit, Errno.t) result
+(** Turn an existing regular file into a procfs-style synthetic node:
+    every {!read_file} of it returns [gen ()] computed at read time
+    instead of stored bytes. The node keeps reporting size 0 (as /proc
+    files do), generation emits no mutation ops, and permissions are
+    still enforced on the node itself. Generators are per-inode, so
+    unlinking the file retires them. [pread] through a descriptor is
+    not interposed — synthetic nodes are whole-file reads. *)
+
 val write_file : t -> cred:Cred.t -> Path.t -> string -> (unit, Errno.t) result
 (** The [echo data > file] equivalent: create the file if missing,
     truncate, write. *)

@@ -6,13 +6,55 @@ type t = {
   net : Netsim.Network.t;
   manager : Driver.Manager.t;
   scheduler : Scheduler.t;
+  telemetry : Telemetry.t;
+  proc : Yancfs.Procdir.t;
 }
 
-let create ?root ?fs:fs_opt ~net () =
+(* The pre-existing cost structs keep their mutable fields and hot
+   paths; the registry samples them as gauges, so /yanc/.proc/metrics
+   is one namespace without a second counter surface. *)
+let register_probes ~telemetry ~fs ~net =
+  let reg = Telemetry.registry telemetry in
+  let g name f = Telemetry.Registry.gauge reg name f in
+  let gi name f = g name (fun () -> float_of_int (f ())) in
+  let cost = Vfs.Fs.cost fs in
+  let module C = Vfs.Cost in
+  gi "vfs.crossings" (fun () -> C.crossings cost);
+  g "vfs.charged_ns" (fun () -> C.charged_ns cost);
+  gi "vfs.components" (fun () -> C.components cost);
+  gi "vfs.dcache.hits" (fun () -> C.dentry_hits cost);
+  gi "vfs.dcache.misses" (fun () -> C.dentry_misses cost);
+  gi "vfs.dcache.negative_hits" (fun () -> C.negative_hits cost);
+  gi "vfs.dcache.attr_hits" (fun () -> C.attr_hits cost);
+  gi "vfs.dcache.attr_misses" (fun () -> C.attr_misses cost);
+  gi "vfs.dcache.invalidations" (fun () -> C.invalidations cost);
+  gi "fsnotify.events_dispatched" (fun () -> C.events_dispatched cost);
+  gi "fsnotify.watches_visited" (fun () -> C.watches_visited cost);
+  gi "fsnotify.events_coalesced" (fun () -> C.events_coalesced cost);
+  gi "fsnotify.overflows" (fun () -> C.overflows cost);
+  gi "fs.objects" (fun () -> fst (Vfs.Fs.size_info fs));
+  gi "fs.bytes" (fun () -> snd (Vfs.Fs.size_info fs));
+  let module FC = Netsim.Flow_table.Cost in
+  let dp f () = f (Netsim.Network.datapath_cost net) in
+  gi "datapath.lookups" (dp FC.lookups);
+  gi "datapath.entries_examined" (dp FC.entries_examined);
+  gi "datapath.subtables_visited" (dp FC.subtables_visited);
+  gi "datapath.microflow_hits" (dp FC.micro_hits);
+  gi "datapath.microflow_misses" (dp FC.micro_misses);
+  gi "datapath.invalidations" (dp FC.invalidations);
+  gi "net.frames_delivered" (fun () -> fst (Netsim.Network.stats net));
+  gi "net.frames_dropped" (fun () -> snd (Netsim.Network.stats net))
+
+let create ?root ?fs:fs_opt ?telemetry ~net () =
+  let telemetry =
+    match telemetry with Some t -> t | None -> Telemetry.create ()
+  in
   let fs = match fs_opt with Some fs -> fs | None -> Vfs.Fs.create () in
-  let yfs = Yancfs.Yanc_fs.create ?root fs in
+  let yfs = Yancfs.Yanc_fs.create ?root ~telemetry fs in
+  let proc = Yancfs.Procdir.mount ~fs ~telemetry () in
+  register_probes ~telemetry ~fs ~net;
   { fs; yfs; net; manager = Driver.Manager.create ~yfs ~net ();
-    scheduler = Scheduler.create () }
+    scheduler = Scheduler.create ~telemetry (); telemetry; proc }
 
 let fs t = t.fs
 
@@ -26,25 +68,69 @@ let net t = t.net
 
 let manager t = t.manager
 
+let telemetry t = t.telemetry
+
+let proc t = t.proc
+
+let scheduler t = t.scheduler
+
 let to_mgr_version = function
   | V10 -> Driver.Manager.V10
   | V13 -> Driver.Manager.V13
 
+let switch_stat t ~dpid () =
+  let b = Buffer.create 128 in
+  let put name v = Buffer.add_string b (Printf.sprintf "%s %s\n" name v) in
+  put "dpid" (Int64.to_string dpid);
+  (match Driver.Manager.switch_name t.manager ~dpid with
+  | Some name -> put "name" name
+  | None -> ());
+  (match Driver.Manager.driver_protocol t.manager ~dpid with
+  | Some p -> put "protocol" p
+  | None -> ());
+  (match Netsim.Network.switch t.net dpid with
+  | None -> ()
+  | Some sw ->
+    let c = Netsim.Sim_switch.datapath_cost sw in
+    let module FC = Netsim.Flow_table.Cost in
+    put "lookups" (string_of_int (FC.lookups c));
+    put "entries_examined" (string_of_int (FC.entries_examined c));
+    put "subtables_visited" (string_of_int (FC.subtables_visited c));
+    put "microflow_hits" (string_of_int (FC.micro_hits c));
+    put "microflow_misses" (string_of_int (FC.micro_misses c));
+    put "invalidations" (string_of_int (FC.invalidations c)));
+  Buffer.contents b
+
 let attach t ~dpid ~version =
-  Driver.Manager.attach t.manager ~dpid ~version:(to_mgr_version version)
+  Driver.Manager.attach t.manager ~dpid ~version:(to_mgr_version version);
+  Yancfs.Procdir.add_switch t.proc ~name:(Int64.to_string dpid)
+    ~stat:(switch_stat t ~dpid)
 
 let attach_switches ?(version = V10) t =
   List.iter
     (fun sw -> attach t ~dpid:(Netsim.Sim_switch.dpid sw) ~version)
     (Netsim.Network.switches t.net)
 
-let add_app t app = Scheduler.add t.scheduler app
+let app_stat t name () =
+  match List.assoc_opt name (Scheduler.stats t.scheduler) with
+  | None -> ""
+  | Some (s : Scheduler.app_stats) ->
+    Printf.sprintf "schedule %s\niterations %d\nruntime_ns %d\nlast_run %s\n"
+      s.schedule s.iterations s.runtime_ns
+      (if s.last_run = neg_infinity then "never"
+       else Printf.sprintf "%.6f" s.last_run)
+
+let add_app t app =
+  Scheduler.add t.scheduler app;
+  let name = app.Apps.App_intf.name in
+  Yancfs.Procdir.add_app t.proc ~name ~stat:(app_stat t name)
 
 let now t = Netsim.Network.now t.net
 
 let step t =
   let now = Netsim.Network.now t.net in
   Vfs.Fs.set_time t.fs now;
+  Telemetry.Tracer.set_now (Telemetry.tracer t.telemetry) now;
   Driver.Manager.step t.manager ~now;
   ignore (Scheduler.tick t.scheduler ~now);
   Driver.Manager.step t.manager ~now

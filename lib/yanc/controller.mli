@@ -14,9 +14,21 @@ type version = V10 | V13
 type t
 
 val create :
-  ?root:Vfs.Path.t -> ?fs:Vfs.Fs.t -> net:Netsim.Network.t -> unit -> t
+  ?root:Vfs.Path.t -> ?fs:Vfs.Fs.t -> ?telemetry:Telemetry.t ->
+  net:Netsim.Network.t -> unit -> t
+(** Builds the telemetry hub (tracing on unless a custom [telemetry] is
+    passed), threads it through the file system, drivers, agents and
+    scheduler, registers gauges sampling every pre-existing counter
+    surface ({!Vfs.Cost}, datapath, fsnotify, network), and mounts the
+    [/yanc/.proc] subtree on the controller's VFS. *)
 
 val fs : t -> Vfs.Fs.t
+
+val telemetry : t -> Telemetry.t
+
+val proc : t -> Yancfs.Procdir.t
+
+val scheduler : t -> Scheduler.t
 
 val cost : t -> Vfs.Cost.t
 (** The controller file system's cost model — kernel crossings, dcache
@@ -37,8 +49,10 @@ val attach_switches : ?version:version -> t -> unit
 (** Attach a driver to every switch currently in the network. *)
 
 val attach : t -> dpid:int64 -> version:version -> unit
+(** Also publishes [/yanc/.proc/switches/<dpid>/stat]. *)
 
 val add_app : t -> Apps.App_intf.t -> unit
+(** Also publishes [/yanc/.proc/apps/<name>/stat]. *)
 
 val now : t -> float
 

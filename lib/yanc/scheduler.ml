@@ -2,17 +2,57 @@ type entry = {
   app : Apps.App_intf.t;
   mutable next_run : float;
   mutable done_ : bool;
+  (* Registry handles created at registration, so the per-run path is
+     two field bumps. *)
+  iterations : Telemetry.Registry.counter;
+  runtime_ns : Telemetry.Registry.counter;
+  mutable last_run : float;
 }
 
 (* A Queue, not a list with [@ [x]] appends: registration order is
    preserved and registering N apps is O(N), not O(N^2). Entries are
    never removed (oneshots just mark themselves done). *)
-type t = { entries : entry Queue.t }
+type t = { entries : entry Queue.t; telemetry : Telemetry.t }
 
-let create () = { entries = Queue.create () }
+let create ?telemetry () =
+  let telemetry =
+    match telemetry with
+    | Some t -> t
+    | None -> Telemetry.create ~tracing:false ()
+  in
+  { entries = Queue.create (); telemetry }
+
+let telemetry t = t.telemetry
 
 let add t app =
-  Queue.push { app; next_run = neg_infinity; done_ = false } t.entries
+  let reg = Telemetry.registry t.telemetry in
+  let name = app.Apps.App_intf.name in
+  Queue.push
+    { app; next_run = neg_infinity; done_ = false;
+      iterations =
+        Telemetry.Registry.counter reg
+          (Printf.sprintf "sched.%s.iterations" name);
+      runtime_ns =
+        Telemetry.Registry.counter reg
+          (Printf.sprintf "sched.%s.runtime_ns" name);
+      last_run = neg_infinity }
+    t.entries
+
+(* Runtime is host CPU time: the simulated clock stands still inside an
+   app run, but "which app burns the controller's cycles" is exactly
+   what the per-app counters exist to answer. *)
+let run_entry t e ~now =
+  let tracer = Telemetry.tracer t.telemetry in
+  let c0 = Sys.time () in
+  Telemetry.Tracer.span tracer ~stage:"sched.wake" (fun () ->
+      e.app.Apps.App_intf.run ~now);
+  (* The wake span adopted whatever trace the app resumed last; drop it
+     so the next app starts clean. *)
+  Telemetry.Tracer.clear tracer;
+  let dt = Sys.time () -. c0 in
+  Telemetry.Registry.incr e.iterations;
+  Telemetry.Registry.add e.runtime_ns (int_of_float (dt *. 1e9));
+  e.last_run <- now
 
 let tick t ~now =
   Queue.fold
@@ -26,16 +66,16 @@ let tick t ~now =
           match e.app.Apps.App_intf.pending with
           | Some pending when not (pending ()) -> ran
           | _ ->
-            e.app.run ~now;
+            run_entry t e ~now;
             ran + 1)
         | Apps.App_intf.Oneshot ->
           e.done_ <- true;
-          e.app.run ~now;
+          run_entry t e ~now;
           ran + 1
         | Apps.App_intf.Cron period ->
           if now >= e.next_run then begin
             e.next_run <- now +. period;
-            e.app.run ~now;
+            run_entry t e ~now;
             ran + 1
           end
           else ran)
@@ -44,3 +84,27 @@ let tick t ~now =
 let apps t =
   List.rev
     (Queue.fold (fun acc e -> e.app.Apps.App_intf.name :: acc) [] t.entries)
+
+type app_stats = {
+  schedule : string;
+  iterations : int;
+  runtime_ns : int;
+  last_run : float;
+}
+
+let schedule_to_string = function
+  | Apps.App_intf.Daemon -> "daemon"
+  | Apps.App_intf.Oneshot -> "oneshot"
+  | Apps.App_intf.Cron p -> Printf.sprintf "cron:%g" p
+
+let stats t =
+  List.rev
+    (Queue.fold
+       (fun acc e ->
+         ( e.app.Apps.App_intf.name,
+           { schedule = schedule_to_string e.app.Apps.App_intf.schedule;
+             iterations = Telemetry.Registry.value e.iterations;
+             runtime_ns = Telemetry.Registry.value e.runtime_ns;
+             last_run = e.last_run } )
+         :: acc)
+       [] t.entries)

@@ -4,15 +4,36 @@
 
 type t
 
-val create : unit -> t
+val create : ?telemetry:Telemetry.t -> unit -> t
+(** [telemetry] receives the per-app counters and the [sched.wake]
+    spans; omitted, a private quiet instance is used. *)
+
+val telemetry : t -> Telemetry.t
 
 val add : t -> Apps.App_intf.t -> unit
-(** O(1); registration order is the tick order. *)
+(** O(1); registration order is the tick order. Registers
+    [sched.<app>.iterations] and [sched.<app>.runtime_ns] with the
+    registry. *)
 
 val tick : t -> now:float -> int
 (** Run everything due at [now]; returns how many app iterations ran.
     Daemons run every tick — except event-driven daemons that report no
     pending work (see {!Apps.App_intf.t}), which are skipped — cron apps
-    when their period has elapsed, oneshots exactly once. *)
+    when their period has elapsed, oneshots exactly once. Each run is
+    wrapped in a [sched.wake] tracer span and accounted to the app's
+    iteration and cumulative-runtime counters (host CPU time — the
+    simulated clock does not advance inside a run, and "which app burns
+    the controller's cycles" is the question these counters answer). *)
 
 val apps : t -> string list
+
+type app_stats = {
+  schedule : string;
+  iterations : int;
+  runtime_ns : int;  (** cumulative host CPU time across runs *)
+  last_run : float;  (** simulated time of the last run, -inf if never *)
+}
+
+val stats : t -> (string * app_stats) list
+(** One entry per registered app, in registration order — the data
+    behind [/yanc/.proc/apps/<name>/stat]. *)

@@ -33,11 +33,18 @@ let reason_of_string = function
   | "action" -> Openflow.Of_types.Action_explicit
   | _ -> Openflow.Of_types.No_match
 
-let publish fs ~root ~switch ~in_port ~reason ~buffer_id ~total_len ~data =
+let publish ?telemetry fs ~root ~switch ~in_port ~reason ~buffer_id ~total_len
+    ~data =
   let cred = Vfs.Cred.root in
   let apps = subscribers fs ~root ~switch in
   incr next_seq;
   let seq = !next_seq in
+  (* Consumers resume the publishing driver's trace by sequence number
+     (non-consuming: the same event fans out to many buffers). *)
+  Option.iter
+    (fun tele ->
+      Telemetry.Tracer.stamp (Telemetry.tracer tele) (Layout.trace_key_event seq))
+    telemetry;
   List.fold_left
     (fun count app ->
       let dir = Layout.event ~root ~switch ~app seq in

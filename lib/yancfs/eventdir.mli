@@ -26,11 +26,14 @@ val subscribers :
   Vfs.Fs.t -> root:Vfs.Path.t -> switch:string -> string list
 
 val publish :
-  Vfs.Fs.t -> root:Vfs.Path.t -> switch:string ->
+  ?telemetry:Telemetry.t -> Vfs.Fs.t -> root:Vfs.Path.t -> switch:string ->
   in_port:int -> reason:Openflow.Of_types.packet_in_reason ->
   buffer_id:int32 option -> total_len:int -> data:string -> int
 (** Deliver one packet-in to every subscribed buffer (driver-side, so it
-    runs as root); returns the number of buffers written. *)
+    runs as root); returns the number of buffers written. With
+    [telemetry], the current trace is stamped under
+    {!Layout.trace_key_event} of the assigned sequence number so
+    consumers can resume it. *)
 
 val poll :
   Vfs.Fs.t -> cred:Vfs.Cred.t -> root:Vfs.Path.t -> switch:string ->

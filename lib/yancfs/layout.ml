@@ -55,6 +55,32 @@ let event_buffer ~root ~switch app = Path.child (events_dir ~root switch) app
 let event ~root ~switch ~app n =
   Path.child (event_buffer ~root ~switch app) (string_of_int n)
 
+(* --- tracer correlation keys (see Telemetry.Tracer) -------------------------- *)
+
+let trace_key_event seq = Printf.sprintf "ev:%d" seq
+
+let trace_key_flow ~switch name = Printf.sprintf "flow:%s/%s" switch name
+
+(* --- /yanc/.proc (procfs analog, see Procdir) ------------------------------- *)
+
+let default_proc_root = Path.of_string_exn "/yanc/.proc"
+
+let proc_metrics ~proc = Path.child proc "metrics"
+
+let proc_trace_pipe ~proc = Path.child proc "trace_pipe"
+
+let proc_apps_dir ~proc = Path.child proc "apps"
+
+let proc_app ~proc name = Path.child (proc_apps_dir ~proc) name
+
+let proc_app_stat ~proc name = Path.child (proc_app ~proc name) "stat"
+
+let proc_switches_dir ~proc = Path.child proc "switches"
+
+let proc_switch ~proc name = Path.child (proc_switches_dir ~proc) name
+
+let proc_switch_stat ~proc name = Path.child (proc_switch ~proc name) "stat"
+
 let version_file = "version"
 
 let priority_file = "priority"

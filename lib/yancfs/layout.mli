@@ -65,6 +65,34 @@ val event_buffer : root:Vfs.Path.t -> switch:string -> string -> Vfs.Path.t
 
 val event : root:Vfs.Path.t -> switch:string -> app:string -> int -> Vfs.Path.t
 
+(** {1 Tracer correlation keys}
+
+    The packet-in trace crosses components through the file system, so
+    trace ids travel as {!Telemetry.Tracer.stamp} keys derived from the
+    objects both sides see: the event sequence number between driver and
+    app, the flow path between app and driver. *)
+
+val trace_key_event : int -> string
+(** ["ev:<seq>"] *)
+
+val trace_key_flow : switch:string -> string -> string
+(** ["flow:<switch>/<flow>"] *)
+
+(** {1 /yanc/.proc — the procfs analog (see {!Procdir})} *)
+
+val default_proc_root : Vfs.Path.t
+(** [/yanc/.proc] — deliberately outside the /net tree: it describes
+    the controller, not the network, so views never replicate it. *)
+
+val proc_metrics : proc:Vfs.Path.t -> Vfs.Path.t
+val proc_trace_pipe : proc:Vfs.Path.t -> Vfs.Path.t
+val proc_apps_dir : proc:Vfs.Path.t -> Vfs.Path.t
+val proc_app : proc:Vfs.Path.t -> string -> Vfs.Path.t
+val proc_app_stat : proc:Vfs.Path.t -> string -> Vfs.Path.t
+val proc_switches_dir : proc:Vfs.Path.t -> Vfs.Path.t
+val proc_switch : proc:Vfs.Path.t -> string -> Vfs.Path.t
+val proc_switch_stat : proc:Vfs.Path.t -> string -> Vfs.Path.t
+
 (** {1 Well-known file names} *)
 
 val version_file : string

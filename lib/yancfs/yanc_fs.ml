@@ -3,7 +3,7 @@ module Fs = Vfs.Fs
 module Port_info = Openflow.Of_types.Port_info
 module Port_stats = Openflow.Of_types.Port_stats
 
-type t = { fs : Fs.t; root : Path.t }
+type t = { fs : Fs.t; root : Path.t; telemetry : Telemetry.t }
 
 let ( let* ) = Result.bind
 
@@ -11,12 +11,21 @@ let fs t = t.fs
 
 let root t = t.root
 
+let telemetry t = t.telemetry
+
 let ensure_dir fs ~cred path =
   match Fs.mkdir fs ~cred path with
   | Ok () | Error Vfs.Errno.EEXIST -> Ok ()
   | Error _ as e -> e
 
-let create ?(root = Layout.default_root) base =
+let create ?(root = Layout.default_root) ?telemetry base =
+  let telemetry =
+    (* A bare Yanc_fs (tests, benches) gets its own quiet instance; the
+       controller passes the shared one with tracing on. *)
+    match telemetry with
+    | Some t -> t
+    | None -> Telemetry.create ~tracing:false ()
+  in
   ignore (Fs.mkdir_p base ~cred:Vfs.Cred.root root);
   ignore (Schema.attach base ~root);
   (* The schema hook fires on mkdir; an already-existing root needs the
@@ -24,7 +33,7 @@ let create ?(root = Layout.default_root) base =
   List.iter
     (fun p -> ignore (ensure_dir base ~cred:Vfs.Cred.root p))
     [ Layout.hosts_dir ~root; Layout.switches_dir ~root; Layout.views_dir ~root ];
-  { fs = base; root }
+  { fs = base; root; telemetry }
 
 let in_view t ~cred name =
   let vroot = Layout.view ~root:t.root name in
@@ -33,7 +42,7 @@ let in_view t ~cred name =
   let* () = ensure_dir t.fs ~cred (Layout.hosts_dir ~root:vroot) in
   let* () = ensure_dir t.fs ~cred (Layout.switches_dir ~root:vroot) in
   let* () = ensure_dir t.fs ~cred (Layout.views_dir ~root:vroot) in
-  Ok { fs = t.fs; root = vroot }
+  Ok { fs = t.fs; root = vroot; telemetry = t.telemetry }
 
 let tree t =
   match Fs.tree t.fs ~cred:Vfs.Cred.root t.root with
@@ -176,9 +185,14 @@ let peer_of t ~cred ~switch ~port =
 (* --- flows -------------------------------------------------------------------- *)
 
 let create_flow t ~cred ~switch ~name flow =
-  let dir = Layout.flow ~root:t.root ~switch name in
-  let* () = Fs.mkdir t.fs ~cred dir in
-  Flowdir.write t.fs ~cred dir flow
+  let tracer = Telemetry.tracer t.telemetry in
+  Telemetry.Tracer.span tracer ~stage:"yancfs.flow_write" (fun () ->
+      let dir = Layout.flow ~root:t.root ~switch name in
+      let* () = Fs.mkdir t.fs ~cred dir in
+      let* () = Flowdir.write t.fs ~cred dir flow in
+      (* Hand the trace to whichever driver reconciles this directory. *)
+      Telemetry.Tracer.stamp tracer (Layout.trace_key_flow ~switch name);
+      Ok ())
 
 let flow_names t ~cred switch =
   match Fs.readdir t.fs ~cred (Layout.flows_dir ~root:t.root switch) with

@@ -6,12 +6,18 @@
 
 type t
 
-val create : ?root:Vfs.Path.t -> Vfs.Fs.t -> t
+val create : ?root:Vfs.Path.t -> ?telemetry:Telemetry.t -> Vfs.Fs.t -> t
 (** Mount at [root] (default [/net]): create the top-level hierarchy and
-    attach schema semantics. Idempotent over an existing tree. *)
+    attach schema semantics. Idempotent over an existing tree.
+    [telemetry] is the observability hub the flow-write path (and every
+    component reached through this handle — drivers, agents) reports
+    into; when omitted a private instance with tracing disabled is
+    created, so standalone use costs nothing. *)
 
 val fs : t -> Vfs.Fs.t
 val root : t -> Vfs.Path.t
+
+val telemetry : t -> Telemetry.t
 
 val in_view : t -> cred:Vfs.Cred.t -> string -> (t, Vfs.Errno.t) result
 (** A handle rooted at [<root>/views/<name>], creating the view if

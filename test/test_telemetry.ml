@@ -1,0 +1,355 @@
+(* The observability layer (E16): registry snapshot semantics, the span
+   ring's ftrace-style overrun contract, trace_pipe consume-on-read, and
+   one packet-in traced end to end through the live controller into
+   /yanc/.proc. *)
+
+module T = Telemetry
+module N = Netsim
+module Fs = Vfs.Fs
+
+let cred = Vfs.Cred.root
+
+(* --- registry ------------------------------------------------------------- *)
+
+let test_counters_and_gauges () =
+  let reg = T.Registry.create () in
+  let c = T.Registry.counter reg "a.hits" in
+  T.Registry.incr c;
+  T.Registry.add c 4;
+  Alcotest.(check int) "counter accumulates" 5 (T.Registry.value c);
+  Alcotest.(check int)
+    "get-or-create shares the series" 5
+    (T.Registry.value (T.Registry.counter reg "a.hits"));
+  let live = ref 7. in
+  T.Registry.gauge reg "a.depth" (fun () -> !live);
+  let snap = T.Registry.snapshot reg in
+  Alcotest.(check (option (float 0.))) "gauge sampled" (Some 7.)
+    (T.Registry.find snap "a.depth");
+  Alcotest.(check (option (float 0.))) "counter exported" (Some 5.)
+    (T.Registry.find snap "a.hits")
+
+let test_snapshot_isolation () =
+  (* A snapshot is a point in time: later mutations must not leak in. *)
+  let reg = T.Registry.create () in
+  let c = T.Registry.counter reg "x" in
+  let live = ref 1. in
+  T.Registry.gauge reg "g" (fun () -> !live);
+  T.Registry.incr c;
+  let snap = T.Registry.snapshot reg in
+  T.Registry.add c 100;
+  live := 99.;
+  Alcotest.(check (option (float 0.))) "counter frozen" (Some 1.)
+    (T.Registry.find snap "x");
+  Alcotest.(check (option (float 0.))) "gauge frozen" (Some 1.)
+    (T.Registry.find snap "g");
+  Alcotest.(check (option (float 0.))) "fresh snapshot sees mutation"
+    (Some 101.)
+    (T.Registry.find (T.Registry.snapshot reg) "x")
+
+let test_histogram_percentiles () =
+  let reg = T.Registry.create () in
+  let h = T.Registry.histogram reg "lat" in
+  (* 90 fast observations and 10 slow ones: p50 must sit in the fast
+     bucket, p99 in the slow one. *)
+  for _ = 1 to 90 do T.Registry.observe h 1e-6 done;
+  for _ = 1 to 10 do T.Registry.observe h 1e-3 done;
+  Alcotest.(check int) "count" 100 (T.Registry.hist_count h);
+  Alcotest.(check (float 1e-12)) "max" 1e-3 (T.Registry.hist_max h);
+  let p50 = T.Registry.percentile h 0.5 in
+  let p99 = T.Registry.percentile h 0.99 in
+  Alcotest.(check bool) "p50 in the microsecond range" true
+    (p50 >= 1e-6 && p50 < 1e-4);
+  Alcotest.(check (float 1e-12)) "p99 clamps to the true max" 1e-3 p99;
+  let snap = T.Registry.snapshot reg in
+  Alcotest.(check (option (float 0.))) "flattened count" (Some 100.)
+    (T.Registry.find snap "lat.count")
+
+let test_render_format () =
+  let reg = T.Registry.create () in
+  T.Registry.add (T.Registry.counter reg "b.n") 3;
+  T.Registry.gauge reg "b.ratio" (fun () -> 0.25);
+  let lines =
+    String.split_on_char '\n' (T.Registry.render (T.Registry.snapshot reg))
+    |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check bool) "no empty file" true (lines <> []);
+  List.iter
+    (fun line ->
+      match String.split_on_char ' ' line with
+      | [ name; v ] ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s has a name" line)
+          true (name <> "");
+        Alcotest.(check bool)
+          (Printf.sprintf "%s value parses" line)
+          true
+          (Option.is_some (float_of_string_opt v))
+      | _ -> Alcotest.failf "line %S does not split into name + value" line)
+    lines;
+  Alcotest.(check bool) "integers render bare" true
+    (List.mem "b.n 3" lines);
+  Alcotest.(check bool) "sorted by name" true
+    (List.sort compare lines = lines)
+
+(* --- the span ring -------------------------------------------------------- *)
+
+let test_ring_overflow_drops_oldest () =
+  let hub = T.create ~tracing:true ~capacity:4 () in
+  let tr = T.tracer hub in
+  for i = 1 to 7 do
+    T.Tracer.set_now tr (float_of_int i);
+    T.Tracer.span tr ~stage:(Printf.sprintf "s%d" i) (fun () -> ())
+  done;
+  Alcotest.(check int) "all pushes counted" 7 (T.Tracer.spans_recorded tr);
+  Alcotest.(check int) "overrun counted" 3 (T.Tracer.drops tr);
+  let recs = T.Tracer.drain tr in
+  Alcotest.(check int) "ring holds capacity" 4 (List.length recs);
+  Alcotest.(check (list string))
+    "oldest dropped, order preserved"
+    [ "s4"; "s5"; "s6"; "s7" ]
+    (List.map (fun (r : T.Tracer.record) -> r.stage) recs)
+
+let test_drain_consumes_once () =
+  let hub = T.create ~tracing:true () in
+  let tr = T.tracer hub in
+  T.Tracer.span tr ~stage:"once" (fun () -> ());
+  Alcotest.(check bool) "pipe carries the span" true
+    (String.length (T.Tracer.render_pipe tr) > 0);
+  Alcotest.(check string) "second read is empty" ""
+    (T.Tracer.render_pipe tr);
+  Alcotest.(check int) "drain after drain is empty" 0
+    (List.length (T.Tracer.drain tr))
+
+let test_stamp_resume () =
+  let hub = T.create ~tracing:true () in
+  let tr = T.tracer hub in
+  T.Tracer.set_now tr 1.5;
+  let id = T.Tracer.fresh tr in
+  Alcotest.(check bool) "fresh is nonzero" true (id <> 0);
+  T.Tracer.stamp tr "ev:42";
+  T.Tracer.clear tr;
+  Alcotest.(check int) "cleared" 0 (T.Tracer.current tr);
+  Alcotest.(check bool) "resume adopts" true (T.Tracer.resume tr "ev:42");
+  Alcotest.(check int) "same trace" id (T.Tracer.current tr);
+  T.Tracer.clear tr;
+  (* non-consuming: the same key fans out to a second consumer *)
+  Alcotest.(check bool) "resume again" true (T.Tracer.resume tr "ev:42");
+  T.Tracer.clear tr;
+  Alcotest.(check bool) "unknown key refuses" false
+    (T.Tracer.resume tr "ev:43");
+  (* a span ended under a resumed trace carries its origin time *)
+  T.Tracer.set_now tr 3.5;
+  ignore (T.Tracer.resume tr "ev:42");
+  T.Tracer.span tr ~stage:"later" (fun () -> ());
+  (match T.Tracer.drain tr with
+  | [ r ] ->
+    Alcotest.(check int) "attributed" id r.trace;
+    Alcotest.(check (float 1e-9)) "origin preserved" 1.5 r.origin;
+    Alcotest.(check (float 1e-9)) "stamped on the sim clock" 3.5 r.t1
+  | l -> Alcotest.failf "expected one record, got %d" (List.length l))
+
+let test_disabled_tracer_is_noop () =
+  let hub = T.create ~tracing:false () in
+  let tr = T.tracer hub in
+  Alcotest.(check int) "fresh yields no trace" 0 (T.Tracer.fresh tr);
+  Alcotest.(check int) "span runs the thunk"
+    9
+    (T.Tracer.span tr ~stage:"s" (fun () -> 9));
+  Alcotest.(check int) "nothing recorded" 0 (T.Tracer.spans_recorded tr);
+  Alcotest.(check string) "pipe is empty" "" (T.Tracer.render_pipe tr)
+
+(* --- one packet-in, end to end through /yanc/.proc ------------------------- *)
+
+type pipe_record = {
+  trace : int;
+  stage : string;
+  t0 : float;
+  t1 : float;
+  lat : float;
+}
+
+let parse_pipe_line line =
+  Scanf.sscanf line "trace=%d span=%d parent=%d stage=%s t0=%f t1=%f lat=%f"
+    (fun trace _span _parent stage t0 t1 lat -> { trace; stage; t0; t1; lat })
+
+let read_proc ctl name =
+  match
+    Fs.read_file (Yanc.Controller.fs ctl) ~cred
+      (Vfs.Path.of_string_exn ("/yanc/.proc/" ^ name))
+  with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "read %s: %s" name (Vfs.Errno.message e)
+
+let test_packet_in_traced_end_to_end () =
+  let built = N.Topo_gen.linear 2 in
+  let ctl = Yanc.Controller.create ~net:built.N.Topo_gen.net () in
+  Yanc.Controller.attach_switches ctl;
+  let yfs = Yanc.Controller.yfs ctl in
+  Yanc.Controller.add_app ctl (Apps.Topology.app (Apps.Topology.create yfs));
+  Yanc.Controller.add_app ctl (Apps.Router.app (Apps.Router.create yfs));
+  Yanc.Controller.run_for ctl 3.0;
+  (* throw away everything from discovery: the pipe consumes on read *)
+  ignore (read_proc ctl "trace_pipe");
+  let h1 = Option.get (N.Network.host built.net "h1") in
+  N.Network.send_from_host built.net "h1"
+    (N.Sim_host.ping h1 ~now:(N.Network.now built.net)
+       ~dst:(N.Topo_gen.host_ip 2) ~seq:1);
+  Alcotest.(check bool) "ping completes" true
+    (Yanc.Controller.run_until ~tick:0.002 ctl (fun () ->
+         N.Sim_host.ping_results h1 <> []));
+  let records =
+    String.split_on_char '\n' (read_proc ctl "trace_pipe")
+    |> List.filter (fun l -> l <> "")
+    |> List.map parse_pipe_line
+  in
+  Alcotest.(check bool) "the ping left spans" true (records <> []);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s monotonic" r.stage)
+        true (r.t1 >= r.t0);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s latency non-negative" r.stage)
+        true (r.lat >= 0.))
+    records;
+  (* Some trace id must cover the whole pipeline: the packet-in that made
+     the router install the path. *)
+  let wanted =
+    [ "driver.packet_in"; "sched.wake"; "app.routerd"; "yancfs.flow_write";
+      "driver.flow_mod"; "switch.install" ]
+  in
+  let traces =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun r -> if r.trace <> 0 then Some r.trace else None)
+         records)
+  in
+  let covers id =
+    List.for_all
+      (fun stage ->
+        List.exists (fun r -> r.trace = id && r.stage = stage) records)
+      wanted
+  in
+  Alcotest.(check bool)
+    "one trace spans scheduler -> app -> yancfs -> driver -> switch" true
+    (List.exists covers traces);
+  (* second read of the pipe is empty: consumed above *)
+  Alcotest.(check string) "pipe consumed" "" (read_proc ctl "trace_pipe")
+
+let test_proc_metrics_unifies_the_counters () =
+  let built = N.Topo_gen.linear 2 in
+  let ctl = Yanc.Controller.create ~net:built.N.Topo_gen.net () in
+  Yanc.Controller.attach_switches ctl;
+  let yfs = Yanc.Controller.yfs ctl in
+  Yanc.Controller.add_app ctl (Apps.Topology.app (Apps.Topology.create yfs));
+  Yanc.Controller.add_app ctl (Apps.Router.app (Apps.Router.create yfs));
+  Yanc.Controller.run_for ctl 2.0;
+  let body = read_proc ctl "metrics" in
+  let entries =
+    String.split_on_char '\n' body
+    |> List.filter (fun l -> l <> "")
+    |> List.map (fun line ->
+           match String.split_on_char ' ' line with
+           | [ name; v ] -> (
+             match float_of_string_opt v with
+             | Some f -> name, f
+             | None -> Alcotest.failf "unparsable value in %S" line)
+           | _ -> Alcotest.failf "malformed line %S" line)
+  in
+  let get name =
+    match List.assoc_opt name entries with
+    | Some v -> v
+    | None -> Alcotest.failf "missing series %s" name
+  in
+  (* every pre-existing counter surface, one namespace *)
+  Alcotest.(check bool) "vfs crossings counted" true (get "vfs.crossings" > 0.);
+  Alcotest.(check bool) "dcache sampled" true (get "vfs.dcache.hits" >= 0.);
+  Alcotest.(check bool) "fsnotify dispatched" true
+    (get "fsnotify.events_dispatched" > 0.);
+  Alcotest.(check bool) "datapath looked up" true (get "datapath.lookups" > 0.);
+  Alcotest.(check bool) "scheduler accounted" true
+    (get "sched.routerd.iterations" > 0.);
+  Alcotest.(check bool) "net frames flowed" true
+    (get "net.frames_delivered" > 0.);
+  Alcotest.(check bool) "tracer health exported" true
+    (get "trace.spans_recorded" > 0.);
+  (* the per-app and per-switch stat files exist and render *)
+  let app_stat = read_proc ctl "apps/routerd/stat" in
+  Alcotest.(check bool) "app stat lists iterations" true
+    (String.length app_stat > 0
+    && List.exists
+         (fun l ->
+           String.length l >= 10 && String.sub l 0 10 = "iterations")
+         (String.split_on_char '\n' app_stat));
+  let sw_stat = read_proc ctl "switches/1/stat" in
+  Alcotest.(check bool) "switch stat names its dpid" true
+    (List.mem "dpid 1" (String.split_on_char '\n' sw_stat))
+
+let test_dfs_counters_join_the_registry () =
+  (* On a clustered deployment the replication counters report into the
+     same namespace as everything else. *)
+  let cluster = Dfs.Cluster.create ~n:3 () in
+  let reg = T.Registry.create () in
+  Dfs.Cluster.register cluster reg;
+  ignore
+    (Fs.write_file (Dfs.Cluster.node cluster 0) ~cred
+       (Vfs.Path.of_string_exn "/x") "1");
+  Dfs.Cluster.flush cluster;
+  let snap = T.Registry.snapshot reg in
+  let get name =
+    match T.Registry.find snap name with
+    | Some v -> v
+    | None -> Alcotest.failf "missing series %s" name
+  in
+  Alcotest.(check (float 0.)) "nodes" 3. (get "dfs.nodes");
+  Alcotest.(check bool) "writes originate" true (get "dfs.ops_originated" > 0.);
+  Alcotest.(check bool) "writes replicate" true (get "dfs.ops_replicated" > 0.);
+  Alcotest.(check (float 0.)) "converged" 0. (get "dfs.pending")
+
+let test_scheduler_accounting () =
+  let built = N.Topo_gen.linear 2 in
+  let ctl = Yanc.Controller.create ~net:built.N.Topo_gen.net () in
+  Yanc.Controller.attach_switches ctl;
+  let yfs = Yanc.Controller.yfs ctl in
+  Yanc.Controller.add_app ctl (Apps.Topology.app (Apps.Topology.create yfs));
+  Yanc.Controller.run_for ctl 1.0;
+  match Yanc.Scheduler.stats (Yanc.Controller.scheduler ctl) with
+  | [ (name, s) ] ->
+    Alcotest.(check string) "app name" "topologyd" name;
+    Alcotest.(check string) "daemon schedule" "daemon" s.Yanc.Scheduler.schedule;
+    Alcotest.(check bool) "iterations counted" true
+      (s.Yanc.Scheduler.iterations > 0);
+    Alcotest.(check bool) "last_run advanced" true
+      (s.Yanc.Scheduler.last_run > 0.);
+    Alcotest.(check bool) "runtime non-negative" true
+      (s.Yanc.Scheduler.runtime_ns >= 0)
+  | l -> Alcotest.failf "expected one app, got %d" (List.length l)
+
+let () =
+  Alcotest.run "telemetry"
+    [ ( "registry",
+        [ Alcotest.test_case "counters and gauges" `Quick
+            test_counters_and_gauges;
+          Alcotest.test_case "snapshot isolation" `Quick
+            test_snapshot_isolation;
+          Alcotest.test_case "histogram percentiles" `Quick
+            test_histogram_percentiles;
+          Alcotest.test_case "render format" `Quick test_render_format ] );
+      ( "tracer",
+        [ Alcotest.test_case "ring overflow drops oldest" `Quick
+            test_ring_overflow_drops_oldest;
+          Alcotest.test_case "drain consumes once" `Quick
+            test_drain_consumes_once;
+          Alcotest.test_case "stamp and resume" `Quick test_stamp_resume;
+          Alcotest.test_case "disabled tracer is a no-op" `Quick
+            test_disabled_tracer_is_noop ] );
+      ( "proc",
+        [ Alcotest.test_case "packet-in traced end to end" `Quick
+            test_packet_in_traced_end_to_end;
+          Alcotest.test_case "metrics unifies the counters" `Quick
+            test_proc_metrics_unifies_the_counters;
+          Alcotest.test_case "dfs counters join the registry" `Quick
+            test_dfs_counters_join_the_registry;
+          Alcotest.test_case "scheduler accounting" `Quick
+            test_scheduler_accounting ] );
+    ]
