@@ -954,9 +954,11 @@ let e13_walltime () =
    discovery, then a ping sweep from h1 so the router keeps installing
    fresh paths (each one: packet-in -> wake -> app -> flow write ->
    flow-mod -> install). Returns the controller and the host wall time. *)
-let e16_workload ?telemetry ~pings () =
+let e16_workload ?telemetry ?tuning ~pings () =
   let built = N.Topo_gen.linear 4 in
-  let ctl = Yanc.Controller.create ?telemetry ~net:built.N.Topo_gen.net () in
+  let ctl =
+    Yanc.Controller.create ?telemetry ?tuning ~net:built.N.Topo_gen.net ()
+  in
   Yanc.Controller.attach_switches ctl;
   let yfs = Yanc.Controller.yfs ctl in
   Yanc.Controller.add_app ctl (Apps.Topology.app (Apps.Topology.create yfs));
@@ -1015,6 +1017,161 @@ let e16_tracing () =
   in
   let on = best (fun () -> e16_workload ~pings:12 ()) in
   row "  tracer off %.4fs, on %.4fs (%+.1f%%)\n" off on
+    ((on -. off) /. off *. 100.)
+
+(* ================================================================== *)
+(* E17 — control-channel survival: flow-install recovery latency and
+   resync cost after every control channel is severed at once, plus the
+   steady-state cost of the keepalive machinery when nothing is wrong. *)
+(* ================================================================== *)
+
+let e17_tuning ~keepalive =
+  { Driver.Driver_intf.default_tuning with
+    Driver.Driver_intf.keepalive_interval = (if keepalive then 0.25 else 0.);
+    liveness_timeout = 0.75;
+    backoff_base = 0.05;
+    backoff_cap = 0.5 }
+
+(* A booted controller with [rules] committed flows per switch, all
+   installed and in sync. *)
+let e17_rig ?(keepalive = true) ~switches ~rules () =
+  let built = N.Topo_gen.linear ~hosts_per_switch:1 switches in
+  let ctl =
+    Yanc.Controller.create ~tuning:(e17_tuning ~keepalive) ~seed:0xE17
+      ~net:built.N.Topo_gen.net ()
+  in
+  Yanc.Controller.attach_switches ctl;
+  let yfs = Yanc.Controller.yfs ctl in
+  let mgr = Yanc.Controller.manager ctl in
+  Yanc.Controller.run_for ~tick:0.05 ctl 0.5;
+  List.iteri
+    (fun i dpid ->
+      let name = Option.get (Driver.Manager.switch_name mgr ~dpid) in
+      for j = 0 to rules - 1 do
+        ignore
+          (Y.Yanc_fs.create_flow yfs ~cred ~switch:name
+             ~name:(Printf.sprintf "r%d" j)
+             { Y.Flowdir.default with
+               Y.Flowdir.of_match =
+                 { OF.Of_match.any with
+                   OF.Of_match.tp_dst = Some (1024 + (rules * i) + j) };
+               actions = [ OF.Action.Output (OF.Action.Physical 1) ];
+               priority = 100 + j })
+      done)
+    (Driver.Manager.attached mgr);
+  Yanc.Controller.run_for ~tick:0.05 ctl 0.5;
+  ctl, mgr
+
+let e17_total_bytes mgr =
+  List.fold_left
+    (fun acc dpid ->
+      match Driver.Manager.channel mgr ~dpid with
+      | Some (sw_end, ctl_end) ->
+        acc
+        + N.Control_channel.bytes_sent sw_end
+        + N.Control_channel.bytes_sent ctl_end
+      | None -> acc)
+    0 (Driver.Manager.attached mgr)
+
+let e17_sum_counters mgr f =
+  List.fold_left
+    (fun acc dpid ->
+      match Driver.Manager.link_counters mgr ~dpid with
+      | Some c -> acc + f c
+      | None -> acc)
+    0 (Driver.Manager.attached mgr)
+
+(* Sever every control channel, then change the committed state while
+   the switches are unreachable (one rule deleted, one added per
+   switch). Recovery = every driver reconnected + resynced AND the rule
+   committed during the outage actually installed — i.e. the
+   fs-write -> flow-install pipeline works again end to end. Returns
+   (completed, sim recovery latency, wall seconds, control bytes). *)
+let e17_recover ctl mgr =
+  let yfs = Yanc.Controller.yfs ctl in
+  let dpids = Driver.Manager.attached mgr in
+  List.iter
+    (fun dpid ->
+      let _sw_end, ctl_end = Option.get (Driver.Manager.channel mgr ~dpid) in
+      N.Control_channel.disconnect ctl_end)
+    dpids;
+  List.iteri
+    (fun i dpid ->
+      let name = Option.get (Driver.Manager.switch_name mgr ~dpid) in
+      ignore (Y.Yanc_fs.delete_flow yfs ~cred ~switch:name "r0");
+      ignore
+        (Y.Yanc_fs.create_flow yfs ~cred ~switch:name ~name:"outage"
+           { Y.Flowdir.default with
+             Y.Flowdir.of_match =
+               { OF.Of_match.any with OF.Of_match.tp_dst = Some (30000 + i) };
+             actions = [ OF.Action.Output (OF.Action.Physical 1) ];
+             priority = 999 }))
+    dpids;
+  let bytes0 = e17_total_bytes mgr in
+  let t0 = Yanc.Controller.now ctl in
+  let w0 = Sys.time () in
+  let installed dpid =
+    let sw = Option.get (N.Network.switch (Yanc.Controller.net ctl) dpid) in
+    List.exists
+      (fun ((_, e) : int * N.Flow_table.entry) -> e.N.Flow_table.priority = 999)
+      (N.Sim_switch.flow_stats sw ~now:(Yanc.Controller.now ctl)
+         ~of_match:OF.Of_match.any ())
+  in
+  let ok =
+    Yanc.Controller.run_until ~tick:0.02 ~timeout:60. ctl (fun () ->
+        List.for_all
+          (fun (_, st) -> st = Driver.Driver_intf.Connected)
+          (Driver.Manager.statuses mgr)
+        && List.for_all
+             (fun dpid ->
+               (match Driver.Manager.link_counters mgr ~dpid with
+               | Some c -> c.Driver.Driver_intf.resyncs >= 1
+               | None -> false)
+               && installed dpid)
+             dpids)
+  in
+  (ok, Yanc.Controller.now ctl -. t0, Sys.time () -. w0,
+   e17_total_bytes mgr - bytes0)
+
+let e17_recovery () =
+  section
+    "E17a flow-install recovery after severing every control channel \
+     (rules changed mid-outage)";
+  row "  %8s | %8s | %14s | %8s | %10s | %8s\n" "switches" "rules"
+    "recovery sim s" "wall s" "resync ops" "ctl KiB";
+  List.iter
+    (fun switches ->
+      let rules = 4 in
+      let ctl, mgr = e17_rig ~switches ~rules () in
+      let ok, sim_s, wall, bytes = e17_recover ctl mgr in
+      let ops =
+        e17_sum_counters mgr (fun c -> c.Driver.Driver_intf.resync_installs)
+        + e17_sum_counters mgr (fun c -> c.Driver.Driver_intf.resync_deletes)
+      in
+      row "  %8d | %8d | %12.3f%s | %8.3f | %10d | %8.1f\n" switches rules
+        sim_s
+        (if ok then "  " else " !")
+        wall ops
+        (float_of_int bytes /. 1024.))
+    [ 8; 64 ];
+  section
+    "E17b keepalive steady-state cost: the E16 reactive sweep, keepalives on \
+     (default 1s echo) vs off";
+  let no_keepalive =
+    { Driver.Driver_intf.default_tuning with
+      Driver.Driver_intf.keepalive_interval = 0. }
+  in
+  let best f =
+    let m = ref infinity in
+    for _ = 1 to 3 do
+      let _, w = f () in
+      if w < !m then m := w
+    done;
+    !m
+  in
+  let off = best (fun () -> e16_workload ~tuning:no_keepalive ~pings:12 ()) in
+  let on = best (fun () -> e16_workload ~pings:12 ()) in
+  row "  keepalives off %.4fs, on %.4fs (%+.1f%%)\n" off on
     ((on -. off) /. off *. 100.)
 
 (* The @bench-smoke gate: prove the acceptance ratio (warm lookups walk
@@ -1198,7 +1355,59 @@ let smoke () =
   Printf.printf
     "bench-smoke: ok (tracing overhead within 5%%, metrics file parses, %d \
      series)\n"
-    (List.length lines)
+    (List.length lines);
+  (* The survival gate (E17): after severing every control channel and
+     changing the committed rules mid-outage, every driver must
+     reconnect, resync, and install the outage-committed rule; and the
+     keepalive machinery must cost <= 2% wall time at steady state
+     (min-of-5 interleaved, same epsilon story as the tracing gate). *)
+  let ctl, mgr = e17_rig ~switches:8 ~rules:4 () in
+  let ok, sim_s, _wall, _bytes = e17_recover ctl mgr in
+  let resyncs = e17_sum_counters mgr (fun c -> c.Driver.Driver_intf.resyncs) in
+  let repairs =
+    e17_sum_counters mgr (fun c -> c.Driver.Driver_intf.resync_installs)
+    + e17_sum_counters mgr (fun c -> c.Driver.Driver_intf.resync_deletes)
+  in
+  Printf.printf
+    "bench-smoke: recovery at 8 switches: %.3f sim s, %d resyncs, %d resync \
+     repairs\n"
+    sim_s resyncs repairs;
+  if not ok then begin
+    Printf.printf
+      "bench-smoke: FAIL — control plane did not recover from the forced \
+       disconnect\n";
+    exit 1
+  end;
+  if resyncs < 8 then begin
+    Printf.printf
+      "bench-smoke: FAIL — every reconnected driver should have resynced \
+       (%d/8)\n"
+      resyncs;
+    exit 1
+  end;
+  let no_keepalive =
+    { Driver.Driver_intf.default_tuning with
+      Driver.Driver_intf.keepalive_interval = 0. }
+  in
+  let ka_off = ref infinity in
+  let ka_on = ref infinity in
+  for _ = 1 to 5 do
+    let _, w = e16_workload ~tuning:no_keepalive ~pings:6 () in
+    if w < !ka_off then ka_off := w;
+    let _, w = e16_workload ~pings:6 () in
+    if w < !ka_on then ka_on := w
+  done;
+  Printf.printf "bench-smoke: keepalives off %.4fs, on %.4fs (%+.1f%%)\n"
+    !ka_off !ka_on
+    ((!ka_on -. !ka_off) /. !ka_off *. 100.);
+  if !ka_on > (!ka_off *. 1.02) +. 0.005 then begin
+    Printf.printf
+      "bench-smoke: FAIL — keepalives should cost <= 2%% wall time at steady \
+       state\n";
+    exit 1
+  end;
+  Printf.printf "bench-smoke: ok (recovery converges, keepalive overhead \
+     within 2%%)\n"
 
 let e_wire_volume () =
   section "AUX  control-channel bytes per operation (driver wire cost)";
@@ -1254,6 +1463,7 @@ let () =
   e14_routing ();
   e14_walltime ();
   e16_tracing ();
+  e17_recovery ();
   ext_qos ();
   e_wire_volume ();
   print_endline "\ndone."

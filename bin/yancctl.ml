@@ -145,6 +145,33 @@ let print_metrics ?(prefixes = []) ctl =
       then Printf.printf "%s %s\n" name (Telemetry.Registry.render_value v))
     (Telemetry.Registry.entries snap)
 
+(* Per-switch control-channel health. Returns true when any driver has
+   written a switch off as dead — callers turn that into a nonzero exit
+   so scripts and monitors catch it without parsing the table. *)
+let print_link_status ctl =
+  let mgr = Yanc.Controller.manager ctl in
+  let statuses = Driver.Manager.statuses mgr in
+  if statuses <> [] then begin
+    Printf.printf "%-8s %-12s %11s %7s %7s %10s\n" "SWITCH" "STATUS"
+      "DISCONNECTS" "RETRIES" "RESYNCS" "KEEPALIVES";
+    List.iter
+      (fun (dpid, status) ->
+        let name =
+          match Driver.Manager.switch_name mgr ~dpid with
+          | Some n -> n
+          | None -> Printf.sprintf "dpid:%Ld" dpid
+        in
+        match Driver.Manager.link_counters mgr ~dpid with
+        | None -> ()
+        | Some (c : Driver.Driver_intf.link_counters) ->
+          Printf.printf "%-8s %-12s %11d %7d %7d %10d\n" name
+            (Driver.Driver_intf.status_to_string status)
+            c.disconnects c.retries c.resyncs c.keepalives_sent)
+      statuses;
+    print_newline ()
+  end;
+  List.exists (fun (_, s) -> s = Driver.Driver_intf.Dead) statuses
+
 (* --- commands ---------------------------------------------------------------------- *)
 
 let read_file path =
@@ -233,7 +260,12 @@ let counters_cmd topo datapath of13 apps duration switch =
         code := 1;
         Printf.eprintf "yancctl: counters: %s: %s\n" sw (Vfs.Errno.message e))
     switches;
-  print_metrics ctl ~prefixes:[ "fsnotify."; "datapath." ];
+  let any_dead = print_link_status ctl in
+  if any_dead then begin
+    Printf.eprintf "yancctl: counters: switch control channel dead\n";
+    code := 1
+  end;
+  print_metrics ctl ~prefixes:[ "fsnotify."; "datapath."; "driver." ];
   !code
 
 let top_cmd topo datapath of13 apps duration =
@@ -258,13 +290,18 @@ let top_cmd topo datapath of13 apps duration =
          else Printf.sprintf "%.2f" s.last_run))
     by_runtime;
   print_newline ();
+  let any_dead = print_link_status ctl in
   (* The registry itself, read the way any application would read it:
      cat(1) on the proc file, through the shell. *)
   let env = Shell.Env.create (Yanc.Controller.fs ctl) in
   let r = Shell.Pipeline.run env "cat /yanc/.proc/metrics" in
   print_string r.Shell.Pipeline.out;
   prerr_string r.Shell.Pipeline.err;
-  r.Shell.Pipeline.code
+  if any_dead then begin
+    Printf.eprintf "yancctl: top: switch control channel dead\n";
+    1
+  end
+  else r.Shell.Pipeline.code
 
 let trace_cmd topo datapath of13 apps duration pings pipe =
   setup_logs ();

@@ -1,0 +1,23 @@
+type t = {
+  base : float;
+  cap : float;
+  jitter : float;
+  prng : Netsim.Prng.t;
+  mutable attempts : int;
+}
+
+let create ?(base = 0.25) ?(cap = 4.0) ?(jitter = 0.1) ~prng () =
+  { base; cap; jitter; prng; attempts = 0 }
+
+let next t =
+  (* 2^attempts without overflow: past the cap the exponent is moot. *)
+  let exp = min t.attempts 30 in
+  let raw = t.base *. Float.of_int (1 lsl exp) in
+  let clamped = min raw t.cap in
+  t.attempts <- t.attempts + 1;
+  let j = if t.jitter > 0. then Netsim.Prng.float t.prng *. t.jitter else 0. in
+  clamped *. (1. +. j)
+
+let reset t = t.attempts <- 0
+
+let attempts t = t.attempts

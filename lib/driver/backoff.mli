@@ -1,0 +1,29 @@
+(** Exponential backoff with cap and jitter for control-channel
+    retries.
+
+    The schedule is [base * 2^attempt], clamped to [cap], plus a
+    jittered fraction of the clamped delay drawn from the {e injected}
+    PRNG — there is no hidden randomness, so the same seed always
+    produces the same retry schedule (chaos tests replay failures from
+    a printed seed). *)
+
+type t
+
+val create :
+  ?base:float -> ?cap:float -> ?jitter:float -> prng:Netsim.Prng.t -> unit -> t
+(** [base] (default 0.25s) is the first delay, [cap] (default 4s) the
+    ceiling of the deterministic part, [jitter] (default 0.1) the
+    maximum extra fraction of the clamped delay added per draw. The
+    [prng] is borrowed, not copied: callers sharing one stream across
+    several backoffs get one interleaved — still reproducible —
+    schedule. *)
+
+val next : t -> float
+(** The next delay: [min (base * 2^attempts) cap * (1 + U[0,jitter))],
+    advancing the attempt counter. *)
+
+val reset : t -> unit
+(** Back to attempt 0 (call on success). *)
+
+val attempts : t -> int
+(** Draws since the last {!reset}. *)

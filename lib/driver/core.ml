@@ -11,6 +11,8 @@ module Make (P : Driver_intf.PROTOCOL) = struct
     framing : OF.Framing.t;
     notifier : Fsnotify.Notifier.t;
     stats_interval : float;
+    tuning : Driver_intf.tuning;
+    backoff : Backoff.t;
     mutable next_xid : int32;
     mutable switch_name : string option;
     mutable connected : bool;
@@ -19,6 +21,31 @@ module Make (P : Driver_intf.PROTOCOL) = struct
     mutable spool_dirty : bool;
     mutable last_stats : float;
     mutable installed : int;
+    (* --- connection survival ------------------------------------------- *)
+    mutable status : Driver_intf.status;
+    mutable last_rx : float;          (* last byte received (-inf = never) *)
+    mutable next_keepalive : float;
+    mutable echo_outstanding : (int32 * float) option;
+    mutable seen_generation : int;    (* channel generation last synced to *)
+    mutable next_attempt : float;     (* next handshake (re)send *)
+    mutable episode_retries : int;    (* attempts in the current outage *)
+    mutable handshakes : int;         (* hello+features sends, ever *)
+    mutable resyncing : bool;
+    mutable resync_sent : float;
+    mutable was_connected : bool;     (* completed a handshake before *)
+    mutable c_disconnects : int;
+    mutable c_retries : int;
+    mutable c_resyncs : int;
+    mutable c_resync_installs : int;
+    mutable c_resync_deletes : int;
+    mutable c_keepalives : int;
+    (* registry series shared by every driver (one namespace) *)
+    m_disconnects : Telemetry.Registry.counter;
+    m_retries : Telemetry.Registry.counter;
+    m_resyncs : Telemetry.Registry.counter;
+    m_resync_installs : Telemetry.Registry.counter;
+    m_resync_deletes : Telemetry.Registry.counter;
+    m_keepalives : Telemetry.Registry.counter;
     (* Last committed configuration per flow directory name. *)
     cache : (string, flow_cache_entry) Hashtbl.t;
     (* config.port_down value last pushed to hardware, per port. *)
@@ -32,23 +59,76 @@ module Make (P : Driver_intf.PROTOCOL) = struct
 
   let send t bytes = Netsim.Control_channel.send t.endpoint bytes
 
-  let create ?(stats_interval = 5.0) ~yfs ~endpoint () =
-    let t =
-      { yfs; telemetry = Y.Yanc_fs.telemetry yfs; endpoint;
-        framing = OF.Framing.create ();
-        notifier = Fsnotify.Notifier.create (Y.Yanc_fs.fs yfs);
-        stats_interval; next_xid = 1l; switch_name = None; connected = false;
-        flows_dirty = false; ports_dirty = false; spool_dirty = false;
-        last_stats = 0.; installed = 0; cache = Hashtbl.create 64;
-        pushed_admin = Hashtbl.create 8 }
-    in
+  let set_status t status =
+    if t.status <> status then begin
+      t.status <- status;
+      match t.switch_name with
+      | Some name ->
+        ignore
+          (Y.Yanc_fs.set_switch_status t.yfs ~switch:name
+             (Driver_intf.status_to_string status))
+      | None -> ()
+    end
+
+  let send_handshake t =
+    OF.Framing.reset t.framing;
+    t.seen_generation <- Netsim.Control_channel.generation t.endpoint;
     send t (P.hello ~xid:(xid t));
     send t (P.features_request ~xid:(xid t));
+    if t.handshakes > 0 then begin
+      t.c_retries <- t.c_retries + 1;
+      Telemetry.Registry.incr t.m_retries
+    end;
+    t.handshakes <- t.handshakes + 1
+
+  let create ?(stats_interval = 5.0) ?(tuning = Driver_intf.default_tuning)
+      ?(seed = 0x5EED) ~yfs ~endpoint () =
+    let telemetry = Y.Yanc_fs.telemetry yfs in
+    let reg = Telemetry.registry telemetry in
+    let prng = Netsim.Prng.create ~seed in
+    let t =
+      { yfs; telemetry; endpoint;
+        framing = OF.Framing.create ();
+        notifier = Fsnotify.Notifier.create (Y.Yanc_fs.fs yfs);
+        stats_interval; tuning;
+        backoff =
+          Backoff.create ~base:tuning.Driver_intf.backoff_base
+            ~cap:tuning.Driver_intf.backoff_cap
+            ~jitter:tuning.Driver_intf.backoff_jitter ~prng ();
+        next_xid = 1l; switch_name = None; connected = false;
+        flows_dirty = false; ports_dirty = false; spool_dirty = false;
+        last_stats = 0.; installed = 0;
+        status = Driver_intf.Handshaking; last_rx = neg_infinity;
+        next_keepalive = neg_infinity; echo_outstanding = None;
+        seen_generation = Netsim.Control_channel.generation endpoint;
+        next_attempt = neg_infinity; episode_retries = 0; handshakes = 0;
+        resyncing = false; resync_sent = neg_infinity; was_connected = false;
+        c_disconnects = 0; c_retries = 0; c_resyncs = 0;
+        c_resync_installs = 0; c_resync_deletes = 0; c_keepalives = 0;
+        m_disconnects = Telemetry.Registry.counter reg "driver.disconnects";
+        m_retries = Telemetry.Registry.counter reg "driver.retries";
+        m_resyncs = Telemetry.Registry.counter reg "driver.resyncs";
+        m_resync_installs =
+          Telemetry.Registry.counter reg "driver.resync_installs";
+        m_resync_deletes =
+          Telemetry.Registry.counter reg "driver.resync_deletes";
+        m_keepalives = Telemetry.Registry.counter reg "driver.keepalives_sent";
+        cache = Hashtbl.create 64;
+        pushed_admin = Hashtbl.create 8 }
+    in
+    send_handshake t;
     t
 
   let switch_name t = t.switch_name
 
   let connected t = t.connected
+
+  let status t = t.status
+
+  let link_counters t =
+    { Driver_intf.disconnects = t.c_disconnects; retries = t.c_retries;
+      resyncs = t.c_resyncs; resync_installs = t.c_resync_installs;
+      resync_deletes = t.c_resync_deletes; keepalives_sent = t.c_keepalives }
 
   let flows_installed t = t.installed
 
@@ -60,7 +140,7 @@ module Make (P : Driver_intf.PROTOCOL) = struct
 
   (* --- switch-to-controller events ---------------------------------------- *)
 
-  let on_features t ~now:_ (dpid, n_buffers, n_tables, capabilities, ports) =
+  let on_features t ~now (dpid, n_buffers, n_tables, capabilities, ports) =
     let name = Y.Yanc_fs.switch_name_of_dpid dpid in
     t.switch_name <- Some name;
     ignore
@@ -78,19 +158,49 @@ module Make (P : Driver_intf.PROTOCOL) = struct
       match P.port_desc_request with
       | Some req -> send t (req ~xid:(xid t))
       | None -> ()));
-    (* Watch the parts of the switch directory the driver reacts to. *)
-    let watch path =
-      ignore
-        (Fsnotify.Notifier.add_watch ~recursive:true t.notifier path
-           Fsnotify.Notifier.all)
-    in
-    watch (Y.Layout.flows_dir ~root:(root t) name);
-    watch (Y.Layout.ports_dir ~root:(root t) name);
-    watch (Y.Layout.packet_out_dir ~root:(root t) name);
-    Fsnotify.Notifier.register_metrics t.notifier
-      ~prefix:(Printf.sprintf "driver.%s" name)
-      (Telemetry.registry t.telemetry);
+    if not t.was_connected then begin
+      (* Watch the parts of the switch directory the driver reacts to.
+         Watches survive reconnects; adding them again on every
+         re-handshake would double-deliver each event. *)
+      let watch path =
+        ignore
+          (Fsnotify.Notifier.add_watch ~recursive:true t.notifier path
+             Fsnotify.Notifier.all)
+      in
+      watch (Y.Layout.flows_dir ~root:(root t) name);
+      watch (Y.Layout.ports_dir ~root:(root t) name);
+      watch (Y.Layout.packet_out_dir ~root:(root t) name);
+      Fsnotify.Notifier.register_metrics t.notifier
+        ~prefix:(Printf.sprintf "driver.%s" name)
+        (Telemetry.registry t.telemetry);
+      Telemetry.Registry.gauge
+        (Telemetry.registry t.telemetry)
+        (Printf.sprintf "driver.%s.status" name)
+        (fun () ->
+          match t.status with
+          | Driver_intf.Handshaking -> 0.
+          | Driver_intf.Connected -> 1.
+          | Driver_intf.Degraded -> 2.
+          | Driver_intf.Reconnecting -> 3.
+          | Driver_intf.Dead -> 4.)
+    end;
     t.connected <- true;
+    set_status t Driver_intf.Connected;
+    Backoff.reset t.backoff;
+    t.episode_retries <- 0;
+    t.next_attempt <- neg_infinity;
+    t.next_keepalive <- neg_infinity;
+    t.echo_outstanding <- None;
+    t.last_rx <- now;
+    if t.was_connected then begin
+      (* Re-handshake after an outage: the switch kept its table while
+         we were gone (fail secure) and the file system kept changing.
+         Ask the switch what it actually holds, then diff in resync. *)
+      t.resyncing <- true;
+      t.resync_sent <- now;
+      send t (P.flow_stats_request ~xid:(xid t))
+    end;
+    t.was_connected <- true;
     (* Pick up anything written before the handshake finished. *)
     t.flows_dirty <- true;
     t.ports_dirty <- true;
@@ -107,11 +217,68 @@ module Make (P : Driver_intf.PROTOCOL) = struct
           else None)
       t.cache None
 
+  (* After a re-handshake the switch's table and the file system may
+     have drifted apart: flows committed during the outage were never
+     installed, and rules the switch still carries may have been
+     deleted from the tree. The switch's own report (the first
+     flow_stats reply after reconnect) is diffed against the committed
+     flow directories — strays are removed with strict deletes so a
+     same-match rule at another priority survives, gaps re-installed.
+     Buffer references are dropped on re-install: they name packets in
+     a buffer pool that did not survive the outage. *)
+  let resync t ~name (stats : OF.Of_types.Flow_stats.t list) =
+    t.resyncing <- false;
+    t.c_resyncs <- t.c_resyncs + 1;
+    Telemetry.Registry.incr t.m_resyncs;
+    let fs_flows =
+      List.filter_map
+        (fun flow_name ->
+          match Y.Yanc_fs.read_flow t.yfs ~cred ~switch:name flow_name with
+          | Ok (flow : Y.Flowdir.t) ->
+            Some (flow_name, { flow with buffer_id = None })
+          | Error _ -> None)
+        (Y.Yanc_fs.flow_names t.yfs ~cred name)
+    in
+    let committed (s : OF.Of_types.Flow_stats.t) =
+      List.exists
+        (fun (_, (f : Y.Flowdir.t)) ->
+          OF.Of_match.equal f.of_match s.of_match && f.priority = s.priority)
+        fs_flows
+    in
+    List.iter
+      (fun (s : OF.Of_types.Flow_stats.t) ->
+        if not (committed s) then begin
+          send t
+            (P.flow_delete_strict ~xid:(xid t) ~priority:s.priority s.of_match);
+          t.c_resync_deletes <- t.c_resync_deletes + 1;
+          Telemetry.Registry.incr t.m_resync_deletes
+        end)
+      stats;
+    let on_switch (f : Y.Flowdir.t) =
+      List.exists
+        (fun (s : OF.Of_types.Flow_stats.t) ->
+          OF.Of_match.equal s.of_match f.of_match && s.priority = f.priority)
+        stats
+    in
+    List.iter
+      (fun (flow_name, (flow : Y.Flowdir.t)) ->
+        if not (on_switch flow) then begin
+          send t (P.flow_add ~xid:(xid t) flow);
+          t.installed <- t.installed + 1;
+          t.c_resync_installs <- t.c_resync_installs + 1;
+          Telemetry.Registry.incr t.m_resync_installs
+        end;
+        Hashtbl.replace t.cache flow_name { flow })
+      fs_flows
+
   let on_event t ~now ev =
     match (ev : Driver_intf.event) with
     | Driver_intf.Ev_hello | Driver_intf.Ev_other -> ()
     | Driver_intf.Ev_error e -> Logs.warn (fun m -> m "driver[%s]: %s" P.name e)
     | Driver_intf.Ev_echo_request { xid; data } -> send t (P.echo_reply ~xid ~data)
+    | Driver_intf.Ev_echo_reply _ ->
+      (* Any reply proves the peer is processing our requests. *)
+      t.echo_outstanding <- None
     | Driver_intf.Ev_features { dpid; n_buffers; n_tables; capabilities; ports } ->
       on_features t ~now (dpid, n_buffers, n_tables, capabilities, ports)
     | Driver_intf.Ev_ports ports -> (
@@ -155,6 +322,7 @@ module Make (P : Driver_intf.PROTOCOL) = struct
       match t.switch_name with
       | None -> ()
       | Some name ->
+        if t.resyncing then resync t ~name stats;
         List.iter
           (fun (s : OF.Of_types.Flow_stats.t) ->
             match find_flow_by_match t s.of_match s.priority with
@@ -301,12 +469,118 @@ module Make (P : Driver_intf.PROTOCOL) = struct
           end)
         (Fsnotify.Notifier.read_events ~max:event_batch t.notifier)
 
+  (* The survival half of the state machine: handshake retries with
+     backoff while Handshaking/Reconnecting, echo keepalives and the
+     liveness verdict while Connected/Degraded. Runs once per step,
+     after received traffic has been processed. *)
+  let liveness t ~now =
+    match t.status with
+    | Driver_intf.Dead -> ()
+    | Driver_intf.Handshaking | Driver_intf.Reconnecting ->
+      if t.next_attempt = neg_infinity then
+        t.next_attempt <- now +. Backoff.next t.backoff
+      else if now >= t.next_attempt then
+        if t.episode_retries >= t.tuning.Driver_intf.max_retries then
+          set_status t Driver_intf.Dead
+        else begin
+          t.episode_retries <- t.episode_retries + 1;
+          (* Bounce the transport even when it still looks connected: a
+             soft failure may have desynchronized the peer's framer, and
+             only a generation bump makes both sides reset. *)
+          if Netsim.Control_channel.connected t.endpoint then
+            Netsim.Control_channel.disconnect t.endpoint;
+          let up = Netsim.Control_channel.reconnect t.endpoint in
+          if up then send_handshake t
+          else begin
+            (* The transport refused us; the attempt still consumed a
+               slot in the schedule. *)
+            t.c_retries <- t.c_retries + 1;
+            Telemetry.Registry.incr t.m_retries
+          end;
+          t.next_attempt <- now +. Backoff.next t.backoff
+        end
+    | Driver_intf.Connected | Driver_intf.Degraded ->
+      if t.last_rx = neg_infinity then t.last_rx <- now;
+      (* The peer-is-gone verdict. A hard transport loss shows up
+         immediately; a silent one only through the xid-tracked echo:
+         the outstanding probe's age can grow past the timeout only if
+         replies have genuinely stopped, so coarse simulation ticks
+         (where [now] jumps by more than the timeout between steps)
+         never produce a false positive the way a last-byte-seen clock
+         would. *)
+      let declare_gone () =
+        t.connected <- false;
+        t.c_disconnects <- t.c_disconnects + 1;
+        Telemetry.Registry.incr t.m_disconnects;
+        t.echo_outstanding <- None;
+        t.resyncing <- false;
+        t.next_keepalive <- neg_infinity;
+        Backoff.reset t.backoff;
+        t.episode_retries <- 0;
+        t.next_attempt <- now;
+        set_status t Driver_intf.Reconnecting
+      in
+      if not (Netsim.Control_channel.connected t.endpoint) then declare_gone ()
+      else begin
+        (if t.resyncing
+            && now -. t.resync_sent > t.tuning.Driver_intf.liveness_timeout
+         then begin
+           (* The resync stats request (or its reply) was lost. *)
+           t.resync_sent <- now;
+           t.c_retries <- t.c_retries + 1;
+           Telemetry.Registry.incr t.m_retries;
+           send t (P.flow_stats_request ~xid:(xid t))
+         end);
+        let iv = t.tuning.Driver_intf.keepalive_interval in
+        if iv > 0. then begin
+          if t.next_keepalive = neg_infinity then t.next_keepalive <- now +. iv
+          else if now >= t.next_keepalive then begin
+            let x = xid t in
+            send t (P.echo_request ~xid:x ~data:"yanc-ka");
+            if t.echo_outstanding = None then
+              t.echo_outstanding <- Some (x, now);
+            t.c_keepalives <- t.c_keepalives + 1;
+            Telemetry.Registry.incr t.m_keepalives;
+            t.next_keepalive <- now +. iv
+          end;
+          match t.echo_outstanding with
+          | Some (_, sent_at)
+            when now -. sent_at > t.tuning.Driver_intf.liveness_timeout ->
+            declare_gone ()
+          | Some (_, sent_at) when now -. sent_at > iv ->
+            set_status t Driver_intf.Degraded
+          | Some _ | None -> ()
+        end
+      end
+
   let step t ~now =
-    List.iter (OF.Framing.push t.framing)
-      (Netsim.Control_channel.recv_all t.endpoint);
+    Netsim.Control_channel.poll t.endpoint;
+    let gen = Netsim.Control_channel.generation t.endpoint in
+    if gen <> t.seen_generation then begin
+      (* The transport was torn down and reconnected underneath us:
+         whatever partial frame we held belongs to the old byte
+         stream. *)
+      t.seen_generation <- gen;
+      OF.Framing.reset t.framing
+    end;
+    let chunks = Netsim.Control_channel.recv_all t.endpoint in
+    if chunks <> [] then begin
+      t.last_rx <- now;
+      if t.status = Driver_intf.Degraded then set_status t Driver_intf.Connected;
+      if t.status = Driver_intf.Dead then begin
+        (* A link written off as dead that speaks again has earned a
+           fresh reconnect episode. *)
+        Backoff.reset t.backoff;
+        t.episode_retries <- 0;
+        t.next_attempt <- now;
+        set_status t Driver_intf.Reconnecting
+      end
+    end;
+    List.iter (OF.Framing.push t.framing) chunks;
     List.iter
       (fun raw -> on_event t ~now (P.decode_event raw))
       (OF.Framing.pop_all t.framing);
+    liveness t ~now;
     if t.connected then begin
       classify_fs_events t;
       if t.flows_dirty then begin
@@ -334,5 +608,7 @@ module Make (P : Driver_intf.PROTOCOL) = struct
     { Driver_intf.step = (fun ~now -> step t ~now);
       switch_name = (fun () -> switch_name t);
       protocol = P.name;
+      status = (fun () -> status t);
+      link = (fun () -> link_counters t);
       detach = (fun () -> detach t) }
 end

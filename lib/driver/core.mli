@@ -14,23 +14,39 @@
       directory removal; periodic stats → [counters/] files
 
     The driver learns of file-system activity through fsnotify watches,
-    like any other yanc application. *)
+    like any other yanc application.
+
+    The driver also owns the connection's survival
+    ({!Driver_intf.status}): echo keepalives with a liveness timeout
+    while connected, handshake retries under exponential backoff while
+    reconnecting, and a flow-table resynchronization (stats-reply diff
+    against the committed flow directories) after every re-handshake. *)
 
 module Make (P : Driver_intf.PROTOCOL) : sig
   type t
 
   val create :
-    ?stats_interval:float -> yfs:Yancfs.Yanc_fs.t ->
+    ?stats_interval:float -> ?tuning:Driver_intf.tuning -> ?seed:int ->
+    yfs:Yancfs.Yanc_fs.t ->
     endpoint:Netsim.Control_channel.endpoint -> unit -> t
   (** Sends hello + features-request immediately. [stats_interval]
       (default 5 simulated seconds, 0 to disable) paces counter
-      refresh. *)
+      refresh. [tuning] sets the keepalive/backoff policy; [seed]
+      drives the backoff jitter PRNG — the same seed reproduces the
+      same retry schedule. *)
 
   val step : t -> now:float -> unit
-  (** Drain the control channel and the fsnotify queue, then reconcile. *)
+  (** Drain the control channel and the fsnotify queue, run the
+      keepalive/reconnect state machine, then reconcile. *)
 
   val switch_name : t -> string option
   val connected : t -> bool
+
+  val status : t -> Driver_intf.status
+  (** Mirrored into the switch's [status] file on every transition. *)
+
+  val link_counters : t -> Driver_intf.link_counters
+
   val flows_installed : t -> int
   (** Flow-mod adds sent so far (bench instrumentation). *)
 

@@ -12,6 +12,53 @@
 
 module OT = Openflow.Of_types
 
+(** The driver's connection state machine (surfaced through the
+    switch's [status] file, [/yanc/.proc] and [yancctl]):
+
+    {v
+    Handshaking --features--> Connected <--> Degraded
+         ^                        |  (echo unanswered past one interval)
+         |                        | (nothing received for liveness_timeout)
+         |                        v
+         +--<--backoff--- Reconnecting --max retries exhausted--> Dead
+    v}
+
+    [Dead] is terminal until traffic arrives again: operators see it,
+    [yancctl counters] exits nonzero on it. *)
+type status = Handshaking | Connected | Degraded | Reconnecting | Dead
+
+let status_to_string = function
+  | Handshaking -> "handshaking"
+  | Connected -> "connected"
+  | Degraded -> "degraded"
+  | Reconnecting -> "reconnecting"
+  | Dead -> "dead"
+
+(** Keepalive / retry policy, shared by the driver and (via the
+    manager) its agent. *)
+type tuning = {
+  keepalive_interval : float;  (** echo-request period; 0 disables *)
+  liveness_timeout : float;    (** silence before declaring the peer gone *)
+  backoff_base : float;
+  backoff_cap : float;
+  backoff_jitter : float;
+  max_retries : int;           (** reconnect attempts before [Dead] *)
+}
+
+let default_tuning =
+  { keepalive_interval = 1.0; liveness_timeout = 3.0; backoff_base = 0.25;
+    backoff_cap = 4.0; backoff_jitter = 0.1; max_retries = 20 }
+
+(** Connection-survival counters, per driver. *)
+type link_counters = {
+  disconnects : int;       (** liveness timeouts declared *)
+  retries : int;           (** handshake (re)transmissions after the first *)
+  resyncs : int;           (** completed flow-table resynchronizations *)
+  resync_installs : int;   (** missing-on-switch entries re-installed *)
+  resync_deletes : int;    (** stray switch entries deleted *)
+  keepalives_sent : int;
+}
+
 (** Protocol-independent rendering of switch-to-controller traffic. *)
 type event =
   | Ev_hello
@@ -44,6 +91,7 @@ type event =
   | Ev_flow_stats of OT.Flow_stats.t list
   | Ev_port_stats of OT.Port_stats.t list
   | Ev_echo_request of { xid : int32; data : string }
+  | Ev_echo_reply of { xid : int32 }
   | Ev_error of string
   | Ev_other
 
@@ -60,9 +108,16 @@ module type PROTOCOL = sig
 
   val echo_reply : xid:int32 -> data:string -> string
 
+  val echo_request : xid:int32 -> data:string -> string
+  (** The driver-side keepalive probe. *)
+
   val flow_add : xid:int32 -> Yancfs.Flowdir.t -> string
 
   val flow_delete : xid:int32 -> Openflow.Of_match.t -> string
+
+  val flow_delete_strict : xid:int32 -> priority:int -> Openflow.Of_match.t -> string
+  (** DELETE_STRICT — used by resync to remove exactly one stray rule
+      without touching a same-match entry at another priority. *)
 
   val packet_out :
     xid:int32 -> buffer_id:int32 option -> in_port:int option ->
@@ -82,5 +137,7 @@ type instance = {
   step : now:float -> unit;
   switch_name : unit -> string option;  (** set once the handshake completes *)
   protocol : string;
+  status : unit -> status;
+  link : unit -> link_counters;
   detach : unit -> unit;  (** drop watches and hooks *)
 }

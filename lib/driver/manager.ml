@@ -6,15 +6,21 @@ module Of13_driver = Core.Make (Of13_adapter)
 type attachment = {
   instance : Driver_intf.instance;
   agent : Netsim.Of_agent.t;
+  sw_end : Netsim.Control_channel.endpoint;
+  ctl_end : Netsim.Control_channel.endpoint;
 }
 
 type t = {
   yfs : Yancfs.Yanc_fs.t;
   net : Netsim.Network.t;
+  tuning : Driver_intf.tuning;
+  seed : int;
   attachments : (int64, attachment) Hashtbl.t;
 }
 
-let create ~yfs ~net () = { yfs; net; attachments = Hashtbl.create 16 }
+let create ?(tuning = Driver_intf.default_tuning) ?(seed = 0x5EED) ~yfs ~net ()
+    =
+  { yfs; net; tuning; seed; attachments = Hashtbl.create 16 }
 
 let detach t ~dpid =
   match Hashtbl.find_opt t.attachments dpid with
@@ -23,29 +29,40 @@ let detach t ~dpid =
     a.instance.Driver_intf.detach ();
     Hashtbl.remove t.attachments dpid
 
+(* Per-switch seed: stable across runs, distinct across switches. *)
+let driver_seed t dpid = t.seed lxor (Int64.to_int dpid * 1000003)
+
 let attach t ~dpid ~version =
   detach t ~dpid;
   match Netsim.Network.switch t.net dpid with
   | None -> invalid_arg (Printf.sprintf "Manager.attach: no switch %Ld" dpid)
   | Some sw ->
     let sw_end, ctl_end = Netsim.Control_channel.create () in
+    (* Both fault delays and scripted faults fire on simulated time. *)
+    Netsim.Control_channel.set_clock sw_end (fun () ->
+        Netsim.Network.now t.net);
     let agent_version =
       match version with V10 -> Netsim.Of_agent.V10 | V13 -> Netsim.Of_agent.V13
     in
     let agent =
       Netsim.Of_agent.create ~telemetry:(Yancfs.Yanc_fs.telemetry t.yfs)
+        ~keepalive_interval:t.tuning.Driver_intf.keepalive_interval
+        ~liveness_timeout:t.tuning.Driver_intf.liveness_timeout
         ~version:agent_version ~switch:sw ~endpoint:sw_end ~network:t.net ()
     in
+    let seed = driver_seed t dpid in
     let instance =
       match version with
       | V10 ->
         Of10_driver.instance
-          (Of10_driver.create ~yfs:t.yfs ~endpoint:ctl_end ())
+          (Of10_driver.create ~tuning:t.tuning ~seed ~yfs:t.yfs
+             ~endpoint:ctl_end ())
       | V13 ->
         Of13_driver.instance
-          (Of13_driver.create ~yfs:t.yfs ~endpoint:ctl_end ())
+          (Of13_driver.create ~tuning:t.tuning ~seed ~yfs:t.yfs
+             ~endpoint:ctl_end ())
     in
-    Hashtbl.replace t.attachments dpid { instance; agent }
+    Hashtbl.replace t.attachments dpid { instance; agent; sw_end; ctl_end }
 
 let upgrade = attach
 
@@ -55,6 +72,13 @@ let ordered t =
 
 let step t ~now =
   let atts = ordered t in
+  (* Fire scripted faults (hard disconnects in particular) even on
+     channels neither side would otherwise touch this round. *)
+  List.iter
+    (fun (_, a) ->
+      Netsim.Control_channel.poll a.sw_end;
+      Netsim.Control_channel.poll a.ctl_end)
+    atts;
   List.iter (fun (_, a) -> a.instance.Driver_intf.step ~now) atts;
   List.iter (fun (_, a) -> Netsim.Of_agent.step a.agent ~now) atts;
   List.iter (fun (_, a) -> a.instance.Driver_intf.step ~now) atts
@@ -74,3 +98,24 @@ let switch_name t ~dpid =
       a.instance.Driver_intf.switch_name ())
 
 let attached t = List.map fst (ordered t)
+
+let channel t ~dpid =
+  Option.map
+    (fun a -> a.sw_end, a.ctl_end)
+    (Hashtbl.find_opt t.attachments dpid)
+
+let switch_status t ~dpid =
+  Option.map
+    (fun a -> a.instance.Driver_intf.status ())
+    (Hashtbl.find_opt t.attachments dpid)
+
+let link_counters t ~dpid =
+  Option.map
+    (fun a -> a.instance.Driver_intf.link ())
+    (Hashtbl.find_opt t.attachments dpid)
+
+let statuses t =
+  List.map (fun (dpid, a) -> dpid, a.instance.Driver_intf.status ()) (ordered t)
+
+let any_dead t =
+  List.exists (fun (_, s) -> s = Driver_intf.Dead) (statuses t)

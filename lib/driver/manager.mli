@@ -11,7 +11,13 @@ type version = V10 | V13
 
 type t
 
-val create : yfs:Yancfs.Yanc_fs.t -> net:Netsim.Network.t -> unit -> t
+val create :
+  ?tuning:Driver_intf.tuning -> ?seed:int -> yfs:Yancfs.Yanc_fs.t ->
+  net:Netsim.Network.t -> unit -> t
+(** [tuning] is the keepalive/backoff policy handed to every driver and
+    agent attached through this manager; [seed] (with the dpid) derives
+    each driver's backoff-jitter PRNG, so a run is reproducible from
+    one number. *)
 
 val attach : t -> dpid:int64 -> version:version -> unit
 (** Connect a switch in the network to a fresh (driver, channel, agent)
@@ -36,3 +42,21 @@ val driver_protocol : t -> dpid:int64 -> string option
 val switch_name : t -> dpid:int64 -> string option
 
 val attached : t -> int64 list
+
+val channel :
+  t -> dpid:int64 ->
+  (Netsim.Control_channel.endpoint * Netsim.Control_channel.endpoint) option
+(** The switch's control channel as [(agent side, driver side)] — the
+    hook fault-injecting tests use ({!Netsim.Control_channel.set_faults}
+    on either end). *)
+
+val switch_status : t -> dpid:int64 -> Driver_intf.status option
+
+val link_counters : t -> dpid:int64 -> Driver_intf.link_counters option
+
+val statuses : t -> (int64 * Driver_intf.status) list
+(** Ordered by dpid. *)
+
+val any_dead : t -> bool
+(** True when some driver has exhausted its reconnect budget —
+    [yancctl counters] exits nonzero on this. *)

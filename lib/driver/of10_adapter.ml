@@ -12,6 +12,8 @@ let port_desc_request = None
 
 let echo_reply ~xid ~data = OF.Of10.encode ~xid (OF.Of10.Echo_reply data)
 
+let echo_request ~xid ~data = OF.Of10.encode ~xid (OF.Of10.Echo_request data)
+
 let flow_add ~xid (flow : Yancfs.Flowdir.t) =
   OF.Of10.encode ~xid
     (OF.Of10.Flow_mod
@@ -30,6 +32,13 @@ let flow_delete ~xid of_match =
     (OF.Of10.Flow_mod
        { of_match; cookie = 0L; command = OF.Of10.Delete; idle_timeout = 0;
          hard_timeout = 0; priority = 0; buffer_id = None;
+         notify_removal = false; actions = [] })
+
+let flow_delete_strict ~xid ~priority of_match =
+  OF.Of10.encode ~xid
+    (OF.Of10.Flow_mod
+       { of_match; cookie = 0L; command = OF.Of10.Delete_strict;
+         idle_timeout = 0; hard_timeout = 0; priority; buffer_id = None;
          notify_removal = false; actions = [] })
 
 let packet_out ~xid ~buffer_id ~in_port ~actions ~data =
@@ -65,8 +74,9 @@ let decode_event raw : Driver_intf.event =
     | OF.Of10.Stats_reply (OF.Of10.Port_stats_rep stats) ->
       Driver_intf.Ev_port_stats stats
     | OF.Of10.Echo_request data -> Driver_intf.Ev_echo_request { xid; data }
+    | OF.Of10.Echo_reply _ -> Driver_intf.Ev_echo_reply { xid }
     | OF.Of10.Error_msg { ty; code; data } ->
       Driver_intf.Ev_error (Printf.sprintf "switch error type=%d code=%d %s" ty code data)
-    | OF.Of10.Echo_reply _ | OF.Of10.Features_request | OF.Of10.Flow_mod _
+    | OF.Of10.Features_request | OF.Of10.Flow_mod _
     | OF.Of10.Packet_out _ | OF.Of10.Port_mod _ | OF.Of10.Stats_request _
     | OF.Of10.Barrier_request | OF.Of10.Barrier_reply -> Driver_intf.Ev_other)

@@ -19,6 +19,8 @@ let port_desc_request =
 
 let echo_reply ~xid ~data = OF.Of13.encode ~xid (OF.Of13.Echo_reply data)
 
+let echo_request ~xid ~data = OF.Of13.encode ~xid (OF.Of13.Echo_request data)
+
 let flow_add ~xid (flow : Yancfs.Flowdir.t) =
   OF.Of13.encode ~xid
     (OF.Of13.Flow_mod
@@ -38,6 +40,13 @@ let flow_delete ~xid of_match =
     (OF.Of13.Flow_mod
        { table_id = 0; of_match; cookie = 0L; command = OF.Of13.Delete;
          idle_timeout = 0; hard_timeout = 0; priority = 0; buffer_id = None;
+         notify_removal = false; instructions = [] })
+
+let flow_delete_strict ~xid ~priority of_match =
+  OF.Of13.encode ~xid
+    (OF.Of13.Flow_mod
+       { table_id = 0; of_match; cookie = 0L; command = OF.Of13.Delete_strict;
+         idle_timeout = 0; hard_timeout = 0; priority; buffer_id = None;
          notify_removal = false; instructions = [] })
 
 let packet_out ~xid ~buffer_id ~in_port ~actions ~data =
@@ -78,8 +87,9 @@ let decode_event raw : Driver_intf.event =
     | OF.Of13.Multipart_reply (OF.Of13.Port_stats_rep stats) ->
       Driver_intf.Ev_port_stats stats
     | OF.Of13.Echo_request data -> Driver_intf.Ev_echo_request { xid; data }
+    | OF.Of13.Echo_reply _ -> Driver_intf.Ev_echo_reply { xid }
     | OF.Of13.Error_msg { ty; code; data } ->
       Driver_intf.Ev_error (Printf.sprintf "switch error type=%d code=%d %s" ty code data)
-    | OF.Of13.Echo_reply _ | OF.Of13.Features_request | OF.Of13.Flow_mod _
+    | OF.Of13.Features_request | OF.Of13.Flow_mod _
     | OF.Of13.Packet_out _ | OF.Of13.Port_mod _ | OF.Of13.Multipart_request _
     | OF.Of13.Barrier_request | OF.Of13.Barrier_reply -> Driver_intf.Ev_other)

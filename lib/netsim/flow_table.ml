@@ -455,6 +455,13 @@ let entries t =
   in
   List.sort by_rank all
 
+(* Lookup-side expiry means an entry can be dead before any [expire]
+   sweep reaps it; consumers deciding what is "present on the switch"
+   (stats replies feeding a resync diff) must see only live entries. *)
+let live_entries t ~now = List.filter (fun e -> not (expired e ~now)) (entries t)
+
+let is_expired = expired
+
 let length t =
   match t.store with
   | Linear_s s -> List.length s.entries

@@ -119,8 +119,18 @@ val expire : t -> now:float -> entry list
 (** Remove and return entries past their idle or hard timeout. *)
 
 val entries : t -> entry list
-(** All live entries, highest priority first; priority ties in install
-    order (oldest first), independent of strategy and hash iteration
-    order. *)
+(** All stored entries, highest priority first; priority ties in
+    install order (oldest first), independent of strategy and hash
+    iteration order. Includes entries past their timeout that no
+    {!expire} sweep has reaped yet — use {!live_entries} when expiry
+    must be respected. *)
+
+val live_entries : t -> now:float -> entry list
+(** {!entries} minus expired-but-not-yet-reaped ones — what the switch
+    would actually match at [now]. Stats replies are built from this
+    view so a resync diff never counts a dead entry as present. *)
+
+val is_expired : entry -> now:float -> bool
+(** Whether the entry is past its idle or hard timeout at [now]. *)
 
 val length : t -> int

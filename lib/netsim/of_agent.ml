@@ -11,6 +11,16 @@ type t = {
   mutable next_xid : int32;
   mutable handled : int;
   telemetry : Telemetry.t;
+  (* Keepalive + liveness: the firmware half of connection survival.
+     [keepalive_interval = 0.] disables both (the default for bare
+     agents built in tests; the driver manager turns them on). *)
+  keepalive_interval : float;
+  liveness_timeout : float;
+  mutable last_rx : float;
+  mutable next_keepalive : float;
+  mutable seen_generation : int;
+  mutable peer_alive : bool;
+  mutable keepalives : int;
 }
 
 let fresh_xid t =
@@ -53,15 +63,24 @@ let port_status t reason info =
 
 let trace_key_xid xid = Printf.sprintf "xid:%ld" xid
 
-let create ?telemetry ~version ~switch ~endpoint ~network () =
+let create ?telemetry ?(keepalive_interval = 0.) ?liveness_timeout ~version
+    ~switch ~endpoint ~network () =
   let telemetry =
     match telemetry with
     | Some t -> t
     | None -> Telemetry.create ~tracing:false ()
   in
+  let liveness_timeout =
+    match liveness_timeout with
+    | Some s -> s
+    | None -> 3. *. keepalive_interval
+  in
   let t =
     { version; switch; endpoint; network; framing = OF.Framing.create ();
-      next_xid = 0x10000l; handled = 0; telemetry }
+      next_xid = 0x10000l; handled = 0; telemetry; keepalive_interval;
+      liveness_timeout; last_rx = neg_infinity; next_keepalive = neg_infinity;
+      seen_generation = Control_channel.generation endpoint;
+      peer_alive = true; keepalives = 0 }
   in
   Network.set_controller_sink network (Sim_switch.dpid switch)
     (packet_in_of_effect t);
@@ -147,7 +166,7 @@ let handle10 t ~now ~xid (msg : OF.Of10.msg) =
   | OF.Of10.Port_mod { port_no; admin_down } ->
     Sim_switch.set_admin_down t.switch port_no admin_down
   | OF.Of10.Stats_request (OF.Of10.Flow_stats_req m) ->
-    let entries = Sim_switch.flow_stats t.switch ~of_match:m () in
+    let entries = Sim_switch.flow_stats t.switch ~now ~of_match:m () in
     send10x t ~xid
       (OF.Of10.Stats_reply
          (OF.Of10.Flow_stats_rep (List.map (fun e -> snd (stats_entry e ~now)) entries)))
@@ -226,7 +245,7 @@ let handle13 t ~now ~xid (msg : OF.Of13.msg) =
     send13x t ~xid
       (OF.Of13.Multipart_reply (OF.Of13.Port_desc_rep (Sim_switch.ports t.switch)))
   | OF.Of13.Multipart_request (OF.Of13.Flow_stats_req { table_id; of_match }) ->
-    let entries = Sim_switch.flow_stats t.switch ?table_id ~of_match () in
+    let entries = Sim_switch.flow_stats t.switch ?table_id ~now ~of_match () in
     send13x t ~xid
       (OF.Of13.Multipart_reply
          (OF.Of13.Flow_stats_rep
@@ -274,8 +293,44 @@ let expire t ~now =
       end)
     expired
 
+(* --- keepalive / liveness ----------------------------------------------------- *)
+
+let send_echo_request t =
+  t.keepalives <- t.keepalives + 1;
+  match t.version with
+  | V10 -> send10 t (OF.Of10.Echo_request "ka")
+  | V13 -> send13 t (OF.Of13.Echo_request "ka")
+
+let keepalive t ~now ~received =
+  (* A reconnected channel is a fresh byte stream: whatever the framer
+     held belonged to the old connection. *)
+  let gen = Control_channel.generation t.endpoint in
+  if gen <> t.seen_generation then begin
+    t.seen_generation <- gen;
+    OF.Framing.reset t.framing;
+    t.last_rx <- now;
+    t.peer_alive <- true
+  end;
+  if received then begin
+    t.last_rx <- now;
+    t.peer_alive <- true
+  end;
+  if t.keepalive_interval > 0. && Control_channel.connected t.endpoint then begin
+    if t.last_rx = neg_infinity then t.last_rx <- now;
+    if t.next_keepalive = neg_infinity then
+      t.next_keepalive <- now +. t.keepalive_interval
+    else if now >= t.next_keepalive then begin
+      send_echo_request t;
+      t.next_keepalive <- now +. t.keepalive_interval
+    end;
+    if now -. t.last_rx > t.liveness_timeout then t.peer_alive <- false
+  end
+
 let step t ~now =
-  List.iter (OF.Framing.push t.framing) (Control_channel.recv_all t.endpoint);
+  Control_channel.poll t.endpoint;
+  let chunks = Control_channel.recv_all t.endpoint in
+  keepalive t ~now ~received:(chunks <> []);
+  List.iter (OF.Framing.push t.framing) chunks;
   List.iter
     (fun raw ->
       t.handled <- t.handled + 1;
@@ -294,3 +349,7 @@ let step t ~now =
   expire t ~now
 
 let messages_handled t = t.handled
+
+let peer_alive t = t.peer_alive
+
+let keepalives_sent t = t.keepalives

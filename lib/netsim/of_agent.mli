@@ -15,13 +15,20 @@ type version = V10 | V13
 type t
 
 val create :
-  ?telemetry:Telemetry.t -> version:version -> switch:Sim_switch.t ->
+  ?telemetry:Telemetry.t -> ?keepalive_interval:float ->
+  ?liveness_timeout:float -> version:version -> switch:Sim_switch.t ->
   endpoint:Control_channel.endpoint -> network:Network.t -> unit -> t
 (** Registers the agent as the switch's controller sink in [network] and
     subscribes to port-change notifications. With [telemetry], each
     flow-mod Add resumes the trace stamped under {!trace_key_xid} of its
     xid and records a [switch.install] span — the last stage of the
-    packet-in→install pipeline. *)
+    packet-in→install pipeline.
+
+    [keepalive_interval] (default 0 = disabled) makes the agent send
+    echo-requests on the sim clock and track controller liveness with
+    [liveness_timeout] (default 3x the interval) — see {!peer_alive}.
+    Installed flows survive a dead controller either way (fail-secure):
+    the agent only reports, it never clears state. *)
 
 val trace_key_xid : int32 -> string
 (** ["xid:<n>"] — the correlation key the controller-side driver stamps
@@ -33,6 +40,14 @@ val version : t -> version
 val step : t -> now:float -> unit
 (** Process all buffered controller messages and run flow-timeout
     expiry, emitting flow-removed messages for entries installed with
-    [notify_removal]. *)
+    [notify_removal]. Also fires due scripted channel faults, resets
+    framing when the channel generation changed (a reconnect), and runs
+    the keepalive/liveness machinery when enabled. *)
 
 val messages_handled : t -> int
+
+val peer_alive : t -> bool
+(** False once nothing has been received for [liveness_timeout] (only
+    meaningful with keepalives enabled); true again on any receipt. *)
+
+val keepalives_sent : t -> int

@@ -1,0 +1,32 @@
+(* splitmix64 (Steele, Lea & Flood 2014): tiny state, passes BigCrush,
+   and — the property we need — trivially splittable and identical on
+   every platform. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let split t = { state = bits64 t }
+
+(* Take the top 53 bits: a uniform dyadic rational in [0, 1). *)
+let float t =
+  Int64.to_float (Int64.shift_right_logical (bits64 t) 11) *. (1. /. 9007199254740992.)
+
+let below t n =
+  if n <= 0 then invalid_arg "Prng.below";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (bits64 t) 1) (Int64.of_int n))
+
+let bool t p = if p <= 0. then false else if p >= 1. then true else float t < p

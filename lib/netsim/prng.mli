@@ -1,0 +1,30 @@
+(** A small, explicit, splittable PRNG (splitmix64) for everything in
+    the simulator that must be random {e and} reproducible: fault
+    schedules, retry jitter, chaos tests. Unlike [Stdlib.Random] there
+    is no global state — every stream is seeded explicitly, so the same
+    seed always yields the same schedule, on any OCaml version. *)
+
+type t
+
+val create : seed:int -> t
+
+val copy : t -> t
+(** An independent clone at the current position. *)
+
+val split : t -> t
+(** Derive a statistically independent child stream (advances the
+    parent once). Used to give each switch its own fault stream from
+    one run seed. *)
+
+val bits64 : t -> int64
+(** The next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val below : t -> int -> int
+(** Uniform in [\[0, n)]; [n] must be positive. *)
+
+val bool : t -> float -> bool
+(** [bool t p]: true with probability [p] (one [float] draw; [p <= 0.]
+    never draws true, [p >= 1.] always does). *)

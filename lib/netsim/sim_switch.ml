@@ -222,7 +222,7 @@ let flow_delete t ?table_id ?strict ?priority ~of_match () =
     (fun tbl -> Flow_table.delete ?strict ?priority tbl ~of_match)
     tables
 
-let flow_stats t ?table_id ~of_match () =
+let flow_stats t ?table_id ?now ~of_match () =
   let with_id =
     match table_id with
     | Some id -> [ id ]
@@ -230,7 +230,12 @@ let flow_stats t ?table_id ~of_match () =
   in
   List.concat_map
     (fun id ->
-      Flow_table.entries t.tables.(id)
+      (* With [now], expired-but-not-yet-reaped entries are invisible:
+         a stats reply must not report a rule the datapath would no
+         longer match (resync diffs depend on this). *)
+      (match now with
+      | Some now -> Flow_table.live_entries t.tables.(id) ~now
+      | None -> Flow_table.entries t.tables.(id))
       |> List.filter (fun (e : Flow_table.entry) ->
              OF.Of_match.subsumes of_match e.of_match)
       |> List.map (fun e -> id, e))

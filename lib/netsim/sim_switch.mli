@@ -103,9 +103,12 @@ val flow_delete :
     semantics, see {!Flow_table.delete}. *)
 
 val flow_stats :
-  t -> ?table_id:int -> of_match:Openflow.Of_match.t -> unit ->
+  t -> ?table_id:int -> ?now:float -> of_match:Openflow.Of_match.t -> unit ->
   (int * Flow_table.entry) list
-(** Matching entries with their table id. *)
+(** Matching entries with their table id. With [now], entries past
+    their timeout are excluded even before an expiry sweep reaps them
+    (lookup-side expiry): the reply reflects what the datapath would
+    actually match, which resync diffs rely on. *)
 
 val table : t -> int -> Flow_table.t option
 

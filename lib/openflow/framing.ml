@@ -25,4 +25,6 @@ let pop_all t =
 
 let buffered t = String.length t.buf
 
+let reset t = t.buf <- ""
+
 let peek_version s = if String.length s < 1 then None else Some (Char.code s.[0])

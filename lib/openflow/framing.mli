@@ -20,6 +20,10 @@ val pop_all : t -> string list
 val buffered : t -> int
 (** Bytes currently held. *)
 
+val reset : t -> unit
+(** Drop buffered bytes — the stream they came from is gone (a
+    truncated send desynchronized it, or the connection was re-made). *)
+
 val peek_version : string -> int option
 (** The version byte of a framed message — used by the driver manager to
     dispatch to the right codec. *)

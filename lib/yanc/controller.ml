@@ -45,7 +45,7 @@ let register_probes ~telemetry ~fs ~net =
   gi "net.frames_delivered" (fun () -> fst (Netsim.Network.stats net));
   gi "net.frames_dropped" (fun () -> snd (Netsim.Network.stats net))
 
-let create ?root ?fs:fs_opt ?telemetry ~net () =
+let create ?root ?fs:fs_opt ?telemetry ?tuning ?seed ~net () =
   let telemetry =
     match telemetry with Some t -> t | None -> Telemetry.create ()
   in
@@ -53,7 +53,7 @@ let create ?root ?fs:fs_opt ?telemetry ~net () =
   let yfs = Yancfs.Yanc_fs.create ?root ~telemetry fs in
   let proc = Yancfs.Procdir.mount ~fs ~telemetry () in
   register_probes ~telemetry ~fs ~net;
-  { fs; yfs; net; manager = Driver.Manager.create ~yfs ~net ();
+  { fs; yfs; net; manager = Driver.Manager.create ?tuning ?seed ~yfs ~net ();
     scheduler = Scheduler.create ~telemetry (); telemetry; proc }
 
 let fs t = t.fs
@@ -88,6 +88,18 @@ let switch_stat t ~dpid () =
   (match Driver.Manager.driver_protocol t.manager ~dpid with
   | Some p -> put "protocol" p
   | None -> ());
+  (match Driver.Manager.switch_status t.manager ~dpid with
+  | Some s -> put "status" (Driver.Driver_intf.status_to_string s)
+  | None -> ());
+  (match Driver.Manager.link_counters t.manager ~dpid with
+  | None -> ()
+  | Some (c : Driver.Driver_intf.link_counters) ->
+    put "disconnects" (string_of_int c.disconnects);
+    put "retries" (string_of_int c.retries);
+    put "resyncs" (string_of_int c.resyncs);
+    put "resync_installs" (string_of_int c.resync_installs);
+    put "resync_deletes" (string_of_int c.resync_deletes);
+    put "keepalives_sent" (string_of_int c.keepalives_sent));
   (match Netsim.Network.switch t.net dpid with
   | None -> ()
   | Some sw ->

@@ -18,6 +18,8 @@ let switch_attr ~root name attr = Path.child (switch ~root name) attr
 
 let switch_counters ~root name = Path.child (switch ~root name) "counters"
 
+let switch_status ~root name = switch_attr ~root name "status"
+
 let flows_dir ~root name = Path.child (switch ~root name) "flows"
 
 let flow ~root ~switch:sw name = Path.child (flows_dir ~root sw) name

@@ -36,6 +36,11 @@ val switch_attr : root:Vfs.Path.t -> string -> string -> Vfs.Path.t
 (** e.g. [switch_attr ~root "sw1" "id"]. *)
 
 val switch_counters : root:Vfs.Path.t -> string -> Vfs.Path.t
+
+val switch_status : root:Vfs.Path.t -> string -> Vfs.Path.t
+(** The driver-owned connection state file:
+    [handshaking|connected|degraded|reconnecting|dead]. *)
+
 val flows_dir : root:Vfs.Path.t -> string -> Vfs.Path.t
 val flow : root:Vfs.Path.t -> switch:string -> string -> Vfs.Path.t
 val flow_attr : root:Vfs.Path.t -> switch:string -> flow:string -> string -> Vfs.Path.t

@@ -87,6 +87,12 @@ let switch_dpid t name =
 
 let switch_protocol t name = read_attr t ~cred:Vfs.Cred.root name "protocol"
 
+let set_switch_status t ~switch status =
+  Fs.write_file t.fs ~cred:Vfs.Cred.root
+    (Layout.switch_status ~root:t.root switch) status
+
+let switch_status t name = read_attr t ~cred:Vfs.Cred.root name "status"
+
 let write_switch_counters t ~switch counters =
   let cred = Vfs.Cred.root in
   let dir = Layout.switch_counters ~root:t.root switch in

@@ -45,6 +45,14 @@ val switch_dpid : t -> string -> int64 option
 
 val switch_protocol : t -> string -> string option
 
+val set_switch_status :
+  t -> switch:string -> string -> (unit, Vfs.Errno.t) result
+(** Write the driver-owned [status] attribute
+    ([connected]/[degraded]/[reconnecting]/[dead]/...); applications
+    watch this file to learn a switch's control channel died. *)
+
+val switch_status : t -> string -> string option
+
 val write_switch_counters :
   t -> switch:string -> (string * int64) list -> (unit, Vfs.Errno.t) result
 

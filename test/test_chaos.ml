@@ -1,0 +1,309 @@
+(* Chaos & fault-injection tests: the control plane must survive a
+   misbehaving control channel (ISSUE 5 tentpole).
+
+   - channel properties: an all-zero fault policy is exactly
+     transparent, and no fault combination ever invents bytes;
+   - backoff: deterministic from the seed, exponential with cap,
+     jitter bounded and upward-only;
+   - recovery: a hard disconnect is detected, the driver re-handshakes
+     and resynchronizes the flow table against the file system (strays
+     deleted, missing rules installed);
+   - a driver that exhausts its retry budget goes [dead] and is
+     reported as such through yancfs;
+   - soak matrix: every profile in {!Chaos.profiles} × several seeds
+     must reconverge with hardware ≡ file system. *)
+
+module N = Netsim
+module D = Driver
+module Y = Yancfs
+module OF = Openflow
+module CC = N.Control_channel
+
+let cred = Vfs.Cred.root
+
+(* --- channel properties (satellite c) --------------------------------------- *)
+
+let zero_stats =
+  { CC.dropped = 0; duplicated = 0; reordered = 0; truncated = 0; delayed = 0 }
+
+let prop_zero_faults_transparent =
+  QCheck.Test.make ~name:"all-zero fault policy is byte-transparent" ~count:150
+    QCheck.(pair small_int (small_list string))
+    (fun (seed, msgs) ->
+      let rx1, tx1 = CC.create () in
+      let rx2, tx2 = CC.create () in
+      CC.set_faults tx2
+        (Some (CC.Faults.create ~policy:CC.Faults.default ~seed ()));
+      List.iter (CC.send tx1) msgs;
+      List.iter (CC.send tx2) msgs;
+      CC.recv_all rx1 = CC.recv_all rx2
+      && CC.bytes_sent tx1 = CC.bytes_sent tx2
+      && CC.fault_stats tx2 = zero_stats)
+
+let is_prefix ~of_:m c =
+  String.length c <= String.length m && String.sub m 0 (String.length c) = c
+
+let prop_faults_never_invent =
+  QCheck.Test.make ~name:"faults never invent bytes" ~count:150
+    QCheck.(pair small_int (small_list string))
+    (fun (seed, msgs) ->
+      let rx, tx = CC.create () in
+      let policy =
+        { CC.Faults.default with
+          CC.Faults.drop = 0.2; duplicate = 0.4; reorder = 0.4; truncate = 0.3 }
+      in
+      CC.set_faults tx (Some (CC.Faults.create ~policy ~seed ()));
+      List.iter (CC.send tx) msgs;
+      let got = CC.recv_all rx in
+      let stats = CC.fault_stats tx in
+      List.for_all (fun c -> List.exists (fun m -> is_prefix ~of_:m c) msgs) got
+      && List.length got <= List.length msgs + stats.CC.duplicated)
+
+(* --- backoff (satellite d) --------------------------------------------------- *)
+
+let schedule ~seed ~jitter n =
+  let b =
+    D.Backoff.create ~base:0.25 ~cap:4.0 ~jitter
+      ~prng:(N.Prng.create ~seed) ()
+  in
+  List.init n (fun _ -> D.Backoff.next b)
+
+let test_backoff_deterministic () =
+  Alcotest.(check (list (float 1e-12)))
+    "same seed, same schedule"
+    (schedule ~seed:42 ~jitter:0.1 12)
+    (schedule ~seed:42 ~jitter:0.1 12);
+  Alcotest.(check bool) "different seed, different schedule" true
+    (schedule ~seed:42 ~jitter:0.1 12 <> schedule ~seed:43 ~jitter:0.1 12)
+
+let test_backoff_shape () =
+  let b =
+    D.Backoff.create ~base:0.25 ~cap:4.0 ~jitter:0.
+      ~prng:(N.Prng.create ~seed:1) ()
+  in
+  Alcotest.(check (list (float 1e-9)))
+    "no jitter: exact doubling, clamped at the cap"
+    [ 0.25; 0.5; 1.0; 2.0; 4.0; 4.0; 4.0 ]
+    (List.init 7 (fun _ -> D.Backoff.next b));
+  Alcotest.(check int) "attempts counted" 7 (D.Backoff.attempts b);
+  D.Backoff.reset b;
+  Alcotest.(check (float 1e-9)) "reset restarts the schedule" 0.25
+    (D.Backoff.next b)
+
+let test_backoff_jitter_bounds () =
+  let jitter = 0.25 in
+  let b =
+    D.Backoff.create ~base:0.25 ~cap:4.0 ~jitter
+      ~prng:(N.Prng.create ~seed:9) ()
+  in
+  for i = 0 to 11 do
+    let pure = min (0.25 *. (2. ** float_of_int (min i 30))) 4.0 in
+    let d = D.Backoff.next b in
+    if d < pure -. 1e-9 || d > (pure *. (1. +. jitter)) +. 1e-9 then
+      Alcotest.failf "attempt %d: delay %.4f outside [%.4f, %.4f]" i d pure
+        (pure *. (1. +. jitter))
+  done
+
+(* --- recovery scenarios ------------------------------------------------------ *)
+
+let mk_flow ~tp_dst ~priority =
+  { Y.Flowdir.default with
+    Y.Flowdir.of_match = { OF.Of_match.any with OF.Of_match.tp_dst = Some tp_dst };
+    actions = [ OF.Action.Output (OF.Action.Physical 1) ];
+    priority }
+
+let rig ?(tuning = Chaos.fast_tuning) ?(seed = 7) () =
+  let built = N.Topo_gen.linear ~hosts_per_switch:1 1 in
+  let net = built.N.Topo_gen.net in
+  let ctl = Yanc.Controller.create ~tuning ~seed ~net () in
+  Yanc.Controller.attach_switches ctl;
+  Yanc.Controller.run_for ~tick:0.02 ctl 0.3;
+  let mgr = Yanc.Controller.manager ctl in
+  let dpid = List.hd (D.Manager.attached mgr) in
+  (ctl, mgr, dpid, Option.get (D.Manager.switch_name mgr ~dpid))
+
+let hw_rule_count ctl dpid =
+  let sw = Option.get (N.Network.switch (Yanc.Controller.net ctl) dpid) in
+  List.length
+    (N.Sim_switch.flow_stats sw ~now:(Yanc.Controller.now ctl)
+       ~of_match:OF.Of_match.any ())
+
+let counters mgr dpid = Option.get (D.Manager.link_counters mgr ~dpid)
+
+(* A hard outage: fs changes made while the channel is down must reach
+   hardware through the reconnect + resync path, not be lost. *)
+let test_disconnect_recovery () =
+  let ctl, mgr, dpid, swname = rig () in
+  let yfs = Yanc.Controller.yfs ctl in
+  let ok =
+    Y.Yanc_fs.create_flow yfs ~cred ~switch:swname ~name:"keep"
+      (mk_flow ~tp_dst:80 ~priority:50)
+  in
+  Alcotest.(check bool) "create keep" true (ok = Ok ());
+  let ok =
+    Y.Yanc_fs.create_flow yfs ~cred ~switch:swname ~name:"doomed"
+      (mk_flow ~tp_dst:443 ~priority:60)
+  in
+  Alcotest.(check bool) "create doomed" true (ok = Ok ());
+  Yanc.Controller.run_for ~tick:0.02 ctl 0.3;
+  Alcotest.(check int) "both flows on hardware" 2 (hw_rule_count ctl dpid);
+  Alcotest.(check (option string))
+    "status file says connected" (Some "connected")
+    (Y.Yanc_fs.switch_status yfs swname);
+  (* kill the channel, then edit the fs while it is down: delete one
+     installed flow, add a new one *)
+  let _sw_end, ctl_end = Option.get (D.Manager.channel mgr ~dpid) in
+  CC.disconnect ctl_end;
+  Alcotest.(check bool) "delete doomed while down" true
+    (Y.Yanc_fs.delete_flow yfs ~cred ~switch:swname "doomed" = Ok ());
+  Alcotest.(check bool) "create fresh while down" true
+    (Y.Yanc_fs.create_flow yfs ~cred ~switch:swname ~name:"fresh"
+       (mk_flow ~tp_dst:8080 ~priority:70)
+    = Ok ());
+  let recovered =
+    Yanc.Controller.run_until ~tick:0.02 ~timeout:10. ctl (fun () ->
+        D.Manager.switch_status mgr ~dpid = Some D.Driver_intf.Connected
+        && (counters mgr dpid).D.Driver_intf.resyncs >= 1)
+  in
+  Alcotest.(check bool) "driver recovered" true recovered;
+  Yanc.Controller.run_for ~tick:0.02 ctl 0.3;
+  let c = counters mgr dpid in
+  Alcotest.(check bool) "disconnect counted" true (c.D.Driver_intf.disconnects >= 1);
+  Alcotest.(check bool) "resync counted" true (c.D.Driver_intf.resyncs >= 1);
+  Alcotest.(check int) "hardware back in sync (keep + fresh)" 2
+    (hw_rule_count ctl dpid);
+  let sw = Option.get (N.Network.switch (Yanc.Controller.net ctl) dpid) in
+  let rules =
+    List.map
+      (fun ((_, e) : int * N.Flow_table.entry) ->
+        (e.of_match.OF.Of_match.tp_dst, e.priority))
+      (N.Sim_switch.flow_stats sw ~now:(Yanc.Controller.now ctl)
+         ~of_match:OF.Of_match.any ())
+    |> List.sort compare
+  in
+  Alcotest.(check (list (pair (option int) int)))
+    "exactly the committed rules survive"
+    [ (Some 80, 50); (Some 8080, 70) ]
+    rules;
+  Alcotest.(check (option string))
+    "status file back to connected" (Some "connected")
+    (Y.Yanc_fs.switch_status yfs swname)
+
+(* Resync must also repair silent divergence: rules that exist only on
+   the switch (installed behind the controller's back) are strays and
+   get DELETE_STRICTed. *)
+let test_resync_deletes_strays () =
+  let ctl, mgr, dpid, swname = rig () in
+  let yfs = Yanc.Controller.yfs ctl in
+  ignore
+    (Y.Yanc_fs.create_flow yfs ~cred ~switch:swname ~name:"legit"
+       (mk_flow ~tp_dst:80 ~priority:50));
+  Yanc.Controller.run_for ~tick:0.02 ctl 0.3;
+  (* a rule the file system never committed appears on the switch *)
+  let sw = Option.get (N.Network.switch (Yanc.Controller.net ctl) dpid) in
+  ignore
+    (N.Sim_switch.flow_add sw ~now:(Yanc.Controller.now ctl)
+       ~of_match:{ OF.Of_match.any with OF.Of_match.tp_dst = Some 6666 }
+       ~priority:999
+       ~actions:[ OF.Action.Output (OF.Action.Physical 1) ]
+       ());
+  Alcotest.(check int) "stray present" 2 (hw_rule_count ctl dpid);
+  let _sw_end, ctl_end = Option.get (D.Manager.channel mgr ~dpid) in
+  CC.disconnect ctl_end;
+  let recovered =
+    Yanc.Controller.run_until ~tick:0.02 ~timeout:10. ctl (fun () ->
+        D.Manager.switch_status mgr ~dpid = Some D.Driver_intf.Connected
+        && (counters mgr dpid).D.Driver_intf.resyncs >= 1)
+  in
+  Alcotest.(check bool) "driver recovered" true recovered;
+  Yanc.Controller.run_for ~tick:0.02 ctl 0.3;
+  Alcotest.(check int) "stray deleted by resync" 1 (hw_rule_count ctl dpid);
+  Alcotest.(check bool) "stray delete counted" true
+    ((counters mgr dpid).D.Driver_intf.resync_deletes >= 1)
+
+(* A channel that can never be re-established exhausts the retry budget
+   and the driver surfaces [dead] — yancctl exits nonzero on this. *)
+let test_dead_after_retry_budget () =
+  let tuning = { Chaos.fast_tuning with D.Driver_intf.max_retries = 3 } in
+  let ctl, mgr, dpid, swname = rig ~tuning () in
+  let yfs = Yanc.Controller.yfs ctl in
+  let _sw_end, ctl_end = Option.get (D.Manager.channel mgr ~dpid) in
+  (* the gate is read from the disconnecting endpoint's policy: make
+     reconnection impossible, then sever *)
+  CC.set_faults ctl_end
+    (Some
+       (CC.Faults.create
+          ~policy:{ CC.Faults.default with CC.Faults.reconnect_after = 1e9 }
+          ~seed:1 ()));
+  CC.disconnect ctl_end;
+  let died =
+    Yanc.Controller.run_until ~tick:0.05 ~timeout:10. ctl (fun () ->
+        D.Manager.switch_status mgr ~dpid = Some D.Driver_intf.Dead)
+  in
+  Alcotest.(check bool) "driver declared dead" true died;
+  Alcotest.(check bool) "manager reports a dead switch" true
+    (D.Manager.any_dead mgr);
+  Alcotest.(check (option string)) "status file says dead" (Some "dead")
+    (Y.Yanc_fs.switch_status yfs swname);
+  Alcotest.(check bool) "retries were spent" true
+    ((counters mgr dpid).D.Driver_intf.retries >= 3)
+
+(* --- soak matrix (satellite d) ----------------------------------------------- *)
+
+let soak_seeds = [ 11; 23; 37 ]
+
+let soak_case profile seed =
+  Alcotest.test_case
+    (Printf.sprintf "soak %s seed=%d" profile.Chaos.pname seed)
+    `Quick
+    (fun () ->
+      let o = Chaos.run ~seed profile in
+      if o.Chaos.resyncs < 1 then
+        Alcotest.failf "chaos seed=%d profile=%s: no resync happened" seed
+          profile.Chaos.pname;
+      if o.Chaos.keepalives < 1 then
+        Alcotest.failf "chaos seed=%d profile=%s: no keepalives sent" seed
+          profile.Chaos.pname;
+      if profile.Chaos.disconnect_at <> [] && o.Chaos.disconnects < 1 then
+        Alcotest.failf "chaos seed=%d profile=%s: scripted disconnects missed"
+          seed profile.Chaos.pname;
+      if profile.Chaos.policy.CC.Faults.drop > 0. && o.Chaos.faults_injected = 0
+      then
+        Alcotest.failf "chaos seed=%d profile=%s: policy injected nothing" seed
+          profile.Chaos.pname)
+
+(* Determinism of the harness itself: the same (seed, profile) must
+   yield the same counters — this is what makes a printed seed a
+   reproduction recipe. *)
+let test_chaos_reproducible () =
+  let a = Chaos.run ~seed:11 Chaos.drop_profile in
+  let b = Chaos.run ~seed:11 Chaos.drop_profile in
+  Alcotest.(check bool) "same seed, same outcome" true (a = b)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_zero_faults_transparent; prop_faults_never_invent ]
+
+let () =
+  Alcotest.run "chaos"
+    [ ("channel-properties", qcheck_cases);
+      ( "backoff",
+        [ Alcotest.test_case "deterministic from seed" `Quick
+            test_backoff_deterministic;
+          Alcotest.test_case "exponential shape with cap" `Quick
+            test_backoff_shape;
+          Alcotest.test_case "jitter bounds" `Quick test_backoff_jitter_bounds
+        ] );
+      ( "recovery",
+        [ Alcotest.test_case "disconnect recovery + resync" `Quick
+            test_disconnect_recovery;
+          Alcotest.test_case "resync deletes strays" `Quick
+            test_resync_deletes_strays;
+          Alcotest.test_case "dead after retry budget" `Quick
+            test_dead_after_retry_budget
+        ] );
+      ( "soak",
+        Alcotest.test_case "reproducible outcome" `Quick test_chaos_reproducible
+        :: List.concat_map
+             (fun p -> List.map (soak_case p) soak_seeds)
+             Chaos.profiles ) ]

@@ -613,6 +613,82 @@ let test_switch_queues () =
   | [ N.Sim_switch.Transmit { out_port = 3; _ } ] -> ()
   | _ -> Alcotest.fail "missing queue should degrade to output"
 
+(* Regression: a resync diff must not count entries that are past their
+   timeout but not yet reaped by an [expire] sweep. [flow_stats ~now]
+   applies lookup-side expiry; the raw (no [now]) report and [entries]
+   still hold the corpse for the sweep to find. *)
+let test_switch_flow_stats_lookup_expiry () =
+  let s = sw () in
+  let tp80 = { OF.Of_match.any with OF.Of_match.tp_dst = Some 80 } in
+  (match
+     N.Sim_switch.flow_add s ~now:0. ~of_match:tp80 ~priority:100 ~actions:[]
+       ~hard_timeout:3 ()
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  flow s ~priority:10 OF.Of_match.any [];
+  let stats ?now () =
+    List.length (N.Sim_switch.flow_stats s ?now ~of_match:OF.Of_match.any ())
+  in
+  Alcotest.(check int) "both live at 1s" 2 (stats ~now:1. ());
+  (* past the hard timeout, with no expire sweep in between *)
+  Alcotest.(check int) "expired excluded with now" 1 (stats ~now:4. ());
+  Alcotest.(check int) "raw report still holds the corpse" 2 (stats ());
+  (match N.Sim_switch.table s 0 with
+  | None -> Alcotest.fail "no table"
+  | Some t ->
+    Alcotest.(check int) "entries keeps it too" 2
+      (List.length (N.Flow_table.entries t));
+    Alcotest.(check int) "live_entries drops it" 1
+      (List.length (N.Flow_table.live_entries t ~now:4.));
+    List.iter
+      (fun e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "is_expired flags p%d correctly" e.N.Flow_table.priority)
+          (e.N.Flow_table.priority = 100)
+          (N.Flow_table.is_expired e ~now:4.))
+      (N.Flow_table.entries t));
+  Alcotest.(check int) "expire still reaps the corpse" 1
+    (List.length (N.Sim_switch.expire_flows s ~now:4.))
+
+(* Same property over the wire: the agent's stats reply reflects
+   lookup-side expiry even when the request beats the expiry sweep. *)
+let test_agent_stats_exclude_expired () =
+  let net = N.Network.create () in
+  let s = N.Sim_switch.create ~n_ports:2 ~dpid:1L () in
+  N.Network.add_switch net s;
+  let sw_end, ctl_end = N.Control_channel.create () in
+  let agent =
+    N.Of_agent.create ~version:N.Of_agent.V10 ~switch:s ~endpoint:sw_end
+      ~network:net ()
+  in
+  let fm ~priority ~hard =
+    OF.Of10.Flow_mod
+      { of_match = { OF.Of_match.any with OF.Of_match.tp_dst = Some (priority + 1) };
+        cookie = 0L; command = OF.Of10.Add; idle_timeout = 0;
+        hard_timeout = hard; priority; buffer_id = None;
+        notify_removal = false; actions = [] }
+  in
+  N.Control_channel.send ctl_end (OF.Of10.encode ~xid:1l (fm ~priority:9 ~hard:2));
+  N.Control_channel.send ctl_end (OF.Of10.encode ~xid:2l (fm ~priority:5 ~hard:0));
+  N.Of_agent.step agent ~now:0.;
+  ignore (N.Control_channel.recv_all ctl_end);
+  N.Control_channel.send ctl_end
+    (OF.Of10.encode ~xid:3l
+       (OF.Of10.Stats_request (OF.Of10.Flow_stats_req OF.Of_match.any)));
+  (* now:3 is past p9's hard timeout; the same step serves the reply *)
+  N.Of_agent.step agent ~now:3.;
+  let reported =
+    List.concat_map
+      (fun raw ->
+        match OF.Of10.decode raw with
+        | Ok (3l, OF.Of10.Stats_reply (OF.Of10.Flow_stats_rep rows)) ->
+          List.map (fun (r : OF.Of_types.Flow_stats.t) -> r.priority) rows
+        | _ -> [])
+      (N.Control_channel.recv_all ctl_end)
+  in
+  Alcotest.(check (list int)) "only the live flow reported" [ 5 ] reported
+
 let test_switch_port_change_notify () =
   let s = sw () in
   let events = ref [] in
@@ -1013,6 +1089,8 @@ let () =
           Alcotest.test_case "rewrite ordering" `Quick test_switch_rewrite_then_output;
           Alcotest.test_case "explicit drop" `Quick test_switch_explicit_drop;
           Alcotest.test_case "qos queues" `Quick test_switch_queues;
+          Alcotest.test_case "stats lookup-side expiry" `Quick
+            test_switch_flow_stats_lookup_expiry;
           Alcotest.test_case "port notifications" `Quick test_switch_port_change_notify ] );
       ( "host",
         [ Alcotest.test_case "arp reply" `Quick test_host_arp_reply;
@@ -1032,5 +1110,7 @@ let () =
           Alcotest.test_case "flow_mod + echo" `Quick test_agent_flow_mod_and_echo;
           Alcotest.test_case "v13 port desc" `Quick test_agent_v13_port_desc;
           Alcotest.test_case "delete strict" `Quick test_agent_delete_strict;
+          Alcotest.test_case "stats exclude expired" `Quick
+            test_agent_stats_exclude_expired;
           Alcotest.test_case "flow_removed" `Quick test_agent_flow_removed_notification ] );
       "properties", qcheck_cases ]
