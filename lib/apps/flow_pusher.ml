@@ -93,19 +93,16 @@ let push yfs ~cred specs =
               let dir =
                 Y.Layout.flow ~root:(Y.Yanc_fs.root yfs) ~switch spec.name
               in
-              let version =
-                Option.value ~default:0
-                  (Y.Flowdir.read_version (Y.Yanc_fs.fs yfs) ~cred dir)
-              in
-              Y.Flowdir.write (Y.Yanc_fs.fs yfs) ~cred dir
-                { spec.flow with Y.Flowdir.version }
-            | Error _ as e -> e
+              Result.map ignore
+                (Y.Flowdir.update (Y.Yanc_fs.fs yfs) ~cred dir
+                   (fun old ->
+                     { spec.flow with Y.Flowdir.version = old.Y.Flowdir.version }))
+            | Error e -> Error (Vfs.Errno.message e)
           in
           match result with
           | Ok () -> Ok (count + 1)
           | Error e ->
-            Error
-              (Printf.sprintf "%s/%s: %s" switch spec.name (Vfs.Errno.message e)))
+            Error (Printf.sprintf "%s/%s: %s" switch spec.name e))
         (Ok count) targets)
     (Ok 0) specs
 

@@ -26,17 +26,14 @@ let copy_one yfs ~cred ~src ~dst ~port_map ~target name =
       | Error Vfs.Errno.EEXIST ->
         (* Update in place, preserving the version chain. *)
         let dir = Y.Layout.flow ~root:(Y.Yanc_fs.root yfs) ~switch:dst target in
-        let version =
-          Option.value ~default:0
-            (Y.Flowdir.read_version (Y.Yanc_fs.fs yfs) ~cred dir)
-        in
-        Y.Flowdir.write (Y.Yanc_fs.fs yfs) ~cred dir
-          { flow with Y.Flowdir.version }
-      | Error _ as e -> e
+        Result.map ignore
+          (Y.Flowdir.update (Y.Yanc_fs.fs yfs) ~cred dir
+             (fun old -> { flow with Y.Flowdir.version = old.Y.Flowdir.version }))
+      | Error e -> Error (Vfs.Errno.message e)
     in
     (match result with
     | Ok () -> Ok ()
-    | Error e -> Error (Printf.sprintf "%s/%s: %s" dst target (Vfs.Errno.message e)))
+    | Error e -> Error (Printf.sprintf "%s/%s: %s" dst target e))
 
 let copy_flows yfs ~cred ~src ~dst ?(port_map = Fun.id) ?(rename = Fun.id) () =
   let flows = Y.Yanc_fs.flow_names yfs ~cred src in
@@ -79,7 +76,12 @@ let mirror yfs ~cred ~src ~dst ?(port_map = Fun.id) ?(batch = 256) () =
           Fsnotify.Event.
             [ Created; Modified; Deleted; Moved_from; Moved_to; Overflow ]));
   let sync_flow name =
-    if List.mem name (Y.Yanc_fs.flow_names yfs ~cred src) then (
+    (* Existence check on the one dirty flow, not a listing of all of
+       them — the mirror stays O(dirty) per drain like the driver. *)
+    if
+      Vfs.Fs.exists fs ~cred
+        (Y.Layout.flow ~root:(Y.Yanc_fs.root yfs) ~switch:src name)
+    then (
       match copy_one yfs ~cred ~src ~dst ~port_map ~target:name name with
       | Ok () -> ()
       | Error e -> Logs.err (fun m -> m "migrator-mirror: %s" e))
@@ -87,11 +89,11 @@ let mirror yfs ~cred ~src ~dst ?(port_map = Fun.id) ?(batch = 256) () =
   in
   let resync () =
     (* Events were lost: converge from a full listing. *)
-    let src_flows = Y.Yanc_fs.flow_names yfs ~cred src in
-    List.iter sync_flow src_flows;
+    let src_flows = Y.Yanc_fs.flow_name_set yfs ~cred src in
+    Y.Yanc_fs.Name_set.iter sync_flow src_flows;
     List.iter
       (fun name ->
-        if not (List.mem name src_flows) then
+        if not (Y.Yanc_fs.Name_set.mem name src_flows) then
           ignore (Y.Yanc_fs.delete_flow yfs ~cred ~switch:dst name))
       (Y.Yanc_fs.flow_names yfs ~cred dst)
   in

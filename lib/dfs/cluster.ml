@@ -1,18 +1,35 @@
 module Fs = Vfs.Fs
 
-type pending_op = { due : float; target : int; op : Vfs.Op.t }
+type op_state =
+  | Queued   (* in [queue], awaiting its visibility time *)
+  | Stashed  (* held in a partition stash *)
+  | Done     (* applied to the target replica *)
+  | Dead     (* coalesced away by a later write to the same path *)
+
+type pending_op = {
+  due : float;
+  target : int;
+  op : Vfs.Op.t;
+  mutable state : op_state;
+}
 
 type t = {
   consistency : Consistency.t;
   rtt : float;
   replicas : Fs.t array;
   mutable clock : float;
-  mutable queue : pending_op list; (* kept in arrival order *)
+  queue : pending_op Queue.t;      (* kept in arrival order *)
+  mutable queued_live : int;       (* non-[Dead] entries in [queue] *)
   partitioned : bool array;
-  stash : pending_op list array;   (* held while the target is cut off *)
+  stash : pending_op list array;   (* held while the target is cut off;
+                                      newest first, reversed on heal *)
+  (* Still-queued content ops per (target, path string) — the window a
+     later truncate-to-zero may coalesce over. *)
+  candidates : (string, pending_op list) Hashtbl.t array;
   mutable applying : bool;         (* replication-echo guard *)
   mutable ops_originated : int;
   mutable ops_replicated : int;
+  mutable ops_coalesced : int;
   mutable writer_blocked_s : float;
   mutable max_queue : int;
 }
@@ -25,12 +42,48 @@ let apply t target op =
       t.ops_replicated <- t.ops_replicated + 1;
       ignore (Fs.replay ~emit:true t.replicas.(target) op))
 
+let stash_op t p =
+  p.state <- Stashed;
+  t.stash.(p.target) <- p :: t.stash.(p.target)
+
+(* Last-write-wins coalescing (the dirty-set discipline, applied to the
+   replication stream): [Fs.write_file] on an existing file emits
+   Truncate{size=0} + Write, so a truncate-to-zero supersedes every
+   content op still queued for the same (target, path) — repeated
+   rewrites of one flow field or version file replicate as one final
+   state, O(dirty) for the replica instead of O(writes). Structural ops
+   close the window conservatively: a rename/unlink/create boundary
+   means earlier content may end up at another path, so nothing queued
+   before it is ever coalesced across it. *)
+let coalesce_into t (p : pending_op) =
+  let cands = t.candidates.(p.target) in
+  match p.op with
+  | Vfs.Op.Truncate { path; size = 0 } ->
+    let key = Vfs.Path.to_string path in
+    let prior = Option.value ~default:[] (Hashtbl.find_opt cands key) in
+    List.iter
+      (fun q ->
+        if q.state = Queued then begin
+          q.state <- Dead;
+          t.queued_live <- t.queued_live - 1;
+          t.ops_coalesced <- t.ops_coalesced + 1
+        end)
+      prior;
+    Hashtbl.replace cands key [ p ]
+  | Vfs.Op.Write { path; _ } | Vfs.Op.Truncate { path; _ } ->
+    let key = Vfs.Path.to_string path in
+    let prior = Option.value ~default:[] (Hashtbl.find_opt cands key) in
+    Hashtbl.replace cands key (p :: prior)
+  | op when Vfs.Op.is_structural op -> Hashtbl.reset cands
+  | _ -> ()
+
 let enqueue t p =
-  if t.partitioned.(p.target) then
-    t.stash.(p.target) <- t.stash.(p.target) @ [ p ]
+  if t.partitioned.(p.target) then stash_op t p
   else begin
-    t.queue <- t.queue @ [ p ];
-    t.max_queue <- max t.max_queue (List.length t.queue)
+    coalesce_into t p;
+    Queue.push p t.queue;
+    t.queued_live <- t.queued_live + 1;
+    t.max_queue <- max t.max_queue t.queued_live
   end
 
 let consistency_xattr = "user.consistency"
@@ -63,7 +116,8 @@ let on_origin_op t origin op =
       Array.iteri
         (fun target _ ->
           if target <> origin then
-            t.stash.(origin) <- t.stash.(origin) @ [ { due = t.clock; target; op } ])
+            t.stash.(origin) <-
+              { due = t.clock; target; op; state = Stashed } :: t.stash.(origin))
         t.replicas
     else begin
       let consistency = effective_consistency t ~origin (Vfs.Op.path op) in
@@ -79,14 +133,14 @@ let on_origin_op t origin op =
           (fun target _ ->
             if target <> origin then
               if t.partitioned.(target) then
-                t.stash.(target) <- t.stash.(target) @ [ { due = t.clock; target; op } ]
+                stash_op t { due = t.clock; target; op; state = Stashed }
               else apply t target op)
           t.replicas
       | Consistency.Close_to_open _ | Consistency.Eventual _ ->
         let due = t.clock +. Consistency.visibility_delay consistency in
         Array.iteri
           (fun target _ ->
-            if target <> origin then enqueue t { due; target; op })
+            if target <> origin then enqueue t { due; target; op; state = Queued })
           t.replicas
     end
   end
@@ -94,11 +148,13 @@ let on_origin_op t origin op =
 let make ~consistency ~rtt replicas =
   let n = Array.length replicas in
   let t =
-    { consistency; rtt; replicas; clock = 0.; queue = [];
+    { consistency; rtt; replicas; clock = 0.;
+      queue = Queue.create (); queued_live = 0;
       partitioned = Array.make n false;
       stash = Array.make n [];
+      candidates = Array.init n (fun _ -> Hashtbl.create 64);
       applying = false; ops_originated = 0; ops_replicated = 0;
-      writer_blocked_s = 0.; max_queue = 0 }
+      ops_coalesced = 0; writer_blocked_s = 0.; max_queue = 0 }
   in
   Array.iteri (fun i fs -> ignore (Fs.subscribe fs (on_origin_op t i))) replicas;
   t
@@ -120,16 +176,24 @@ let consistency t = t.consistency
 let now t = t.clock
 
 let drain t ~all =
-  let due, later =
-    List.partition (fun p -> all || p.due <= t.clock) t.queue
-  in
-  t.queue <- later;
-  List.iter
-    (fun p ->
-      if t.partitioned.(p.target) then
-        t.stash.(p.target) <- t.stash.(p.target) @ [ p ]
-      else apply t p.target p.op)
-    due
+  (* One pass over the queue: due ops apply (or stash, if their target
+     got cut off meanwhile), not-yet-due ops re-queue behind them in
+     arrival order, dead ops fall out. *)
+  let n = Queue.length t.queue in
+  for _ = 1 to n do
+    let p = Queue.pop t.queue in
+    match p.state with
+    | Dead -> () (* coalesced away *)
+    | Queued when all || p.due <= t.clock ->
+      t.queued_live <- t.queued_live - 1;
+      if t.partitioned.(p.target) then stash_op t p
+      else begin
+        p.state <- Done;
+        apply t p.target p.op
+      end
+    | Queued -> Queue.push p t.queue
+    | Stashed | Done -> () (* unreachable: such ops left the queue *)
+  done
 
 let advance t dt =
   t.clock <- t.clock +. dt;
@@ -138,7 +202,7 @@ let advance t dt =
 let flush t = drain t ~all:true
 
 let pending t =
-  List.length t.queue + Array.fold_left (fun acc s -> acc + List.length s) 0 t.stash
+  t.queued_live + Array.fold_left (fun acc s -> acc + List.length s) 0 t.stash
 
 let converged t = pending t = 0
 
@@ -147,13 +211,17 @@ let partitioned t i = t.partitioned.(i)
 let set_partitioned t i cut =
   if t.partitioned.(i) && not cut then begin
     t.partitioned.(i) <- false;
-    (* Heal: deliver everything held for and from this node. *)
-    let held = t.stash.(i) in
+    (* Heal: deliver everything held for and from this node (the stash
+       is newest-first, so replay it reversed to keep arrival order). *)
+    let held = List.rev t.stash.(i) in
     t.stash.(i) <- [];
     List.iter
       (fun p ->
-        if p.target = i || not t.partitioned.(p.target) then apply t p.target p.op
-        else t.stash.(p.target) <- t.stash.(p.target) @ [ p ])
+        if p.target = i || not t.partitioned.(p.target) then begin
+          p.state <- Done;
+          apply t p.target p.op
+        end
+        else stash_op t p)
       held
   end
   else t.partitioned.(i) <- cut
@@ -161,6 +229,7 @@ let set_partitioned t i cut =
 type metrics = {
   ops_originated : int;
   ops_replicated : int;
+  ops_coalesced : int;
   writer_blocked_s : float;
   max_queue : int;
 }
@@ -168,6 +237,7 @@ type metrics = {
 let metrics (t : t) =
   { ops_originated = t.ops_originated;
     ops_replicated = t.ops_replicated;
+    ops_coalesced = t.ops_coalesced;
     writer_blocked_s = t.writer_blocked_s;
     max_queue = t.max_queue }
 
@@ -176,6 +246,7 @@ let register (t : t) registry =
   let gi name f = g name (fun () -> float_of_int (f ())) in
   gi "ops_originated" (fun () -> t.ops_originated);
   gi "ops_replicated" (fun () -> t.ops_replicated);
+  gi "ops_coalesced" (fun () -> t.ops_coalesced);
   g "writer_blocked_s" (fun () -> t.writer_blocked_s);
   gi "max_queue" (fun () -> t.max_queue);
   gi "pending" (fun () -> pending t);

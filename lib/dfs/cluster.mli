@@ -18,6 +18,9 @@ type t
 type metrics = {
   ops_originated : int;
   ops_replicated : int;
+  ops_coalesced : int;
+      (** queued content ops superseded by a later write to the same
+          path before their visibility time (last-write-wins) *)
   writer_blocked_s : float;
       (** total time writers stalled (Sequential rounds) *)
   max_queue : int;  (** high-water mark of pending replications *)
@@ -75,7 +78,7 @@ val partitioned : t -> int -> bool
 val metrics : t -> metrics
 
 val register : t -> Telemetry.Registry.t -> unit
-(** Publish the replication counters as [dfs.*] gauges (ops originated
-    and replicated, writer stall time, queue high-water mark, live
-    pending count, node count) — the cluster's seat in the controller's
-    unified registry. *)
+(** Publish the replication counters as [dfs.*] gauges (ops originated,
+    replicated and coalesced, writer stall time, queue high-water mark,
+    live pending count, node count) — the cluster's seat in the
+    controller's unified registry. *)

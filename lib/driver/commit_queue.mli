@@ -1,0 +1,57 @@
+(** Per-switch dirty-flow commit queue (the producer side of the
+    commit pipeline).
+
+    Writers mutate flow directories; fsnotify events name the flow that
+    changed; the driver {!mark}s that flow key here and later {!take}s a
+    batch and programs only those entries — O(dirty) per tick instead of
+    the old event-triggered full rescan, which re-listed and re-stat'ed
+    the entire table (O(flows), with O(flows²) deletion detection) on
+    every change.
+
+    Semantics follow the producer-state-table discipline:
+    - a key marked while already pending coalesces (last-write-wins:
+      the flush reads the directory's {e current} state, so N writes to
+      one flow in a tick cost one flow_mod);
+    - keys flush in first-marked order, bounded per batch;
+    - a {e sweep} request (queue overflow, cold handshake) subsumes the
+      per-key state: the consumer runs one full reconcile instead and
+      {!clear}s the queue.
+
+    Single-threaded like the rest of the simulator; no locking. *)
+
+type t
+
+type stats = {
+  marked : int;      (** keys marked, including coalesced re-marks *)
+  coalesced : int;   (** marks absorbed by an already-pending key *)
+  batches : int;     (** non-empty [take]s *)
+  flushed : int;     (** keys handed out across all batches *)
+  sweeps : int;      (** full-reconcile requests *)
+}
+
+val create : unit -> t
+
+val mark : t -> string -> bool
+(** Record a dirty flow key. Returns [false] when the key was already
+    pending (the mark coalesced), [true] when it was newly enqueued. *)
+
+val mark_sweep : t -> unit
+(** Request a full reconcile: events were lost (overflow) or the
+    consumer has no baseline (cold handshake). *)
+
+val take_sweep : t -> bool
+(** Consume the sweep request, if any. *)
+
+val take : ?max:int -> t -> string list
+(** Up to [max] pending keys (default: all), oldest mark first; the
+    keys stop being pending. *)
+
+val pending : t -> int
+
+val is_empty : t -> bool
+(** No pending keys — says nothing about a pending sweep. *)
+
+val clear : t -> unit
+(** Drop all pending keys (after a sweep reconciled everything). *)
+
+val stats : t -> stats

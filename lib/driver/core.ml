@@ -1,8 +1,33 @@
 module Y = Yancfs
 module OF = Openflow
 
+(* Hardware rule identity, (match, priority), as a hashtable key. The
+   polymorphic [Hashtbl.hash] samples only the first few scalar nodes of
+   a value — on an [Of_match.t], whose record leads with a run of [None]
+   wildcards, every distinct match hashes alike and the table degrades
+   to one linear bucket. Hash through the packed image instead, which
+   folds in exactly the constrained header bits. *)
+module Rule_id = struct
+  type t = OF.Of_match.t * int
+
+  let equal (m1, p1) (m2, p2) = p1 = p2 && OF.Of_match.equal m1 m2
+
+  let hash (m, p) =
+    let r = OF.Of_match.pack_rule m in
+    (OF.Of_match.Packed.hash r.OF.Of_match.Packed.mask * 31)
+    + (OF.Of_match.Packed.hash r.OF.Of_match.Packed.value * 17)
+    + p
+end
+
+module Id_tbl = Hashtbl.Make (Rule_id)
+
 module Make (P : Driver_intf.PROTOCOL) = struct
-  type flow_cache_entry = { flow : Y.Flowdir.t }
+  (* [ino] is the flow directory's inode at install time: a directory
+     deleted and re-created under the same name is a different object
+     with a fresh version chain, and the inode is what tells the two
+     apart when the new chain's counter sits at or below the cached
+     one. *)
+  type flow_cache_entry = { flow : Y.Flowdir.t; ino : int }
 
   type t = {
     yfs : Y.Yanc_fs.t;
@@ -16,7 +41,8 @@ module Make (P : Driver_intf.PROTOCOL) = struct
     mutable next_xid : int32;
     mutable switch_name : string option;
     mutable connected : bool;
-    mutable flows_dirty : bool;
+    (* Dirty flow keys, coalesced and flushed one batch per step. *)
+    commits : Commit_queue.t;
     mutable ports_dirty : bool;
     mutable spool_dirty : bool;
     mutable last_stats : float;
@@ -46,8 +72,23 @@ module Make (P : Driver_intf.PROTOCOL) = struct
     m_resync_installs : Telemetry.Registry.counter;
     m_resync_deletes : Telemetry.Registry.counter;
     m_keepalives : Telemetry.Registry.counter;
+    m_fs_errors : Telemetry.Registry.counter;
+    m_commit_batches : Telemetry.Registry.counter;
+    m_commit_keys : Telemetry.Registry.counter;
+    m_commit_coalesced : Telemetry.Registry.counter;
+    m_commit_adds : Telemetry.Registry.counter;
+    m_commit_deletes : Telemetry.Registry.counter;
+    m_commit_sweeps : Telemetry.Registry.counter;
+    m_commit_latency : Telemetry.Registry.histogram;
     (* Last committed configuration per flow directory name. *)
     cache : (string, flow_cache_entry) Hashtbl.t;
+    (* Reverse index over [cache]: hardware rule identity back to the
+       directory names claiming it, so stats replies and flow-removed
+       events resolve in O(1) instead of folding the whole cache. A
+       list because nothing stops two flow files from committing the
+       same (match, priority) — hardware holds one entry, the head is
+       the name whose actions it carries (most recently installed). *)
+    by_match : string list Id_tbl.t;
     (* config.port_down value last pushed to hardware, per port. *)
     pushed_admin : (int, bool) Hashtbl.t;
   }
@@ -59,16 +100,65 @@ module Make (P : Driver_intf.PROTOCOL) = struct
 
   let send t bytes = Netsim.Control_channel.send t.endpoint bytes
 
+  (* Every driver-side file-system write goes through here: failures
+     used to vanish in [ignore]; now they land in the shared
+     [driver.fs_errors] counter (and the log) so a filled-up or
+     misbehaving tree is visible instead of silent. *)
+  let fs_checked t ~what = function
+    | Ok _ -> ()
+    | Error e ->
+      Telemetry.Registry.incr t.m_fs_errors;
+      Logs.warn (fun m ->
+          m "driver[%s]: fs write failed (%s): %s" P.name what
+            (Vfs.Errno.message e))
+
   let set_status t status =
     if t.status <> status then begin
       t.status <- status;
       match t.switch_name with
       | Some name ->
-        ignore
+        fs_checked t ~what:"switch status"
           (Y.Yanc_fs.set_switch_status t.yfs ~switch:name
              (Driver_intf.status_to_string status))
       | None -> ()
     end
+
+  let idx_add t id flow_name =
+    let others =
+      match Id_tbl.find_opt t.by_match id with
+      | Some names -> List.filter (fun n -> not (String.equal n flow_name)) names
+      | None -> []
+    in
+    Id_tbl.replace t.by_match id (flow_name :: others)
+
+  let idx_remove t id flow_name =
+    match Id_tbl.find_opt t.by_match id with
+    | None -> ()
+    | Some names -> (
+      match List.filter (fun n -> not (String.equal n flow_name)) names with
+      | [] -> Id_tbl.remove t.by_match id
+      | rest -> Id_tbl.replace t.by_match id rest)
+
+  (* The name whose hardware entry [id] currently is (or should be). *)
+  let claimant t id =
+    match Id_tbl.find_opt t.by_match id with
+    | Some (name :: _) -> Some name
+    | Some [] | None -> None
+
+  let cache_set t flow_name ~ino (flow : Y.Flowdir.t) =
+    (match Hashtbl.find_opt t.cache flow_name with
+    | Some { flow = old; _ } ->
+      idx_remove t (old.of_match, old.priority) flow_name
+    | None -> ());
+    Hashtbl.replace t.cache flow_name { flow; ino };
+    idx_add t (flow.of_match, flow.priority) flow_name
+
+  let cache_remove t flow_name =
+    match Hashtbl.find_opt t.cache flow_name with
+    | None -> ()
+    | Some { flow; _ } ->
+      Hashtbl.remove t.cache flow_name;
+      idx_remove t (flow.of_match, flow.priority) flow_name
 
   let send_handshake t =
     OF.Framing.reset t.framing;
@@ -96,7 +186,8 @@ module Make (P : Driver_intf.PROTOCOL) = struct
             ~cap:tuning.Driver_intf.backoff_cap
             ~jitter:tuning.Driver_intf.backoff_jitter ~prng ();
         next_xid = 1l; switch_name = None; connected = false;
-        flows_dirty = false; ports_dirty = false; spool_dirty = false;
+        commits = Commit_queue.create ();
+        ports_dirty = false; spool_dirty = false;
         last_stats = 0.; installed = 0;
         status = Driver_intf.Handshaking; last_rx = neg_infinity;
         next_keepalive = neg_infinity; echo_outstanding = None;
@@ -113,7 +204,18 @@ module Make (P : Driver_intf.PROTOCOL) = struct
         m_resync_deletes =
           Telemetry.Registry.counter reg "driver.resync_deletes";
         m_keepalives = Telemetry.Registry.counter reg "driver.keepalives_sent";
+        m_fs_errors = Telemetry.Registry.counter reg "driver.fs_errors";
+        m_commit_batches = Telemetry.Registry.counter reg "driver.commit.batches";
+        m_commit_keys = Telemetry.Registry.counter reg "driver.commit.keys";
+        m_commit_coalesced =
+          Telemetry.Registry.counter reg "driver.commit.coalesced";
+        m_commit_adds = Telemetry.Registry.counter reg "driver.commit.adds";
+        m_commit_deletes = Telemetry.Registry.counter reg "driver.commit.deletes";
+        m_commit_sweeps = Telemetry.Registry.counter reg "driver.commit.sweeps";
+        m_commit_latency =
+          Telemetry.Registry.histogram reg "driver.commit.latency";
         cache = Hashtbl.create 64;
+        by_match = Id_tbl.create 64;
         pushed_admin = Hashtbl.create 8 }
     in
     send_handshake t;
@@ -143,7 +245,7 @@ module Make (P : Driver_intf.PROTOCOL) = struct
   let on_features t ~now (dpid, n_buffers, n_tables, capabilities, ports) =
     let name = Y.Yanc_fs.switch_name_of_dpid dpid in
     t.switch_name <- Some name;
-    ignore
+    fs_checked t ~what:"switch dir"
       (Y.Yanc_fs.add_switch t.yfs ~name ~dpid ~protocol:P.name ~n_buffers
          ~n_tables
          ~capabilities:(OF.Of_types.Capabilities.to_list capabilities)
@@ -153,7 +255,10 @@ module Make (P : Driver_intf.PROTOCOL) = struct
              "set_tp_src"; "set_tp_dst" ]);
     (match ports with
     | Some ports ->
-      List.iter (fun p -> ignore (Y.Yanc_fs.set_port t.yfs ~switch:name p)) ports
+      List.iter
+        (fun p ->
+          fs_checked t ~what:"port dir" (Y.Yanc_fs.set_port t.yfs ~switch:name p))
+        ports
     | None -> (
       match P.port_desc_request with
       | Some req -> send t (req ~xid:(xid t))
@@ -182,7 +287,11 @@ module Make (P : Driver_intf.PROTOCOL) = struct
           | Driver_intf.Connected -> 1.
           | Driver_intf.Degraded -> 2.
           | Driver_intf.Reconnecting -> 3.
-          | Driver_intf.Dead -> 4.)
+          | Driver_intf.Dead -> 4.);
+      Telemetry.Registry.gauge
+        (Telemetry.registry t.telemetry)
+        (Printf.sprintf "driver.%s.commit.pending" name)
+        (fun () -> float_of_int (Commit_queue.pending t.commits))
     end;
     t.connected <- true;
     set_status t Driver_intf.Connected;
@@ -201,21 +310,15 @@ module Make (P : Driver_intf.PROTOCOL) = struct
       send t (P.flow_stats_request ~xid:(xid t))
     end;
     t.was_connected <- true;
-    (* Pick up anything written before the handshake finished. *)
-    t.flows_dirty <- true;
+    (* Pick up anything written before the handshake finished. The cold
+       pickup has no per-key trail to replay, so it is a sweep — the
+       last full-scan path besides resync. *)
+    Commit_queue.mark_sweep t.commits;
     t.ports_dirty <- true;
     t.spool_dirty <- true
 
   let find_flow_by_match t of_match priority =
-    Hashtbl.fold
-      (fun name { flow } acc ->
-        match acc with
-        | Some _ -> acc
-        | None ->
-          if OF.Of_match.equal flow.of_match of_match && flow.priority = priority
-          then Some name
-          else None)
-      t.cache None
+    claimant t (of_match, priority)
 
   (* After a re-handshake the switch's table and the file system may
      have drifted apart: flows committed during the outage were never
@@ -268,7 +371,13 @@ module Make (P : Driver_intf.PROTOCOL) = struct
           t.c_resync_installs <- t.c_resync_installs + 1;
           Telemetry.Registry.incr t.m_resync_installs
         end;
-        Hashtbl.replace t.cache flow_name { flow })
+        let dir = Y.Layout.flow ~root:(root t) ~switch:name flow_name in
+        let ino =
+          match Vfs.Fs.stat (fs t) ~cred dir with
+          | Ok st -> st.Vfs.Fs.ino
+          | Error _ -> -1
+        in
+        cache_set t flow_name ~ino flow)
       fs_flows
 
   let on_event t ~now ev =
@@ -285,7 +394,11 @@ module Make (P : Driver_intf.PROTOCOL) = struct
       match t.switch_name with
       | None -> ()
       | Some name ->
-        List.iter (fun p -> ignore (Y.Yanc_fs.set_port t.yfs ~switch:name p)) ports)
+        List.iter
+          (fun p ->
+            fs_checked t ~what:"port dir"
+              (Y.Yanc_fs.set_port t.yfs ~switch:name p))
+          ports)
     | Driver_intf.Ev_packet_in { buffer_id; total_len; in_port; reason; data } -> (
       match t.switch_name with
       | None -> ()
@@ -306,9 +419,11 @@ module Make (P : Driver_intf.PROTOCOL) = struct
       | Some name -> (
         match reason with
         | OF.Of_types.Port_delete ->
-          ignore (Y.Yanc_fs.remove_port t.yfs ~switch:name port.port_no)
+          fs_checked t ~what:"port removal"
+            (Y.Yanc_fs.remove_port t.yfs ~switch:name port.port_no)
         | OF.Of_types.Port_add | OF.Of_types.Port_modify ->
-          ignore (Y.Yanc_fs.set_port t.yfs ~switch:name port)))
+          fs_checked t ~what:"port dir"
+            (Y.Yanc_fs.set_port t.yfs ~switch:name port)))
     | Driver_intf.Ev_flow_removed { of_match; priority; _ } -> (
       match t.switch_name with
       | None -> ()
@@ -316,8 +431,9 @@ module Make (P : Driver_intf.PROTOCOL) = struct
         match find_flow_by_match t of_match priority with
         | None -> ()
         | Some flow_name ->
-          Hashtbl.remove t.cache flow_name;
-          ignore (Y.Yanc_fs.delete_flow t.yfs ~cred ~switch:name flow_name)))
+          cache_remove t flow_name;
+          fs_checked t ~what:"flow dir removal"
+            (Y.Yanc_fs.delete_flow t.yfs ~cred ~switch:name flow_name)))
     | Driver_intf.Ev_flow_stats stats -> (
       match t.switch_name with
       | None -> ()
@@ -328,7 +444,7 @@ module Make (P : Driver_intf.PROTOCOL) = struct
             match find_flow_by_match t s.of_match s.priority with
             | None -> ()
             | Some flow_name ->
-              ignore
+              fs_checked t ~what:"flow counters"
                 (Y.Flowdir.write_counters (fs t) ~cred
                    (Y.Layout.flow ~root:(root t) ~switch:name flow_name)
                    ~packets:s.packets ~bytes:s.bytes ~duration_s:s.duration_s))
@@ -339,77 +455,173 @@ module Make (P : Driver_intf.PROTOCOL) = struct
       | Some name ->
         List.iter
           (fun (s : OF.Of_types.Port_stats.t) ->
-            ignore
+            fs_checked t ~what:"port counters"
               (Y.Yanc_fs.write_port_counters t.yfs ~switch:name
                  ~port:s.port_no s))
           stats)
 
   (* --- file system to switch ------------------------------------------------ *)
 
+  (* Resolve one dirty flow key against the commit cache, appending the
+     required hardware work to [deletes]/[adds]. Pure bookkeeping plus
+     directory reads; the wire traffic happens in [send_plan], which
+     orders every delete before any add — a renamed flow directory is a
+     deletion plus an addition of the same rule, and deleting by match
+     after the re-add would wipe the new entry. *)
+  (* Retire [flow_name]'s claim on hardware identity [id] and schedule
+     the strict delete. Whether another file still claims the identity
+     is decided in [send_plan], after the whole batch has resolved. *)
+  let delete_entry t ~deletes flow_name id =
+    idx_remove t id flow_name;
+    deletes := id :: !deletes
+
+  let resolve_key t ~switch ~deletes ~adds flow_name =
+    let dir = Y.Layout.flow ~root:(root t) ~switch flow_name in
+    match Vfs.Fs.stat (fs t) ~cred dir with
+    | Error _ -> (
+      (* Directory gone: delete the hardware entry we committed for it
+         (an uncommitted or unknown name needs nothing). *)
+      match Hashtbl.find_opt t.cache flow_name with
+      | Some { flow; _ } ->
+        cache_remove t flow_name;
+        delete_entry t ~deletes flow_name (flow.of_match, flow.priority)
+      | None -> ())
+    | Ok st -> (
+      match Y.Flowdir.read_version (fs t) ~cred dir with
+      | None -> () (* not committed yet *)
+      | Some version ->
+        let cached = Hashtbl.find_opt t.cache flow_name in
+        (* The version file alone can lie: delete + re-create inside one
+           tick restarts the chain below the cached counter. The inode
+           disambiguates — a re-created directory is a new object, and
+           whatever it commits is news regardless of the number. *)
+        let stale =
+          match cached with
+          | Some { flow; ino } -> flow.version < version || ino <> st.Vfs.Fs.ino
+          | None -> true
+        in
+        if stale then (
+          match Y.Yanc_fs.read_flow t.yfs ~cred ~switch flow_name with
+          | Error msg ->
+            fs_checked t ~what:"flow error file"
+              (Y.Flowdir.set_error (fs t) ~cred dir (Some msg))
+          | Ok flow ->
+            fs_checked t ~what:"flow error file"
+              (Y.Flowdir.set_error (fs t) ~cred dir None);
+            (* Rule identity changed: the old hardware entry must go. *)
+            (match cached with
+            | Some { flow = old; _ }
+              when not
+                     (OF.Of_match.equal old.of_match flow.of_match
+                     && old.priority = flow.priority) ->
+              delete_entry t ~deletes flow_name (old.of_match, old.priority)
+            | Some _ | None -> ());
+            adds := (flow_name, dir, flow) :: !adds))
+
+  let install t ~switch flow_name dir (flow : Y.Flowdir.t) =
+    let tracer = Telemetry.tracer t.telemetry in
+    ignore
+      (Telemetry.Tracer.resume tracer
+         (Y.Layout.trace_key_flow ~switch flow_name));
+    let add_xid = xid t in
+    Telemetry.Tracer.span tracer ~stage:"driver.flow_mod"
+      (fun () -> send t (P.flow_add ~xid:add_xid flow));
+    (* The agent resumes by xid when it installs the entry. *)
+    Telemetry.Tracer.stamp tracer (Netsim.Of_agent.trace_key_xid add_xid);
+    Telemetry.Tracer.clear tracer;
+    t.installed <- t.installed + 1;
+    (* The buffer reference is one-shot. *)
+    (if flow.buffer_id <> None then
+       let bpath = Vfs.Path.child dir "buffer_id" in
+       fs_checked t ~what:"buffer_id unlink" (Vfs.Fs.unlink (fs t) ~cred bpath));
+    let ino =
+      match Vfs.Fs.stat (fs t) ~cred dir with
+      | Ok st -> st.Vfs.Fs.ino
+      | Error _ -> -1
+    in
+    cache_set t flow_name ~ino { flow with buffer_id = None }
+
+  let send_plan t ~switch ~deletes ~adds =
+    (* Strict deletes: a rule's identity is (match, priority), and a
+       wildcard delete would take out siblings sharing the match. *)
+    let deleted = Id_tbl.create 8 in
+    List.iter
+      (fun (of_match, priority) ->
+        if not (Id_tbl.mem deleted (of_match, priority)) then begin
+          Id_tbl.replace deleted (of_match, priority) ();
+          send t (P.flow_delete_strict ~xid:(xid t) ~priority of_match);
+          Telemetry.Registry.incr t.m_commit_deletes
+        end)
+      (List.rev !deletes);
+    (* An identity we just deleted may still be claimed by a surviving
+       flow file (nothing stops two directories committing the same
+       match and priority). Reinstall the survivor's config before the
+       regular adds, so a newer config installed for the same identity
+       in this very batch still wins. *)
+    Id_tbl.iter
+      (fun id () ->
+        match claimant t id with
+        | None -> ()
+        | Some survivor -> (
+          match Hashtbl.find_opt t.cache survivor with
+          | Some { flow; _ } ->
+            install t ~switch survivor
+              (Y.Layout.flow ~root:(root t) ~switch survivor)
+              flow;
+            Telemetry.Registry.incr t.m_commit_adds
+          | None -> ()))
+      deleted;
+    List.iter
+      (fun (flow_name, dir, flow) ->
+        install t ~switch flow_name dir flow;
+        Telemetry.Registry.incr t.m_commit_adds)
+      (List.rev !adds)
+
+  (* The retained O(flows) path: cold handshake, notify overflow. Every
+     other commit goes through [flush_commits] below. *)
   let reconcile_flows t =
     match t.switch_name with
     | None -> ()
     | Some name ->
-      let live = Y.Yanc_fs.flow_names t.yfs ~cred name in
-      (* Deletions first: a renamed flow directory is a deletion plus an
-         addition of the same rule, and deleting by match after the
-         re-add would wipe the new entry. *)
-      let gone =
-        Hashtbl.fold
-          (fun flow_name { flow } acc ->
-            if List.mem flow_name live then acc else (flow_name, flow) :: acc)
-          t.cache []
-      in
-      List.iter
-        (fun (flow_name, (flow : Y.Flowdir.t)) ->
-          Hashtbl.remove t.cache flow_name;
-          send t (P.flow_delete ~xid:(xid t) flow.of_match))
-        gone;
-      (* Additions and updates. *)
-      List.iter
+      Telemetry.Registry.incr t.m_commit_sweeps;
+      let live = Y.Yanc_fs.flow_name_set t.yfs ~cred name in
+      let deletes = ref [] and adds = ref [] in
+      Hashtbl.fold
+        (fun flow_name _ acc ->
+          if Y.Yanc_fs.Name_set.mem flow_name live then acc
+          else flow_name :: acc)
+        t.cache []
+      |> List.iter (fun flow_name ->
+             match Hashtbl.find_opt t.cache flow_name with
+             | Some { flow; _ } ->
+               cache_remove t flow_name;
+               delete_entry t ~deletes flow_name (flow.of_match, flow.priority)
+             | None -> ());
+      Y.Yanc_fs.Name_set.iter
         (fun flow_name ->
-          let dir = Y.Layout.flow ~root:(root t) ~switch:name flow_name in
-          match Y.Flowdir.read_version (fs t) ~cred dir with
-          | None -> () (* not committed yet *)
-          | Some version -> (
-            let cached = Hashtbl.find_opt t.cache flow_name in
-            let stale =
-              match cached with
-              | Some { flow } -> flow.version < version
-              | None -> true
-            in
-            if stale then
-              match Y.Yanc_fs.read_flow t.yfs ~cred ~switch:name flow_name with
-              | Error msg -> ignore (Y.Flowdir.set_error (fs t) ~cred dir (Some msg))
-              | Ok flow ->
-                ignore (Y.Flowdir.set_error (fs t) ~cred dir None);
-                (* Rule identity changed: the old hardware entry must go. *)
-                (match cached with
-                | Some { flow = old }
-                  when not
-                         (OF.Of_match.equal old.of_match flow.of_match
-                         && old.priority = flow.priority) ->
-                  send t (P.flow_delete ~xid:(xid t) old.of_match)
-                | Some _ | None -> ());
-                let tracer = Telemetry.tracer t.telemetry in
-                ignore
-                  (Telemetry.Tracer.resume tracer
-                     (Y.Layout.trace_key_flow ~switch:name flow_name));
-                let add_xid = xid t in
-                Telemetry.Tracer.span tracer ~stage:"driver.flow_mod"
-                  (fun () -> send t (P.flow_add ~xid:add_xid flow));
-                (* The agent resumes by xid when it installs the entry. *)
-                Telemetry.Tracer.stamp tracer
-                  (Netsim.Of_agent.trace_key_xid add_xid);
-                Telemetry.Tracer.clear tracer;
-                t.installed <- t.installed + 1;
-                (* The buffer reference is one-shot. *)
-                (if flow.buffer_id <> None then
-                   let bpath = Vfs.Path.child dir "buffer_id" in
-                   ignore (Vfs.Fs.unlink (fs t) ~cred bpath));
-                Hashtbl.replace t.cache flow_name
-                  { flow = { flow with buffer_id = None } }))
-        live
+          resolve_key t ~switch:name ~deletes ~adds flow_name)
+        live;
+      send_plan t ~switch:name ~deletes ~adds
+
+  (* Bounded flush: one batch of dirty keys per step, so a flow-mod
+     storm spreads over successive steps instead of monopolizing one. *)
+  let commit_batch = 1024
+
+  let flush_commits t =
+    match t.switch_name with
+    | None -> ()
+    | Some name ->
+      if not (Commit_queue.is_empty t.commits) then begin
+        let t0 = Unix.gettimeofday () in
+        let batch = Commit_queue.take ~max:commit_batch t.commits in
+        let deletes = ref [] and adds = ref [] in
+        List.iter (resolve_key t ~switch:name ~deletes ~adds) batch;
+        send_plan t ~switch:name ~deletes ~adds;
+        Telemetry.Registry.incr t.m_commit_batches;
+        Telemetry.Registry.add t.m_commit_keys (List.length batch);
+        Telemetry.Registry.observe t.m_commit_latency
+          (Unix.gettimeofday () -. t0)
+      end
 
   let reconcile_ports t =
     match t.switch_name with
@@ -439,7 +651,7 @@ module Make (P : Driver_intf.PROTOCOL) = struct
         (Y.Outdir.consume (fs t) ~root:(root t) ~switch:name)
 
   (* Bounded drain: a flow-mod storm is spread over successive steps
-     instead of monopolizing one; the dirty flags persist, and events
+     instead of monopolizing one; dirty state persists, and events
      left queued re-trigger classification next step. *)
   let event_batch = 4096
 
@@ -455,18 +667,35 @@ module Make (P : Driver_intf.PROTOCOL) = struct
           (* A queue overflow means events were lost: rescan everything,
              as inotify consumers must on IN_Q_OVERFLOW. *)
           if ev.kind = Fsnotify.Event.Overflow then begin
-            t.flows_dirty <- true;
+            Commit_queue.mark_sweep t.commits;
             t.ports_dirty <- true;
             t.spool_dirty <- true
           end
-          else if Vfs.Path.is_prefix flows ev.path then t.flows_dirty <- true
-          else if Vfs.Path.is_prefix spool ev.path then t.spool_dirty <- true
-          else if Vfs.Path.is_prefix ports ev.path then begin
-            match Vfs.Path.basename ev.path with
-            | Some base when base = Y.Layout.config_port_down ->
-              t.ports_dirty <- true
-            | _ -> ()
-          end)
+          else
+            match Vfs.Path.strip_prefix ~prefix:flows ev.path with
+            | Some rest -> (
+              (* Events carry the changed object's full path, so the
+                 first component under flows/ names the dirty flow. *)
+              match Vfs.Path.components rest with
+              | flow :: inner -> (
+                match inner with
+                | "counters" :: _ -> () (* driver's own writeback *)
+                | [ base ] when base = Y.Layout.error_file -> ()
+                | _ ->
+                  if not (Commit_queue.mark t.commits flow) then
+                    Telemetry.Registry.incr t.m_commit_coalesced)
+              | [] ->
+                (* The flows directory itself changed (created, moved):
+                   no per-key trail to follow — sweep. *)
+                Commit_queue.mark_sweep t.commits)
+            | None ->
+              if Vfs.Path.is_prefix spool ev.path then t.spool_dirty <- true
+              else if Vfs.Path.is_prefix ports ev.path then begin
+                match Vfs.Path.basename ev.path with
+                | Some base when base = Y.Layout.config_port_down ->
+                  t.ports_dirty <- true
+                | _ -> ()
+              end)
         (Fsnotify.Notifier.read_events ~max:event_batch t.notifier)
 
   (* The survival half of the state machine: handshake retries with
@@ -583,10 +812,12 @@ module Make (P : Driver_intf.PROTOCOL) = struct
     liveness t ~now;
     if t.connected then begin
       classify_fs_events t;
-      if t.flows_dirty then begin
-        t.flows_dirty <- false;
-        reconcile_flows t
-      end;
+      if Commit_queue.take_sweep t.commits then begin
+        (* The sweep visits every flow, so pending keys are subsumed. *)
+        reconcile_flows t;
+        Commit_queue.clear t.commits
+      end
+      else flush_commits t;
       if t.ports_dirty then begin
         t.ports_dirty <- false;
         reconcile_ports t

@@ -5,7 +5,12 @@
     - handshake → the switch's directory, attribute files and ports
     - committed flow directories (version bumps) → flow-mod add;
       removed flow directories → flow-mod delete; parse failures →
-      the flow's [error] file
+      the flow's [error] file. Changes are tracked per flow key in a
+      {!Commit_queue} (fsnotify events name the flow that changed) and
+      flushed one batch per step, deletions before adds — O(dirty)
+      per tick. The full O(flows) reconcile survives only for the
+      cold handshake, notify overflow, and the post-reconnect resync
+      diff.
     - [config.port_down] writes → port-mod
     - [packet_out/] spool entries → packet-out
     - packet-ins → {!Yancfs.Eventdir.publish} into every subscribed

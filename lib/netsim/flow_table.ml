@@ -108,6 +108,11 @@ type t = {
   cost : Cost.t;
   mutable next_seq : int;
   store : store;
+  (* Upper bound on entries carrying an idle/hard timeout. When zero the
+     per-step expiry sweep has nothing to reap and is skipped — without
+     this, every agent step pays a full-table scan even on tables where
+     no rule can ever expire. *)
+  mutable timed : int;
 }
 
 let create ?(strategy = Linear) ?cost () =
@@ -121,7 +126,7 @@ let create ?(strategy = Linear) ?cost () =
         { subtables = []; by_mask = Packed.Tbl.create 16;
           micro = Packed.Tbl.create 256; generation = 0 }
   in
-  { strategy; cost; next_seq = 0; store }
+  { strategy; cost; next_seq = 0; store; timed = 0 }
 
 let strategy t = t.strategy
 
@@ -238,6 +243,37 @@ let cls_remove_if cls pred =
   end;
   !removed
 
+(* Strict delete: the rule's identity (match, priority) pins the one
+   subtable (by mask) and bucket (by value) that can hold it, so removal
+   is O(bucket), not a scan of the whole table. The subtable's max
+   priority is deliberately left as an upper bound — search pruning only
+   needs a bound to stay sound, and the wildcard-delete and expiry
+   sweeps retighten it. *)
+let cls_remove_strict cls ~of_match ~priority =
+  let r = Of_match.pack_rule of_match in
+  match Packed.Tbl.find_opt cls.by_mask r.Packed.mask with
+  | None -> []
+  | Some st -> (
+    match Packed.Tbl.find_opt st.buckets r.Packed.value with
+    | None -> []
+    | Some es ->
+      let doomed e =
+        Of_match.equal e.of_match of_match
+        && (match priority with Some p -> e.priority = p | None -> true)
+      in
+      let drop, keep = List.partition doomed es in
+      if drop = [] then []
+      else begin
+        st.s_count <- st.s_count - List.length drop;
+        if keep = [] then Packed.Tbl.remove st.buckets r.Packed.value
+        else Packed.Tbl.replace st.buckets r.Packed.value keep;
+        if st.s_count = 0 then begin
+          Packed.Tbl.remove cls.by_mask st.s_mask;
+          cls.subtables <- List.filter (fun s -> s != st) cls.subtables
+        end;
+        drop
+      end)
+
 exception Pruned
 
 let cls_search cls (cost : Cost.t) ~now key =
@@ -301,6 +337,7 @@ let add t ~now ~of_match ~priority ~actions ?(cookie = 0L) ?(idle_timeout = 0)
       notify_removal; install_time = now; last_hit = now; packets = 0L;
       bytes = 0L }
   in
+  if idle_timeout > 0 || hard_timeout > 0 then t.timed <- t.timed + 1;
   match t.store with
   | Linear_s s ->
     s.entries <-
@@ -350,6 +387,14 @@ let modify t ~of_match ~actions =
     if !count > 0 then invalidate cls t.cost);
   !count
 
+let has_timeout e = e.idle_timeout > 0 || e.hard_timeout > 0
+
+let drop_timed t removed =
+  if removed <> [] then
+    t.timed <-
+      max 0 (t.timed - List.length (List.filter has_timeout removed));
+  removed
+
 let delete ?(strict = false) ?priority t ~of_match =
   let doomed e =
     if strict then
@@ -357,25 +402,29 @@ let delete ?(strict = false) ?priority t ~of_match =
       && (match priority with Some p -> e.priority = p | None -> true)
     else Of_match.subsumes of_match e.of_match
   in
-  match t.store with
-  | Linear_s s ->
-    let removed, kept = List.partition doomed s.entries in
-    s.entries <- kept;
-    removed
-  | Exact_s s ->
-    let removed, kept = List.partition doomed s.wildcard in
-    s.wildcard <- kept;
-    let dead =
-      Packed.Tbl.fold
-        (fun k e acc -> if doomed e then (k, e) :: acc else acc)
-        s.exact []
-    in
-    List.iter (fun (k, _) -> Packed.Tbl.remove s.exact k) dead;
-    removed @ List.map snd dead
-  | Classifier_s cls ->
-    let removed = cls_remove_if cls doomed in
-    if removed <> [] then invalidate cls t.cost;
-    removed
+  drop_timed t
+    (match t.store with
+    | Linear_s s ->
+      let removed, kept = List.partition doomed s.entries in
+      s.entries <- kept;
+      removed
+    | Exact_s s ->
+      let removed, kept = List.partition doomed s.wildcard in
+      s.wildcard <- kept;
+      let dead =
+        Packed.Tbl.fold
+          (fun k e acc -> if doomed e then (k, e) :: acc else acc)
+          s.exact []
+      in
+      List.iter (fun (k, _) -> Packed.Tbl.remove s.exact k) dead;
+      removed @ List.map snd dead
+    | Classifier_s cls ->
+      let removed =
+        if strict then cls_remove_strict cls ~of_match ~priority
+        else cls_remove_if cls doomed
+      in
+      if removed <> [] then invalidate cls t.cost;
+      removed)
 
 (* Scan in (priority, install order); count every entry whose match we
    evaluate. Expired entries no longer match — they are skipped here and
@@ -422,26 +471,29 @@ let hit entry ~now ~bytes =
   entry.bytes <- Int64.add entry.bytes (Int64.of_int bytes)
 
 let expire t ~now =
-  let dead e = expired e ~now in
-  match t.store with
-  | Linear_s s ->
-    let removed, kept = List.partition dead s.entries in
-    s.entries <- kept;
-    removed
-  | Exact_s s ->
-    let removed, kept = List.partition dead s.wildcard in
-    s.wildcard <- kept;
-    let doomed =
-      Packed.Tbl.fold
-        (fun k e acc -> if dead e then (k, e) :: acc else acc)
-        s.exact []
-    in
-    List.iter (fun (k, _) -> Packed.Tbl.remove s.exact k) doomed;
-    removed @ List.map snd doomed
-  | Classifier_s cls ->
-    let removed = cls_remove_if cls dead in
-    if removed <> [] then invalidate cls t.cost;
-    removed
+  if t.timed = 0 then []
+  else
+    let dead e = expired e ~now in
+    drop_timed t
+      (match t.store with
+      | Linear_s s ->
+        let removed, kept = List.partition dead s.entries in
+        s.entries <- kept;
+        removed
+      | Exact_s s ->
+        let removed, kept = List.partition dead s.wildcard in
+        s.wildcard <- kept;
+        let doomed =
+          Packed.Tbl.fold
+            (fun k e acc -> if dead e then (k, e) :: acc else acc)
+            s.exact []
+        in
+        List.iter (fun (k, _) -> Packed.Tbl.remove s.exact k) doomed;
+        removed @ List.map snd doomed
+      | Classifier_s cls ->
+        let removed = cls_remove_if cls dead in
+        if removed <> [] then invalidate cls t.cost;
+        removed)
 
 let entries t =
   let all =

@@ -11,7 +11,15 @@
      ENOTDIR depend on intermediate state in ways not worth modelling;
    - every mutation invalidates (prefix for namespace ops, ino for
      attribute ops) BEFORE hooks run, so subscribers never observe a
-     stale lookup. *)
+     stale lookup.
+
+   Invalidation is O(affected), not O(cache): every dentry is indexed
+   under each ancestor prefix of its path, and every permission entry
+   under its inode, so a mutation pays for the entries it actually
+   kills. A full-table scan here would put an O(cache) toll on every
+   create/unlink and make unrelated mutations slower as the cache
+   warms — the same hidden-full-scan failure mode the driver's commit
+   queue exists to avoid. *)
 
 type dkey = {
   uid : int;
@@ -36,16 +44,24 @@ type 'a t = {
   max_entries : int;
   mutable enabled : bool;
   dentries : (dkey, 'a dentry) Hashtbl.t;
+  (* Every ancestor prefix (root..self, as strings) -> keys cached at
+     or below it. Buckets are small hash sets so registration and
+     removal are O(path depth). *)
+  by_prefix : (string, (dkey, unit) Hashtbl.t) Hashtbl.t;
   attrs : (akey, bool) Hashtbl.t;
+  by_ino : (int, (akey, unit) Hashtbl.t) Hashtbl.t;
 }
 
 let create ?(max_entries = 8192) cost =
   { cost; max_entries; enabled = true;
-    dentries = Hashtbl.create 256; attrs = Hashtbl.create 256 }
+    dentries = Hashtbl.create 256; by_prefix = Hashtbl.create 256;
+    attrs = Hashtbl.create 256; by_ino = Hashtbl.create 256 }
 
 let flush t =
   Hashtbl.reset t.dentries;
-  Hashtbl.reset t.attrs
+  Hashtbl.reset t.by_prefix;
+  Hashtbl.reset t.attrs;
+  Hashtbl.reset t.by_ino
 
 let enabled t = t.enabled
 
@@ -60,6 +76,38 @@ let dkey ~cred ~follow path =
 let akey ~ino ~cred ~access =
   { a_ino = ino; a_uid = cred.Cred.uid; a_gid = cred.Cred.gid;
     a_groups = cred.Cred.groups; access }
+
+(* Ancestor prefixes of [path] as strings, root first, self last. *)
+let prefixes path =
+  let rec go acc p =
+    let acc = Path.to_string p :: acc in
+    match Path.parent p with None -> acc | Some parent -> go acc parent
+  in
+  go [] path
+
+let register_prefixes t key dpath =
+  List.iter
+    (fun pfx ->
+      let bucket =
+        match Hashtbl.find_opt t.by_prefix pfx with
+        | Some b -> b
+        | None ->
+          let b = Hashtbl.create 4 in
+          Hashtbl.replace t.by_prefix pfx b;
+          b
+      in
+      Hashtbl.replace bucket key ())
+    (prefixes dpath)
+
+let unregister_prefixes t key dpath =
+  List.iter
+    (fun pfx ->
+      match Hashtbl.find_opt t.by_prefix pfx with
+      | None -> ()
+      | Some b ->
+        Hashtbl.remove b key;
+        if Hashtbl.length b = 0 then Hashtbl.remove t.by_prefix pfx)
+    (prefixes dpath)
 
 let find t ~cred ~follow path =
   if not t.enabled then None
@@ -79,10 +127,16 @@ let add t ~cred ~follow path value =
   if t.enabled then
     match value with
     | Ok _ | Error Errno.ENOENT ->
-      if Hashtbl.length t.dentries >= t.max_entries then
+      if Hashtbl.length t.dentries >= t.max_entries then begin
         Hashtbl.reset t.dentries;
-      Hashtbl.replace t.dentries (dkey ~cred ~follow path)
-        { dpath = path; value }
+        Hashtbl.reset t.by_prefix
+      end;
+      let key = dkey ~cred ~follow path in
+      (match Hashtbl.find_opt t.dentries key with
+      | Some old -> unregister_prefixes t key old.dpath
+      | None -> ());
+      Hashtbl.replace t.dentries key { dpath = path; value };
+      register_prefixes t key path
     | Error _ -> ()
 
 let find_perm t ~ino ~cred ~access =
@@ -98,26 +152,46 @@ let find_perm t ~ino ~cred ~access =
 
 let add_perm t ~ino ~cred ~access allowed =
   if t.enabled then begin
-    if Hashtbl.length t.attrs >= t.max_entries then Hashtbl.reset t.attrs;
-    Hashtbl.replace t.attrs (akey ~ino ~cred ~access) allowed
+    if Hashtbl.length t.attrs >= t.max_entries then begin
+      Hashtbl.reset t.attrs;
+      Hashtbl.reset t.by_ino
+    end;
+    let key = akey ~ino ~cred ~access in
+    Hashtbl.replace t.attrs key allowed;
+    let bucket =
+      match Hashtbl.find_opt t.by_ino ino with
+      | Some b -> b
+      | None ->
+        let b = Hashtbl.create 4 in
+        Hashtbl.replace t.by_ino ino b;
+        b
+    in
+    Hashtbl.replace bucket key ()
   end
 
 let invalidate_prefix t prefix =
-  let doomed =
-    Hashtbl.fold
-      (fun k e acc -> if Path.is_prefix prefix e.dpath then k :: acc else acc)
-      t.dentries []
-  in
-  List.iter (Hashtbl.remove t.dentries) doomed;
-  Cost.invalidated t.cost (List.length doomed)
+  match Hashtbl.find_opt t.by_prefix (Path.to_string prefix) with
+  | None -> ()
+  | Some bucket ->
+    (* Snapshot: removal edits the buckets we are iterating over. *)
+    let doomed = Hashtbl.fold (fun k () acc -> k :: acc) bucket [] in
+    List.iter
+      (fun k ->
+        match Hashtbl.find_opt t.dentries k with
+        | Some e ->
+          Hashtbl.remove t.dentries k;
+          unregister_prefixes t k e.dpath
+        | None -> ())
+      doomed;
+    Cost.invalidated t.cost (List.length doomed)
 
 let invalidate_attrs t ~ino =
-  let doomed =
-    Hashtbl.fold
-      (fun k _ acc -> if k.a_ino = ino then k :: acc else acc)
-      t.attrs []
-  in
-  List.iter (Hashtbl.remove t.attrs) doomed;
-  Cost.invalidated t.cost (List.length doomed)
+  match Hashtbl.find_opt t.by_ino ino with
+  | None -> ()
+  | Some bucket ->
+    let doomed = Hashtbl.fold (fun k () acc -> k :: acc) bucket [] in
+    List.iter (Hashtbl.remove t.attrs) doomed;
+    Hashtbl.remove t.by_ino ino;
+    Cost.invalidated t.cost (List.length doomed)
 
 let length t = Hashtbl.length t.dentries, Hashtbl.length t.attrs

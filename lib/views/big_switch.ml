@@ -122,14 +122,12 @@ let install_master_flow t ~switch ~name flow =
     match Y.Yanc_fs.create_flow t.master ~cred:t.cred ~switch ~name flow with
     | Ok () -> Ok ()
     | Error Vfs.Errno.EEXIST ->
+      (* Update in place, preserving the version chain. *)
       let dir = Y.Layout.flow ~root:(Y.Yanc_fs.root t.master) ~switch name in
-      let version =
-        Option.value ~default:0
-          (Y.Flowdir.read_version (Y.Yanc_fs.fs t.master) ~cred:t.cred dir)
-      in
-      Y.Flowdir.write (Y.Yanc_fs.fs t.master) ~cred:t.cred dir
-        { flow with Y.Flowdir.version }
-    | Error _ as e -> e
+      Result.map ignore
+        (Y.Flowdir.update (Y.Yanc_fs.fs t.master) ~cred:t.cred dir
+           (fun old -> { flow with Y.Flowdir.version = old.Y.Flowdir.version }))
+    | Error e -> Error (Vfs.Errno.message e)
   in
   match result with Ok () -> true | Error _ -> false
 

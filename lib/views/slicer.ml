@@ -166,17 +166,15 @@ let sync_flow_down t switch view_flow =
             with
             | Ok () -> Ok ()
             | Error Vfs.Errno.EEXIST ->
+              (* Update in place, preserving the version chain. *)
               let mdir =
                 Y.Layout.flow ~root:(Y.Yanc_fs.root t.master) ~switch target
               in
-              let mversion =
-                Option.value ~default:0
-                  (Y.Flowdir.read_version (Y.Yanc_fs.fs t.master) ~cred:t.cred
-                     mdir)
-              in
-              Y.Flowdir.write (Y.Yanc_fs.fs t.master) ~cred:t.cred mdir
-                { mflow with Y.Flowdir.version = mversion }
-            | Error _ as e -> e
+              Result.map ignore
+                (Y.Flowdir.update (Y.Yanc_fs.fs t.master) ~cred:t.cred mdir
+                   (fun old ->
+                     { mflow with Y.Flowdir.version = old.Y.Flowdir.version }))
+            | Error e -> Error (Vfs.Errno.message e)
           in
           ignore result)
     end

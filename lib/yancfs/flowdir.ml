@@ -136,6 +136,14 @@ let read fs ~cred path =
     let* actions = Action.of_fields (List.rev action_fields) in
     Ok { flat with actions }
 
+let update ?(bump_version = true) fs ~cred path f =
+  let* current = read fs ~cred path in
+  let next = f current in
+  match write ~bump_version fs ~cred path next with
+  | Error e -> Error (Vfs.Errno.message e)
+  | Ok () ->
+    Ok (if bump_version then { next with version = next.version + 1 } else next)
+
 let read_version fs ~cred path =
   match Fs.read_file fs ~cred (Path.child path Layout.version_file) with
   | Ok v -> int_of_string_opt (String.trim v)

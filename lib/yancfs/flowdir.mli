@@ -33,6 +33,17 @@ val write :
     field files and finally (unless [bump_version] is [false]) write the
     incremented version — the commit point. *)
 
+val update :
+  ?bump_version:bool -> Vfs.Fs.t -> cred:Vfs.Cred.t -> Vfs.Path.t ->
+  (t -> t) -> (t, string) result
+(** Read-modify-write in one step: parse the directory, apply [f], and
+    commit the result ({!write}, which bumps [version] unless
+    [bump_version] is [false]). Returns the flow as committed — i.e.
+    with the bumped version — so callers can cache it. This is the
+    upsert building block: apps that want create-or-update write
+    [match create_flow ... with Error EEXIST -> update ... | r -> r]
+    instead of hand-rolling read_version/write sequences. *)
+
 val read : Vfs.Fs.t -> cred:Vfs.Cred.t -> Vfs.Path.t -> (t, string) result
 (** Parse a flow directory. Unparseable or unknown files make the whole
     flow invalid (the error names the file), so drivers can surface the

@@ -205,6 +205,13 @@ let flow_names t ~cred switch =
   | Ok names -> names
   | Error _ -> []
 
+module Name_set = Set.Make (String)
+
+let flow_name_set t ~cred switch =
+  match Fs.readdir t.fs ~cred (Layout.flows_dir ~root:t.root switch) with
+  | Ok names -> Name_set.of_list names
+  | Error _ -> Name_set.empty
+
 let read_flow t ~cred ~switch name =
   Flowdir.read t.fs ~cred (Layout.flow ~root:t.root ~switch name)
 

@@ -98,6 +98,13 @@ val create_flow :
 
 val flow_names : t -> cred:Vfs.Cred.t -> string -> string list
 
+module Name_set : Set.S with type elt = string
+
+val flow_name_set : t -> cred:Vfs.Cred.t -> string -> Name_set.t
+(** The committed flow-directory names as a set — the membership type
+    consumers doing deletion detection want ([flow_names] + [List.mem]
+    is O(flows²) over a whole table scan). *)
+
 val read_flow :
   t -> cred:Vfs.Cred.t -> switch:string -> string -> (Flowdir.t, string) result
 
