@@ -1318,6 +1318,324 @@ let e18_commit_queue () =
         (float_of_int bumps /. float_of_int (max 1 mods)))
     [ 8; 64; 512 ]
 
+(* ================================================================== *)
+(* E19 — datacenter-scale packet-in storms: fat-tree fleets, a seeded
+   heavy-tailed workload, ECMP routing, and the pooled ring fast path
+   against the event-directory baseline (paper §8.1 at fleet scale). *)
+(* ================================================================== *)
+
+(* Periodic stats polls off: a storm measures the packet-in path, not
+   the counter refresh. *)
+let e19_tuning =
+  { Driver.Driver_intf.default_tuning with
+    Driver.Driver_intf.stats_interval = 0. }
+
+let e19_counter ctl name =
+  let reg = Telemetry.registry (Yanc.Controller.telemetry ctl) in
+  Telemetry.Registry.value (Telemetry.Registry.counter reg name)
+
+(* Provision the fabric inventory straight into the FS: peer symlinks
+   for every inter-switch link, /net/hosts entries with attachment
+   points. A topology daemon would discover the same facts with
+   O(links) LLDP probes; pre-provisioning keeps discovery out of the
+   measurement, as a datacenter's inventory system would. *)
+let e19_provision yfs (built : N.Topo_gen.built) =
+  let sw = Y.Yanc_fs.switch_name_of_dpid in
+  List.iter
+    (fun (a, b) ->
+      match (a, b) with
+      | N.Network.Sw (d1, p1), N.Network.Sw (d2, p2) ->
+        ignore
+          (Y.Yanc_fs.set_peer yfs ~cred ~switch:(sw d1) ~port:p1
+             ~peer:(Some (sw d2, p2)));
+        ignore
+          (Y.Yanc_fs.set_peer yfs ~cred ~switch:(sw d2) ~port:p2
+             ~peer:(Some (sw d1, p1)))
+      | N.Network.Sw (d, p), N.Network.Hst h
+      | N.Network.Hst h, N.Network.Sw (d, p) ->
+        let i = int_of_string (String.sub h 1 (String.length h - 1)) in
+        ignore
+          (Y.Yanc_fs.upsert_host yfs ~cred ~name:h ~mac:(N.Topo_gen.host_mac i)
+             ~ip:(Some (N.Topo_gen.host_ip i)) ~attached_to:(sw d, p) ())
+      | N.Network.Hst _, N.Network.Hst _ -> ())
+    (N.Network.link_endpoints built.N.Topo_gen.net)
+
+let e19_rig ?(delivery = Apps.Ecmp_router.Ring) ~k () =
+  let built = N.Topo_gen.fat_tree ~k () in
+  let ctl =
+    Yanc.Controller.create ~tuning:e19_tuning ~net:built.N.Topo_gen.net ()
+  in
+  Yanc.Controller.attach_switches ctl;
+  (* complete every handshake (port dirs must exist before set_peer) *)
+  Yanc.Controller.run_for ctl 0.6;
+  let yfs = Yanc.Controller.yfs ctl in
+  e19_provision yfs built;
+  let app = Apps.Ecmp_router.create ~delivery yfs in
+  Yanc.Controller.add_app ctl (Apps.Ecmp_router.app app);
+  (built, ctl, app)
+
+(* Drive the storm off the sim clock: inject every arrival due by now,
+   run one controller round, advance idle time only when the data plane
+   is quiet (natural backpressure — sim time stalls while the controller
+   catches up). A short quiet tail lets in-flight packet-ins route. *)
+let e19_drive ?(tick = 0.005) ctl wl ~arrivals =
+  let net = Yanc.Controller.net ctl in
+  let injected = ref 0 in
+  while !injected < arrivals do
+    injected :=
+      !injected + N.Workload.inject_until wl ~net ~upto:(N.Network.now net);
+    Yanc.Controller.step ctl;
+    N.Network.run net;
+    if N.Network.pending_events net = 0 then N.Network.advance_idle net tick
+  done;
+  Yanc.Controller.run_for ~tick ctl (tick *. 50.);
+  !injected
+
+type e19_out = {
+  o_k : int;
+  o_delivery : string;
+  o_switches : int;
+  o_hosts : int;
+  o_arrivals : int;
+  o_pktins : int;
+  o_installs : int;
+  o_sim_s : float;
+  o_wall_s : float;
+  o_p50 : float;            (* packet-in -> install, sim seconds *)
+  o_p99 : float;
+  o_pool_allocated : int;
+  o_pool_reused : int;
+  o_ring_dropped : int;
+  o_batch_count : int;
+  o_batch_p50 : float;
+  o_batch_max : float;
+}
+
+let e19_storm ?(delivery = Apps.Ecmp_router.Ring) ?(seed = 0xD47ACE)
+    ?(rate = 2000.) ~arrivals ~k () =
+  let built, ctl, _app = e19_rig ~delivery ~k () in
+  let hosts = List.length built.N.Topo_gen.host_names in
+  let profile = { N.Workload.default_profile with N.Workload.rate } in
+  let wl =
+    N.Workload.create ~profile ~start:(Yanc.Controller.now ctl) ~seed ~hosts ()
+  in
+  let net = Yanc.Controller.net ctl in
+  let reg = Telemetry.registry (Yanc.Controller.telemetry ctl) in
+  let install_h = Telemetry.Registry.histogram reg "trace.switch.install" in
+  let batch_h = Telemetry.Registry.histogram reg "driver.pktin.batch" in
+  let installs0 = e19_counter ctl "driver.commit.adds" in
+  let pktins0 = e19_counter ctl "driver.pktin.published" in
+  let sim0 = N.Network.now net in
+  let wall0 = Sys.time () in
+  let injected = e19_drive ctl wl ~arrivals in
+  let wall_s = Sys.time () -. wall0 in
+  let ring = Y.Yanc_fs.pktin (Yanc.Controller.yfs ctl) in
+  let pool = Y.Pktin.pool ring in
+  { o_k = k;
+    o_delivery =
+      (match delivery with
+      | Apps.Ecmp_router.Ring -> "ring"
+      | Apps.Ecmp_router.Eventdir -> "eventdir");
+    o_switches = List.length built.N.Topo_gen.dpids;
+    o_hosts = hosts;
+    o_arrivals = injected;
+    o_pktins = e19_counter ctl "driver.pktin.published" - pktins0;
+    o_installs = e19_counter ctl "driver.commit.adds" - installs0;
+    o_sim_s = N.Network.now net -. sim0;
+    o_wall_s = wall_s;
+    o_p50 = Telemetry.Registry.percentile install_h 0.5;
+    o_p99 = Telemetry.Registry.percentile install_h 0.99;
+    o_pool_allocated = N.Pool.allocated pool;
+    o_pool_reused = N.Pool.reused pool;
+    o_ring_dropped = Y.Pktin.dropped ring;
+    o_batch_count = Telemetry.Registry.hist_count batch_h;
+    o_batch_p50 = Telemetry.Registry.percentile batch_h 0.5;
+    o_batch_max = Telemetry.Registry.hist_max batch_h }
+
+let e19_rates r =
+  let inst = float_of_int r.o_installs in
+  (inst /. (if r.o_sim_s > 0. then r.o_sim_s else 1.),
+   inst /. (if r.o_wall_s > 0. then r.o_wall_s else epsilon_float))
+
+let e19_row r =
+  let per_sim, per_wall = e19_rates r in
+  row "  %4d | %-8s | %8d | %6d | %8d | %8d | %8d | %7.2f | %11.0f | %12.0f | %8.2f | %8.2f\n"
+    r.o_k r.o_delivery r.o_switches r.o_hosts r.o_arrivals r.o_pktins
+    r.o_installs r.o_wall_s per_sim per_wall (r.o_p50 *. 1000.)
+    (r.o_p99 *. 1000.)
+
+(* The §8.1 delivery-path comparison, isolated: the same packet-in
+   stream handed to one application through the pooled ring vs through
+   the per-event file directories, on a k=8 fleet's switch set. The
+   end-to-end storm above is dominated by path installation (5 flow
+   writes per arrival), which both modes share; this measures only the
+   delivery mechanism the ring replaces. Returns
+   (ring events/s, eventdir events/s, ring crossings, ed crossings). *)
+let e19_delivery ?(events = 10_000) ?(switches = 80) () =
+  let payload = String.make 64 '\x2a' in
+  let sw i = Printf.sprintf "sw%d" ((i mod switches) + 1) in
+  (* ring side: publish + batched drain *)
+  let fs, yfs = fresh_yancfs ~switches () in
+  let ring = Y.Yanc_fs.pktin yfs in
+  let consumer = Y.Pktin.subscribe ring ~name:"bench" in
+  let cost = Fs.cost fs in
+  Vfs.Cost.reset cost;
+  let handled = ref 0 in
+  let t0 = Sys.time () in
+  for i = 0 to events - 1 do
+    ignore
+      (Y.Pktin.publish ring ~switch:(sw i) ~in_port:1
+         ~reason:OF.Of_types.No_match ~buffer_id:None ~total_len:64
+         ~data:payload ~at:0.);
+    if i mod 64 = 63 then
+      handled := !handled + Y.Pktin.drain ring consumer ~max:64 (fun _ -> ())
+  done;
+  handled := !handled + Y.Pktin.drain ring consumer ~max:events (fun _ -> ());
+  let ring_wall = Sys.time () -. t0 in
+  let ring_crossings = Vfs.Cost.crossings cost in
+  assert (!handled = events);
+  (* eventdir side: the same stream through per-event files *)
+  let fs2, _yfs2 = fresh_yancfs ~switches () in
+  for i = 1 to switches do
+    ignore
+      (Y.Eventdir.subscribe fs2 ~cred ~root:net_root
+         ~switch:(Printf.sprintf "sw%d" i) ~app:"bench")
+  done;
+  let cost2 = Fs.cost fs2 in
+  Vfs.Cost.reset cost2;
+  let consumed = ref 0 in
+  let t1 = Sys.time () in
+  for i = 0 to events - 1 do
+    ignore
+      (Y.Eventdir.publish fs2 ~root:net_root ~switch:(sw i) ~in_port:1
+         ~reason:OF.Of_types.No_match ~buffer_id:None ~total_len:64
+         ~data:payload);
+    if i mod 64 = 63 then
+      for s = 1 to switches do
+        consumed :=
+          !consumed
+          + List.length
+              (Y.Eventdir.consume fs2 ~cred ~root:net_root
+                 ~switch:(Printf.sprintf "sw%d" s) ~app:"bench")
+      done
+  done;
+  for s = 1 to switches do
+    consumed :=
+      !consumed
+      + List.length
+          (Y.Eventdir.consume fs2 ~cred ~root:net_root
+             ~switch:(Printf.sprintf "sw%d" s) ~app:"bench")
+  done;
+  let ed_wall = Sys.time () -. t1 in
+  let ed_crossings = Vfs.Cost.crossings cost2 in
+  assert (!consumed = events);
+  ( float_of_int events /. (if ring_wall > 0. then ring_wall else epsilon_float),
+    float_of_int events /. (if ed_wall > 0. then ed_wall else epsilon_float),
+    float_of_int ring_crossings /. float_of_int events,
+    float_of_int ed_crossings /. float_of_int events )
+
+let e19_json_of path ~seed ~tick series baseline delivery =
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "{\n";
+  out "  \"bench\": \"e19_scale_storm\",\n";
+  out "  \"generated_by\": \"dune exec bench/main.exe -- e19 --json\",\n";
+  out "  \"seed\": %d,\n" seed;
+  out "  \"tick_s\": %g,\n" tick;
+  out "  \"series\": [\n";
+  List.iteri
+    (fun i r ->
+      let per_sim, per_wall = e19_rates r in
+      out "    { \"k\": %d, \"delivery\": %S, \"switches\": %d, \"hosts\": %d,\n"
+        r.o_k r.o_delivery r.o_switches r.o_hosts;
+      out "      \"arrivals\": %d, \"packet_ins\": %d, \"installs\": %d,\n"
+        r.o_arrivals r.o_pktins r.o_installs;
+      out "      \"sim_s\": %.6f, \"wall_s\": %.6f,\n" r.o_sim_s r.o_wall_s;
+      out "      \"installs_per_sim_s\": %.1f, \"installs_per_wall_s\": %.1f,\n"
+        per_sim per_wall;
+      out "      \"install_p50_s\": %.6f, \"install_p99_s\": %.6f,\n" r.o_p50
+        r.o_p99;
+      out "      \"pool_allocated\": %d, \"pool_reused\": %d, \"ring_dropped\": %d,\n"
+        r.o_pool_allocated r.o_pool_reused r.o_ring_dropped;
+      out "      \"batch_count\": %d, \"batch_p50\": %.1f, \"batch_max\": %.1f }%s\n"
+        r.o_batch_count r.o_batch_p50 r.o_batch_max
+        (if i = List.length series - 1 then "" else ","))
+    series;
+  out "  ],\n";
+  (match baseline with
+  | Some (ring_rate, ed_rate) ->
+    out "  \"baseline_k8\": { \"ring_installs_per_wall_s\": %.1f, \
+         \"eventdir_installs_per_wall_s\": %.1f, \"speedup\": %.2f },\n"
+      ring_rate ed_rate (ring_rate /. ed_rate)
+  | None -> out "  \"baseline_k8\": null,\n");
+  let ring_eps, ed_eps, ring_x, ed_x = delivery in
+  out "  \"delivery_k8\": { \"ring_events_per_s\": %.0f, \
+       \"eventdir_events_per_s\": %.0f, \"speedup\": %.1f,\n"
+    ring_eps ed_eps (ring_eps /. ed_eps);
+  out "    \"ring_crossings_per_event\": %.2f, \
+       \"eventdir_crossings_per_event\": %.2f }\n"
+    ring_x ed_x;
+  out "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  row "  wrote %s\n" path
+
+let e19_scale ?(ks = [ 4; 8; 16 ]) ?(json = None) () =
+  section
+    "E19  datacenter storm: fat-tree fleet, ECMP, pooled ring vs eventdir";
+  row "  %4s | %-8s | %8s | %6s | %8s | %8s | %8s | %7s | %11s | %12s | %8s | %8s\n"
+    "k" "delivery" "switches" "hosts" "arrivals" "pktins" "installs" "wall s"
+    "inst/sim s" "inst/wall s" "p50 ms" "p99 ms";
+  let seed = 0xD47ACE in
+  let tick = 0.005 in
+  (* arrivals and rate scale with k so every fleet faces a storm
+     proportional to its size (375*k arrivals at 500*k flows/s). *)
+  let series =
+    List.map
+      (fun k ->
+        let r = e19_storm ~seed ~rate:(500. *. float_of_int k)
+            ~arrivals:(375 * k) ~k ()
+        in
+        e19_row r;
+        r)
+      ks
+  in
+  (* the §8.1 comparison: same k=8 storm through per-event files *)
+  let ed8 =
+    e19_storm ~delivery:Apps.Ecmp_router.Eventdir ~seed ~rate:4000.
+      ~arrivals:3000 ~k:8 ()
+  in
+  e19_row ed8;
+  let baseline =
+    match List.find_opt (fun r -> r.o_k = 8) series with
+    | Some ring8 ->
+      let _, ring_rate = e19_rates ring8 in
+      let _, ed_rate = e19_rates ed8 in
+      row "  ring vs eventdir @k=8: %.0f vs %.0f installs/wall s (%.1fx)\n"
+        ring_rate ed_rate (ring_rate /. ed_rate);
+      Some (ring_rate, ed_rate)
+    | None -> None
+  in
+  (match (List.find_opt (fun r -> r.o_k = List.hd ks) series,
+          List.find_opt (fun r -> r.o_k = List.nth ks (List.length ks - 1))
+            series) with
+  | Some lo, Some hi when lo.o_k <> hi.o_k ->
+    let _, lo_rate = e19_rates lo in
+    let _, hi_rate = e19_rates hi in
+    row "  degradation: %dx the switches costs %.1fx the wall throughput\n"
+      (hi.o_switches / lo.o_switches)
+      (lo_rate /. hi_rate)
+  | _ -> ());
+  let (ring_eps, ed_eps, ring_x, ed_x) as delivery = e19_delivery () in
+  row "  delivery path alone @80 switches: ring %.0f events/s (%.2f \
+       crossings/event), eventdir %.0f events/s (%.2f crossings/event) — \
+       %.1fx\n"
+    ring_eps ring_x ed_eps ed_x (ring_eps /. ed_eps);
+  match json with
+  | Some path -> e19_json_of path ~seed ~tick series baseline delivery
+  | None -> ()
+
 (* The @bench-smoke gate: prove the acceptance ratio (warm lookups walk
    >= 5x fewer components than cold) in a fraction of a second, so
    `dune runtest` fails fast if the cache regresses. *)
@@ -1600,7 +1918,80 @@ let smoke () =
   end;
   Printf.printf
     "bench-smoke: ok (commit cost O(dirty), burst coalesces %.0fx)\n"
-    (32. /. float_of_int (max 1 burst_mods))
+    (32. /. float_of_int (max 1 burst_mods));
+  (* The storm gate (E19): a k=4 fat-tree storm through the ECMP ring
+     path must sustain an installs/sec floor, and the pooled packet-in
+     records must stop allocating once the working set is warm
+     (allocated flat while reused grows) — the fixed seeds make the
+     pool counters deterministic. *)
+  let built, ctl, _app = e19_rig ~k:4 () in
+  let hosts = List.length built.N.Topo_gen.host_names in
+  let storm rate seed =
+    { N.Workload.default_profile with N.Workload.rate }, seed
+  in
+  let profile, seed = storm 2000. 0x57CA1E in
+  let wl =
+    N.Workload.create ~profile ~start:(Yanc.Controller.now ctl) ~seed ~hosts ()
+  in
+  let t0 = Sys.time () in
+  let warm = e19_drive ctl wl ~arrivals:600 in
+  let pool = Y.Pktin.pool (Y.Yanc_fs.pktin (Yanc.Controller.yfs ctl)) in
+  let alloc_warm = N.Pool.allocated pool in
+  let reused_warm = N.Pool.reused pool in
+  (* steady state at half the warm rate: bursts are covered by the
+     warmed working set, so the pool must serve every acquire by reuse *)
+  let profile2, seed2 = storm 1000. 0x57CA1F in
+  let wl2 =
+    N.Workload.create ~profile:profile2 ~start:(Yanc.Controller.now ctl)
+      ~seed:seed2 ~hosts ()
+  in
+  let steady = e19_drive ctl wl2 ~arrivals:300 in
+  let wall = Sys.time () -. t0 in
+  let installs = e19_counter ctl "driver.commit.adds" in
+  let alloc_delta = N.Pool.allocated pool - alloc_warm in
+  let reused_delta = N.Pool.reused pool - reused_warm in
+  Printf.printf
+    "bench-smoke: k=4 storm: %d arrivals -> %d installs in %.3fs wall \
+     (%.0f/s); pool steady state: +%d allocated, +%d reused\n"
+    (warm + steady) installs wall
+    (float_of_int installs /. wall)
+    alloc_delta reused_delta;
+  if installs < 2 * (warm + steady) then begin
+    Printf.printf
+      "bench-smoke: FAIL — every arrival should install a multi-hop path \
+       (%d installs for %d arrivals)\n"
+      installs (warm + steady);
+    exit 1
+  end;
+  if float_of_int installs /. wall < 400. then begin
+    Printf.printf
+      "bench-smoke: FAIL — the ring path should sustain >= 400 installs/s \
+       wall on a k=4 storm\n";
+    exit 1
+  end;
+  if alloc_delta > 0 || reused_delta = 0 then begin
+    Printf.printf
+      "bench-smoke: FAIL — steady-state packet-in records should be \
+       pool-served (allocated flat, reused growing)\n";
+    exit 1
+  end;
+  Printf.printf
+    "bench-smoke: ok (storm floor holds, pool steady state allocates zero)\n";
+  (* the delivery-path gate: the pooled ring must beat the per-event
+     file directories by >= 2x on the same packet-in stream *)
+  let ring_eps, ed_eps, ring_x, ed_x = e19_delivery ~events:4000 () in
+  Printf.printf
+    "bench-smoke: delivery: ring %.0f events/s (%.2f crossings/event), \
+     eventdir %.0f events/s (%.2f crossings/event)\n"
+    ring_eps ring_x ed_eps ed_x;
+  if ring_eps < 2. *. ed_eps then begin
+    Printf.printf
+      "bench-smoke: FAIL — the pooled ring should deliver >= 2x faster than \
+       the event directories\n";
+    exit 1
+  end;
+  Printf.printf "bench-smoke: ok (ring delivery %.1fx the eventdir baseline)\n"
+    (ring_eps /. ed_eps)
 
 let e_wire_volume () =
   section "AUX  control-channel bytes per operation (driver wire cost)";
@@ -1642,6 +2033,19 @@ let () =
     e18_commit_queue ();
     exit 0
   end;
+  if Array.exists (fun a -> a = "e19") Sys.argv then begin
+    let json =
+      if Array.exists (fun a -> a = "--json") Sys.argv then
+        Some "BENCH_scale.json"
+      else None
+    in
+    let ks =
+      if Array.exists (fun a -> a = "--k32") Sys.argv then [ 4; 8; 16; 32 ]
+      else [ 4; 8; 16 ]
+    in
+    e19_scale ~ks ~json ();
+    exit 0
+  end;
   print_endline "yanc-ml benchmark harness (see EXPERIMENTS.md for the paper mapping)";
   e1_figure ();
   e8_crossings ();
@@ -1662,6 +2066,7 @@ let () =
   e16_tracing ();
   e17_recovery ();
   e18_commit_queue ();
+  e19_scale ();
   ext_qos ();
   e_wire_volume ();
   print_endline "\ndone."

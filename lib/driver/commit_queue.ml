@@ -47,6 +47,8 @@ let take_sweep t =
   t.sweep <- false;
   s
 
+let sweep_pending t = t.sweep
+
 let pending t = Hashtbl.length t.pending
 
 let is_empty t = Hashtbl.length t.pending = 0

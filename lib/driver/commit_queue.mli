@@ -42,6 +42,10 @@ val mark_sweep : t -> unit
 val take_sweep : t -> bool
 (** Consume the sweep request, if any. *)
 
+val sweep_pending : t -> bool
+(** A sweep request is queued (without consuming it) — the complement
+    [is_empty] deliberately ignores. *)
+
 val take : ?max:int -> t -> string list
 (** Up to [max] pending keys (default: all), oldest mark first; the
     keys stop being pending. *)

@@ -47,6 +47,12 @@ module Make (P : Driver_intf.PROTOCOL) = struct
     mutable spool_dirty : bool;
     mutable last_stats : float;
     mutable installed : int;
+    (* Event-directory subscribers exist (checked at most once per step
+       while false): when none do, packet-ins skip the per-event file
+       writes entirely and ride the {!Y.Pktin} ring alone. *)
+    mutable eventdir_subs : bool;
+    mutable steps : int;
+    mutable subs_checked_step : int;
     (* --- connection survival ------------------------------------------- *)
     mutable status : Driver_intf.status;
     mutable last_rx : float;          (* last byte received (-inf = never) *)
@@ -171,8 +177,13 @@ module Make (P : Driver_intf.PROTOCOL) = struct
     end;
     t.handshakes <- t.handshakes + 1
 
-  let create ?(stats_interval = 5.0) ?(tuning = Driver_intf.default_tuning)
+  let create ?wake ?stats_interval ?(tuning = Driver_intf.default_tuning)
       ?(seed = 0x5EED) ~yfs ~endpoint () =
+    let stats_interval =
+      match stats_interval with
+      | Some s -> s
+      | None -> tuning.Driver_intf.stats_interval
+    in
     let telemetry = Y.Yanc_fs.telemetry yfs in
     let reg = Telemetry.registry telemetry in
     let prng = Netsim.Prng.create ~seed in
@@ -189,6 +200,7 @@ module Make (P : Driver_intf.PROTOCOL) = struct
         commits = Commit_queue.create ();
         ports_dirty = false; spool_dirty = false;
         last_stats = 0.; installed = 0;
+        eventdir_subs = false; steps = 0; subs_checked_step = -1;
         status = Driver_intf.Handshaking; last_rx = neg_infinity;
         next_keepalive = neg_infinity; echo_outstanding = None;
         seen_generation = Netsim.Control_channel.generation endpoint;
@@ -218,6 +230,12 @@ module Make (P : Driver_intf.PROTOCOL) = struct
         by_match = Id_tbl.create 64;
         pushed_admin = Hashtbl.create 8 }
     in
+    (* File-system activity (app flow writes, spool entries, admin port
+       flips) must un-park a sleeping driver just like channel bytes
+       do. *)
+    (match wake with
+    | Some f -> Fsnotify.Notifier.set_wakeup t.notifier f
+    | None -> ());
     send_handshake t;
     t
 
@@ -405,13 +423,32 @@ module Make (P : Driver_intf.PROTOCOL) = struct
       | Some name ->
         (* The packet-in is where a request enters the controller: mint
            its trace here, publish under a span, and let consumers pick
-           the trace up by event sequence number. *)
+           the trace up by sequence number. The pooled ring is always
+           fed (it is free when nobody subscribed); the per-event file
+           directories are only written when some application actually
+           reads them — rechecked at most once a step while negative,
+           so a storm with ring-only consumers never pays the eventdir
+           fan-out, and a late [Eventdir.subscribe] is noticed on the
+           next step. *)
+        if (not t.eventdir_subs) && t.subs_checked_step <> t.steps then begin
+          t.subs_checked_step <- t.steps;
+          t.eventdir_subs <-
+            Y.Eventdir.subscribers (fs t) ~root:(root t) ~switch:name <> []
+        end;
         let tracer = Telemetry.tracer t.telemetry in
         ignore (Telemetry.Tracer.fresh tracer);
         Telemetry.Tracer.span tracer ~stage:"driver.packet_in" (fun () ->
             ignore
-              (Y.Eventdir.publish ~telemetry:t.telemetry (fs t) ~root:(root t)
-                 ~switch:name ~in_port ~reason ~buffer_id ~total_len ~data));
+              (Y.Pktin.publish (Y.Yanc_fs.pktin t.yfs) ~switch:name ~in_port
+                 ~reason ~buffer_id ~total_len ~data ~at:now);
+            if t.eventdir_subs then
+              let written =
+                Y.Eventdir.publish ~telemetry:t.telemetry (fs t) ~root:(root t)
+                  ~switch:name ~in_port ~reason ~buffer_id ~total_len ~data
+              in
+              (* All subscribers gone: stop paying for the readdir until
+                 someone shows up again. *)
+              if written = 0 then t.eventdir_subs <- false);
         Telemetry.Tracer.clear tracer)
     | Driver_intf.Ev_port_status (reason, port) -> (
       match t.switch_name with
@@ -783,6 +820,7 @@ module Make (P : Driver_intf.PROTOCOL) = struct
       end
 
   let step t ~now =
+    t.steps <- t.steps + 1;
     Netsim.Control_channel.poll t.endpoint;
     let gen = Netsim.Control_channel.generation t.endpoint in
     if gen <> t.seen_generation then begin
@@ -835,11 +873,54 @@ module Make (P : Driver_intf.PROTOCOL) = struct
 
   let detach t = Fsnotify.Notifier.close t.notifier
 
+  (* Work already queued that the next step would act on — the "step me
+     now regardless of timers" predicate. *)
+  let pending t =
+    Fsnotify.Notifier.pending t.notifier > 0
+    || t.connected
+       && ((not (Commit_queue.is_empty t.commits))
+          || Commit_queue.sweep_pending t.commits
+          || t.ports_dirty || t.spool_dirty)
+
+  (* The earliest sim time at which [step] would do something on its
+     own: mirrors the timer arms of [liveness] plus the stats pacer.
+     Sentinel [neg_infinity] timers are armed on the next step, so they
+     read as due now. Spurious earliness is harmless (one no-op step);
+     lateness would stall the state machine, so every timed arm above
+     must be represented here. *)
+  let next_due t ~now =
+    match t.status with
+    | Driver_intf.Dead ->
+      (* Terminal until bytes arrive — and bytes wake us via the
+         channel, not a timer. *)
+      infinity
+    | Driver_intf.Handshaking | Driver_intf.Reconnecting ->
+      if t.next_attempt = neg_infinity then now else t.next_attempt
+    | Driver_intf.Connected | Driver_intf.Degraded ->
+      let due = ref infinity in
+      let arm at = if at < !due then due := at in
+      let iv = t.tuning.Driver_intf.keepalive_interval in
+      if iv > 0. then begin
+        arm (if t.next_keepalive = neg_infinity then now else t.next_keepalive);
+        match t.echo_outstanding with
+        | Some (_, sent_at) ->
+          (* Degraded verdict, then the peer-is-gone verdict. *)
+          arm (sent_at +. iv);
+          arm (sent_at +. t.tuning.Driver_intf.liveness_timeout)
+        | None -> ()
+      end;
+      if t.resyncing then
+        arm (t.resync_sent +. t.tuning.Driver_intf.liveness_timeout);
+      if t.stats_interval > 0. then arm (t.last_stats +. t.stats_interval);
+      !due
+
   let instance t =
     { Driver_intf.step = (fun ~now -> step t ~now);
       switch_name = (fun () -> switch_name t);
       protocol = P.name;
       status = (fun () -> status t);
       link = (fun () -> link_counters t);
+      next_due = (fun ~now -> next_due t ~now);
+      pending = (fun () -> pending t);
       detach = (fun () -> detach t) }
 end

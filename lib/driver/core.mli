@@ -31,14 +31,18 @@ module Make (P : Driver_intf.PROTOCOL) : sig
   type t
 
   val create :
-    ?stats_interval:float -> ?tuning:Driver_intf.tuning -> ?seed:int ->
+    ?wake:(unit -> unit) -> ?stats_interval:float ->
+    ?tuning:Driver_intf.tuning -> ?seed:int ->
     yfs:Yancfs.Yanc_fs.t ->
     endpoint:Netsim.Control_channel.endpoint -> unit -> t
-  (** Sends hello + features-request immediately. [stats_interval]
-      (default 5 simulated seconds, 0 to disable) paces counter
-      refresh. [tuning] sets the keepalive/backoff policy; [seed]
-      drives the backoff jitter PRNG — the same seed reproduces the
-      same retry schedule. *)
+  (** Sends hello + features-request immediately. [wake] is fired
+      whenever the driver's fsnotify queue gains an event — a parked
+      driver must be re-stepped to see it ({!Manager} wires this into
+      its runnable set). [stats_interval] (default
+      [tuning.stats_interval], 0 to disable) paces counter refresh.
+      [tuning] sets the
+      keepalive/backoff policy; [seed] drives the backoff jitter PRNG —
+      the same seed reproduces the same retry schedule. *)
 
   val step : t -> now:float -> unit
   (** Drain the control channel and the fsnotify queue, run the

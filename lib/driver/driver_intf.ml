@@ -43,11 +43,15 @@ type tuning = {
   backoff_cap : float;
   backoff_jitter : float;
   max_retries : int;           (** reconnect attempts before [Dead] *)
+  stats_interval : float;
+      (** periodic flow/port stats poll; 0 disables (the scale bench
+          turns it off so a storm measures the packet-in path alone) *)
 }
 
 let default_tuning =
   { keepalive_interval = 1.0; liveness_timeout = 3.0; backoff_base = 0.25;
-    backoff_cap = 4.0; backoff_jitter = 0.1; max_retries = 20 }
+    backoff_cap = 4.0; backoff_jitter = 0.1; max_retries = 20;
+    stats_interval = 5.0 }
 
 (** Connection-survival counters, per driver. *)
 type link_counters = {
@@ -139,5 +143,11 @@ type instance = {
   protocol : string;
   status : unit -> status;
   link : unit -> link_counters;
+  next_due : now:float -> float;
+      (** earliest sim time a step would act on its own (timers);
+          [infinity] = fully event-driven, wake me via channel/fs *)
+  pending : unit -> bool;
+      (** queued work a step would process right now (fsnotify events,
+          dirty flows/ports/spool) *)
   detach : unit -> unit;  (** drop watches and hooks *)
 }

@@ -10,24 +10,101 @@ type attachment = {
   ctl_end : Netsim.Control_channel.endpoint;
 }
 
+(* A lazy binary min-heap of (due, dpid) wake-up timers. Entries are
+   never removed — a popped entry whose switch is already runnable, or
+   detached, is a spurious wake costing one hash lookup. Laziness keeps
+   push/pop O(log n) with no handle bookkeeping. *)
+module Timers = struct
+  type t = { mutable a : (float * int64) array; mutable n : int }
+
+  let create () = { a = Array.make 64 (infinity, 0L); n = 0 }
+
+  let size h = h.n
+
+  let swap h i j =
+    let x = h.a.(i) in
+    h.a.(i) <- h.a.(j);
+    h.a.(j) <- x
+
+  let push h due dpid =
+    if h.n = Array.length h.a then begin
+      let b = Array.make (2 * h.n) (infinity, 0L) in
+      Array.blit h.a 0 b 0 h.n;
+      h.a <- b
+    end;
+    h.a.(h.n) <- (due, dpid);
+    let i = ref h.n in
+    h.n <- h.n + 1;
+    while !i > 0 && fst h.a.((!i - 1) / 2) > fst h.a.(!i) do
+      let p = (!i - 1) / 2 in
+      swap h p !i;
+      i := p
+    done
+
+  let peek h = if h.n = 0 then None else Some h.a.(0)
+
+  let pop h =
+    if h.n = 0 then None
+    else begin
+      let top = h.a.(0) in
+      h.n <- h.n - 1;
+      h.a.(0) <- h.a.(h.n);
+      let i = ref 0 and sifting = ref true in
+      while !sifting do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let s = ref !i in
+        if l < h.n && fst h.a.(l) < fst h.a.(!s) then s := l;
+        if r < h.n && fst h.a.(r) < fst h.a.(!s) then s := r;
+        if !s = !i then sifting := false
+        else begin
+          swap h !i !s;
+          i := !s
+        end
+      done;
+      Some top
+    end
+end
+
 type t = {
   yfs : Yancfs.Yanc_fs.t;
   net : Netsim.Network.t;
   tuning : Driver_intf.tuning;
   seed : int;
   attachments : (int64, attachment) Hashtbl.t;
+  (* Switches with something to do right now: woken by channel traffic,
+     fsnotify events, connection-state changes, or due timers. [step]
+     touches only these — the fleet can be 8k switches wide and a quiet
+     tick costs O(runnable), not O(attached). *)
+  runnable : (int64, unit) Hashtbl.t;
+  timers : Timers.t;
+  c_steps : Telemetry.Registry.counter;
+  c_stepped : Telemetry.Registry.counter;
 }
 
 let create ?(tuning = Driver_intf.default_tuning) ?(seed = 0x5EED) ~yfs ~net ()
     =
-  { yfs; net; tuning; seed; attachments = Hashtbl.create 16 }
+  let reg = Telemetry.registry (Yancfs.Yanc_fs.telemetry yfs) in
+  let t =
+    { yfs; net; tuning; seed; attachments = Hashtbl.create 16;
+      runnable = Hashtbl.create 16; timers = Timers.create ();
+      c_steps = Telemetry.Registry.counter reg "driver.mgr.steps";
+      c_stepped = Telemetry.Registry.counter reg "driver.mgr.stepped" }
+  in
+  Telemetry.Registry.gauge reg "driver.mgr.attached" (fun () ->
+      float_of_int (Hashtbl.length t.attachments));
+  Telemetry.Registry.gauge reg "driver.mgr.runnable" (fun () ->
+      float_of_int (Hashtbl.length t.runnable));
+  Telemetry.Registry.gauge reg "driver.mgr.timers" (fun () ->
+      float_of_int (Timers.size t.timers));
+  t
 
 let detach t ~dpid =
   match Hashtbl.find_opt t.attachments dpid with
   | None -> ()
   | Some a ->
     a.instance.Driver_intf.detach ();
-    Hashtbl.remove t.attachments dpid
+    Hashtbl.remove t.attachments dpid;
+    Hashtbl.remove t.runnable dpid
 
 (* Per-switch seed: stable across runs, distinct across switches. *)
 let driver_seed t dpid = t.seed lxor (Int64.to_int dpid * 1000003)
@@ -41,6 +118,14 @@ let attach t ~dpid ~version =
     (* Both fault delays and scripted faults fire on simulated time. *)
     Netsim.Control_channel.set_clock sw_end (fun () ->
         Netsim.Network.now t.net);
+    (* Anything that gives either side of this switch's control channel
+       work — bytes in flight, a disconnect, a fresh fault script, an
+       fsnotify event at the driver — puts the switch on the runnable
+       set. Wire the hooks before creating the driver: its handshake
+       send is already traffic. *)
+    let wake () = Hashtbl.replace t.runnable dpid () in
+    Netsim.Control_channel.set_wakeup sw_end wake;
+    Netsim.Control_channel.set_wakeup ctl_end wake;
     let agent_version =
       match version with V10 -> Netsim.Of_agent.V10 | V13 -> Netsim.Of_agent.V13
     in
@@ -55,14 +140,15 @@ let attach t ~dpid ~version =
       match version with
       | V10 ->
         Of10_driver.instance
-          (Of10_driver.create ~tuning:t.tuning ~seed ~yfs:t.yfs
+          (Of10_driver.create ~wake ~tuning:t.tuning ~seed ~yfs:t.yfs
              ~endpoint:ctl_end ())
       | V13 ->
         Of13_driver.instance
-          (Of13_driver.create ~tuning:t.tuning ~seed ~yfs:t.yfs
+          (Of13_driver.create ~wake ~tuning:t.tuning ~seed ~yfs:t.yfs
              ~endpoint:ctl_end ())
     in
-    Hashtbl.replace t.attachments dpid { instance; agent; sw_end; ctl_end }
+    Hashtbl.replace t.attachments dpid { instance; agent; sw_end; ctl_end };
+    wake ()
 
 let upgrade = attach
 
@@ -70,18 +156,74 @@ let ordered t =
   Hashtbl.fold (fun dpid a acc -> (dpid, a) :: acc) t.attachments []
   |> List.sort (fun (a, _) (b, _) -> Int64.compare a b)
 
+(* The earliest sim time stepping this switch could matter without a
+   wake: driver timers, agent timers, and delivery/fault-script gates on
+   both channel endpoints. *)
+let due_of a ~now =
+  let d = a.instance.Driver_intf.next_due ~now in
+  let d = min d (Netsim.Of_agent.next_due a.agent ~now) in
+  let d = min d (Netsim.Control_channel.next_activity a.sw_end) in
+  min d (Netsim.Control_channel.next_activity a.ctl_end)
+
 let step t ~now =
-  let atts = ordered t in
-  (* Fire scripted faults (hard disconnects in particular) even on
-     channels neither side would otherwise touch this round. *)
+  Telemetry.Registry.incr t.c_steps;
+  (* Promote every due timer onto the runnable set. *)
+  let rec promote () =
+    match Timers.peek t.timers with
+    | Some (due, _) when due <= now -> (
+      match Timers.pop t.timers with
+      | Some (_, dpid) ->
+        if Hashtbl.mem t.attachments dpid then
+          Hashtbl.replace t.runnable dpid ();
+        promote ()
+      | None -> ())
+    | _ -> ()
+  in
+  promote ();
+  (* Snapshot and reset: wakes fired while stepping (driver→agent sends,
+     packet-ins, fs writes) land in the fresh set and are served next
+     step, exactly like the old full sweep served them next round. The
+     snapshot is sorted so a round remains deterministic. *)
+  let dpids =
+    Hashtbl.fold (fun d () acc -> d :: acc) t.runnable []
+    |> List.sort Int64.compare
+  in
+  Hashtbl.reset t.runnable;
+  let work =
+    List.filter_map
+      (fun d ->
+        Option.map (fun a -> d, a) (Hashtbl.find_opt t.attachments d))
+      dpids
+  in
+  (* Fire scripted faults (hard disconnects in particular) first, as the
+     old full sweep did; parked channels get here via their timer. *)
   List.iter
     (fun (_, a) ->
       Netsim.Control_channel.poll a.sw_end;
       Netsim.Control_channel.poll a.ctl_end)
-    atts;
-  List.iter (fun (_, a) -> a.instance.Driver_intf.step ~now) atts;
-  List.iter (fun (_, a) -> Netsim.Of_agent.step a.agent ~now) atts;
-  List.iter (fun (_, a) -> a.instance.Driver_intf.step ~now) atts
+    work;
+  List.iter
+    (fun (_, a) ->
+      Telemetry.Registry.incr t.c_stepped;
+      a.instance.Driver_intf.step ~now)
+    work;
+  List.iter (fun (_, a) -> Netsim.Of_agent.step a.agent ~now) work;
+  List.iter (fun (_, a) -> a.instance.Driver_intf.step ~now) work;
+  (* Park each stepped switch: keep it runnable if it was re-woken or
+     still holds queued work, otherwise arm a timer for its next due
+     instant (none: fully event-driven, a wake will find it). *)
+  List.iter
+    (fun (dpid, a) ->
+      if Hashtbl.mem t.attachments dpid && not (Hashtbl.mem t.runnable dpid)
+      then
+        if a.instance.Driver_intf.pending () then
+          Hashtbl.replace t.runnable dpid ()
+        else begin
+          let due = due_of a ~now in
+          if due <= now then Hashtbl.replace t.runnable dpid ()
+          else if due < infinity then Timers.push t.timers due dpid
+        end)
+    work
 
 let run_control ?(rounds = 4) t ~now =
   for _ = 1 to rounds do

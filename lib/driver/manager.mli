@@ -30,9 +30,17 @@ val upgrade : t -> dpid:int64 -> version:version -> unit
 (** Alias of {!attach} with intent: live protocol upgrade. *)
 
 val step : t -> now:float -> unit
-(** One control-plane round: step every driver, then every agent, then
-    the drivers again (so request/reply pairs complete within a
-    round). *)
+(** One control-plane round over the {e runnable} switches only: step
+    each runnable driver, then its agent, then the driver again (so
+    request/reply pairs complete within a round). A switch is runnable
+    when woken — channel bytes, fsnotify events, connection changes,
+    fault-script installs — or when a driver/agent timer (keepalive,
+    backoff, stats, flow expiry, delayed delivery, scripted fault) has
+    come due; quiescent switches park on a timer heap, so a quiet tick
+    over an 8k-switch fleet costs O(runnable + log timers), not
+    O(attached). Observable as [driver.mgr.steps] vs
+    [driver.mgr.stepped] and the [driver.mgr.{attached,runnable,timers}]
+    gauges. *)
 
 val run_control : ?rounds:int -> t -> now:float -> unit
 (** Step several rounds (default 4) — enough to finish a handshake. *)

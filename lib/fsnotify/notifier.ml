@@ -28,6 +28,7 @@ type t = {
   mutable coalesced : int;
   mutable overflows : int;
   mutable hook : Vfs.Fs.hook option;
+  mutable on_wake : (unit -> unit) option;
 }
 
 let cost t = Vfs.Fs.cost t.fs
@@ -70,7 +71,8 @@ let enqueue t (ev : Event.t) =
   else begin
     Queue.push ev t.queue;
     t.last <- Some ev;
-    Vfs.Cost.event_dispatched c
+    Vfs.Cost.event_dispatched c;
+    match t.on_wake with Some f -> f () | None -> ()
   end
 
 let deliver t ~kind ~path =
@@ -133,7 +135,7 @@ let create ?(backend = Indexed) ?(queue_limit = 16384) fs =
   let t =
     { fs; backend; queue_limit; queue = Queue.create (); index = Routing.create ();
       watches = []; n_watches = 0; next_wd = 1; last = None; overflowed = false;
-      coalesced = 0; overflows = 0; hook = None }
+      coalesced = 0; overflows = 0; hook = None; on_wake = None }
   in
   t.hook <- Some (Vfs.Fs.subscribe fs (on_op t));
   t
@@ -180,6 +182,8 @@ let read_events ?max t =
   List.rev !out
 
 let pending t = Queue.length t.queue
+
+let set_wakeup t f = t.on_wake <- Some f
 
 let has_watches t = t.n_watches > 0
 

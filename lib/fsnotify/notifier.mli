@@ -69,6 +69,12 @@ val read_events : ?max:int -> t -> Event.t list
 
 val pending : t -> int
 
+val set_wakeup : t -> (unit -> unit) -> unit
+(** Install a callback fired whenever an event is queued (not on
+    coalesces or overflow drops — the queue already held something
+    then). Lets a scheduler park a consumer until its notifier has
+    something to read instead of polling [pending]. *)
+
 val has_watches : t -> bool
 
 val coalesced : t -> int

@@ -67,6 +67,7 @@ type endpoint = {
   mutable peer : endpoint option;
   mutable sent : int;
   mutable faults : Faults.t option;
+  mutable on_wake : (unit -> unit) option;
   shared : shared;
 }
 
@@ -79,7 +80,7 @@ let create () =
   in
   let ep () =
     { inbox = { front = []; back = [] }; peer = None; sent = 0; faults = None;
-      shared }
+      on_wake = None; shared }
   in
   let a = ep () and b = ep () in
   a.peer <- Some b;
@@ -88,7 +89,18 @@ let create () =
 
 let set_clock ep clock = ep.shared.clock <- clock
 
-let set_faults ep f = ep.faults <- f
+let wake ep = match ep.on_wake with Some f -> f () | None -> ()
+
+let wake_peer ep = match ep.peer with Some p -> wake p | None -> ()
+
+let set_wakeup ep f = ep.on_wake <- Some f
+
+let set_faults ep f =
+  ep.faults <- f;
+  (* A fresh script may hold due (or soon-due) entries the owner's next
+     idle estimate knows nothing about. *)
+  wake ep;
+  wake_peer ep
 
 let connected ep = ep.shared.connected
 
@@ -111,7 +123,9 @@ let disconnect ep =
       | Some f -> f.Faults.policy.Faults.reconnect_after
       | None -> 0.);
     flush ep.inbox;
-    match ep.peer with Some p -> flush p.inbox | None -> ()
+    (match ep.peer with Some p -> flush p.inbox | None -> ());
+    wake ep;
+    wake_peer ep
   end
 
 let reconnect ep =
@@ -122,6 +136,8 @@ let reconnect ep =
     s.generation <- s.generation + 1;
     flush ep.inbox;
     (match ep.peer with Some p -> flush p.inbox | None -> ());
+    wake ep;
+    wake_peer ep;
     true
   end
   else false
@@ -206,10 +222,19 @@ let send ep data =
   | None -> ()
   | Some peer -> (
     match ep.faults with
-    | None -> if ep.shared.connected then enqueue peer.inbox { deliver_at = 0.; data }
+    | None ->
+      if ep.shared.connected then begin
+        enqueue peer.inbox { deliver_at = 0.; data };
+        wake peer
+      end
     | Some f ->
       poll ep;
-      if ep.shared.connected then faulted_send ep f peer data)
+      if ep.shared.connected then begin
+        faulted_send ep f peer data;
+        (* Even a dropped send wakes the peer: a spurious wake costs one
+           no-op step, a missed one stalls the receiver forever. *)
+        wake peer
+      end)
 
 let recv ep =
   let inbox = ep.inbox in
@@ -230,6 +255,33 @@ let recv_all ep =
   go []
 
 let pending ep = List.length ep.inbox.front + List.length ep.inbox.back
+
+let rec last = function
+  | [] -> None
+  | [ x ] -> Some x
+  | _ :: rest -> last rest
+
+let next_activity ep =
+  let script_at =
+    match ep.faults with
+    | Some f -> (
+      match f.Faults.script with
+      | { Faults.at; _ } :: _ -> at
+      | [] -> infinity)
+    | None -> infinity
+  in
+  let inbox_at =
+    (* Delivery is gated on the oldest queued message ([recv] pops
+       front-head, refilling front by reversing back), so the gate is
+       front's head — or, with front empty, back's last element. *)
+    match ep.inbox.front with
+    | m :: _ -> m.deliver_at
+    | [] -> (
+      match last ep.inbox.back with
+      | Some m -> m.deliver_at
+      | None -> infinity)
+  in
+  min script_at inbox_at
 
 let bytes_sent ep = ep.sent
 

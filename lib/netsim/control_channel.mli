@@ -84,6 +84,21 @@ val recv_all : endpoint -> string list
 val pending : endpoint -> int
 (** Number of chunks queued at this endpoint (delivered or not). *)
 
+val set_wakeup : endpoint -> (unit -> unit) -> unit
+(** Install a callback fired whenever this endpoint gains something to
+    react to: bytes enqueued for it, the channel disconnecting or
+    reconnecting, or a fault policy installed on either side. This is
+    what lets a scheduler park idle channels and still never miss
+    traffic — a spurious wake costs one no-op step, so the hook errs on
+    the side of firing. *)
+
+val next_activity : endpoint -> float
+(** The earliest sim time at which stepping this endpoint could observe
+    something new without further external input: the head of its own
+    fault script, or the delivery time gating its oldest queued chunk.
+    [infinity] when the endpoint is fully quiescent; may be in the past
+    when work is already due. *)
+
 val bytes_sent : endpoint -> int
 (** Total bytes this endpoint has attempted to send — used by benches
     to measure control-channel volume. *)

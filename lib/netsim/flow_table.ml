@@ -130,6 +130,8 @@ let create ?(strategy = Linear) ?cost () =
 
 let strategy t = t.strategy
 
+let timed t = t.timed
+
 let cost t = t.cost
 
 let is_hashable t (m : Of_match.t) =

@@ -118,6 +118,11 @@ val hit : entry -> now:float -> bytes:int -> unit
 val expire : t -> now:float -> entry list
 (** Remove and return entries past their idle or hard timeout. *)
 
+val timed : t -> int
+(** How many stored entries carry an idle or hard timeout — the count
+    that lets {!expire} (and whole-switch schedulers above it) skip
+    tables where nothing can ever expire. *)
+
 val entries : t -> entry list
 (** All stored entries, highest priority first; priority ties in
     install order (oldest first), independent of strategy and hash

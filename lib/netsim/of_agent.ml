@@ -348,6 +348,21 @@ let step t ~now =
     (OF.Framing.pop_all t.framing);
   expire t ~now
 
+(* When stepping this agent could next do something on its own: the
+   keepalive timer, or — while any installed flow carries a timeout —
+   right now, preserving the per-tick expiry sweep those flows need.
+   Channel activity (inbound bytes, scripted faults) is the
+   {!Control_channel.next_activity} of its endpoint, tracked by the
+   scheduler separately. *)
+let next_due t ~now =
+  let keepalive_at =
+    if t.keepalive_interval > 0. && Control_channel.connected t.endpoint then
+      if t.next_keepalive = neg_infinity then now else t.next_keepalive
+    else infinity
+  in
+  if Sim_switch.has_timed_flows t.switch then min now keepalive_at
+  else keepalive_at
+
 let messages_handled t = t.handled
 
 let peer_alive t = t.peer_alive

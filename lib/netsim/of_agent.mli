@@ -44,6 +44,13 @@ val step : t -> now:float -> unit
     framing when the channel generation changed (a reconnect), and runs
     the keepalive/liveness machinery when enabled. *)
 
+val next_due : t -> now:float -> float
+(** Earliest sim time at which {!step} would do something without new
+    channel input: the keepalive timer when enabled, or [now] while any
+    installed flow carries a timeout (expiry sweeps run per tick).
+    [infinity] for a fully quiescent agent — combine with
+    {!Control_channel.next_activity} of its endpoint to park it. *)
+
 val messages_handled : t -> int
 
 val peer_alive : t -> bool

@@ -1,0 +1,51 @@
+type 'a t = {
+  make : unit -> 'a;
+  capacity : int;
+  mutable free_list : 'a list;
+  mutable n_free : int;
+  mutable allocated : int;
+  mutable reused : int;
+  mutable in_use : int;
+}
+
+let create ?(capacity = 4096) ~make () =
+  { make; capacity; free_list = []; n_free = 0; allocated = 0; reused = 0;
+    in_use = 0 }
+
+let acquire t =
+  t.in_use <- t.in_use + 1;
+  match t.free_list with
+  | x :: rest ->
+    t.free_list <- rest;
+    t.n_free <- t.n_free - 1;
+    t.reused <- t.reused + 1;
+    x
+  | [] ->
+    t.allocated <- t.allocated + 1;
+    t.make ()
+
+let release t x =
+  t.in_use <- t.in_use - 1;
+  if t.n_free < t.capacity then begin
+    t.free_list <- x :: t.free_list;
+    t.n_free <- t.n_free + 1
+  end
+
+let allocated t = t.allocated
+
+let reused t = t.reused
+
+let in_use t = t.in_use
+
+let free t = t.n_free
+
+let register_metrics t ~name reg =
+  let g suffix f =
+    Telemetry.Registry.gauge reg
+      (Printf.sprintf "netsim.pool.%s.%s" name suffix)
+      (fun () -> float_of_int (f t))
+  in
+  g "allocated" allocated;
+  g "reused" reused;
+  g "in_use" in_use;
+  g "free" free

@@ -1,0 +1,44 @@
+(** A free-list object pool for the storm hot paths.
+
+    The packet-in pipeline at datacenter scale turns over millions of
+    short-lived records per run; a pool caps that to a working set:
+    [acquire] reuses a released object when one is available and calls
+    the allocator only on a dry free list, so a steady-state path that
+    releases what it acquires settles to {e zero} allocations — which
+    the [netsim.pool.*] telemetry series make checkable (the bench
+    gates assert [allocated] stays flat while [reused] grows).
+
+    Objects are mutable records owned by the pool's client; the pool
+    never clears them — the acquirer overwrites every field. Single
+    threaded, like the rest of the simulator. *)
+
+type 'a t
+
+val create : ?capacity:int -> make:(unit -> 'a) -> unit -> 'a t
+(** [capacity] (default 4096) bounds the free list: objects released
+    beyond it are dropped to the GC, so one burst cannot pin memory
+    forever. *)
+
+val acquire : 'a t -> 'a
+(** A recycled object when the free list is non-empty, else a fresh
+    [make ()]. *)
+
+val release : 'a t -> 'a -> unit
+(** Return an object to the free list (or drop it at capacity). The
+    caller must not touch it afterwards. *)
+
+val allocated : 'a t -> int
+(** Lifetime [make] calls — flat between two points means every
+    [acquire] in the interval was served by reuse. *)
+
+val reused : 'a t -> int
+(** Lifetime acquires served from the free list. *)
+
+val in_use : 'a t -> int
+(** Objects acquired and not yet released. *)
+
+val free : 'a t -> int
+(** Objects currently on the free list. *)
+
+val register_metrics : 'a t -> name:string -> Telemetry.Registry.t -> unit
+(** Publish gauges [netsim.pool.<name>.{allocated,reused,in_use,free}]. *)

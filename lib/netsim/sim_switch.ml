@@ -248,6 +248,9 @@ let expire_flows t ~now =
   |> List.mapi (fun id tbl -> List.map (fun e -> id, e) (Flow_table.expire tbl ~now))
   |> List.concat
 
+let has_timed_flows t =
+  Array.exists (fun tbl -> Flow_table.timed tbl > 0) t.tables
+
 (* --- buffers ------------------------------------------------------------------ *)
 
 let store_buffer t ~in_port frame =

@@ -116,6 +116,11 @@ val expire_flows : t -> now:float -> (int * Flow_table.entry) list
 (** Advance timeout processing; returns expired entries (with table id)
     whose [notify_removal] handling is the agent's job. *)
 
+val has_timed_flows : t -> bool
+(** Some installed entry carries an idle or hard timeout, i.e. an
+    {!expire_flows} sweep could actually reap something — schedulers
+    use this to keep only such switches on a periodic expiry tick. *)
+
 (** {1 The data path} *)
 
 val receive_frame : t -> now:float -> in_port:int -> Packet.Eth.t -> effect_ list

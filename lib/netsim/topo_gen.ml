@@ -16,30 +16,36 @@ let host_ip n =
 
 let host_mac n = P.Mac.of_int ((0x02 lsl 40) lor n)
 
-(* A builder tracking per-switch port allocation. *)
+(* A builder tracking per-switch port allocation. Switches and hosts
+   accumulate in reverse (an O(1) cons per node, reversed once in
+   [finish]); the datacenter generators create thousands of each, and
+   the old [xs <- xs @ [x]] append made construction O(n²). *)
 type builder = {
   net : Network.t;
   next_port : (int64, int ref) Hashtbl.t;
-  mutable dpids : int64 list;
-  mutable host_names : string list;
+  mutable n_switches : int;
+  mutable rev_dpids : int64 list;
+  mutable rev_host_names : string list;
   mutable next_host : int;
   strategy : Flow_table.strategy;
   miss_send_len : int;
 }
 
 let builder ?(strategy = Flow_table.Linear) ?(miss_send_len = 0xffff) () =
-  { net = Network.create (); next_port = Hashtbl.create 16; dpids = [];
-    host_names = []; next_host = 1; strategy; miss_send_len }
+  { net = Network.create (); next_port = Hashtbl.create 16; n_switches = 0;
+    rev_dpids = []; rev_host_names = []; next_host = 1; strategy;
+    miss_send_len }
 
 let new_switch b =
-  let dpid = Int64.of_int (List.length b.dpids + 1) in
+  b.n_switches <- b.n_switches + 1;
+  let dpid = Int64.of_int b.n_switches in
   let sw =
     Sim_switch.create ~miss_send_len:b.miss_send_len ~strategy:b.strategy
       ~n_ports:0 ~dpid ()
   in
   Network.add_switch b.net sw;
   Hashtbl.replace b.next_port dpid (ref 1);
-  b.dpids <- b.dpids @ [ dpid ];
+  b.rev_dpids <- dpid :: b.rev_dpids;
   dpid
 
 let alloc_port b dpid =
@@ -62,15 +68,18 @@ let attach_host ?(dhcp = false) b dpid =
   Network.add_host b.net host;
   let port = alloc_port b dpid in
   Network.link b.net (Network.Sw (dpid, port)) (Network.Hst name);
+  b.rev_host_names <- name :: b.rev_host_names;
   name
 
-let finish b = { net = b.net; dpids = b.dpids; host_names = b.host_names }
+let finish b =
+  { net = b.net; dpids = List.rev b.rev_dpids;
+    host_names = List.rev b.rev_host_names }
 
 let with_hosts ?dhcp b per_switch dpids =
   List.iter
     (fun dpid ->
       for _ = 1 to per_switch do
-        b.host_names <- b.host_names @ [ attach_host ?dhcp b dpid ]
+        ignore (attach_host ?dhcp b dpid)
       done)
     dpids
 
@@ -113,20 +122,31 @@ let tree ?(fanout = 2) ?(depth = 3) ?strategy () =
       for _ = 1 to fanout do
         let child = new_switch b in
         connect b parent child;
-        if level = depth - 1 then
-          b.host_names <- b.host_names @ [ attach_host b child ]
+        if level = depth - 1 then ignore (attach_host b child)
         else grow (level + 1) child
       done
   in
   let root = new_switch b in
   grow 1 root;
-  if depth = 1 then b.host_names <- b.host_names @ [ attach_host b root ];
+  if depth = 1 then ignore (attach_host b root);
   finish b
 
-let fat_tree ?(k = 4) ?strategy () =
-  if k < 2 || k mod 2 <> 0 then invalid_arg "Topo_gen.fat_tree: k must be even";
-  let b = builder ?strategy () in
+let fat_tree ?(k = 4) ?hosts_per_edge ?strategy ?miss_send_len () =
+  if k < 2 || k mod 2 <> 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Topo_gen.fat_tree: k must be a positive even integer (got %d)" k);
   let half = k / 2 in
+  let hosts_per_edge =
+    match hosts_per_edge with
+    | Some h ->
+      if h < 0 then
+        invalid_arg
+          (Printf.sprintf "Topo_gen.fat_tree: hosts_per_edge must be >= 0 (got %d)" h);
+      h
+    | None -> half
+  in
+  let b = builder ?strategy ?miss_send_len () in
   (* Core switches first, then per pod: aggregation then edge. *)
   let cores = Array.init (half * half) (fun _ -> new_switch b) in
   for _pod = 0 to k - 1 do
@@ -142,11 +162,33 @@ let fat_tree ?(k = 4) ?strategy () =
       aggs;
     Array.iter
       (fun e ->
-        for _ = 1 to half do
-          b.host_names <- b.host_names @ [ attach_host b e ]
+        for _ = 1 to hosts_per_edge do
+          ignore (attach_host b e)
         done)
       edges
   done;
+  finish b
+
+let clos ?(spines = 2) ?(leaves = 4) ?(hosts_per_leaf = 1) ?strategy
+    ?miss_send_len () =
+  if spines < 1 then
+    invalid_arg
+      (Printf.sprintf "Topo_gen.clos: spines must be >= 1 (got %d)" spines);
+  if leaves < 1 then
+    invalid_arg
+      (Printf.sprintf "Topo_gen.clos: leaves must be >= 1 (got %d)" leaves);
+  let b = builder ?strategy ?miss_send_len () in
+  let spine = Array.init spines (fun _ -> new_switch b) in
+  let leaf = Array.init leaves (fun _ -> new_switch b) in
+  (* Full bipartite spine-leaf mesh: every leaf reaches every leaf in
+     two hops through [spines] equal-cost paths. *)
+  Array.iter (fun l -> Array.iter (fun s -> connect b s l) spine) leaf;
+  Array.iter
+    (fun l ->
+      for _ = 1 to hosts_per_leaf do
+        ignore (attach_host b l)
+      done)
+    leaf;
   finish b
 
 let random ?(seed = 42) ?(extra_links = 0) ?(hosts_per_switch = 1) ?strategy n =

@@ -33,10 +33,27 @@ val tree :
 (** A [fanout]-ary tree of switches of the given [depth]; hosts hang off
     the leaf switches. *)
 
-val fat_tree : ?k:int -> ?strategy:Flow_table.strategy -> unit -> built
-(** The classic k-ary fat tree: [k] pods, (k/2)² core switches, k²/4
-    hosts per... sized as in the literature, with one host per edge
-    switch port. [k] must be even (default 4: 20 switches, 16 hosts). *)
+val fat_tree :
+  ?k:int -> ?hosts_per_edge:int -> ?strategy:Flow_table.strategy ->
+  ?miss_send_len:int -> unit -> built
+(** The classic k-ary fat tree sized as in the literature (Al-Fares et
+    al.): (k/2)² core switches plus [k] pods of k/2 aggregation and k/2
+    edge switches each — 5k²/4 switches total — with [hosts_per_edge]
+    hosts on every edge switch (default k/2, the literature's port
+    budget), i.e. [hosts_per_edge]·k²/2 hosts. As functions of k with
+    the default host density: k=4 → 20 switches / 16 hosts, k=8 → 80 /
+    128, k=16 → 320 / 1024, k=32 → 1280 / 8192 (k³/4 hosts).
+    Construction is O(switches + links + hosts). [k] must be a positive
+    even integer; anything else raises [Invalid_argument] naming the
+    offending value. *)
+
+val clos :
+  ?spines:int -> ?leaves:int -> ?hosts_per_leaf:int ->
+  ?strategy:Flow_table.strategy -> ?miss_send_len:int -> unit -> built
+(** A two-tier leaf-spine Clos fabric: [spines] spine switches fully
+    meshed to [leaves] leaf switches ([spines]·[leaves] links), with
+    [hosts_per_leaf] hosts per leaf. Every leaf-to-leaf path is two
+    hops with [spines] equal-cost choices — the minimal ECMP testbed. *)
 
 val random :
   ?seed:int -> ?extra_links:int -> ?hosts_per_switch:int ->

@@ -1,0 +1,121 @@
+module P = Packet
+
+type flow_class = Mouse | Elephant
+
+type arrival = {
+  at : float;
+  src : int;
+  dst : int;
+  src_port : int;
+  dst_port : int;
+  packets : int;
+  cls : flow_class;
+}
+
+type profile = {
+  rate : float;
+  elephant_fraction : float;
+  mouse_mean_packets : int;
+  elephant_min_packets : int;
+  elephant_alpha : float;
+  max_packets : int;
+}
+
+let default_profile =
+  { rate = 1000.; elephant_fraction = 0.1; mouse_mean_packets = 8;
+    elephant_min_packets = 10_000; elephant_alpha = 1.2;
+    max_packets = 10_000_000 }
+
+type t = {
+  profile : profile;
+  prng : Prng.t;
+  hosts : int;
+  mutable clock : float;
+  mutable generated : int;
+  (* The one arrival drawn past [inject_until]'s horizon. *)
+  mutable lookahead : arrival option;
+}
+
+let create ?(profile = default_profile) ?(start = 0.) ~seed ~hosts () =
+  if hosts < 2 then
+    invalid_arg
+      (Printf.sprintf "Workload.create: need at least 2 hosts (got %d)" hosts);
+  if profile.rate <= 0. then
+    invalid_arg "Workload.create: profile.rate must be positive";
+  { profile; prng = Prng.create ~seed; hosts; clock = start; generated = 0;
+    lookahead = None }
+
+let profile t = t.profile
+
+let service_ports = [| 80; 443; 8080; 53; 22; 5432 |]
+
+(* One arrival = a fixed sequence of draws from one stream. The order
+   is part of the format: interarrival, src, dst, class, size, ports.
+   Reordering the draws would silently re-key every seeded schedule. *)
+let next t =
+  let p = t.profile in
+  (* Exponential interarrival; [float] is in [0,1), so 1-u is in (0,1]
+     and the log is finite. *)
+  let u = Prng.float t.prng in
+  t.clock <- t.clock +. (-.log (1. -. u) /. p.rate);
+  let src = 1 + Prng.below t.prng t.hosts in
+  (* Uniform over the other hosts, skipping [src]. *)
+  let d = 1 + Prng.below t.prng (t.hosts - 1) in
+  let dst = if d >= src then d + 1 else d in
+  let cls = if Prng.bool t.prng p.elephant_fraction then Elephant else Mouse in
+  let packets =
+    match cls with
+    | Mouse -> 1 + Prng.below t.prng (max 1 ((2 * p.mouse_mean_packets) - 1))
+    | Elephant ->
+      (* Bounded Pareto: x_m · (1-u)^(-1/α). *)
+      let u = Prng.float t.prng in
+      let x =
+        float_of_int p.elephant_min_packets
+        *. ((1. -. u) ** (-1. /. p.elephant_alpha))
+      in
+      min p.max_packets (int_of_float x)
+  in
+  let src_port = 49152 + Prng.below t.prng 16384 in
+  let dst_port =
+    service_ports.(Prng.below t.prng (Array.length service_ports))
+  in
+  t.generated <- t.generated + 1;
+  { at = t.clock; src; dst; src_port; dst_port; packets; cls }
+
+let schedule t ~n = List.init n (fun _ -> next t)
+
+let generated t = t.generated
+
+let first_frame a =
+  P.Builder.tcp_syn ~src_mac:(Topo_gen.host_mac a.src)
+    ~dst_mac:(Topo_gen.host_mac a.dst) ~src_ip:(Topo_gen.host_ip a.src)
+    ~dst_ip:(Topo_gen.host_ip a.dst) ~src_port:a.src_port
+    ~dst_port:a.dst_port
+
+let inject_until t ~net ~upto =
+  let injected = ref 0 in
+  let inject a =
+    Network.send_from_host net (Printf.sprintf "h%d" a.src) [ first_frame a ];
+    incr injected
+  in
+  let continue =
+    match t.lookahead with
+    | Some a when a.at > upto -> false
+    | Some a ->
+      t.lookahead <- None;
+      inject a;
+      true
+    | None -> true
+  in
+  if continue then begin
+    let stop = ref false in
+    while not !stop do
+      let a = next t in
+      if a.at <= upto then inject a
+      else begin
+        t.lookahead <- Some a;
+        stop := true
+      end
+    done
+  end;
+  !injected

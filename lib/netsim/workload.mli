@@ -1,0 +1,73 @@
+(** A seeded, heavy-tailed flow-arrival generator — the datacenter
+    traffic model driving the scale benches.
+
+    Measurement studies of datacenter traffic agree on the shape: flow
+    arrivals are well modelled as Poisson at the edge, and flow sizes
+    are heavy-tailed — most flows are {e mice} of a few packets, a
+    small fraction are {e elephants} carrying most of the bytes. The
+    generator reproduces that shape from one {!Prng} seed: exponential
+    interarrivals at [rate] flows per simulated second, a Bernoulli
+    elephant/mouse class draw, uniform small sizes for mice and a
+    bounded Pareto for elephants.
+
+    Determinism is part of the contract: every field of every arrival
+    is drawn from the same splitmix64 stream in a fixed order, so a
+    seed names the entire schedule — the property the QCheck suite
+    pins. New packet flows entering the fabric are what produce
+    packet-ins, so [rate] × duration is the packet-in budget of a storm
+    (configurable into the millions). *)
+
+type flow_class = Mouse | Elephant
+
+type arrival = {
+  at : float;       (** absolute simulated arrival time *)
+  src : int;        (** source host index (1-based, {!Topo_gen} naming) *)
+  dst : int;        (** destination host index; never equal to [src] *)
+  src_port : int;   (** ephemeral TCP source port *)
+  dst_port : int;   (** well-known service port *)
+  packets : int;    (** flow size in packets *)
+  cls : flow_class;
+}
+
+type profile = {
+  rate : float;              (** flow arrivals per simulated second *)
+  elephant_fraction : float; (** probability a flow is an elephant *)
+  mouse_mean_packets : int;  (** mean mouse size (uniform 1..2·mean-1) *)
+  elephant_min_packets : int;(** Pareto scale x_m for elephant sizes *)
+  elephant_alpha : float;    (** Pareto tail index (1 < α ≤ 2 typical) *)
+  max_packets : int;         (** truncation bound on the Pareto tail *)
+}
+
+val default_profile : profile
+(** 1000 flows/s, 10% elephants, mice averaging 8 packets, elephants
+    Pareto(x_m = 10_000, α = 1.2) truncated at 10M packets. *)
+
+type t
+
+val create : ?profile:profile -> ?start:float -> seed:int -> hosts:int ->
+  unit -> t
+(** A generator over hosts [1..hosts] ([hosts >= 2], or
+    [Invalid_argument]); arrivals begin after [start] (default 0). *)
+
+val profile : t -> profile
+
+val next : t -> arrival
+(** The next arrival; times are strictly increasing. *)
+
+val schedule : t -> n:int -> arrival list
+(** The next [n] arrivals (advances the generator). *)
+
+val generated : t -> int
+(** Arrivals drawn so far. *)
+
+val first_frame : arrival -> Packet.Eth.t
+(** The flow's first packet — a TCP SYN between the conventional
+    {!Topo_gen.host_mac}/{!Topo_gen.host_ip} endpoints — whose table
+    miss raises the packet-in. *)
+
+val inject_until : t -> net:Network.t -> upto:float -> int
+(** Feed every arrival with [at <= upto] into the network as its first
+    frame sent from host ["h<src>"], returning how many were injected.
+    The generator's clock is the schedule itself: call this with a
+    rising [upto] from the bench loop to drive a storm off the sim
+    clock. The one arrival drawn past [upto] is buffered, not lost. *)

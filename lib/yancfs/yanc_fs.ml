@@ -3,7 +3,13 @@ module Fs = Vfs.Fs
 module Port_info = Openflow.Of_types.Port_info
 module Port_stats = Openflow.Of_types.Port_stats
 
-type t = { fs : Fs.t; root : Path.t; telemetry : Telemetry.t }
+type t = {
+  fs : Fs.t;
+  root : Path.t;
+  telemetry : Telemetry.t;
+  (* The packet-in fast path (one ring per mount, shared by views). *)
+  pktin : Pktin.t;
+}
 
 let ( let* ) = Result.bind
 
@@ -12,6 +18,8 @@ let fs t = t.fs
 let root t = t.root
 
 let telemetry t = t.telemetry
+
+let pktin t = t.pktin
 
 let ensure_dir fs ~cred path =
   match Fs.mkdir fs ~cred path with
@@ -33,7 +41,7 @@ let create ?(root = Layout.default_root) ?telemetry base =
   List.iter
     (fun p -> ignore (ensure_dir base ~cred:Vfs.Cred.root p))
     [ Layout.hosts_dir ~root; Layout.switches_dir ~root; Layout.views_dir ~root ];
-  { fs = base; root; telemetry }
+  { fs = base; root; telemetry; pktin = Pktin.create ~telemetry () }
 
 let in_view t ~cred name =
   let vroot = Layout.view ~root:t.root name in
@@ -42,7 +50,7 @@ let in_view t ~cred name =
   let* () = ensure_dir t.fs ~cred (Layout.hosts_dir ~root:vroot) in
   let* () = ensure_dir t.fs ~cred (Layout.switches_dir ~root:vroot) in
   let* () = ensure_dir t.fs ~cred (Layout.views_dir ~root:vroot) in
-  Ok { fs = t.fs; root = vroot; telemetry = t.telemetry }
+  Ok { fs = t.fs; root = vroot; telemetry = t.telemetry; pktin = t.pktin }
 
 let tree t =
   match Fs.tree t.fs ~cred:Vfs.Cred.root t.root with

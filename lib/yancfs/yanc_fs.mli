@@ -19,6 +19,11 @@ val root : t -> Vfs.Path.t
 
 val telemetry : t -> Telemetry.t
 
+val pktin : t -> Pktin.t
+(** The packet-in fast-path ring shared by every handle over this
+    mount (views included) — drivers publish into it, applications
+    subscribe and drain ({!Pktin}). *)
+
 val in_view : t -> cred:Vfs.Cred.t -> string -> (t, Vfs.Errno.t) result
 (** A handle rooted at [<root>/views/<name>], creating the view if
     needed — the schema populates its hosts/switches/views. The result

@@ -474,6 +474,134 @@ let test_scheduler_kinds () =
   Alcotest.(check int) "oneshot once" 1 !oneshot_runs;
   Alcotest.(check (list string)) "names" [ "d"; "c"; "o" ] (Yanc.Scheduler.apps sched)
 
+(* --- ECMP router ---------------------------------------------------------------- *)
+
+(* Provision the inventory the way the scale bench does: peer symlinks
+   for fabric links, /net/hosts records with attachment points. *)
+let ecmp_provision ctl built =
+  let yfs = Yanc.Controller.yfs ctl in
+  let sw = Y.Yanc_fs.switch_name_of_dpid in
+  List.iter
+    (fun (a, b) ->
+      match (a, b) with
+      | N.Network.Sw (d1, p1), N.Network.Sw (d2, p2) ->
+        ignore
+          (Y.Yanc_fs.set_peer yfs ~cred ~switch:(sw d1) ~port:p1
+             ~peer:(Some (sw d2, p2)));
+        ignore
+          (Y.Yanc_fs.set_peer yfs ~cred ~switch:(sw d2) ~port:p2
+             ~peer:(Some (sw d1, p1)))
+      | N.Network.Sw (d, p), N.Network.Hst h
+      | N.Network.Hst h, N.Network.Sw (d, p) ->
+        let i = int_of_string (String.sub h 1 (String.length h - 1)) in
+        ignore
+          (Y.Yanc_fs.upsert_host yfs ~cred ~name:h
+             ~mac:(N.Topo_gen.host_mac i) ~ip:(Some (N.Topo_gen.host_ip i))
+             ~attached_to:(sw d, p) ())
+      | N.Network.Hst _, N.Network.Hst _ -> ())
+    (N.Network.link_endpoints built.N.Topo_gen.net)
+
+(* Two leaves, [spines] equal-cost paths between them, two hosts per
+   leaf — the minimal ECMP fabric. *)
+let ecmp_rig ?delivery ?(spines = 2) () =
+  let built = N.Topo_gen.clos ~spines ~leaves:2 ~hosts_per_leaf:2 () in
+  let ctl = controller built in
+  Yanc.Controller.run_for ctl 0.5;
+  ecmp_provision ctl built;
+  let d = Apps.Ecmp_router.create ?delivery (Yanc.Controller.yfs ctl) in
+  Yanc.Controller.add_app ctl (Apps.Ecmp_router.app d);
+  (built, ctl, d)
+
+let ecmp_syn ~src ~dst ~sport ?(dport = 80) () =
+  P.Builder.tcp_syn ~src_mac:(N.Topo_gen.host_mac src)
+    ~dst_mac:(N.Topo_gen.host_mac dst) ~src_ip:(N.Topo_gen.host_ip src)
+    ~dst_ip:(N.Topo_gen.host_ip dst) ~src_port:sport ~dst_port:dport
+
+let ecmp_flows ctl switch =
+  List.filter
+    (fun n -> String.length n >= 5 && String.sub n 0 5 = "ecmp-")
+    (Y.Yanc_fs.flow_names (Yanc.Controller.yfs ctl) ~cred switch)
+
+let ecmp_counter ctl name =
+  let reg = Telemetry.registry (Yanc.Controller.telemetry ctl) in
+  Telemetry.Registry.value (Telemetry.Registry.counter reg name)
+
+(* dpids in a clos: spines first, then leaves. *)
+let test_ecmp_installs_path () =
+  let built, ctl, d = ecmp_rig () in
+  let net = built.N.Topo_gen.net in
+  N.Network.send_from_host net "h1" [ ecmp_syn ~src:1 ~dst:3 ~sport:10001 () ];
+  Yanc.Controller.run_for ctl 0.5;
+  Alcotest.(check int) "one path installed" 1
+    (Apps.Ecmp_router.paths_installed d);
+  Alcotest.(check int) "rule on the source leaf" 1
+    (List.length (ecmp_flows ctl "sw3"));
+  Alcotest.(check int) "rule on the destination leaf" 1
+    (List.length (ecmp_flows ctl "sw4"));
+  Alcotest.(check int) "exactly one spine carries the flow" 1
+    (List.length (ecmp_flows ctl "sw1") + List.length (ecmp_flows ctl "sw2"));
+  Alcotest.(check bool) "both endpoints tracked" true
+    (Apps.Ecmp_router.hosts_tracked d >= 4);
+  (* the same 12-tuple now forwards in hardware: no new packet-in for
+     the forward direction (the delivered SYN may provoke the reverse
+     path, nothing more) *)
+  let before = Apps.Ecmp_router.paths_installed d in
+  N.Network.send_from_host net "h1" [ ecmp_syn ~src:1 ~dst:3 ~sport:10001 () ];
+  Yanc.Controller.run_for ctl 0.5;
+  let after = Apps.Ecmp_router.paths_installed d in
+  Alcotest.(check bool) "no duplicate forward path" true
+    (after - before <= 1);
+  N.Network.send_from_host net "h1" [ ecmp_syn ~src:1 ~dst:3 ~sport:10001 () ];
+  Yanc.Controller.run_for ctl 0.5;
+  Alcotest.(check int) "stable once both directions exist" after
+    (Apps.Ecmp_router.paths_installed d)
+
+let test_ecmp_spreads_across_spines () =
+  let built, ctl, d = ecmp_rig ~spines:4 () in
+  let net = built.N.Topo_gen.net in
+  (* 32 distinct flows between the same host pair: the 12-tuple hash
+     must spread them over the equal-cost spines *)
+  N.Network.send_from_host net "h1"
+    (List.init 32 (fun i -> ecmp_syn ~src:1 ~dst:3 ~sport:(20000 + i) ()));
+  Yanc.Controller.run_for ctl 1.0;
+  Alcotest.(check bool) "all flows routed" true
+    (Apps.Ecmp_router.paths_installed d >= 32);
+  (* with 4 spines the leaves are sw5/sw6; sw1..sw4 are the spines *)
+  let spine_hit =
+    List.filter
+      (fun s -> ecmp_flows ctl s <> [])
+      [ "sw1"; "sw2"; "sw3"; "sw4" ]
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "flows spread over >= 2 spines (hit %d)"
+       (List.length spine_hit))
+    true
+    (List.length spine_hit >= 2)
+
+let test_ecmp_unknown_dst_drops () =
+  let built, ctl, d = ecmp_rig () in
+  let net = built.N.Topo_gen.net in
+  let ghost =
+    P.Builder.tcp_syn ~src_mac:(N.Topo_gen.host_mac 1)
+      ~dst_mac:(N.Topo_gen.host_mac 99) ~src_ip:(N.Topo_gen.host_ip 1)
+      ~dst_ip:(N.Topo_gen.host_ip 99) ~src_port:1234 ~dst_port:80
+  in
+  N.Network.send_from_host net "h1" [ ghost ];
+  Yanc.Controller.run_for ctl 0.5;
+  Alcotest.(check int) "nothing installed" 0 (Apps.Ecmp_router.paths_installed d);
+  Alcotest.(check bool) "unknown destination counted" true
+    (ecmp_counter ctl "app.ecmpd.unknown_dst" >= 1)
+
+let test_ecmp_eventdir_mode () =
+  let built, ctl, d = ecmp_rig ~delivery:Apps.Ecmp_router.Eventdir () in
+  let net = built.N.Topo_gen.net in
+  N.Network.send_from_host net "h1" [ ecmp_syn ~src:1 ~dst:4 ~sport:30001 () ];
+  Yanc.Controller.run_for ctl 0.5;
+  Alcotest.(check int) "path installed through the slow path" 1
+    (Apps.Ecmp_router.paths_installed d);
+  Alcotest.(check int) "destination leaf programmed" 1
+    (List.length (ecmp_flows ctl "sw4"))
+
 let () =
   Alcotest.run "apps"
     [ ( "topology",
@@ -490,6 +618,15 @@ let () =
         [ Alcotest.test_case "linear path" `Quick test_router_linear;
           Alcotest.test_case "ring" `Quick test_router_ring;
           Alcotest.test_case "hardware repeat" `Quick test_router_hardware_after_setup ] );
+      ( "ecmp",
+        [ Alcotest.test_case "installs a multi-hop path" `Quick
+            test_ecmp_installs_path;
+          Alcotest.test_case "spreads across spines" `Quick
+            test_ecmp_spreads_across_spines;
+          Alcotest.test_case "unknown dst drops" `Quick
+            test_ecmp_unknown_dst_drops;
+          Alcotest.test_case "eventdir delivery" `Quick
+            test_ecmp_eventdir_mode ] );
       ( "daemons",
         [ Alcotest.test_case "arp proxy" `Quick test_arp_daemon_proxy;
           Alcotest.test_case "dhcp" `Quick test_dhcp_daemon ] );

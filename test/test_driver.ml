@@ -389,6 +389,44 @@ let test_detach_stops_translation () =
   Driver.Manager.run_control r.mgr ~now:1.;
   Alcotest.(check int) "no driver, no programming" 0 (List.length (switch_flows r))
 
+(* The O(runnable) scheduler: an idle fleet must not be re-stepped every
+   manager round — drivers park until a wake (fs write, channel traffic)
+   or a due timer (keepalive) pulls them back in. *)
+let test_manager_parks_idle_drivers () =
+  let r = rig () in
+  let reg = Telemetry.registry (Y.Yanc_fs.telemetry r.yfs) in
+  let stepped = Telemetry.Registry.counter reg "driver.mgr.stepped" in
+  (* settle: run keepalive roundtrips and startup work to completion *)
+  Driver.Manager.run_control r.mgr ~now:1.0;
+  Driver.Manager.run_control r.mgr ~now:1.0;
+  let s0 = Telemetry.Registry.value stepped in
+  (* nothing due before the next keepalive, nothing woken: parked *)
+  Driver.Manager.run_control r.mgr ~now:1.01;
+  Driver.Manager.run_control r.mgr ~now:1.05;
+  Alcotest.(check int) "idle rounds leave the driver parked" s0
+    (Telemetry.Registry.value stepped);
+  (* a file-system write wakes exactly this driver *)
+  ok
+    (Y.Yanc_fs.create_flow r.yfs ~cred ~switch:"sw1" ~name:"wake" flood_flow);
+  Driver.Manager.run_control r.mgr ~now:1.06;
+  let s1 = Telemetry.Registry.value stepped in
+  Alcotest.(check bool) "a write wakes the parked driver" true (s1 > s0);
+  Alcotest.(check bool) "and the rule reaches hardware" true
+    (List.exists
+       (fun e -> e.N.Flow_table.priority = flood_flow.Y.Flowdir.priority)
+       (switch_flows r));
+  (* drain the wake's own tail, then idle rounds must park it again *)
+  Driver.Manager.run_control r.mgr ~now:1.07;
+  Driver.Manager.run_control r.mgr ~now:1.08;
+  let s2 = Telemetry.Registry.value stepped in
+  Driver.Manager.run_control r.mgr ~now:1.09;
+  Alcotest.(check int) "parked again once the work is done" s2
+    (Telemetry.Registry.value stepped);
+  (* timers still fire with no external wake: the keepalive comes due *)
+  Driver.Manager.run_control r.mgr ~now:3.0;
+  Alcotest.(check bool) "a due timer re-runs the driver" true
+    (Telemetry.Registry.value stepped > s2)
+
 let () =
   Alcotest.run "driver"
     [ ( "handshake",
@@ -417,4 +455,7 @@ let () =
       ( "lifecycle",
         [ Alcotest.test_case "live upgrade" `Quick test_live_upgrade_preserves_flows;
           Alcotest.test_case "mixed versions" `Quick test_mixed_protocol_network;
-          Alcotest.test_case "detach" `Quick test_detach_stops_translation ] ) ]
+          Alcotest.test_case "detach" `Quick test_detach_stops_translation ] );
+      ( "scheduling",
+        [ Alcotest.test_case "parks idle drivers" `Quick
+            test_manager_parks_idle_drivers ] ) ]

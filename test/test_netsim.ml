@@ -860,11 +860,91 @@ let test_topo_fat_tree () =
   let ft = N.Topo_gen.fat_tree ~k:4 () in
   Alcotest.(check int) "fat-tree switches" 20 (count_switches ft);
   Alcotest.(check int) "fat-tree hosts" 16 (count_hosts ft);
-  Alcotest.(check bool) "k must be even" true
+  (* exact counts at the literature sizes: 5k²/4 switches, k³/4 hosts *)
+  List.iter
+    (fun k ->
+      let ft = N.Topo_gen.fat_tree ~k () in
+      Alcotest.(check int)
+        (Printf.sprintf "k=%d switches" k)
+        (5 * k * k / 4) (count_switches ft);
+      Alcotest.(check int)
+        (Printf.sprintf "k=%d hosts" k)
+        (k * k * k / 4) (count_hosts ft);
+      (* edge-agg k³/4 + agg-core k³/4 + host links k³/4 *)
+      Alcotest.(check int)
+        (Printf.sprintf "k=%d links" k)
+        (3 * k * k * k / 4)
+        (List.length (N.Network.link_endpoints ft.N.Topo_gen.net)))
+    [ 4; 8; 16 ];
+  (* host density is a knob: hosts_per_edge overrides the k/2 default *)
+  let dense = N.Topo_gen.fat_tree ~k:4 ~hosts_per_edge:3 () in
+  Alcotest.(check int) "hosts_per_edge switches" 20 (count_switches dense);
+  Alcotest.(check int) "hosts_per_edge hosts" 24 (count_hosts dense);
+  let bare = N.Topo_gen.fat_tree ~k:4 ~hosts_per_edge:0 () in
+  Alcotest.(check int) "hostless fabric" 0 (count_hosts bare);
+  (* invalid k raises Invalid_argument naming the offending value *)
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Printf.sprintf "k=%d rejected" k)
+        true
+        (try
+           ignore (N.Topo_gen.fat_tree ~k ());
+           false
+         with Invalid_argument msg ->
+           let needle = Printf.sprintf "(got %d)" k in
+           let ll = String.length needle in
+           let found = ref false in
+           for i = 0 to String.length msg - ll do
+             if String.sub msg i ll = needle then found := true
+           done;
+           !found))
+    [ 3; 0; -2 ]
+
+let test_topo_clos () =
+  let c = N.Topo_gen.clos ~spines:4 ~leaves:8 ~hosts_per_leaf:2 () in
+  Alcotest.(check int) "clos switches" 12 (count_switches c);
+  Alcotest.(check int) "clos hosts" 16 (count_hosts c);
+  Alcotest.(check int) "clos links" ((4 * 8) + 16)
+    (List.length (N.Network.link_endpoints c.N.Topo_gen.net));
+  Alcotest.(check bool) "spines must be positive" true
     (try
-       ignore (N.Topo_gen.fat_tree ~k:3 ());
+       ignore (N.Topo_gen.clos ~spines:0 ());
        false
      with Invalid_argument _ -> true)
+
+(* --- object pool ----------------------------------------------------------- *)
+
+let test_pool_reuse () =
+  let made = ref 0 in
+  let pool =
+    N.Pool.create ~capacity:4
+      ~make:(fun () -> incr made; ref 0)
+      ()
+  in
+  let a = N.Pool.acquire pool in
+  let b = N.Pool.acquire pool in
+  Alcotest.(check int) "dry free list allocates" 2 !made;
+  Alcotest.(check int) "in_use" 2 (N.Pool.in_use pool);
+  Alcotest.(check int) "free" 0 (N.Pool.free pool);
+  N.Pool.release pool a;
+  N.Pool.release pool b;
+  Alcotest.(check int) "released to free list" 2 (N.Pool.free pool);
+  let c = N.Pool.acquire pool in
+  Alcotest.(check int) "reacquire allocates nothing" 2 !made;
+  Alcotest.(check int) "reused counted" 1 (N.Pool.reused pool);
+  Alcotest.(check bool) "recycled object is one of ours" true (c == a || c == b);
+  Alcotest.(check int) "allocated is lifetime makes" 2 (N.Pool.allocated pool)
+
+let test_pool_capacity_bounds () =
+  let pool = N.Pool.create ~capacity:1 ~make:(fun () -> ref 0) () in
+  let xs = List.init 3 (fun _ -> N.Pool.acquire pool) in
+  List.iter (N.Pool.release pool) xs;
+  Alcotest.(check int) "free list capped at capacity" 1 (N.Pool.free pool);
+  ignore (N.Pool.acquire pool);
+  ignore (N.Pool.acquire pool);
+  Alcotest.(check int) "one reuse then a fresh make" 4 (N.Pool.allocated pool);
+  Alcotest.(check int) "reused" 1 (N.Pool.reused pool)
 
 let test_topo_random_connected () =
   let r = N.Topo_gen.random ~seed:7 ~extra_links:3 8 in
@@ -1103,7 +1183,11 @@ let () =
       ( "topologies",
         [ Alcotest.test_case "shapes" `Quick test_topo_shapes;
           Alcotest.test_case "fat tree" `Quick test_topo_fat_tree;
+          Alcotest.test_case "clos" `Quick test_topo_clos;
           Alcotest.test_case "random connected" `Quick test_topo_random_connected ] );
+      ( "pool",
+        [ Alcotest.test_case "acquire/release reuse" `Quick test_pool_reuse;
+          Alcotest.test_case "capacity bounds" `Quick test_pool_capacity_bounds ] );
       ( "agent",
         [ Alcotest.test_case "control channel" `Quick test_control_channel;
           Alcotest.test_case "handshake v10" `Quick test_agent_handshake_v10;

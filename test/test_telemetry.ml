@@ -273,6 +273,11 @@ let test_proc_metrics_unifies_the_counters () =
     (get "net.frames_delivered" > 0.);
   Alcotest.(check bool) "tracer health exported" true
     (get "trace.spans_recorded" > 0.);
+  (* the packet-in ring and its record pool export through the same file *)
+  Alcotest.(check bool) "pktin ring counted" true
+    (get "driver.pktin.published" >= 0.);
+  Alcotest.(check bool) "pktin pool gauged" true
+    (get "netsim.pool.pktin.allocated" >= 0.);
   (* the per-app and per-switch stat files exist and render *)
   let app_stat = read_proc ctl "apps/routerd/stat" in
   Alcotest.(check bool) "app stat lists iterations" true

@@ -1,0 +1,148 @@
+(* Tests for the seeded heavy-tailed workload generator driving the
+   scale benches: one seed names the entire schedule (the determinism
+   contract the benches rely on), the elephant/mice mix tracks the
+   profile, and injection feeds the network exactly the arrivals due. *)
+
+module N = Netsim
+module P = Packet
+
+let arrival_eq (a : N.Workload.arrival) (b : N.Workload.arrival) =
+  a.N.Workload.at = b.N.Workload.at
+  && a.src = b.src && a.dst = b.dst
+  && a.src_port = b.src_port && a.dst_port = b.dst_port
+  && a.packets = b.packets && a.cls = b.cls
+
+let seed_hosts = QCheck.(pair small_int (int_range 2 64))
+
+let prop_seed_reproducible =
+  QCheck.Test.make ~name:"same seed -> identical schedule" ~count:50
+    seed_hosts
+    (fun (seed, hosts) ->
+      let w1 = N.Workload.create ~seed ~hosts () in
+      let w2 = N.Workload.create ~seed ~hosts () in
+      List.for_all2 arrival_eq
+        (N.Workload.schedule w1 ~n:200)
+        (N.Workload.schedule w2 ~n:200))
+
+let prop_well_formed =
+  QCheck.Test.make
+    ~name:"arrivals well-formed (increasing times, hosts in range, bounded sizes)"
+    ~count:50 seed_hosts
+    (fun (seed, hosts) ->
+      let w = N.Workload.create ~seed ~hosts () in
+      let p = N.Workload.profile w in
+      let last = ref 0. in
+      List.for_all
+        (fun (a : N.Workload.arrival) ->
+          let ok =
+            a.N.Workload.at > !last
+            && a.src >= 1 && a.src <= hosts
+            && a.dst >= 1 && a.dst <= hosts && a.dst <> a.src
+            && a.packets >= 1
+            && a.packets <= p.N.Workload.max_packets
+            &&
+            match a.cls with
+            | N.Workload.Mouse ->
+              a.packets <= (2 * p.N.Workload.mouse_mean_packets) - 1
+            | N.Workload.Elephant ->
+              a.packets >= p.N.Workload.elephant_min_packets
+          in
+          last := a.N.Workload.at;
+          ok)
+        (N.Workload.schedule w ~n:300))
+
+(* The default profile draws 10% elephants: over 4000 arrivals the
+   sample fraction is ~8 standard deviations inside these bounds. *)
+let prop_class_mix =
+  QCheck.Test.make ~name:"elephant fraction tracks the profile" ~count:20
+    QCheck.small_int
+    (fun seed ->
+      let w = N.Workload.create ~seed ~hosts:32 () in
+      let n = 4000 in
+      let elephants =
+        List.length
+          (List.filter
+             (fun (a : N.Workload.arrival) -> a.cls = N.Workload.Elephant)
+             (N.Workload.schedule w ~n))
+      in
+      let f = float_of_int elephants /. float_of_int n in
+      f > 0.06 && f < 0.15)
+
+(* Poisson arrivals at [rate]: the mean interarrival over 4000 draws
+   must sit within 20% of 1/rate. *)
+let prop_rate =
+  QCheck.Test.make ~name:"arrival rate tracks the profile" ~count:20
+    QCheck.small_int
+    (fun seed ->
+      let w = N.Workload.create ~seed ~hosts:8 () in
+      let n = 4000 in
+      let s = N.Workload.schedule w ~n in
+      let span = (List.nth s (n - 1)).N.Workload.at -. (List.hd s).N.Workload.at in
+      let rate = (N.Workload.profile w).N.Workload.rate in
+      let mean = span /. float_of_int (n - 1) in
+      mean > 0.8 /. rate && mean < 1.2 /. rate)
+
+let test_distinct_seeds_differ () =
+  let s1 = N.Workload.schedule (N.Workload.create ~seed:1 ~hosts:16 ()) ~n:50 in
+  let s2 = N.Workload.schedule (N.Workload.create ~seed:2 ~hosts:16 ()) ~n:50 in
+  Alcotest.(check bool) "different seeds, different schedules" false
+    (List.for_all2 arrival_eq s1 s2)
+
+let test_first_frame_conventions () =
+  let w = N.Workload.create ~seed:42 ~hosts:16 () in
+  let a = N.Workload.next w in
+  let h = P.Headers.of_eth ~in_port:1 (N.Workload.first_frame a) in
+  Alcotest.(check string) "src mac" (P.Mac.to_string (N.Topo_gen.host_mac a.N.Workload.src))
+    (P.Mac.to_string h.P.Headers.dl_src);
+  Alcotest.(check string) "dst mac" (P.Mac.to_string (N.Topo_gen.host_mac a.N.Workload.dst))
+    (P.Mac.to_string h.P.Headers.dl_dst);
+  Alcotest.(check (option string)) "src ip"
+    (Some (P.Ipv4_addr.to_string (N.Topo_gen.host_ip a.N.Workload.src)))
+    (Option.map P.Ipv4_addr.to_string h.P.Headers.nw_src);
+  Alcotest.(check (option string)) "dst ip"
+    (Some (P.Ipv4_addr.to_string (N.Topo_gen.host_ip a.N.Workload.dst)))
+    (Option.map P.Ipv4_addr.to_string h.P.Headers.nw_dst);
+  Alcotest.(check (option int)) "tcp" (Some 6) h.P.Headers.nw_proto;
+  Alcotest.(check (option int)) "src port" (Some a.N.Workload.src_port)
+    h.P.Headers.tp_src;
+  Alcotest.(check (option int)) "dst port" (Some a.N.Workload.dst_port)
+    h.P.Headers.tp_dst
+
+let test_inject_until () =
+  let built = N.Topo_gen.linear ~hosts_per_switch:2 1 in
+  let seed = 7 in
+  let wl =
+    N.Workload.create ~seed ~hosts:(List.length built.N.Topo_gen.host_names) ()
+  in
+  (* a twin generator tells us how many arrivals are due by [upto] *)
+  let twin = N.Workload.create ~seed ~hosts:2 () in
+  let upto = 0.01 in
+  let expect = ref 0 in
+  (try
+     while (N.Workload.next twin).N.Workload.at <= upto do incr expect done
+   with _ -> ());
+  let injected = N.Workload.inject_until wl ~net:built.N.Topo_gen.net ~upto in
+  Alcotest.(check int) "injects every due arrival" !expect injected;
+  Alcotest.(check int) "same upto again injects nothing" 0
+    (N.Workload.inject_until wl ~net:built.N.Topo_gen.net ~upto);
+  Alcotest.(check bool) "frames scheduled on the network" true
+    (N.Network.pending_events built.N.Topo_gen.net > 0);
+  (* the boundary arrival is buffered, not lost *)
+  let more =
+    N.Workload.inject_until wl ~net:built.N.Topo_gen.net ~upto:(upto +. 0.1)
+  in
+  Alcotest.(check bool) "buffered arrival injected later" true (more > 0)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_seed_reproducible; prop_well_formed; prop_class_mix; prop_rate ]
+
+let () =
+  Alcotest.run "workload"
+    [ ( "generator",
+        [ Alcotest.test_case "distinct seeds differ" `Quick
+            test_distinct_seeds_differ;
+          Alcotest.test_case "first frame conventions" `Quick
+            test_first_frame_conventions;
+          Alcotest.test_case "inject_until" `Quick test_inject_until ] );
+      "properties", qcheck_cases ]

@@ -300,6 +300,107 @@ let test_flow_counters_and_error () =
     (Fs.exists fs ~cred (Path.child dir "error"));
   ok (Y.Flowdir.set_error fs ~cred dir None)
 
+(* --- packet-in fast path (ring) --------------------------------------------------- *)
+
+let ring ?capacity () =
+  Y.Pktin.create ?capacity ~telemetry:(Telemetry.create ()) ()
+
+let push ?(switch = "sw1") ?(data = "bytes") r =
+  Y.Pktin.publish r ~switch ~in_port:2 ~reason:Openflow.Of_types.No_match
+    ~buffer_id:None ~total_len:(String.length data) ~data ~at:1.5
+
+let test_pktin_roundtrip () =
+  let r = ring () in
+  let c = Y.Pktin.subscribe r ~name:"app" in
+  ignore (push ~data:"one" r);
+  ignore (push ~data:"two" r);
+  Alcotest.(check int) "pending" 2 (Y.Pktin.pending r c);
+  let seen = ref [] in
+  let n =
+    Y.Pktin.drain r c ~max:10 (fun rec_ ->
+        seen := (rec_.Y.Pktin.seq, rec_.Y.Pktin.switch, rec_.Y.Pktin.data,
+                 rec_.Y.Pktin.in_port, rec_.Y.Pktin.at) :: !seen)
+  in
+  Alcotest.(check int) "drained both" 2 n;
+  (match List.rev !seen with
+  | [ (s0, sw0, d0, p0, at0); (s1, _, d1, _, _) ] ->
+    Alcotest.(check string) "oldest first" "one" d0;
+    Alcotest.(check string) "then next" "two" d1;
+    Alcotest.(check string) "switch" "sw1" sw0;
+    Alcotest.(check int) "in_port" 2 p0;
+    Alcotest.(check (float 0.0001)) "publish time" 1.5 at0;
+    Alcotest.(check int) "sequences increase" (s0 + 1) s1;
+    Alcotest.(check string) "trace key shape"
+      (Printf.sprintf "pktin:%d" s0)
+      (Y.Pktin.trace_key s0)
+  | l -> Alcotest.failf "expected 2 records, got %d" (List.length l));
+  Alcotest.(check int) "nothing pending after drain" 0 (Y.Pktin.pending r c);
+  (* a bounded batch drains at most [max] *)
+  for _ = 1 to 5 do ignore (push r) done;
+  Alcotest.(check int) "batch bound respected" 3
+    (Y.Pktin.drain r c ~max:3 (fun _ -> ()))
+
+let test_pktin_no_subscribers () =
+  let r = ring () in
+  ignore (push r);
+  ignore (push r);
+  Alcotest.(check int) "counted as published" 2 (Y.Pktin.published r);
+  Alcotest.(check int) "counted as dropped" 2 (Y.Pktin.dropped r);
+  Alcotest.(check int) "ring untouched: no records allocated" 0
+    (Netsim.Pool.allocated (Y.Pktin.pool r))
+
+let test_pktin_two_consumers_recycle () =
+  let r = ring () in
+  let c1 = Y.Pktin.subscribe r ~name:"a" in
+  let c2 = Y.Pktin.subscribe r ~name:"b" in
+  ignore (push ~data:"x" r);
+  Alcotest.(check int) "a drains" 1 (Y.Pktin.drain r c1 ~max:8 (fun _ -> ()));
+  (* the record recycles only once every consumer has passed it *)
+  Alcotest.(check int) "not recycled while b lags" 0
+    (Netsim.Pool.free (Y.Pktin.pool r));
+  Alcotest.(check int) "b drains" 1 (Y.Pktin.drain r c2 ~max:8 (fun _ -> ()));
+  Alcotest.(check int) "recycled once both passed" 1
+    (Netsim.Pool.free (Y.Pktin.pool r));
+  (* unsubscribing a lagging consumer must not wedge the pool *)
+  ignore (push r);
+  Y.Pktin.unsubscribe r c2;
+  ignore (Y.Pktin.drain r c1 ~max:8 (fun _ -> ()));
+  ignore (push r);
+  ignore (Y.Pktin.drain r c1 ~max:8 (fun _ -> ()));
+  Alcotest.(check bool) "pool keeps cycling" true
+    (Netsim.Pool.free (Y.Pktin.pool r) >= 1)
+
+let test_pktin_overflow () =
+  let r = ring ~capacity:4 () in
+  let slow = Y.Pktin.subscribe r ~name:"slow" in
+  for i = 1 to 10 do ignore (push ~data:(string_of_int i) r) done;
+  Alcotest.(check int) "lagging consumer lost the oldest" 6
+    (Y.Pktin.overruns slow);
+  Alcotest.(check int) "only a ringful pending" 4 (Y.Pktin.pending r slow);
+  let seen = ref [] in
+  ignore (Y.Pktin.drain r slow ~max:10 (fun rec_ ->
+      seen := rec_.Y.Pktin.data :: !seen));
+  Alcotest.(check (list string)) "survivors are the newest, in order"
+    [ "7"; "8"; "9"; "10" ] (List.rev !seen)
+
+let test_pktin_pool_steady_state () =
+  let r = ring () in
+  let c = Y.Pktin.subscribe r ~name:"app" in
+  (* warm: a burst allocates its working set *)
+  for _ = 1 to 8 do ignore (push r) done;
+  ignore (Y.Pktin.drain r c ~max:16 (fun _ -> ()));
+  let pool = Y.Pktin.pool r in
+  let warm = Netsim.Pool.allocated pool in
+  (* steady: publish/drain cycles no larger than the warm burst *)
+  for _ = 1 to 50 do
+    for _ = 1 to 8 do ignore (push r) done;
+    ignore (Y.Pktin.drain r c ~max:16 (fun _ -> ()))
+  done;
+  Alcotest.(check int) "steady state allocates nothing" warm
+    (Netsim.Pool.allocated pool);
+  Alcotest.(check bool) "acquires served by reuse" true
+    (Netsim.Pool.reused pool >= 400)
+
 (* --- event buffers (paper §3.5) --------------------------------------------------------- *)
 
 let publish fs ~switch data =
@@ -499,6 +600,16 @@ let () =
           Alcotest.test_case "rewrite drops stale fields" `Quick
             test_flowdir_rewrite_removes_stale_fields;
           Alcotest.test_case "counters and error" `Quick test_flow_counters_and_error ] );
+      ( "pktin-ring",
+        [ Alcotest.test_case "publish/drain roundtrip" `Quick
+            test_pktin_roundtrip;
+          Alcotest.test_case "no subscribers -> counted drop" `Quick
+            test_pktin_no_subscribers;
+          Alcotest.test_case "two consumers, pooled recycle" `Quick
+            test_pktin_two_consumers_recycle;
+          Alcotest.test_case "overflow lapping" `Quick test_pktin_overflow;
+          Alcotest.test_case "steady state allocates zero" `Quick
+            test_pktin_pool_steady_state ] );
       ( "events",
         [ Alcotest.test_case "fan-out to private buffers" `Quick test_eventdir_fanout;
           Alcotest.test_case "fifo ordering" `Quick test_eventdir_ordering;
