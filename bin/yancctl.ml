@@ -303,6 +303,85 @@ let top_cmd topo datapath of13 apps duration =
   end
   else r.Shell.Pipeline.code
 
+(* --- cluster: sharded multi-node controller status ----------------------------- *)
+
+let cluster_cmd topo datapath of13 nodes kill duration =
+  setup_logs ();
+  let built = topo datapath in
+  let c =
+    Yanc.Cluster.create
+      ~version:(if of13 then Yanc.Controller.V13 else Yanc.Controller.V10)
+      ~n:nodes ~net:built.N.Topo_gen.net ()
+  in
+  let settled =
+    Yanc.Cluster.run_until ~tick:0.01 c (fun () -> Yanc.Cluster.converged c)
+  in
+  (match kill with
+  | Some i when i >= 0 && i < Yanc.Cluster.size c ->
+    Yanc.Cluster.kill c i;
+    (* survivors need the lease to expire before they take over *)
+    ignore
+      (Yanc.Cluster.run_until ~tick:0.01 c (fun () ->
+           Yanc.Cluster.converged c))
+  | Some i ->
+    Printf.eprintf "yancctl: cluster: no node %d (have %d)\n" i
+      (Yanc.Cluster.size c)
+  | None -> ());
+  Yanc.Cluster.run_for ~tick:0.01 c duration;
+  let now = N.Network.now (Yanc.Cluster.net c) in
+  let dfs = Yanc.Cluster.dfs c in
+  let dpids = built.N.Topo_gen.dpids in
+  Printf.printf "cluster: %d node(s), %d switches, %.2fs simulated\n\n"
+    (Yanc.Cluster.size c) (List.length dpids) now;
+  Printf.printf "%-8s %-6s %10s %9s %9s %10s\n" "NODE" "STATE" "LEASE_S"
+    "SWITCHES" "INSTALLS" "TAKEOVERS";
+  (* Leases as the survivors see them: read from the first live node's
+     replica, the same files the reconcile beat derives membership from. *)
+  let viewer =
+    match Yanc.Cluster.live_indexes c with i :: _ -> i | [] -> 0
+  in
+  let fs = Dfs.Cluster.node dfs viewer in
+  List.iter
+    (fun i ->
+      let name = Yanc.Cluster.name_of c i in
+      let lease =
+        match
+          Vfs.Fs.read_file fs ~cred:Vfs.Cred.root
+            (Yancfs.Layout.cluster_lease name)
+        with
+        | Ok data -> (
+          match float_of_string_opt (String.trim data) with
+          | Some expiry -> Printf.sprintf "%+.2f" (expiry -. now)
+          | None -> "?")
+        | Error _ -> "-"
+      in
+      let attached =
+        (* a dead node's manager is frozen state, not ownership *)
+        if Yanc.Cluster.alive c i then
+          string_of_int
+            (List.length
+               (Driver.Manager.attached
+                  (Yanc.Controller.manager (Yanc.Cluster.controller c i))))
+        else "-"
+      in
+      Printf.printf "%-8s %-6s %10s %9s %9d %10d\n" name
+        (if Yanc.Cluster.alive c i then "live" else "dead")
+        lease attached
+        (Yanc.Cluster.node_installs c i)
+        (Yanc.Cluster.takeovers c i))
+    (List.init (Yanc.Cluster.size c) Fun.id);
+  let unowned = Yanc.Cluster.unowned c in
+  Printf.printf "\nshards: %d owned, %d unowned%s\n"
+    (List.length dpids - List.length unowned)
+    (List.length unowned)
+    (if unowned = [] then ""
+     else
+       Printf.sprintf " (%s)"
+         (String.concat ", " (List.map Int64.to_string unowned)));
+  if not settled then
+    Printf.eprintf "yancctl: cluster: boot did not converge\n";
+  if unowned <> [] || not settled then 1 else 0
+
 let trace_cmd topo datapath of13 apps duration pings pipe =
   setup_logs ();
   let topo = topo datapath in
@@ -516,10 +595,38 @@ let trace_t =
       const trace_cmd $ topo_arg $ datapath_arg $ of13_arg $ apps_arg
       $ duration_arg $ ping_arg $ pipe_arg)
 
+let nodes_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "n"; "nodes" ] ~docv:"N"
+        ~doc:"Controller nodes to run (sharded switch ownership).")
+
+let kill_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "kill" ] ~docv:"NODE"
+        ~doc:
+          "After boot converges, kill this node index and wait for the \
+           survivors to take its shards over before reporting.")
+
+let cluster_t =
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:
+         "Boot an N-node sharded cluster over the topology and report \
+          membership (lease validity as read from a live replica), \
+          per-node attached switches, installs and takeovers, and the \
+          shard ownership invariant — nonzero exit if any shard is \
+          unowned.")
+    Term.(
+      const cluster_cmd $ topo_arg $ datapath_arg $ of13_arg $ nodes_arg
+      $ kill_arg $ duration_arg)
+
 let main =
   Cmd.group
     (Cmd.info "yancctl" ~version:"1.0.0"
        ~doc:"yanc: a file-system-centric SDN controller (simulated).")
-    [ run_t; tree_t; shell_t; counters_t; top_t; trace_t ]
+    [ run_t; tree_t; shell_t; counters_t; top_t; trace_t; cluster_t ]
 
 let () = exit (Cmd.eval' main)

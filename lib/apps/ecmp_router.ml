@@ -15,6 +15,9 @@ type t = {
   yfs : Y.Yanc_fs.t;
   cred : Vfs.Cred.t;
   delivery : delivery;
+  tag : string;   (* flow-name namespace: routers on different cluster
+                     nodes install into shared path switches, so names
+                     must not collide across instances *)
   idle_timeout : int;
   priority : int;
   batch : int;
@@ -33,19 +36,21 @@ type t = {
   c_installs : Telemetry.Registry.counter;
   c_unknown : Telemetry.Registry.counter;
   c_no_route : Telemetry.Registry.counter;
+  c_transit : Telemetry.Registry.counter;
 }
 
-let create ?(cred = Vfs.Cred.root) ?(delivery = Ring) ?(idle_timeout = 30)
-    ?(priority = 300) ?(batch = 512) yfs =
+let create ?(cred = Vfs.Cred.root) ?(delivery = Ring) ?(tag = "")
+    ?(idle_timeout = 30) ?(priority = 300) ?(batch = 512) yfs =
   let reg = Telemetry.registry (Y.Yanc_fs.telemetry yfs) in
-  { yfs; cred; delivery; idle_timeout; priority; batch;
+  { yfs; cred; delivery; tag; idle_timeout; priority; batch;
     hosts = Hashtbl.create 256; subscribed = Hashtbl.create 16; ring = None;
     adj = None; nexthops = Hashtbl.create 64; salts = Hashtbl.create 64;
     hosts_loaded = false; paths = 0; flow_seq = 0;
     c_events = Telemetry.Registry.counter reg "app.ecmpd.events";
     c_installs = Telemetry.Registry.counter reg "app.ecmpd.installs";
     c_unknown = Telemetry.Registry.counter reg "app.ecmpd.unknown_dst";
-    c_no_route = Telemetry.Registry.counter reg "app.ecmpd.no_route" }
+    c_no_route = Telemetry.Registry.counter reg "app.ecmpd.no_route";
+    c_transit = Telemetry.Registry.counter reg "app.ecmpd.transit_miss" }
 
 let fs t = Y.Yanc_fs.fs t.yfs
 
@@ -225,7 +230,7 @@ let install t ~headers ~ingress ~dst_loc ~buffer_id ~data ~hops =
           idle_timeout = t.idle_timeout;
           buffer_id = (if is_ingress_hop then buffer_id else None) }
       in
-      let name = Printf.sprintf "ecmp-%d" t.flow_seq in
+      let name = Printf.sprintf "ecmp%s-%d" t.tag t.flow_seq in
       ignore (Y.Yanc_fs.create_flow t.yfs ~cred:t.cred ~switch:sw ~name flow);
       (* Unbuffered ingress: push the original packet along too. *)
       if is_ingress_hop && buffer_id = None then
@@ -239,6 +244,18 @@ let install t ~headers ~ingress ~dst_loc ~buffer_id ~data ~hops =
 let process t ~switch ~in_port ~buffer_id ~data frame =
   match frame.P.Eth.payload with
   | P.Eth.Lldp _ -> ()
+  | _ when List.exists
+             (fun (h : hop) -> h.out_port = in_port)
+             (Hashtbl.find_all (adjacency t) switch) ->
+    (* A miss on an inter-switch port is a transit packet racing its
+       own path: the ingress switch's owner already routed this flow,
+       and the rule for this hop is in the commit (or, across cluster
+       nodes, the replication) pipeline. Re-routing here would install
+       the whole path a second time from mid-fabric — on a sharded
+       cluster, once per node the path crosses. Drop it like any
+       convergence-window loss and let the rule land. *)
+    Telemetry.Registry.incr t.c_events;
+    Telemetry.Registry.incr t.c_transit
   | _ -> (
     Telemetry.Registry.incr t.c_events;
     learn t ~switch ~in_port frame;

@@ -28,11 +28,15 @@ type t
 type delivery = Ring | Eventdir
 
 val create :
-  ?cred:Vfs.Cred.t -> ?delivery:delivery -> ?idle_timeout:int ->
-  ?priority:int -> ?batch:int -> Yancfs.Yanc_fs.t -> t
-(** [delivery] defaults to [Ring]; [batch] (default 512) bounds ring
-    events handled per scheduler tick; [idle_timeout] (default 30) and
-    [priority] (default 300) shape the installed rules. *)
+  ?cred:Vfs.Cred.t -> ?delivery:delivery -> ?tag:string ->
+  ?idle_timeout:int -> ?priority:int -> ?batch:int ->
+  Yancfs.Yanc_fs.t -> t
+(** [delivery] defaults to [Ring]; [tag] namespaces installed flow
+    names ([ecmp<tag>-<seq>]) so router instances on different cluster
+    nodes never collide in a shared path switch's flows directory;
+    [batch] (default 512) bounds ring events handled per scheduler
+    tick; [idle_timeout] (default 30) and [priority] (default 300)
+    shape the installed rules. *)
 
 val app : t -> App_intf.t
 (** Daemon named ["ecmpd"]. In [Ring] mode it exposes a [pending] hook

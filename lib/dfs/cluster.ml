@@ -8,6 +8,7 @@ type op_state =
 
 type pending_op = {
   due : float;
+  origin : int;
   target : int;
   op : Vfs.Op.t;
   mutable state : op_state;
@@ -26,21 +27,50 @@ type t = {
   (* Still-queued content ops per (target, path string) — the window a
      later truncate-to-zero may coalesce over. *)
   candidates : (string, pending_op list) Hashtbl.t array;
+  (* Still-queued default-mode [Create]s per (target, path string): a
+     following whole-file [Write] makes them redundant, because a
+     replayed [Write] creates its file on ENOENT. *)
+  creates : (string, pending_op) Hashtbl.t array;
   mutable applying : bool;         (* replication-echo guard *)
+  (* Sharded replication: when set, an op travels only to the replicas
+     the policy names (minus the origin) instead of every peer — the
+     partitioned-ownership optimisation. [None] from the policy means
+     "everywhere" (metadata, unsharded paths). *)
+  mutable route : (Vfs.Op.t -> origin:int -> int list option) option;
+  (* Notification batching: ops mapped to the same class by this
+     policy are interchangeable as far as watchers care (e.g. every
+     file of one flow directory marks the same flow dirty), so a drain
+     replays a consecutive same-(target, class) run with fsnotify
+     suppressed on all but the last op — inotify-style coalescing moved
+     to where the burst is visible. [None] means "always emit". *)
+  mutable emit_class : (Vfs.Op.t -> string option) option;
+  (* Path-prefix consistency overrides, checked before any xattr probe:
+     a cheap string compare on the hot path instead of an ancestor walk. *)
+  mutable prefix_consistency : (string * Consistency.t) list;
+  mutable probe_xattrs : bool;
+  replay_busy : float array;       (* CPU seconds each replica spent
+                                      applying peers' ops *)
   mutable ops_originated : int;
   mutable ops_replicated : int;
   mutable ops_coalesced : int;
+  mutable emits_elided : int;
+  mutable ops_synced : int;
+  mutable ops_dropped : int;
   mutable writer_blocked_s : float;
   mutable max_queue : int;
 }
 
-let apply t target op =
+let apply ?(emit = true) t target op =
   t.applying <- true;
+  let t0 = Sys.time () in
   Fun.protect
-    ~finally:(fun () -> t.applying <- false)
+    ~finally:(fun () ->
+      t.applying <- false;
+      t.replay_busy.(target) <- t.replay_busy.(target) +. (Sys.time () -. t0))
     (fun () ->
       t.ops_replicated <- t.ops_replicated + 1;
-      ignore (Fs.replay ~emit:true t.replicas.(target) op))
+      if not emit then t.emits_elided <- t.emits_elided + 1;
+      ignore (Fs.replay ~emit t.replicas.(target) op))
 
 let stash_op t p =
   p.state <- Stashed;
@@ -70,11 +100,31 @@ let coalesce_into t (p : pending_op) =
         end)
       prior;
     Hashtbl.replace cands key [ p ]
-  | Vfs.Op.Write { path; _ } | Vfs.Op.Truncate { path; _ } ->
+  | Vfs.Op.Write { path; off; _ } ->
+    let key = Vfs.Path.to_string path in
+    (* A whole-file write makes a still-queued default-mode [Create]
+       of the same file redundant: replaying the [Write] creates it. *)
+    if off = 0 then begin
+      match Hashtbl.find_opt t.creates.(p.target) key with
+      | Some c when c.state = Queued ->
+        c.state <- Dead;
+        t.queued_live <- t.queued_live - 1;
+        t.ops_coalesced <- t.ops_coalesced + 1;
+        Hashtbl.remove t.creates.(p.target) key
+      | _ -> ()
+    end;
+    let prior = Option.value ~default:[] (Hashtbl.find_opt cands key) in
+    Hashtbl.replace cands key (p :: prior)
+  | Vfs.Op.Truncate { path; _ } ->
     let key = Vfs.Path.to_string path in
     let prior = Option.value ~default:[] (Hashtbl.find_opt cands key) in
     Hashtbl.replace cands key (p :: prior)
-  | op when Vfs.Op.is_structural op -> Hashtbl.reset cands
+  | Vfs.Op.Create { path; mode } when mode land 0o7777 = 0o644 ->
+    Hashtbl.reset cands;
+    Hashtbl.replace t.creates.(p.target) (Vfs.Path.to_string path) p
+  | op when Vfs.Op.is_structural op ->
+    Hashtbl.reset cands;
+    Hashtbl.reset t.creates.(p.target)
   | _ -> ()
 
 let enqueue t p =
@@ -89,36 +139,67 @@ let enqueue t p =
 let consistency_xattr = "user.consistency"
 
 (* The nearest [user.consistency] annotation on the path or an ancestor
-   overrides the cluster-wide model (paper §5.1). *)
+   overrides the cluster-wide model (paper §5.1); a registered path
+   prefix does the same without touching the file system — the form the
+   sharded controller uses so the per-op check is one string compare. *)
 let effective_consistency t ~origin path =
-  let fs = t.replicas.(origin) in
-  let rec probe = function
-    | None -> t.consistency
-    | Some p -> (
-      match
-        Vfs.Cost.suspended (Fs.cost fs) (fun () ->
-            Fs.getxattr fs ~cred:Vfs.Cred.root p ~name:consistency_xattr)
-      with
-      | Ok v -> (
-        match String.trim v with
-        | "strict" -> Consistency.Sequential
-        | "relaxed" -> Consistency.Eventual { propagation_s = 1.0 }
-        | _ -> t.consistency)
-      | Error _ -> probe (Vfs.Path.parent p))
+  let s = Vfs.Path.to_string path in
+  let by_prefix =
+    List.find_opt
+      (fun (prefix, _) ->
+        String.length s >= String.length prefix
+        && String.sub s 0 (String.length prefix) = prefix)
+      t.prefix_consistency
   in
-  probe (Some path)
+  match by_prefix with
+  | Some (_, c) -> c
+  | None ->
+    if not t.probe_xattrs then t.consistency
+    else begin
+      let fs = t.replicas.(origin) in
+      let rec probe = function
+        | None -> t.consistency
+        | Some p -> (
+          match
+            Vfs.Cost.suspended (Fs.cost fs) (fun () ->
+                Fs.getxattr fs ~cred:Vfs.Cred.root p ~name:consistency_xattr)
+          with
+          | Ok v -> (
+            match String.trim v with
+            | "strict" -> Consistency.Sequential
+            | "relaxed" -> Consistency.Eventual { propagation_s = 1.0 }
+            | _ -> t.consistency)
+          | Error _ -> probe (Vfs.Path.parent p))
+      in
+      probe (Some path)
+    end
+
+(* The replicas an op travels to: everyone but the origin, unless a
+   routing policy narrows it (sharded subtrees go only to their
+   replica set). *)
+let targets_of t ~origin op =
+  match t.route with
+  | None -> None
+  | Some route -> (
+    match route op ~origin with
+    | None -> None
+    | Some l -> Some (List.filter (fun i -> i <> origin && i >= 0 && i < Array.length t.replicas) l))
+
+let iter_targets t ~origin op f =
+  match targets_of t ~origin op with
+  | None ->
+    Array.iteri (fun target _ -> if target <> origin then f target) t.replicas
+  | Some l -> List.iter f l
 
 let on_origin_op t origin op =
   if not t.applying then begin
     t.ops_originated <- t.ops_originated + 1;
     if t.partitioned.(origin) then
       (* The origin is cut off: remember its writes for every peer. *)
-      Array.iteri
-        (fun target _ ->
-          if target <> origin then
-            t.stash.(origin) <-
-              { due = t.clock; target; op; state = Stashed } :: t.stash.(origin))
-        t.replicas
+      iter_targets t ~origin op (fun target ->
+          t.stash.(origin) <-
+            { due = t.clock; origin; target; op; state = Stashed }
+            :: t.stash.(origin))
     else begin
       let consistency = effective_consistency t ~origin (Vfs.Op.path op) in
       match consistency with
@@ -129,19 +210,14 @@ let on_origin_op t origin op =
           t.writer_blocked_s
           +. Consistency.write_blocks_for consistency ~rtt:t.rtt
                ~replicas:(Array.length t.replicas);
-        Array.iteri
-          (fun target _ ->
-            if target <> origin then
-              if t.partitioned.(target) then
-                stash_op t { due = t.clock; target; op; state = Stashed }
-              else apply t target op)
-          t.replicas
+        iter_targets t ~origin op (fun target ->
+            if t.partitioned.(target) then
+              stash_op t { due = t.clock; origin; target; op; state = Stashed }
+            else apply t target op)
       | Consistency.Close_to_open _ | Consistency.Eventual _ ->
         let due = t.clock +. Consistency.visibility_delay consistency in
-        Array.iteri
-          (fun target _ ->
-            if target <> origin then enqueue t { due; target; op; state = Queued })
-          t.replicas
+        iter_targets t ~origin op (fun target ->
+            enqueue t { due; origin; target; op; state = Queued })
     end
   end
 
@@ -153,8 +229,13 @@ let make ~consistency ~rtt replicas =
       partitioned = Array.make n false;
       stash = Array.make n [];
       candidates = Array.init n (fun _ -> Hashtbl.create 64);
-      applying = false; ops_originated = 0; ops_replicated = 0;
-      ops_coalesced = 0; writer_blocked_s = 0.; max_queue = 0 }
+      creates = Array.init n (fun _ -> Hashtbl.create 64);
+      applying = false; route = None; emit_class = None;
+      prefix_consistency = [];
+      probe_xattrs = true; replay_busy = Array.make n 0.;
+      ops_originated = 0; ops_replicated = 0;
+      ops_coalesced = 0; emits_elided = 0; ops_synced = 0; ops_dropped = 0;
+      writer_blocked_s = 0.; max_queue = 0 }
   in
   Array.iteri (fun i fs -> ignore (Fs.subscribe fs (on_origin_op t i))) replicas;
   t
@@ -180,6 +261,7 @@ let drain t ~all =
      got cut off meanwhile), not-yet-due ops re-queue behind them in
      arrival order, dead ops fall out. *)
   let n = Queue.length t.queue in
+  let due = ref [] in
   for _ = 1 to n do
     let p = Queue.pop t.queue in
     match p.state with
@@ -189,11 +271,33 @@ let drain t ~all =
       if t.partitioned.(p.target) then stash_op t p
       else begin
         p.state <- Done;
-        apply t p.target p.op
+        due := p :: !due
       end
     | Queued -> Queue.push p t.queue
     | Stashed | Done -> () (* unreachable: such ops left the queue *)
-  done
+  done;
+  (* Replay the due ops in arrival order. A consecutive run with the
+     same target and the same emit class — a flow directory's burst of
+     field writes landing on one replica — notifies only on its last
+     op: the watchers' dirty-marking is per class, so one event covers
+     the run and the replica skips the per-op hook fan-out. *)
+  let due = Array.of_list (List.rev !due) in
+  let m = Array.length due in
+  let class_of p =
+    match t.emit_class with None -> None | Some f -> f p.op
+  in
+  Array.iteri
+    (fun i p ->
+      let emit =
+        i = m - 1
+        || due.(i + 1).target <> p.target
+        ||
+        match class_of p with
+        | None -> true
+        | Some c -> class_of due.(i + 1) <> Some c
+      in
+      apply ~emit t p.target p.op)
+    due
 
 let advance t dt =
   t.clock <- t.clock +. dt;
@@ -203,6 +307,8 @@ let flush t = drain t ~all:true
 
 let pending t =
   t.queued_live + Array.fold_left (fun acc s -> acc + List.length s) 0 t.stash
+
+let stashed t i = List.length t.stash.(i)
 
 let converged t = pending t = 0
 
@@ -226,10 +332,81 @@ let set_partitioned t i cut =
   end
   else t.partitioned.(i) <- cut
 
+let set_route t route = t.route <- route
+
+let set_emit_class t f = t.emit_class <- f
+
+let emits_elided t = t.emits_elided
+
+let set_prefix_consistency t prefixes = t.prefix_consistency <- prefixes
+
+let set_xattr_probing t b = t.probe_xattrs <- b
+
+let replay_busy_s t i = t.replay_busy.(i)
+
+(* Anti-entropy: materialise [from_]'s current state under [path] on
+   [to_] by replaying synthetic ops — the state transfer a replica-set
+   change needs (a promoted secondary, a joining node). Idempotent over
+   whatever the target already holds; files are truncated + rewritten,
+   symlinks re-pointed. *)
+let sync_subtree t ~from_ ~to_ path =
+  let fs = t.replicas.(from_) in
+  let cred = Vfs.Cred.root in
+  let put op =
+    t.ops_synced <- t.ops_synced + 1;
+    apply t to_ op
+  in
+  let copy p (st : Fs.stat) =
+    match st.kind with
+    | Fs.Dir -> put (Vfs.Op.Mkdir { path = p; mode = st.mode })
+    | Fs.File -> (
+      match Vfs.Cost.suspended (Fs.cost fs) (fun () -> Fs.read_file fs ~cred p) with
+      | Error _ -> ()
+      | Ok data ->
+        put (Vfs.Op.Create { path = p; mode = st.mode });
+        put (Vfs.Op.Truncate { path = p; size = 0 });
+        if data <> "" then put (Vfs.Op.Write { path = p; off = 0; data }))
+    | Fs.Symlink -> (
+      match Vfs.Cost.suspended (Fs.cost fs) (fun () -> Fs.readlink fs ~cred p) with
+      | Error _ -> ()
+      | Ok target ->
+        put (Vfs.Op.Unlink { path = p });
+        put (Vfs.Op.Symlink { path = p; target }))
+  in
+  let before = t.ops_synced in
+  (match
+     Vfs.Cost.suspended (Fs.cost fs) (fun () ->
+         Fs.fold fs ~cred path ~init:() (fun () p st ->
+             copy p st;
+             ((), `Continue)))
+   with
+  | Ok () | Error _ -> ());
+  t.ops_synced - before
+
+(* A killed node's not-yet-visible ops never left the box: drop them
+   from the queue (the op-log tail that died with the process). *)
+let drop_origin_pending t origin =
+  let dropped = ref 0 in
+  Queue.iter
+    (fun p ->
+      if p.state = Queued && p.origin = origin then begin
+        p.state <- Dead;
+        t.queued_live <- t.queued_live - 1;
+        incr dropped
+      end)
+    t.queue;
+  t.ops_dropped <- t.ops_dropped + !dropped;
+  !dropped
+
+let ops_synced t = t.ops_synced
+
+let ops_dropped t = t.ops_dropped
+
 type metrics = {
   ops_originated : int;
   ops_replicated : int;
   ops_coalesced : int;
+  emits_elided : int;
   writer_blocked_s : float;
   max_queue : int;
 }
@@ -238,6 +415,7 @@ let metrics (t : t) =
   { ops_originated = t.ops_originated;
     ops_replicated = t.ops_replicated;
     ops_coalesced = t.ops_coalesced;
+    emits_elided = t.emits_elided;
     writer_blocked_s = t.writer_blocked_s;
     max_queue = t.max_queue }
 
@@ -247,6 +425,8 @@ let register (t : t) registry =
   gi "ops_originated" (fun () -> t.ops_originated);
   gi "ops_replicated" (fun () -> t.ops_replicated);
   gi "ops_coalesced" (fun () -> t.ops_coalesced);
+  gi "ops_synced" (fun () -> t.ops_synced);
+  gi "ops_dropped" (fun () -> t.ops_dropped);
   g "writer_blocked_s" (fun () -> t.writer_blocked_s);
   gi "max_queue" (fun () -> t.max_queue);
   gi "pending" (fun () -> pending t);

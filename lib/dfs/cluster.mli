@@ -21,6 +21,10 @@ type metrics = {
   ops_coalesced : int;
       (** queued content ops superseded by a later write to the same
           path before their visibility time (last-write-wins) *)
+  emits_elided : int;
+      (** replicated ops replayed with notification suppressed because
+          a later op of the same drain run covers them (see
+          {!set_emit_class}) *)
   writer_blocked_s : float;
       (** total time writers stalled (Sequential rounds) *)
   max_queue : int;  (** high-water mark of pending replications *)
@@ -52,6 +56,11 @@ val converged : t -> bool
 
 val pending : t -> int
 
+val stashed : t -> int -> int
+(** Ops held in node [i]'s partition stash (both directions) — lets a
+    caller treat a permanently dead node's stash as out of scope when
+    judging convergence. *)
+
 val set_partitioned : t -> int -> bool -> unit
 (** Cut a node off: ops to and from it queue. Healing replays both
     directions (last-writer-wins at the file level). *)
@@ -74,6 +83,57 @@ val effective_consistency : t -> origin:int -> Vfs.Path.t -> Consistency.t
     and introspection). *)
 
 val partitioned : t -> int -> bool
+
+(** {1 Sharded replication}
+
+    The partitioned-ownership optimisation: a routing policy narrows
+    where an op travels, so a sharded subtree's writes ride the op-log
+    only to its replica set instead of every node. *)
+
+val set_route : t -> (Vfs.Op.t -> origin:int -> int list option) option -> unit
+(** Install (or clear) the routing policy. The policy returns the
+    replica indexes an op should reach ([None] = every peer, the
+    default); the origin is always excluded. *)
+
+val set_emit_class : t -> (Vfs.Op.t -> string option) option -> unit
+(** Notification-batching policy: ops mapped to the same class [Some c]
+    are interchangeable to watchers (any one event dirty-marks the same
+    object — e.g. every field file of one flow directory), so a drain
+    suppresses fsnotify on all but the last op of a consecutive
+    same-(target, class) run. [None] from the policy (or no policy, the
+    default) means the op always notifies. *)
+
+val emits_elided : t -> int
+(** Replicated ops whose notification was suppressed by the batching
+    policy. *)
+
+val set_prefix_consistency : t -> (string * Consistency.t) list -> unit
+(** Path-prefix consistency overrides, consulted before any xattr
+    probe: one string compare per op instead of an ancestor walk —
+    how the cluster pins [/yanc/cluster] metadata to [Sequential]
+    while flow state stays on the delayed op-log. *)
+
+val set_xattr_probing : t -> bool -> unit
+(** Disable the per-op xattr ancestor probe entirely (hot-path mode:
+    prefix overrides only). Default [true]. *)
+
+val sync_subtree : t -> from_:int -> to_:int -> Vfs.Path.t -> int
+(** Anti-entropy state transfer: materialise [from_]'s current state
+    under a path onto [to_] (dirs, file contents, symlinks), replayed
+    through the normal apply path so watchers on the target fire.
+    Returns the number of ops synthesised. *)
+
+val drop_origin_pending : t -> int -> int
+(** Drop every queued op originated by this node — the op-log tail that
+    dies with a killed process. Returns the number dropped. *)
+
+val replay_busy_s : t -> int -> float
+(** CPU seconds replica [i] has spent applying ops from peers (replay +
+    sync) — the replication share of a node's busy time. *)
+
+val ops_synced : t -> int
+
+val ops_dropped : t -> int
 
 val metrics : t -> metrics
 

@@ -1,0 +1,109 @@
+(* Rendezvous (highest-random-weight) hashing over the member set.
+
+   Every node computes the same pure function of (dpid, membership), so
+   the shard map needs no coordination beyond agreeing on who is alive:
+   the owner of a switch is the member whose hash wins for that dpid.
+   When a member leaves, only the switches it owned move (each to its
+   runner-up); when a member joins, only the switches it now wins move
+   to it — the minimal-movement property the cluster leans on to keep
+   takeover traffic proportional to the failure, not the fleet. *)
+
+(* splitmix64 finalizer: full-avalanche mixing so near-identical inputs
+   (consecutive dpids, "n0"/"n1" member names) land far apart. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+            0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+            0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let hash_member member =
+  (* FNV-1a over the name, then finalized: the per-member seed. *)
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    member;
+  mix64 !h
+
+let score ~member ~dpid = mix64 (Int64.logxor (hash_member member) dpid)
+
+(* Unsigned comparison: scores are raw 64-bit lanes. *)
+let score_lt a b = Int64.unsigned_compare a b < 0
+
+let owner ~members ~dpid =
+  List.fold_left
+    (fun best m ->
+      let s = score ~member:m ~dpid in
+      match best with
+      | Some (bs, bm) when score_lt s bs || (s = bs && String.compare m bm > 0)
+        -> best
+      | _ -> Some (s, m))
+    None members
+  |> Option.map snd
+
+let replicas ~members ~k ~dpid =
+  if k <= 0 then []
+  else
+    let scored = List.map (fun m -> (score ~member:m ~dpid, m)) members in
+    let sorted =
+      List.sort
+        (fun (s1, m1) (s2, m2) ->
+          (* highest score first; ties broken by name so the order is a
+             pure function of the inputs *)
+          let c = Int64.unsigned_compare s2 s1 in
+          if c <> 0 then c else String.compare m1 m2)
+        scored
+    in
+    List.filteri (fun i _ -> i < k) (List.map snd sorted)
+
+let assign ~members ~dpids =
+  List.filter_map
+    (fun dpid -> Option.map (fun m -> (dpid, m)) (owner ~members ~dpid))
+    dpids
+
+(* Consistent hashing with bounded loads: pure rendezvous hashing
+   assigns each dpid an independent coin flip among the members, so a
+   fleet of D switches lands binomially — an 80-switch k=8 fat-tree
+   split 47/33 across two nodes is well within one sigma, and the
+   overloaded node becomes the whole cluster's critical path. Capping
+   every member at ceil(slack * D/N) and spilling an over-cap dpid down
+   its own preference order keeps the imbalance bounded by [slack]
+   while still moving only O(D/N) shards per membership change: an
+   off-cap dpid sits at its rendezvous first choice exactly as before,
+   and only the overflow tail is placement-order dependent. *)
+let assign_balanced ?(slack = 1.10) ~members ~dpids () =
+  match members with
+  | [] -> []
+  | _ ->
+    (* Sorted, deduplicated dpids: the fill order must be a pure
+       function of the *set* so every node computes the same map. *)
+    let dpids = List.sort_uniq Int64.compare dpids in
+    let n = List.length members and d = List.length dpids in
+    let cap =
+      max 1 (int_of_float (ceil (slack *. float_of_int d /. float_of_int n)))
+    in
+    let load = Hashtbl.create n in
+    List.iter (fun m -> Hashtbl.replace load m 0) members;
+    List.map
+      (fun dpid ->
+        let prefs = replicas ~members ~k:n ~dpid in
+        let rec place = function
+          | [] -> List.hd prefs (* unreachable: n * cap >= d *)
+          | m :: rest ->
+            if Hashtbl.find load m < cap then m else place rest
+        in
+        let m = place prefs in
+        Hashtbl.replace load m (1 + Hashtbl.find load m);
+        (dpid, m))
+      dpids
+
+let spread ~members ~dpids =
+  let counts = Hashtbl.create (List.length members) in
+  List.iter (fun m -> Hashtbl.replace counts m 0) members;
+  List.iter
+    (fun (_, m) ->
+      Hashtbl.replace counts m (1 + Option.value ~default:0 (Hashtbl.find_opt counts m)))
+    (assign ~members ~dpids);
+  List.sort compare (Hashtbl.fold (fun m c acc -> (m, c) :: acc) counts [])

@@ -27,20 +27,28 @@ type t = {
   mutable dropped : int;
   mutable enabled : bool;
   mutable now : float;
+  (* The control-round counter: the sim clock is frozen inside one
+     controller round, so [t1 - origin] quantizes to 0 for any pipeline
+     that completes within a round. Rounds are the honest sub-tick unit:
+     the loop bumps this once per round, and each traced stage also
+     feeds a [rounds.<stage>] histogram with [round - origin_round]. *)
+  mutable round : int;
   mutable next_trace : int;
   mutable next_span : int;
   mutable cur_trace : int;
   mutable cur_origin : float;
+  mutable cur_origin_round : int;
   stack : int array; (* open span ids, innermost last *)
   mutable depth : int;
-  stamps : (string, int * float) Hashtbl.t;
+  stamps : (string, int * float * int) Hashtbl.t;
   stamp_order : string Queue.t;
 }
 
 let create ?(capacity = 4096) registry =
   { registry; capacity = max 1 capacity; ring = [||]; wpos = 0; rpos = 0;
-    dropped = 0; enabled = false; now = 0.; next_trace = 0; next_span = 0;
-    cur_trace = 0; cur_origin = 0.; stack = Array.make max_depth 0; depth = 0;
+    dropped = 0; enabled = false; now = 0.; round = 0; next_trace = 0;
+    next_span = 0; cur_trace = 0; cur_origin = 0.; cur_origin_round = 0;
+    stack = Array.make max_depth 0; depth = 0;
     stamps = Hashtbl.create 64; stamp_order = Queue.create () }
 
 let set_enabled t b = t.enabled <- b
@@ -51,6 +59,10 @@ let set_now t f = t.now <- f
 
 let now t = t.now
 
+let bump_round t = t.round <- t.round + 1
+
+let round t = t.round
+
 (* --- traces ------------------------------------------------------------------ *)
 
 let fresh t =
@@ -59,6 +71,7 @@ let fresh t =
     t.next_trace <- t.next_trace + 1;
     t.cur_trace <- t.next_trace;
     t.cur_origin <- t.now;
+    t.cur_origin_round <- t.round;
     t.cur_trace
   end
 
@@ -66,13 +79,14 @@ let current t = t.cur_trace
 
 let clear t =
   t.cur_trace <- 0;
-  t.cur_origin <- 0.
+  t.cur_origin <- 0.;
+  t.cur_origin_round <- 0
 
 let stamp t key =
   if t.enabled && t.cur_trace <> 0 then begin
     if Queue.length t.stamp_order >= stamp_cap then
       Hashtbl.remove t.stamps (Queue.pop t.stamp_order);
-    Hashtbl.replace t.stamps key (t.cur_trace, t.cur_origin);
+    Hashtbl.replace t.stamps key (t.cur_trace, t.cur_origin, t.cur_origin_round);
     Queue.push key t.stamp_order
   end
 
@@ -81,9 +95,10 @@ let resume t key =
   else
     match Hashtbl.find_opt t.stamps key with
     | None -> false
-    | Some (trace, origin) ->
+    | Some (trace, origin, origin_round) ->
       t.cur_trace <- trace;
       t.cur_origin <- origin;
+      t.cur_origin_round <- origin_round;
       true
 
 (* --- the ring ---------------------------------------------------------------- *)
@@ -131,10 +146,14 @@ let span t ~stage f =
         (* Attribution at end, so a resume inside the span counts. *)
         let trace = t.cur_trace and origin = t.cur_origin in
         push t { trace; span_id; parent; stage; t0; t1; origin };
-        if trace <> 0 then
+        if trace <> 0 then begin
           Registry.observe
             (Registry.histogram t.registry ("trace." ^ stage))
-            (t1 -. origin))
+            (t1 -. origin);
+          Registry.observe
+            (Registry.histogram t.registry ("rounds." ^ stage))
+            (float_of_int (t.round - t.cur_origin_round))
+        end)
   end
 
 let render_pipe t =

@@ -45,6 +45,15 @@ val set_now : t -> float -> unit
 
 val now : t -> float
 
+val bump_round : t -> unit
+(** Advance the control-round counter (once per controller round). The
+    sim clock does not move inside a round, so [t1 - origin] quantizes
+    to zero for any pipeline finishing within one; rounds are the
+    honest sub-tick latency unit. Traced spans additionally feed a
+    [rounds.<stage>] histogram with [round_end - round_origin]. *)
+
+val round : t -> int
+
 (** {1 Traces} *)
 
 val fresh : t -> int

@@ -45,13 +45,13 @@ let register_probes ~telemetry ~fs ~net =
   gi "net.frames_delivered" (fun () -> fst (Netsim.Network.stats net));
   gi "net.frames_dropped" (fun () -> snd (Netsim.Network.stats net))
 
-let create ?root ?fs:fs_opt ?telemetry ?tuning ?seed ~net () =
+let create ?root ?proc_root ?fs:fs_opt ?telemetry ?tuning ?seed ~net () =
   let telemetry =
     match telemetry with Some t -> t | None -> Telemetry.create ()
   in
   let fs = match fs_opt with Some fs -> fs | None -> Vfs.Fs.create () in
   let yfs = Yancfs.Yanc_fs.create ?root ~telemetry fs in
-  let proc = Yancfs.Procdir.mount ~fs ~telemetry () in
+  let proc = Yancfs.Procdir.mount ?proc:proc_root ~fs ~telemetry () in
   register_probes ~telemetry ~fs ~net;
   { fs; yfs; net; manager = Driver.Manager.create ?tuning ?seed ~yfs ~net ();
     scheduler = Scheduler.create ~telemetry (); telemetry; proc }
@@ -142,7 +142,9 @@ let now t = Netsim.Network.now t.net
 let step t =
   let now = Netsim.Network.now t.net in
   Vfs.Fs.set_time t.fs now;
-  Telemetry.Tracer.set_now (Telemetry.tracer t.telemetry) now;
+  let tracer = Telemetry.tracer t.telemetry in
+  Telemetry.Tracer.set_now tracer now;
+  Telemetry.Tracer.bump_round tracer;
   Driver.Manager.step t.manager ~now;
   ignore (Scheduler.tick t.scheduler ~now);
   Driver.Manager.step t.manager ~now

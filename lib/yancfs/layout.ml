@@ -63,6 +63,23 @@ let trace_key_event seq = Printf.sprintf "ev:%d" seq
 
 let trace_key_flow ~switch name = Printf.sprintf "flow:%s/%s" switch name
 
+(* --- /yanc/cluster (sharded multi-node control, see Yanc.Cluster) ------------ *)
+
+let cluster_root = Path.of_string_exn "/yanc/cluster"
+
+let cluster_nodes_dir = Path.child cluster_root "nodes"
+
+let cluster_node name = Path.child cluster_nodes_dir name
+
+let cluster_lease name = Path.child (cluster_node name) "lease"
+
+let cluster_shards_dir = Path.child cluster_root "shards"
+
+let cluster_shard dpid = Path.child cluster_shards_dir (Int64.to_string dpid)
+
+let node_proc_root name =
+  Path.of_string_exn (Printf.sprintf "/yanc/nodes/%s/.proc" name)
+
 (* --- /yanc/.proc (procfs analog, see Procdir) ------------------------------- *)
 
 let default_proc_root = Path.of_string_exn "/yanc/.proc"

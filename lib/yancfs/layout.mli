@@ -83,6 +83,37 @@ val trace_key_event : int -> string
 val trace_key_flow : switch:string -> string -> string
 (** ["flow:<switch>/<flow>"] *)
 
+(** {1 /yanc/cluster — sharded multi-node control (see [Yanc.Cluster])}
+
+    The shard map and membership live {e in the file system}: a node's
+    lease is a file holding its expiry on the shared clock, a shard
+    record names the owner that claimed the switch. Both replicate
+    through {!Dfs.Cluster}, so every node reads cluster state the same
+    way it reads network state. *)
+
+val cluster_root : Vfs.Path.t
+(** [/yanc/cluster] *)
+
+val cluster_nodes_dir : Vfs.Path.t
+(** [/yanc/cluster/nodes] — one entry per member. *)
+
+val cluster_node : string -> Vfs.Path.t
+
+val cluster_lease : string -> Vfs.Path.t
+(** [/yanc/cluster/nodes/<node>/lease] — expiry timestamp (sim clock);
+    a member is alive while its lease is unexpired. *)
+
+val cluster_shards_dir : Vfs.Path.t
+(** [/yanc/cluster/shards] — claim records, one file per dpid. *)
+
+val cluster_shard : int64 -> Vfs.Path.t
+(** [/yanc/cluster/shards/<dpid>] — "owner replica,replica" as written
+    by the claiming node. *)
+
+val node_proc_root : string -> Vfs.Path.t
+(** [/yanc/nodes/<node>/.proc] — where a cluster node mounts its
+    per-node procfs. *)
+
 (** {1 /yanc/.proc — the procfs analog (see {!Procdir})} *)
 
 val default_proc_root : Vfs.Path.t
