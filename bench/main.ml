@@ -1664,10 +1664,11 @@ let e19_scale ?(ks = [ 4; 8; 16 ]) ?(json = None) () =
    latency is sim time from kill to reconvergence (lease expiry +
    reconcile beat + attach resync). *)
 
-let e20_rig ?(n = 2) ?(k = 8) () =
+let e20_rig ?(tracing = true) ?(n = 2) ?(k = 8) () =
   let built = N.Topo_gen.fat_tree ~k () in
   let c =
-    Yanc.Cluster.create ~tuning:e19_tuning ~n ~net:built.N.Topo_gen.net ()
+    Yanc.Cluster.create ~tracing ~tuning:e19_tuning ~n
+      ~net:built.N.Topo_gen.net ()
   in
   (* boot: seeded leases, first reconcile beats attach every shard *)
   if not (Yanc.Cluster.run_until ~tick:0.01 c (fun () -> Yanc.Cluster.converged c))
@@ -1928,6 +1929,157 @@ let e20_cluster ?(json = None) () =
   match json with
   | Some path -> e20_json_of path ~seed ~tick ~factor:2 series takeovers
   | None -> ()
+
+(* --- E21: the observability plane's own bill ----------------------------------
+   What does cluster-wide tracing cost, and does a trace actually cross
+   nodes? One storm per (tracing, n) point; overhead is min-of-5
+   interleaved wall (same epsilon story as the E16 gate); coverage is
+   measured from the nodes' span rings themselves: a trace id seen in
+   two rings is a span tree that crossed the op-log. *)
+
+let e21_run ?(tracing = true) ?(arrivals = 200) ~n ~k () =
+  let built, c = e20_rig ~tracing ~n ~k () in
+  let net = Yanc.Cluster.net c in
+  let hosts = List.length built.N.Topo_gen.host_names in
+  let profile = { N.Workload.default_profile with N.Workload.rate = 3000. } in
+  let wl =
+    N.Workload.create ~profile ~start:(N.Network.now net) ~seed:0x0B5E ~hosts ()
+  in
+  let wall0 = Sys.time () in
+  ignore (e20_drive c wl ~arrivals);
+  Yanc.Cluster.run_for ~tick:0.005 c 0.1;
+  (Sys.time () -. wall0, c)
+
+(* "trace=N ... stage=S" lines from a node's trace_pipe; trace=0 spans
+   (untraced background beats) don't count toward coverage. *)
+let e21_parse_pipe data =
+  List.filter_map
+    (fun line ->
+      let tok_value prefix =
+        List.fold_left
+          (fun acc tok ->
+            let lp = String.length prefix in
+            if String.length tok > lp && String.sub tok 0 lp = prefix then
+              Some (String.sub tok lp (String.length tok - lp))
+            else acc)
+          None
+          (String.split_on_char ' ' line)
+      in
+      match tok_value "trace=" with
+      | None -> None
+      | Some v -> (
+        match int_of_string_opt v with
+        | None | Some 0 -> None
+        | Some id ->
+          Some (id, Option.value ~default:"?" (tok_value "stage="))))
+    (String.split_on_char '\n' data)
+
+(* Drain every live node's ring and group by trace id: how many distinct
+   traces survive in the rings, and how many of those appear in >= 2
+   nodes' rings (the cross-node criterion). Bounded rings drop oldest,
+   so this measures the surviving window — which is exactly what an
+   operator reading the pipes gets. *)
+let e21_coverage c =
+  let seen : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 512 in
+  List.iter
+    (fun i ->
+      let ctl = Yanc.Cluster.controller c i in
+      let proc = Y.Layout.node_proc_root (Yanc.Cluster.name_of c i) in
+      let data =
+        match
+          Fs.read_file (Yanc.Controller.fs ctl) ~cred
+            (Y.Layout.proc_trace_pipe ~proc)
+        with
+        | Ok d -> d
+        | Error _ -> ""
+      in
+      List.iter
+        (fun (trace, _stage) ->
+          let nodes =
+            match Hashtbl.find_opt seen trace with
+            | Some h -> h
+            | None ->
+              let h = Hashtbl.create 4 in
+              Hashtbl.replace seen trace h;
+              h
+          in
+          Hashtbl.replace nodes i ())
+        (e21_parse_pipe data))
+    (Yanc.Cluster.live_indexes c);
+  let total = Hashtbl.length seen in
+  let cross =
+    Hashtbl.fold
+      (fun _ nodes acc -> if Hashtbl.length nodes >= 2 then acc + 1 else acc)
+      seen 0
+  in
+  (total, cross)
+
+let e21_cluster_health c =
+  match Yanc.Cluster.live_indexes c with
+  | [] -> Error Vfs.Errno.ENOENT
+  | i :: _ ->
+    Fs.read_file
+      (Yanc.Controller.fs (Yanc.Cluster.controller c i))
+      ~cred
+      (Y.Layout.proc_health ~proc:Y.Layout.cluster_proc_root)
+
+let e21_observability ?(json = None) () =
+  section
+    "E21  cluster observability: tracing overhead (min-of-5 wall) and \
+     cross-node span coverage";
+  row "    n |   k | arrivals | wall_off_s | wall_on_s | overhead%% |  traces | cross-node\n";
+  row "  ----+-----+----------+------------+-----------+-----------+---------+-----------\n";
+  let points =
+    List.map
+      (fun n ->
+        let wall_off = ref infinity and wall_on = ref infinity in
+        let last = ref None in
+        for _ = 1 to 5 do
+          let w, _ = e21_run ~tracing:false ~n ~k:4 () in
+          if w < !wall_off then wall_off := w;
+          let w, c = e21_run ~tracing:true ~n ~k:4 () in
+          if w < !wall_on then wall_on := w;
+          last := Some c
+        done;
+        let total, cross = e21_coverage (Option.get !last) in
+        let overhead =
+          (!wall_on -. !wall_off) /. !wall_off *. 100.
+        in
+        row "  %3d | %3d | %8d | %10.4f | %9.4f | %+8.1f%% | %7d | %10d\n" n 4
+          200 !wall_off !wall_on overhead total cross;
+        (n, !wall_off, !wall_on, total, cross))
+      [ 1; 2; 4 ]
+  in
+  match json with
+  | None -> ()
+  | Some path ->
+    let buf = Buffer.create 2048 in
+    let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    out "{\n";
+    out "  \"bench\": \"e21_observability\",\n";
+    out "  \"generated_by\": \"dune exec bench/main.exe -- e21 --json\",\n";
+    out "  \"topology\": \"fat-tree:4\",\n";
+    out "  \"arrivals\": 200,\n";
+    out "  \"reps\": 5,\n";
+    out "  \"note\": \"wall seconds are min-of-5 interleaved; coverage is distinct trace ids surviving in the nodes' bounded span rings, cross_node = ids present in >= 2 rings\",\n";
+    out "  \"points\": [\n";
+    List.iteri
+      (fun i (n, off, on_, total, cross) ->
+        out
+          "    {\"n\": %d, \"wall_off_s\": %.6f, \"wall_on_s\": %.6f, \
+           \"overhead_pct\": %.2f, \"traces\": %d, \"cross_node_traces\": \
+           %d}%s\n"
+          n off on_
+          ((on_ -. off) /. off *. 100.)
+          total cross
+          (if i = List.length points - 1 then "" else ","))
+      points;
+    out "  ]\n";
+    out "}\n";
+    let oc = open_out path in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    row "  wrote %s\n" path
 
 (* The @bench-smoke gate: prove the acceptance ratio (warm lookups walk
    >= 5x fewer components than cold) in a fraction of a second, so
@@ -2348,7 +2500,87 @@ let smoke () =
   end;
   Printf.printf
     "bench-smoke: ok (cluster scales %.2fx at n=2, takeover %.3f sim s)\n"
-    (rate2 /. rate1) latency
+    (rate2 /. rate1) latency;
+  (* The observability gate (E21): cluster-wide span tracing must cost
+     <= 5% wall at n=4 (min-of-5 interleaved, same epsilon as the E16
+     gate), at least one trace id must appear in two nodes' rings (the
+     cross-node span path is live, not just compiled), and the health
+     file must judge the post-storm fleet passing — then turn crit, and
+     flip the exit code, the moment a node dies pre-takeover. *)
+  let obs_off = ref infinity and obs_on = ref infinity in
+  let obs_c = ref None in
+  (* Alternate which side runs first each rep, so process warmup and
+     page-cache luck can't systematically favor one side's minimum. *)
+  for rep = 1 to 7 do
+    let run_off () =
+      let w, _ = e21_run ~tracing:false ~arrivals:120 ~n:4 ~k:4 () in
+      if w < !obs_off then obs_off := w
+    in
+    let run_on () =
+      let w, c = e21_run ~tracing:true ~arrivals:120 ~n:4 ~k:4 () in
+      if w < !obs_on then obs_on := w;
+      obs_c := Some c
+    in
+    if rep mod 2 = 1 then begin run_off (); run_on () end
+    else begin run_on (); run_off () end
+  done;
+  let obs_off = !obs_off and obs_on = !obs_on in
+  let obs_c = Option.get !obs_c in
+  Printf.printf
+    "bench-smoke: n=4 tracing off %.4fs, on %.4fs (%+.1f%%)\n" obs_off obs_on
+    ((obs_on -. obs_off) /. obs_off *. 100.);
+  if obs_on > (obs_off *. 1.05) +. 0.005 then begin
+    Printf.printf
+      "bench-smoke: FAIL — cluster-wide tracing should cost <= 5%% wall at \
+       n=4\n";
+    exit 1
+  end;
+  let obs_total, obs_cross = e21_coverage obs_c in
+  Printf.printf
+    "bench-smoke: span rings hold %d traces, %d cross-node\n" obs_total
+    obs_cross;
+  if obs_cross < 1 then begin
+    Printf.printf
+      "bench-smoke: FAIL — at least one trace id must span two nodes' rings \
+       (forward -> apply propagation)\n";
+    exit 1
+  end;
+  let health_status () =
+    match e21_cluster_health obs_c with
+    | Error e ->
+      Printf.printf "bench-smoke: FAIL — cluster health file: %s\n"
+        (Vfs.Errno.message e);
+      exit 1
+    | Ok report -> (
+      match Telemetry.Health.status_of_render report with
+      | Some level -> level
+      | None ->
+        Printf.printf
+          "bench-smoke: FAIL — health report has no status line:\n%s" report;
+        exit 1)
+  in
+  let post_storm = health_status () in
+  if Telemetry.Health.exit_code post_storm <> 0 then begin
+    Printf.printf
+      "bench-smoke: FAIL — a healthy post-storm fleet must pass health (got \
+       %s)\n"
+      (Telemetry.Health.level_to_string post_storm);
+    exit 1
+  end;
+  Yanc.Cluster.kill obs_c 3;
+  let post_kill = health_status () in
+  if Telemetry.Health.exit_code post_kill <> 1 then begin
+    Printf.printf
+      "bench-smoke: FAIL — health must go crit with a node dead \
+       pre-takeover (got %s)\n"
+      (Telemetry.Health.level_to_string post_kill);
+    exit 1
+  end;
+  Printf.printf
+    "bench-smoke: ok (n=4 tracing overhead within 5%%, cross-node spans \
+     live, health %s -> %s on kill)\n"
+    (Telemetry.Health.level_to_string post_storm)
+    (Telemetry.Health.level_to_string post_kill)
 
 let e_wire_volume () =
   section "AUX  control-channel bytes per operation (driver wire cost)";
@@ -2410,6 +2642,15 @@ let () =
       else None
     in
     e20_cluster ~json ();
+    exit 0
+  end;
+  if Array.exists (fun a -> a = "e21" || a = "obs") Sys.argv then begin
+    let json =
+      if Array.exists (fun a -> a = "--json") Sys.argv then
+        Some "BENCH_obs.json"
+      else None
+    in
+    e21_observability ~json ();
     exit 0
   end;
   print_endline "yanc-ml benchmark harness (see EXPERIMENTS.md for the paper mapping)";

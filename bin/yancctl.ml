@@ -382,9 +382,160 @@ let cluster_cmd topo datapath of13 nodes kill duration =
     Printf.eprintf "yancctl: cluster: boot did not converge\n";
   if unowned <> [] || not settled then 1 else 0
 
-let trace_cmd topo datapath of13 apps duration pings pipe =
+(* --- observability: cluster trace, health, blackbox ---------------------------- *)
+
+let boot_cluster ~built ~of13 ~nodes =
+  let c =
+    Yanc.Cluster.create
+      ~version:(if of13 then Yanc.Controller.V13 else Yanc.Controller.V10)
+      ~n:nodes ~net:built.N.Topo_gen.net ()
+  in
+  if
+    not
+      (Yanc.Cluster.run_until ~tick:0.01 c (fun () -> Yanc.Cluster.converged c))
+  then Printf.eprintf "yancctl: cluster boot did not converge\n";
+  c
+
+let node_index_of_name c name =
+  let rec go i =
+    if i >= Yanc.Cluster.size c then None
+    else if Yanc.Cluster.name_of c i = name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let list_nodes c =
+  Printf.eprintf "nodes:\n";
+  List.iter
+    (fun i ->
+      Printf.eprintf "  %s (%s)\n" (Yanc.Cluster.name_of c i)
+        (if Yanc.Cluster.alive c i then "live" else "dead"))
+    (List.init (Yanc.Cluster.size c) Fun.id)
+
+(* A node's proc files are generators on its own replica — read them
+   through that node's fs, exactly where its processes would. *)
+let read_node_proc c i file =
+  let proc = Yancfs.Layout.node_proc_root (Yanc.Cluster.name_of c i) in
+  Vfs.Fs.read_file
+    (Yanc.Controller.fs (Yanc.Cluster.controller c i))
+    ~cred:Vfs.Cred.root (file ~proc)
+
+(* One cross-node write, traced from the client side: create a flow on
+   node 0's replica for a switch owned elsewhere, so the span tree
+   crosses the op-log — yancctl.flow_write → dfs.forward → dfs.apply on
+   the owner → driver.flow_mod → switch.install — under ONE trace id
+   visible in two nodes' rings. *)
+let traced_cross_write c built =
+  let dpid =
+    match
+      List.find_opt
+        (fun d -> Yanc.Cluster.owner_index c d <> Some 0)
+        built.N.Topo_gen.dpids
+    with
+    | Some d -> d
+    | None -> List.hd built.N.Topo_gen.dpids
+  in
+  let swname = Yancfs.Yanc_fs.switch_name_of_dpid dpid in
+  let ctl0 = Yanc.Cluster.controller c 0 in
+  let tr = Telemetry.tracer (Yanc.Controller.telemetry ctl0) in
+  ignore (Telemetry.Tracer.fresh tr);
+  Fun.protect
+    ~finally:(fun () -> Telemetry.Tracer.clear tr)
+    (fun () ->
+      Telemetry.Tracer.span tr ~stage:"yancctl.flow_write" (fun () ->
+          Telemetry.Tracer.stamp tr
+            (Yancfs.Layout.trace_key_flow ~switch:swname "ctl0");
+          let flow =
+            { Yancfs.Flowdir.default with
+              Yancfs.Flowdir.of_match =
+                { Openflow.Of_match.any with Openflow.Of_match.in_port = Some 1 };
+              actions = [ Openflow.Action.Output (Openflow.Action.Physical 2) ];
+              priority = 77 }
+          in
+          match
+            Yancfs.Yanc_fs.create_flow (Yanc.Controller.yfs ctl0)
+              ~cred:Vfs.Cred.root ~switch:swname ~name:"ctl0" flow
+          with
+          | Ok () -> ()
+          | Error e ->
+            Printf.eprintf "yancctl: trace: create_flow: %s\n"
+              (Vfs.Errno.message e)))
+
+(* The per-stage table over the fleet: merged rollup entries, so a
+   stage's p99 is the percentile of the union of every node's spans. *)
+let print_cluster_stage_table c =
+  let entries = Telemetry.Registry.entries (Yanc.Cluster.rollup_snapshot c) in
+  let has_suffix s suf =
+    let ls = String.length s and lf = String.length suf in
+    ls > lf && String.sub s (ls - lf) lf = suf
+  in
+  let stages =
+    List.filter_map
+      (fun (name, v) ->
+        if
+          String.length name > 12
+          && String.sub name 0 6 = "trace."
+          && has_suffix name ".count"
+        then Some (String.sub name 6 (String.length name - 12), v)
+        else None)
+      entries
+  in
+  let get stage suf =
+    Option.value ~default:0.
+      (List.assoc_opt (Printf.sprintf "trace.%s.%s" stage suf) entries)
+  in
+  let stages =
+    List.sort
+      (fun (a, _) (b, _) -> compare (get a "p50") (get b "p50"))
+      stages
+  in
+  Printf.printf "%-20s %8s %12s %12s %12s\n" "STAGE" "SPANS" "P50_MS"
+    "P99_MS" "MAX_MS";
+  List.iter
+    (fun (stage, count) ->
+      Printf.printf "%-20s %8.0f %12.4f %12.4f %12.4f\n" stage count
+        (get stage "p50" *. 1e3)
+        (get stage "p99" *. 1e3)
+        (get stage "max" *. 1e3))
+    stages
+
+let trace_cluster built ~of13 ~nodes ~duration ~node_name =
+  let c = boot_cluster ~built ~of13 ~nodes in
+  traced_cross_write c built;
+  Yanc.Cluster.run_for ~tick:0.01 c (max 0.5 duration);
+  let cat_pipe i =
+    match read_node_proc c i Yancfs.Layout.proc_trace_pipe with
+    | Ok data -> print_string data
+    | Error e -> Printf.eprintf "yancctl: trace: %s\n" (Vfs.Errno.message e)
+  in
+  match node_name with
+  | Some name -> (
+    match node_index_of_name c name with
+    | None ->
+      Printf.eprintf "yancctl: trace: no node %S\n" name;
+      list_nodes c;
+      2
+    | Some i ->
+      cat_pipe i;
+      print_newline ();
+      print_cluster_stage_table c;
+      0)
+  | None ->
+    List.iter
+      (fun i ->
+        Printf.printf "# node %s\n" (Yanc.Cluster.name_of c i);
+        cat_pipe i)
+      (Yanc.Cluster.live_indexes c);
+    print_newline ();
+    print_cluster_stage_table c;
+    0
+
+let trace_cmd topo datapath of13 apps duration pings pipe nodes node_name =
   setup_logs ();
   let topo = topo datapath in
+  if nodes > 1 || node_name <> None then
+    trace_cluster topo ~of13 ~nodes:(max 2 nodes) ~duration ~node_name
+  else begin
   let ctl = build ~topo ~of13 ~apps in
   Yanc.Controller.run_for ctl duration;
   List.iter (do_ping ctl topo) pings;
@@ -424,6 +575,168 @@ let trace_cmd topo datapath of13 apps duration pings pipe =
         (Telemetry.Registry.hist_max h *. 1e3))
     stages;
   0
+  end
+
+(* --- health: the SLO probe table, judged from the health file ------------------- *)
+
+let finish_health report =
+  print_string report;
+  match Telemetry.Health.status_of_render report with
+  | Some level -> Telemetry.Health.exit_code level
+  | None ->
+    Printf.eprintf "yancctl: health: unparseable report\n";
+    2
+
+let health_cmd topo datapath of13 apps nodes kill duration watch =
+  setup_logs ();
+  let built = topo datapath in
+  if nodes > 1 then begin
+    let c = boot_cluster ~built ~of13 ~nodes in
+    let read_health () =
+      match Yanc.Cluster.live_indexes c with
+      | [] -> "status crit\nlive_nodes crit value=0 limit=1 series=cluster.live_nodes\n"
+      | i :: _ -> (
+        let fs = Yanc.Controller.fs (Yanc.Cluster.controller c i) in
+        match
+          Vfs.Fs.read_file fs ~cred:Vfs.Cred.root
+            (Yancfs.Layout.proc_health
+               ~proc:Yancfs.Layout.cluster_proc_root)
+        with
+        | Ok data -> data
+        | Error e ->
+          Printf.sprintf "status crit\nhealth_file crit value=na limit=0 series=%s\n"
+            (Vfs.Errno.message e))
+    in
+    let steps = if watch then 5 else 1 in
+    for s = 1 to steps do
+      Yanc.Cluster.run_for ~tick:0.01 c (duration /. float_of_int steps);
+      if watch && s < steps then begin
+        Printf.printf "--- t=%.2f\n" (N.Network.now (Yanc.Cluster.net c));
+        print_string (read_health ())
+      end
+    done;
+    (match kill with
+    | Some i when i >= 0 && i < Yanc.Cluster.size c ->
+      (* kill and judge immediately: the pre-takeover window is exactly
+         what the probe table must catch (unowned shards -> crit) *)
+      Yanc.Cluster.kill c i;
+      Printf.printf "--- killed %s (pre-takeover)\n" (Yanc.Cluster.name_of c i)
+    | Some i ->
+      Printf.eprintf "yancctl: health: no node %d (have %d)\n" i
+        (Yanc.Cluster.size c)
+    | None -> ());
+    if watch then Printf.printf "--- t=%.2f\n" (N.Network.now (Yanc.Cluster.net c));
+    finish_health (read_health ())
+  end
+  else begin
+    let ctl = build ~topo:built ~of13 ~apps in
+    let read_health () =
+      match
+        Vfs.Fs.read_file (Yanc.Controller.fs ctl) ~cred:Vfs.Cred.root
+          (Yancfs.Layout.proc_health
+             ~proc:Yancfs.Layout.default_proc_root)
+      with
+      | Ok data -> data
+      | Error e ->
+        Printf.sprintf "status crit\nhealth_file crit value=na limit=0 series=%s\n"
+          (Vfs.Errno.message e)
+    in
+    let steps = if watch then 5 else 1 in
+    for s = 1 to steps do
+      Yanc.Controller.run_for ctl (duration /. float_of_int steps);
+      if watch && s < steps then begin
+        Printf.printf "--- t=%.2f\n" (Yanc.Controller.now ctl);
+        print_string (read_health ())
+      end
+    done;
+    finish_health (read_health ())
+  end
+
+(* --- blackbox: the flight recorder, live window or replicated dumps ------------- *)
+
+let blackbox_cmd topo datapath of13 nodes kill duration node_name =
+  setup_logs ();
+  let built = topo datapath in
+  if nodes > 1 || node_name <> None || kill <> None then begin
+    let nodes = max 2 nodes in
+    let c = boot_cluster ~built ~of13 ~nodes in
+    traced_cross_write c built;
+    Yanc.Cluster.run_for ~tick:0.01 c duration;
+    (match kill with
+    | Some i when i >= 0 && i < Yanc.Cluster.size c ->
+      Yanc.Cluster.kill c i;
+      (* survivors detect the death, dump their boxes, take over *)
+      ignore
+        (Yanc.Cluster.run_until ~tick:0.01 c (fun () ->
+             Yanc.Cluster.converged c))
+    | Some i ->
+      Printf.eprintf "yancctl: blackbox: no node %d (have %d)\n" i
+        (Yanc.Cluster.size c)
+    | None -> ());
+    match node_name with
+    | Some name -> (
+      match node_index_of_name c name with
+      | None ->
+        Printf.eprintf "yancctl: blackbox: no node %S\n" name;
+        list_nodes c;
+        2
+      | Some i -> (
+        match read_node_proc c i Yancfs.Layout.proc_blackbox with
+        | Ok data ->
+          print_string data;
+          0
+        | Error e ->
+          Printf.eprintf "yancctl: blackbox: %s\n" (Vfs.Errno.message e);
+          1))
+    | None -> (
+      (* post-mortems are replicated files — read them off a survivor *)
+      let viewer =
+        match Yanc.Cluster.live_indexes c with i :: _ -> i | [] -> 0
+      in
+      let fs = Yanc.Controller.fs (Yanc.Cluster.controller c viewer) in
+      let cred = Vfs.Cred.root in
+      match Vfs.Fs.readdir fs ~cred Yancfs.Layout.blackbox_dumps_dir with
+      | Ok (_ :: _ as dumps) ->
+        List.iter
+          (fun name ->
+            Printf.printf "# /yanc/blackbox/%s\n" name;
+            match
+              Vfs.Fs.read_file fs ~cred
+                (Vfs.Path.child Yancfs.Layout.blackbox_dumps_dir name)
+            with
+            | Ok data -> print_string data
+            | Error e ->
+              Printf.eprintf "yancctl: blackbox: %s: %s\n" name
+                (Vfs.Errno.message e))
+          dumps;
+        0
+      | Ok [] | Error _ ->
+        (* nothing crashed: show every live node's current window *)
+        List.iter
+          (fun i ->
+            Printf.printf "# node %s (live window)\n"
+              (Yanc.Cluster.name_of c i);
+            match read_node_proc c i Yancfs.Layout.proc_blackbox with
+            | Ok data -> print_string data
+            | Error e ->
+              Printf.eprintf "yancctl: blackbox: %s\n" (Vfs.Errno.message e))
+          (Yanc.Cluster.live_indexes c);
+        0)
+  end
+  else begin
+    let ctl = build ~topo:built ~of13 ~apps:[ "topology"; "router" ] in
+    Yanc.Controller.run_for ctl duration;
+    match
+      Vfs.Fs.read_file (Yanc.Controller.fs ctl) ~cred:Vfs.Cred.root
+        (Yancfs.Layout.proc_blackbox ~proc:Yancfs.Layout.default_proc_root)
+    with
+    | Ok data ->
+      print_string data;
+      0
+    | Error e ->
+      Printf.eprintf "yancctl: blackbox: %s\n" (Vfs.Errno.message e);
+      1
+  end
 
 let shell_cmd topo datapath of13 apps script_file lines =
   setup_logs ();
@@ -583,18 +896,6 @@ let pipe_arg =
     & info [ "pipe" ]
         ~doc:"Also dump the raw span records from /yanc/.proc/trace_pipe.")
 
-let trace_t =
-  Cmd.v
-    (Cmd.info "trace"
-       ~doc:
-         "Trace packet-ins end to end: run a workload, then report \
-          per-stage latency percentiles from the span tracer \
-          (scheduler wake, app handler, yancfs write, flow-mod encode, \
-          switch install).")
-    Term.(
-      const trace_cmd $ topo_arg $ datapath_arg $ of13_arg $ apps_arg
-      $ duration_arg $ ping_arg $ pipe_arg)
-
 let nodes_arg =
   Arg.(
     value & opt int 2
@@ -609,6 +910,92 @@ let kill_arg =
         ~doc:
           "After boot converges, kill this node index and wait for the \
            survivors to take its shards over before reporting.")
+
+let trace_nodes_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "n"; "nodes" ] ~docv:"N"
+        ~doc:
+          "Run an N-node cluster instead of one controller, drive a \
+           traced cross-node write, and report the fleet-merged stage \
+           table (implies cluster mode for N > 1).")
+
+let node_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "node" ] ~docv:"NAME"
+        ~doc:
+          "In cluster mode, read this node's \
+           /yanc/nodes/NAME/.proc/trace_pipe (trace) or live flight \
+           recorder (blackbox); an unknown name lists the nodes.")
+
+let trace_t =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Trace packet-ins end to end: run a workload, then report \
+          per-stage latency percentiles from the span tracer \
+          (scheduler wake, app handler, yancfs write, flow-mod encode, \
+          switch install). With --nodes N or --node NAME, boot a \
+          cluster, drive a traced write that replicates across nodes, \
+          and dump the named node's span ring — one trace id spans the \
+          originating and owning node.")
+    Term.(
+      const trace_cmd $ topo_arg $ datapath_arg $ of13_arg $ apps_arg
+      $ duration_arg $ ping_arg $ pipe_arg $ trace_nodes_arg $ node_arg)
+
+let watch_arg =
+  Arg.(
+    value & flag
+    & info [ "watch" ]
+        ~doc:"Print an interim health report at each fifth of the run.")
+
+let health_nodes_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "n"; "nodes" ] ~docv:"N"
+        ~doc:
+          "Judge an N-node cluster's merged rollup \
+           (/yanc/cluster/.proc/health) instead of one controller's \
+           /yanc/.proc/health.")
+
+let health_kill_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "kill" ] ~docv:"NODE"
+        ~doc:
+          "Kill this node index after the run and judge health \
+           immediately — pre-takeover, so unowned shards must trip the \
+           crit probe and the exit code.")
+
+let health_t =
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:
+         "Evaluate the SLO probe table against the health file \
+          (/yanc/.proc/health, or the cluster rollup with --nodes) and \
+          exit nonzero on any crit breach: dead switches, driver fs \
+          errors, unowned shards, takeover-latency p99. Warnings \
+          (install-latency, trace-ring overruns) inform but pass.")
+    Term.(
+      const health_cmd $ topo_arg $ datapath_arg $ of13_arg $ apps_arg
+      $ health_nodes_arg $ health_kill_arg $ duration_arg $ watch_arg)
+
+let blackbox_t =
+  Cmd.v
+    (Cmd.info "blackbox"
+       ~doc:
+         "Read the flight recorder: the always-on bounded ring of \
+          recent spans, status transitions and faults. Single node \
+          prints the live window from /yanc/.proc/blackbox; with \
+          --nodes and --kill, prints the post-mortem dumps the \
+          survivors replicated under /yanc/blackbox when they detected \
+          the death; --node NAME prints one node's live window.")
+    Term.(
+      const blackbox_cmd $ topo_arg $ datapath_arg $ of13_arg
+      $ trace_nodes_arg $ kill_arg $ duration_arg $ node_arg)
 
 let cluster_t =
   Cmd.v
@@ -627,6 +1014,7 @@ let main =
   Cmd.group
     (Cmd.info "yancctl" ~version:"1.0.0"
        ~doc:"yanc: a file-system-centric SDN controller (simulated).")
-    [ run_t; tree_t; shell_t; counters_t; top_t; trace_t; cluster_t ]
+    [ run_t; tree_t; shell_t; counters_t; top_t; trace_t; cluster_t;
+      health_t; blackbox_t ]
 
 let () = exit (Cmd.eval' main)

@@ -11,6 +11,10 @@ type pending_op = {
   origin : int;
   target : int;
   op : Vfs.Op.t;
+  (* The originating trace context [(id, origin time, origin round)],
+     carried across the wire so the applying replica's tracer can
+     adopt it — cross-node trace propagation. *)
+  trace : (int * float * int) option;
   mutable state : op_state;
 }
 
@@ -47,6 +51,23 @@ type t = {
   (* Path-prefix consistency overrides, checked before any xattr probe:
      a cheap string compare on the hot path instead of an ancestor walk. *)
   mutable prefix_consistency : (string * Consistency.t) list;
+  (* Cross-node tracing: [tracer i] is replica [i]'s tracer (None for a
+     replica with no controller, e.g. bare DFS tests), [key_of] maps an
+     op to the correlation key the applying side should re-stamp (a
+     flow path key, so the owner's driver resumes the trace on
+     install). Installed by the sharded controller; both hooks live
+     outside the record so a bare cluster never pays them. *)
+  mutable trace_tracer : (int -> Telemetry.Tracer.t option) option;
+  mutable trace_key_of : (Vfs.Op.t -> string option) option;
+  (* Span dedup: a traced burst (mkdir + attribute writes of one flow,
+     or one drain batch) is one logical hop, so [dfs.forward]/[dfs.apply]
+     record ONE span per consecutive same-trace run, not one per op —
+     the adopt/stamp still happens per op (resume correctness), only
+     the ring record is elided. Apply dedup is per target (a drain
+     interleaves targets op by op, so a shared cursor would miss every
+     time). Keeps tracing-on overhead bounded by bursts, not op count. *)
+  mutable last_fwd_trace : int;
+  last_apply : int array;
   mutable probe_xattrs : bool;
   replay_busy : float array;       (* CPU seconds each replica spent
                                       applying peers' ops *)
@@ -60,7 +81,10 @@ type t = {
   mutable max_queue : int;
 }
 
-let apply ?(emit = true) t target op =
+let tracer_of t i =
+  match t.trace_tracer with None -> None | Some f -> f i
+
+let apply ?(emit = true) ?trace t target op =
   t.applying <- true;
   let t0 = Sys.time () in
   Fun.protect
@@ -70,7 +94,31 @@ let apply ?(emit = true) t target op =
     (fun () ->
       t.ops_replicated <- t.ops_replicated + 1;
       if not emit then t.emits_elided <- t.emits_elided + 1;
-      ignore (Fs.replay ~emit t.replicas.(target) op))
+      let replay () = ignore (Fs.replay ~emit t.replicas.(target) op) in
+      match trace with
+      | None -> replay ()
+      | Some (id, origin, origin_round) -> (
+        match tracer_of t target with
+        | Some tr when Telemetry.Tracer.enabled tr ->
+          (* The op arrived carrying its originating trace: adopt it so
+             the replay's span joins the cross-node trace, and re-stamp
+             the correlation key so this replica's driver resumes it at
+             install time (dfs.forward → dfs.apply → driver.flow_mod). *)
+          Telemetry.Tracer.adopt tr ~trace:id ~origin ~origin_round;
+          (match t.trace_key_of with
+          | Some key_of -> (
+            match key_of op with
+            | Some key -> Telemetry.Tracer.stamp tr key
+            | None -> ())
+          | None -> ());
+          let first = t.last_apply.(target) <> id in
+          if first then t.last_apply.(target) <- id;
+          Fun.protect
+            ~finally:(fun () -> Telemetry.Tracer.clear tr)
+            (fun () ->
+              if first then Telemetry.Tracer.span tr ~stage:"dfs.apply" replay
+              else replay ())
+        | _ -> replay ()))
 
 let stash_op t p =
   p.state <- Stashed;
@@ -194,31 +242,46 @@ let iter_targets t ~origin op f =
 let on_origin_op t origin op =
   if not t.applying then begin
     t.ops_originated <- t.ops_originated + 1;
-    if t.partitioned.(origin) then
-      (* The origin is cut off: remember its writes for every peer. *)
-      iter_targets t ~origin op (fun target ->
-          t.stash.(origin) <-
-            { due = t.clock; origin; target; op; state = Stashed }
-            :: t.stash.(origin))
-    else begin
-      let consistency = effective_consistency t ~origin (Vfs.Op.path op) in
-      match consistency with
-      | Consistency.Sequential ->
-        (* Synchronous round: the writer stalls for a full RTT per
-           replica; partitioned targets still stash. *)
-        t.writer_blocked_s <-
-          t.writer_blocked_s
-          +. Consistency.write_blocks_for consistency ~rtt:t.rtt
-               ~replicas:(Array.length t.replicas);
+    (* Capture the ambient trace (if the origin's controller is inside
+       one) so it rides the op to every target replica. *)
+    let trace =
+      match tracer_of t origin with
+      | Some tr -> Telemetry.Tracer.context tr
+      | None -> None
+    in
+    let forward () =
+      if t.partitioned.(origin) then
+        (* The origin is cut off: remember its writes for every peer. *)
         iter_targets t ~origin op (fun target ->
-            if t.partitioned.(target) then
-              stash_op t { due = t.clock; origin; target; op; state = Stashed }
-            else apply t target op)
-      | Consistency.Close_to_open _ | Consistency.Eventual _ ->
-        let due = t.clock +. Consistency.visibility_delay consistency in
-        iter_targets t ~origin op (fun target ->
-            enqueue t { due; origin; target; op; state = Queued })
-    end
+            t.stash.(origin) <-
+              { due = t.clock; origin; target; op; trace; state = Stashed }
+              :: t.stash.(origin))
+      else begin
+        let consistency = effective_consistency t ~origin (Vfs.Op.path op) in
+        match consistency with
+        | Consistency.Sequential ->
+          (* Synchronous round: the writer stalls for a full RTT per
+             replica; partitioned targets still stash. *)
+          t.writer_blocked_s <-
+            t.writer_blocked_s
+            +. Consistency.write_blocks_for consistency ~rtt:t.rtt
+                 ~replicas:(Array.length t.replicas);
+          iter_targets t ~origin op (fun target ->
+              if t.partitioned.(target) then
+                stash_op t
+                  { due = t.clock; origin; target; op; trace; state = Stashed }
+              else apply ?trace t target op)
+        | Consistency.Close_to_open _ | Consistency.Eventual _ ->
+          let due = t.clock +. Consistency.visibility_delay consistency in
+          iter_targets t ~origin op (fun target ->
+              enqueue t { due; origin; target; op; trace; state = Queued })
+      end
+    in
+    match (trace, tracer_of t origin) with
+    | Some (id, _, _), Some tr when t.last_fwd_trace <> id ->
+      t.last_fwd_trace <- id;
+      Telemetry.Tracer.span tr ~stage:"dfs.forward" forward
+    | _ -> forward ()
   end
 
 let make ~consistency ~rtt replicas =
@@ -232,6 +295,8 @@ let make ~consistency ~rtt replicas =
       creates = Array.init n (fun _ -> Hashtbl.create 64);
       applying = false; route = None; emit_class = None;
       prefix_consistency = [];
+      trace_tracer = None; trace_key_of = None;
+      last_fwd_trace = 0; last_apply = Array.make n 0;
       probe_xattrs = true; replay_busy = Array.make n 0.;
       ops_originated = 0; ops_replicated = 0;
       ops_coalesced = 0; emits_elided = 0; ops_synced = 0; ops_dropped = 0;
@@ -296,7 +361,7 @@ let drain t ~all =
         | None -> true
         | Some c -> class_of due.(i + 1) <> Some c
       in
-      apply ~emit t p.target p.op)
+      apply ~emit ?trace:p.trace t p.target p.op)
     due
 
 let advance t dt =
@@ -325,7 +390,7 @@ let set_partitioned t i cut =
       (fun p ->
         if p.target = i || not t.partitioned.(p.target) then begin
           p.state <- Done;
-          apply t p.target p.op
+          apply ?trace:p.trace t p.target p.op
         end
         else stash_op t p)
       held
@@ -335,6 +400,15 @@ let set_partitioned t i cut =
 let set_route t route = t.route <- route
 
 let set_emit_class t f = t.emit_class <- f
+
+let set_tracing t hooks =
+  match hooks with
+  | None ->
+    t.trace_tracer <- None;
+    t.trace_key_of <- None
+  | Some (tracer, key_of) ->
+    t.trace_tracer <- Some tracer;
+    t.trace_key_of <- Some key_of
 
 let emits_elided t = t.emits_elided
 

@@ -107,6 +107,20 @@ val emits_elided : t -> int
 (** Replicated ops whose notification was suppressed by the batching
     policy. *)
 
+val set_tracing :
+  t ->
+  ((int -> Telemetry.Tracer.t option) * (Vfs.Op.t -> string option)) option ->
+  unit
+(** Cross-node trace propagation. [(tracer, key_of)]: [tracer i] is
+    replica [i]'s span tracer (None when a replica has no controller);
+    [key_of op] is the correlation key the applying side should
+    re-stamp (e.g. a flow path key, so the owning node's driver resumes
+    the trace at install time). With hooks installed, an op originated
+    inside an ambient trace records a [dfs.forward] span at the origin
+    and carries its trace context [(id, origin time, origin round)] to
+    every target, where the replay runs as a [dfs.apply] span under the
+    {e originating} trace id — one trace spanning both nodes' rings. *)
+
 val set_prefix_consistency : t -> (string * Consistency.t) list -> unit
 (** Path-prefix consistency overrides, consulted before any xattr
     probe: one string compare per op instead of an ancestor walk —

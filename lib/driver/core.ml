@@ -110,17 +110,34 @@ module Make (P : Driver_intf.PROTOCOL) = struct
      used to vanish in [ignore]; now they land in the shared
      [driver.fs_errors] counter (and the log) so a filled-up or
      misbehaving tree is visible instead of silent. *)
+  let bb_now t = Telemetry.Tracer.now (Telemetry.tracer t.telemetry)
+
+  let bb_who t = match t.switch_name with Some n -> n | None -> P.name
+
   let fs_checked t ~what = function
     | Ok _ -> ()
     | Error e ->
       Telemetry.Registry.incr t.m_fs_errors;
+      Telemetry.Blackbox.fault
+        (Telemetry.blackbox t.telemetry)
+        ~at:(bb_now t) ~who:(bb_who t)
+        ~what:(Printf.sprintf "fs write failed (%s): %s" what
+                 (Vfs.Errno.message e));
       Logs.warn (fun m ->
           m "driver[%s]: fs write failed (%s): %s" P.name what
             (Vfs.Errno.message e))
 
+  (* Every control-channel transition lands in the flight recorder —
+     the status history is exactly what a takeover post-mortem reads. *)
   let set_status t status =
     if t.status <> status then begin
+      let prev = t.status in
       t.status <- status;
+      Telemetry.Blackbox.status
+        (Telemetry.blackbox t.telemetry)
+        ~at:(bb_now t) ~who:(bb_who t)
+        ~from_:(Driver_intf.status_to_string prev)
+        ~to_:(Driver_intf.status_to_string status);
       match t.switch_name with
       | Some name ->
         fs_checked t ~what:"switch status"
@@ -778,6 +795,9 @@ module Make (P : Driver_intf.PROTOCOL) = struct
         t.connected <- false;
         t.c_disconnects <- t.c_disconnects + 1;
         Telemetry.Registry.incr t.m_disconnects;
+        Telemetry.Blackbox.fault
+          (Telemetry.blackbox t.telemetry)
+          ~at:(bb_now t) ~who:(bb_who t) ~what:"peer declared gone";
         t.echo_outstanding <- None;
         t.resyncing <- false;
         t.next_keepalive <- neg_infinity;

@@ -1,0 +1,76 @@
+(* The flight recorder: an always-on bounded ring of the last N
+   noteworthy moments on one node — completed spans (mirrored from the
+   tracer's sink), control-channel status transitions, fault events and
+   free-form marks. Unlike the trace ring it is *not* consumed on read:
+   its whole point is to still hold the recent past when something has
+   already gone wrong, so a takeover or a violated invariant dumps it
+   as-is, like a black box pulled from the wreckage. *)
+
+type event =
+  | Span of { at : float; stage : string; trace : int; lat : float }
+  | Status of { at : float; who : string; from_ : string; to_ : string }
+  | Fault of { at : float; who : string; what : string }
+  | Mark of { at : float; what : string }
+
+let no_event = Mark { at = 0.; what = "" }
+
+type t = {
+  capacity : int;
+  mutable ring : event array; (* [||] until the first record *)
+  mutable wpos : int;         (* total events ever recorded *)
+  mutable dumps : int;
+}
+
+let create ?(capacity = 512) () =
+  { capacity = max 1 capacity; ring = [||]; wpos = 0; dumps = 0 }
+
+let record t ev =
+  if Array.length t.ring = 0 then t.ring <- Array.make t.capacity no_event;
+  t.ring.(t.wpos mod t.capacity) <- ev;
+  t.wpos <- t.wpos + 1
+
+let span t ~at ~stage ~trace ~lat = record t (Span { at; stage; trace; lat })
+
+let status t ~at ~who ~from_ ~to_ = record t (Status { at; who; from_; to_ })
+
+let fault t ~at ~who ~what = record t (Fault { at; who; what })
+
+let mark t ~at ~what = record t (Mark { at; what })
+
+let recorded t = t.wpos
+
+let overwritten t = max 0 (t.wpos - t.capacity)
+
+let dumps t = t.dumps
+
+(* Oldest surviving event first; non-consuming. *)
+let events t =
+  let n = min t.wpos t.capacity in
+  let out = ref [] in
+  for i = t.wpos - 1 downto t.wpos - n do
+    out := t.ring.(i mod t.capacity) :: !out
+  done;
+  !out
+
+let render_event = function
+  | Span { at; stage; trace; lat } ->
+    Printf.sprintf "%.6f span %s trace=%d lat=%.9f" at stage trace lat
+  | Status { at; who; from_; to_ } ->
+    Printf.sprintf "%.6f status %s %s->%s" at who from_ to_
+  | Fault { at; who; what } -> Printf.sprintf "%.6f fault %s %s" at who what
+  | Mark { at; what } -> Printf.sprintf "%.6f mark %s" at what
+
+let render t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "recorded %d overwritten %d\n" t.wpos (overwritten t));
+  List.iter
+    (fun ev ->
+      Buffer.add_string b (render_event ev);
+      Buffer.add_char b '\n')
+    (events t);
+  Buffer.contents b
+
+let dump t ~reason ~now =
+  t.dumps <- t.dumps + 1;
+  Printf.sprintf "# blackbox dump reason=%s at=%.6f\n%s" reason now (render t)

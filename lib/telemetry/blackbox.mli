@@ -1,0 +1,46 @@
+(** The flight recorder — an always-on bounded ring of the last N
+    noteworthy moments on one node: completed spans (mirrored from the
+    {!Tracer}'s sink), control-channel status transitions, fault events
+    and free-form marks.
+
+    Unlike [trace_pipe] it is {e not} consumed on read: its point is to
+    still hold the recent past once something has already gone wrong.
+    A takeover or a violated chaos invariant {!dump}s it verbatim —
+    the black box pulled from the wreckage, also served live at
+    [/yanc/.proc/blackbox]. *)
+
+type event =
+  | Span of { at : float; stage : string; trace : int; lat : float }
+  | Status of { at : float; who : string; from_ : string; to_ : string }
+  | Fault of { at : float; who : string; what : string }
+  | Mark of { at : float; what : string }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 512 events; the ring allocates on first use. *)
+
+val span : t -> at:float -> stage:string -> trace:int -> lat:float -> unit
+val status : t -> at:float -> who:string -> from_:string -> to_:string -> unit
+val fault : t -> at:float -> who:string -> what:string -> unit
+val mark : t -> at:float -> what:string -> unit
+
+val recorded : t -> int
+(** Total events ever recorded (including overwritten ones). *)
+
+val overwritten : t -> int
+(** Events lost to the ring bound. *)
+
+val dumps : t -> int
+(** How many times this box has been dumped. *)
+
+val events : t -> event list
+(** The surviving window, oldest first. Non-consuming. *)
+
+val render : t -> string
+(** [recorded N overwritten M] header, then one line per surviving
+    event — the [/yanc/.proc/blackbox] payload. *)
+
+val dump : t -> reason:string -> now:float -> string
+(** {!render} under a [# blackbox dump reason=... at=...] header;
+    increments {!dumps}. The caller writes it somewhere durable. *)

@@ -100,6 +100,63 @@ let histograms t =
 
 type snapshot = (string * float) list
 
+(* --- cluster rollup ----------------------------------------------------------- *)
+
+(* Log₂ histograms compose exactly: the merge of two series is the
+   elementwise sum of their bucket arrays, and every derived statistic
+   (count, sum, max, any percentile) of the merged series is computed
+   from the merged buckets — no approximation beyond the bucketing
+   already paid per node. *)
+let merge_histograms hs =
+  let m = { buckets = Array.make n_buckets 0; count = 0; sum = 0.; max_v = 0. } in
+  List.iter
+    (fun h ->
+      for i = 0 to n_buckets - 1 do
+        m.buckets.(i) <- m.buckets.(i) + h.buckets.(i)
+      done;
+      m.count <- m.count + h.count;
+      m.sum <- m.sum +. h.sum;
+      if h.max_v > m.max_v then m.max_v <- h.max_v)
+    hs;
+  m
+
+let hist_bucket h i = if i < 0 || i >= n_buckets then 0 else h.buckets.(i)
+
+(* The fleet-wide view behind /yanc/cluster/.proc/metrics: counters and
+   gauges summed by name, histograms merged bucket-wise and re-flattened
+   so the merged p99 is the percentile of the union, not an average of
+   per-node percentiles. *)
+let merged_snapshot ts =
+  let sums : (string, float) Hashtbl.t = Hashtbl.create 256 in
+  let add name v =
+    Hashtbl.replace sums name
+      (v +. Option.value ~default:0. (Hashtbl.find_opt sums name))
+  in
+  let hists : (string, histogram list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun t ->
+      Hashtbl.iter (fun name c -> add name (float_of_int c.v)) t.counters;
+      Hashtbl.iter (fun name f -> add name (f ())) t.gauges;
+      Hashtbl.iter
+        (fun name h ->
+          Hashtbl.replace hists name
+            (h :: Option.value ~default:[] (Hashtbl.find_opt hists name)))
+        t.histograms)
+    ts;
+  let entries = Hashtbl.fold (fun name v acc -> (name, v) :: acc) sums [] in
+  let entries =
+    Hashtbl.fold
+      (fun name hs acc ->
+        let h = merge_histograms hs in
+        (name ^ ".count", float_of_int h.count)
+        :: (name ^ ".p50", percentile h 0.5)
+        :: (name ^ ".p99", percentile h 0.99)
+        :: (name ^ ".max", h.max_v)
+        :: acc)
+      hists entries
+  in
+  by_name entries
+
 let snapshot t =
   let entries =
     Hashtbl.fold
@@ -122,6 +179,8 @@ let snapshot t =
   by_name entries
 
 let entries s = s
+
+let of_entries l = by_name l
 
 let find s name = List.assoc_opt name s
 

@@ -54,8 +54,21 @@ val hist_count : histogram -> int
 val hist_max : histogram -> float
 
 val percentile : histogram -> float -> float
-(** [percentile h 0.99]: upper bound of the bucket holding the rank-q
-    observation, clamped to the true maximum — 0 on an empty series. *)
+(** [percentile h 0.99]: the {e upper} bound of the bucket holding the
+    rank-q observation, clamped to the true maximum — 0 on an empty
+    series.
+
+    Quantization error: buckets are powers of two ([2^i, 2^{i+1}) ns),
+    so the reported value is never below the true percentile and
+    overstates it by strictly less than 2× (the worst case is an
+    observation just above a bucket's lower bound reported at the
+    bucket's upper bound). Reporting the upper bound is deliberate:
+    a latency SLO judged against it can only fail conservatively,
+    whereas the lower bound would understate tails by the same factor. *)
+
+val hist_bucket : histogram -> int -> int
+(** Raw occupancy of log₂ bucket [i] (0 out of range) — for consumers
+    that merge or re-derive statistics themselves (tests, rollups). *)
 
 val histograms : t -> (string * histogram) list
 (** Sorted by name. *)
@@ -68,9 +81,25 @@ type snapshot
 
 val snapshot : t -> snapshot
 
+val merged_snapshot : t list -> snapshot
+(** The cluster rollup: one snapshot over several registries — counters
+    and gauges {e summed} by name, histograms merged {e bucket-wise}
+    before flattening. Log₂ buckets compose exactly, so the merged
+    [.p50]/[.p99] are true percentiles of the union of all nodes'
+    observations (to the same ≤2× bucket quantization as
+    {!percentile}), never an average of per-node percentiles; [.max] is
+    the max of maxes. Summing gauges is right for per-node facts
+    (busy seconds, spans recorded) — cluster-global facts should be
+    appended by the caller once, not sampled per node. *)
+
 val entries : snapshot -> (string * float) list
 (** Sorted by name; histograms appear flattened as [name.count],
     [name.p50], [name.p99], [name.max]. *)
+
+val of_entries : (string * float) list -> snapshot
+(** Re-pack entries (sorting by name) — how a rollup appends
+    cluster-global series ([cluster.live_nodes], [cluster.unowned_shards])
+    that must be computed once, not summed per node. *)
 
 val find : snapshot -> string -> float option
 

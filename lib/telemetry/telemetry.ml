@@ -9,10 +9,12 @@
 
 module Registry = Registry
 module Tracer = Tracer
+module Health = Health
+module Blackbox = Blackbox
 
-type t = { registry : Registry.t; tracer : Tracer.t }
+type t = { registry : Registry.t; tracer : Tracer.t; blackbox : Blackbox.t }
 
-let create ?(tracing = true) ?capacity () =
+let create ?(tracing = true) ?capacity ?blackbox_capacity () =
   let registry = Registry.create () in
   let tracer = Tracer.create ?capacity registry in
   Tracer.set_enabled tracer tracing;
@@ -21,11 +23,23 @@ let create ?(tracing = true) ?capacity () =
       float_of_int (Tracer.spans_recorded tracer));
   Registry.gauge registry "trace.dropped" (fun () ->
       float_of_int (Tracer.drops tracer));
-  { registry; tracer }
+  (* The flight recorder sees every completed span (even ones the trace
+     ring later overruns); status/fault events are fed by the drivers. *)
+  let blackbox = Blackbox.create ?capacity:blackbox_capacity () in
+  Tracer.set_sink tracer
+    (Some
+       (fun (r : Tracer.record) ->
+         Blackbox.span blackbox ~at:r.t1 ~stage:r.stage ~trace:r.trace
+           ~lat:(if r.trace = 0 then 0. else r.t1 -. r.origin)));
+  Registry.gauge registry "blackbox.recorded" (fun () ->
+      float_of_int (Blackbox.recorded blackbox));
+  { registry; tracer; blackbox }
 
 let registry t = t.registry
 
 let tracer t = t.tracer
+
+let blackbox t = t.blackbox
 
 let set_tracing t b = Tracer.set_enabled t.tracer b
 

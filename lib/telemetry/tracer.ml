@@ -42,6 +42,8 @@ type t = {
   mutable depth : int;
   stamps : (string, int * float * int) Hashtbl.t;
   stamp_order : string Queue.t;
+  (* Completed records also flow here (the flight recorder's feed). *)
+  mutable sink : (record -> unit) option;
 }
 
 let create ?(capacity = 4096) registry =
@@ -49,7 +51,7 @@ let create ?(capacity = 4096) registry =
     dropped = 0; enabled = false; now = 0.; round = 0; next_trace = 0;
     next_span = 0; cur_trace = 0; cur_origin = 0.; cur_origin_round = 0;
     stack = Array.make max_depth 0; depth = 0;
-    stamps = Hashtbl.create 64; stamp_order = Queue.create () }
+    stamps = Hashtbl.create 64; stamp_order = Queue.create (); sink = None }
 
 let set_enabled t b = t.enabled <- b
 
@@ -62,6 +64,16 @@ let now t = t.now
 let bump_round t = t.round <- t.round + 1
 
 let round t = t.round
+
+let set_sink t f = t.sink <- f
+
+(* Cluster-unique ids: each node offsets its trace/span counters into
+   its own slice of the id space, so a trace minted on node 2 keeps its
+   identity when its spans land in node 5's ring. Monotone (max), so a
+   late call can never re-issue ids already handed out. *)
+let set_id_base t base =
+  t.next_trace <- max t.next_trace base;
+  t.next_span <- max t.next_span base
 
 (* --- traces ------------------------------------------------------------------ *)
 
@@ -84,10 +96,18 @@ let clear t =
 
 let stamp t key =
   if t.enabled && t.cur_trace <> 0 then begin
-    if Queue.length t.stamp_order >= stamp_cap then
-      Hashtbl.remove t.stamps (Queue.pop t.stamp_order);
-    Hashtbl.replace t.stamps key (t.cur_trace, t.cur_origin, t.cur_origin_round);
-    Queue.push key t.stamp_order
+    match Hashtbl.find_opt t.stamps key with
+    | Some (tr, _, _) when tr = t.cur_trace ->
+      (* Same binding already present (a burst re-stamps its key once
+         per op) — skip the replace and the FIFO entry, so a burst
+         costs one stamp, not one per write. *)
+      ()
+    | _ ->
+      if Queue.length t.stamp_order >= stamp_cap then
+        Hashtbl.remove t.stamps (Queue.pop t.stamp_order);
+      Hashtbl.replace t.stamps key
+        (t.cur_trace, t.cur_origin, t.cur_origin_round);
+      Queue.push key t.stamp_order
   end
 
 let resume t key =
@@ -101,6 +121,20 @@ let resume t key =
       t.cur_origin_round <- origin_round;
       true
 
+let context t =
+  if t.cur_trace = 0 then None
+  else Some (t.cur_trace, t.cur_origin, t.cur_origin_round)
+
+(* Adopt a foreign trace context — the cross-node sibling of {!resume}:
+   the origin's (id, birth time, birth round) rode the replicated op
+   here instead of the local stamp table. *)
+let adopt t ~trace ~origin ~origin_round =
+  if t.enabled && trace <> 0 then begin
+    t.cur_trace <- trace;
+    t.cur_origin <- origin;
+    t.cur_origin_round <- origin_round
+  end
+
 (* --- the ring ---------------------------------------------------------------- *)
 
 let push t r =
@@ -111,7 +145,8 @@ let push t r =
     t.dropped <- t.dropped + 1
   end;
   t.ring.(t.wpos mod t.capacity) <- r;
-  t.wpos <- t.wpos + 1
+  t.wpos <- t.wpos + 1;
+  match t.sink with None -> () | Some f -> f r
 
 let spans_recorded t = t.wpos
 

@@ -74,6 +74,28 @@ val resume : t -> string -> bool
 (** Adopt the trace stamped under [key], if any. Non-consuming: a key
     fanned out to several consumers resumes in each. *)
 
+val context : t -> (int * float * int) option
+(** The ambient trace as a portable context [(id, origin time, origin
+    round)] — what a cross-node carrier copies onto a replicated op.
+    [None] when no trace is current. *)
+
+val adopt : t -> trace:int -> origin:float -> origin_round:int -> unit
+(** The cross-node sibling of {!resume}: make a {e foreign} context
+    (minted by another node's tracer, carried on a replicated op)
+    current, so spans recorded here join the originating trace. No-op
+    when disabled or [trace = 0]. *)
+
+val set_id_base : t -> int -> unit
+(** Offset this tracer's trace/span id counters into their own slice of
+    the id space (e.g. [node_index * 2^40]), making ids cluster-unique
+    so adopted traces never collide with locally minted ones. Monotone:
+    ids already issued are never re-issued. *)
+
+val set_sink : t -> (record -> unit) option -> unit
+(** Mirror every completed span record to a callback as it enters the
+    ring (the flight recorder's feed). The sink sees records even if
+    the ring later overruns them. *)
+
 (** {1 Spans} *)
 
 val span : t -> stage:string -> (unit -> 'a) -> 'a

@@ -61,11 +61,25 @@ type t = {
   mutable next_reconcile : float;
   mutable dfs_clock : float;
   mutable booted : bool;
+  (* Lease expiry of each member observed dead, keyed by name — the
+     honest start of the takeover clock: survivors can only measure
+     from when the lease ran out, and the file still says when that
+     was. Feeds the [cluster.takeover.latency] histogram per claim. *)
+  dead_expiry : (string, float) Hashtbl.t;
 }
 
 let cred = Vfs.Cred.root
 
 let node_name i = Printf.sprintf "n%d" i
+
+let node_tracer node = Telemetry.tracer (Controller.telemetry node.ctl)
+
+let node_registry node = Telemetry.registry (Controller.telemetry node.ctl)
+
+(* Correlation key linking a takeover's phases: stamped by the detect
+   span, resumed by every claim of the dead member's shards — so
+   detect → re-own → resync share one trace id. *)
+let takeover_key member = "takeover:" ^ member
 
 let index_of_name name =
   try Some (int_of_string (String.sub name 1 (String.length name - 1)))
@@ -180,6 +194,16 @@ let route t op ~origin:_ =
   | None -> None
   | Some dpid -> Hashtbl.find_opt t.shard_routes dpid
 
+(* The correlation key a replicated flow op re-stamps on the applying
+   node — the same key shape the writing app stamps locally, so the
+   owning node's driver resumes the cross-node trace at install time
+   without knowing the op ever crossed a machine boundary. *)
+let trace_key_of_op op =
+  match Vfs.Path.components (Vfs.Op.path op) with
+  | "net" :: "switches" :: sw :: "flows" :: flow :: _ ->
+    Some (Yancfs.Layout.trace_key_flow ~switch:sw flow)
+  | _ -> None
+
 (* --- ownership reconcile ------------------------------------------------------ *)
 
 let attached_set node =
@@ -192,55 +216,147 @@ let attached_set node =
 (* Claim a shard: bring this replica (and any newly promoted
    secondaries) up to date, record the claim, attach the driver. The
    anti-entropy sync is what makes a promotion safe when the claimant
-   or a new secondary was outside the previous replica set. *)
-let claim t node dpid ~members =
+   or a new secondary was outside the previous replica set.
+
+   Post-boot claims are takeover work: the claim runs as a
+   [cluster.takeover.reown] span (resuming the trace the detect phase
+   stamped for the dead previous owner, so detect → re-own → resync is
+   one trace), anti-entropy runs as nested [cluster.takeover.resync]
+   spans, and the time from the dead owner's lease expiry to this claim
+   feeds the [cluster.takeover.latency] histogram. *)
+let claim t node dpid ~members ~now =
+  let tracer = node_tracer node in
   let sw_path =
     Yancfs.Layout.switch ~root:(Yancfs.Yanc_fs.root (Controller.yfs node.ctl))
       (Yancfs.Yanc_fs.switch_name_of_dpid dpid)
   in
   let reps = shard_reps t ~members dpid in
   let prev = shard_record_of t node.index dpid in
-  (match prev with
-  | Some (_, prev_reps) when not (List.mem node.name prev_reps) ->
-    (* I was not carrying this shard's state: pull it from a surviving
-       previous replica before trusting my copy. *)
-    (match
-       List.find_opt
-         (fun r -> List.mem r members && r <> node.name)
-         prev_reps
-     with
-    | Some src -> (
-      match index_of_name src with
-      | Some si ->
-        ignore (Dfs.Cluster.sync_subtree t.dfs ~from_:si ~to_:node.index sw_path)
-      | None -> ())
-    | None -> ())
-  | _ -> ());
-  (* Push state to secondaries that just joined the replica set. *)
-  let prev_reps = match prev with Some (_, r) -> r | None -> [] in
-  List.iter
-    (fun r ->
-      if r <> node.name && not (List.mem r prev_reps) then
-        match index_of_name r with
-        | Some ri ->
-          ignore (Dfs.Cluster.sync_subtree t.dfs ~from_:node.index ~to_:ri sw_path)
+  let takeover = t.booted in
+  let prev_owner = match prev with Some (owner, _) -> Some owner | None -> None in
+  let resync f =
+    if takeover then
+      Telemetry.Tracer.span tracer ~stage:"cluster.takeover.resync" f
+    else f ()
+  in
+  let body () =
+    (match prev with
+    | Some (_, prev_reps) when not (List.mem node.name prev_reps) ->
+      (* I was not carrying this shard's state: pull it from a surviving
+         previous replica before trusting my copy. *)
+      (match
+         List.find_opt
+           (fun r -> List.mem r members && r <> node.name)
+           prev_reps
+       with
+      | Some src -> (
+        match index_of_name src with
+        | Some si ->
+          resync (fun () ->
+              ignore
+                (Dfs.Cluster.sync_subtree t.dfs ~from_:si ~to_:node.index
+                   sw_path))
         | None -> ())
-    reps;
-  write_shard_record t node dpid ~reps;
-  if t.booted then node.takeovers <- node.takeovers + 1;
-  Controller.attach node.ctl ~dpid ~version:t.version
+      | None -> ())
+    | _ -> ());
+    (* Push state to secondaries that just joined the replica set. *)
+    let prev_reps = match prev with Some (_, r) -> r | None -> [] in
+    List.iter
+      (fun r ->
+        if r <> node.name && not (List.mem r prev_reps) then
+          match index_of_name r with
+          | Some ri ->
+            resync (fun () ->
+                ignore
+                  (Dfs.Cluster.sync_subtree t.dfs ~from_:node.index ~to_:ri
+                     sw_path))
+          | None -> ())
+      reps;
+    write_shard_record t node dpid ~reps;
+    if takeover then begin
+      node.takeovers <- node.takeovers + 1;
+      match prev_owner with
+      | Some owner when owner <> node.name -> (
+        match Hashtbl.find_opt t.dead_expiry owner with
+        | Some expiry ->
+          Telemetry.Registry.observe
+            (Telemetry.Registry.histogram (node_registry node)
+               "cluster.takeover.latency")
+            (max 0. (now -. expiry))
+        | None -> ())
+      | _ -> ()
+    end;
+    Controller.attach node.ctl ~dpid ~version:t.version
+  in
+  if takeover then begin
+    (match prev_owner with
+    | Some owner when owner <> node.name ->
+      ignore (Telemetry.Tracer.resume tracer (takeover_key owner))
+    | _ -> ());
+    Fun.protect
+      ~finally:(fun () -> Telemetry.Tracer.clear tracer)
+      (fun () ->
+        Telemetry.Tracer.span tracer ~stage:"cluster.takeover.reown" body)
+  end
+  else body ()
+
+(* Write the node's flight recorder to a replicated file — the black
+   box pulled out after a takeover or a violated invariant survives its
+   node, because it is just another file in the DFS. *)
+let dump_blackbox node ~reason ~now =
+  let bb = Telemetry.blackbox (Controller.telemetry node.ctl) in
+  let data = Telemetry.Blackbox.dump bb ~reason ~now in
+  write_file (Controller.fs node.ctl)
+    (Yancfs.Layout.blackbox_dump ~node:node.name (Telemetry.Blackbox.dumps bb))
+    data
+
+(* The detect phase of a takeover: a member present at the last beat
+   has no live lease any more. Mint the trace the re-own/resync claims
+   will resume, remember the dead lease's expiry (the honest takeover
+   clock start), and dump this survivor's flight recorder — the
+   recent past, preserved before recovery overwrites it. *)
+let detect_departures t node ~now ~members =
+  let vanished =
+    List.filter (fun m -> not (List.mem m members)) node.last_members
+  in
+  let tracer = node_tracer node in
+  List.iter
+    (fun member ->
+      ignore (Telemetry.Tracer.fresh tracer);
+      Fun.protect
+        ~finally:(fun () -> Telemetry.Tracer.clear tracer)
+        (fun () ->
+          Telemetry.Tracer.span tracer ~stage:"cluster.takeover.detect"
+            (fun () ->
+              Telemetry.Tracer.stamp tracer (takeover_key member);
+              (match
+                 Vfs.Fs.read_file (Controller.fs node.ctl) ~cred
+                   (Yancfs.Layout.cluster_lease member)
+               with
+              | Ok data -> (
+                match float_of_string_opt (String.trim data) with
+                | Some expiry -> Hashtbl.replace t.dead_expiry member expiry
+                | None -> ())
+              | Error _ -> ());
+              Telemetry.Blackbox.fault
+                (Telemetry.blackbox (Controller.telemetry node.ctl))
+                ~at:now ~who:node.name
+                ~what:(Printf.sprintf "member %s lease expired" member)));
+      dump_blackbox node ~reason:(takeover_key member) ~now)
+    vanished
 
 let reconcile t node ~now =
   let members = members_view t node.index ~now in
   if members <> t.route_members then recompute_routes t members;
   let full_audit = members <> node.last_members in
+  if t.booted then detect_departures t node ~now ~members;
   node.last_members <- members;
   let attached = attached_set node in
   List.iter
     (fun dpid ->
       let mine = Hashtbl.find_opt t.shard_owners dpid = Some node.name in
       let have = Hashtbl.mem attached dpid in
-      if mine && not have then claim t node dpid ~members
+      if mine && not have then claim t node dpid ~members ~now
       else if (not mine) && have then
         Driver.Manager.detach (Controller.manager node.ctl) ~dpid
       else if mine && have && full_audit then
@@ -249,15 +365,72 @@ let reconcile t node ~now =
         let reps = shard_reps t ~members dpid in
         match shard_record_of t node.index dpid with
         | Some (_, prev_reps) when prev_reps = reps -> ()
-        | _ -> claim t node dpid ~members)
+        | _ -> claim t node dpid ~members ~now)
     t.dpids
+
+(* --- ownership + fleet rollup ------------------------------------------------- *)
+
+let live_indexes t =
+  Array.to_list t.nodes
+  |> List.filter_map (fun n -> if n.alive then Some n.index else None)
+
+(* Which live node currently attaches each dpid; None = unowned. *)
+let owner_index t dpid =
+  let found = ref None in
+  Array.iter
+    (fun node ->
+      if node.alive && !found = None then
+        if
+          List.exists (Int64.equal dpid)
+            (Driver.Manager.attached (Controller.manager node.ctl))
+        then found := Some node.index)
+    t.nodes;
+  !found
+
+let unowned t =
+  List.filter (fun dpid -> owner_index t dpid = None) t.dpids
+
+(* The fleet-wide snapshot behind /yanc/cluster/.proc/metrics: every
+   live node's registry merged (counters summed, log₂ histograms merged
+   bucket-wise — they compose exactly, so the rolled-up p99 is the
+   percentile of the union), plus cluster-global facts appended once
+   rather than sampled per node. *)
+let rollup_snapshot t =
+  let merged =
+    Telemetry.Registry.merged_snapshot
+      (Array.to_list t.nodes
+      |> List.filter_map (fun n ->
+             if n.alive then Some (node_registry n) else None))
+  in
+  Telemetry.Registry.of_entries
+    (("cluster.live_nodes", float_of_int (List.length (live_indexes t)))
+    :: ("cluster.nodes", float_of_int (Array.length t.nodes))
+    :: ("cluster.unowned_shards", float_of_int (List.length (unowned t)))
+    :: Telemetry.Registry.entries merged)
+
+(* Mounted on every replica, so `cat /yanc/cluster/.proc/metrics` on
+   any node answers for the whole fleet. *)
+let mount_rollup t =
+  let proc = Yancfs.Layout.cluster_proc_root in
+  Array.iter
+    (fun node ->
+      ignore (Vfs.Fs.mkdir_p (Controller.fs node.ctl) ~cred proc);
+      Yancfs.Procdir.add_file (Controller.proc node.ctl)
+        (Yancfs.Layout.proc_metrics ~proc)
+        (fun () -> Telemetry.Registry.render (rollup_snapshot t));
+      Yancfs.Procdir.add_file (Controller.proc node.ctl)
+        (Yancfs.Layout.proc_health ~proc)
+        (fun () ->
+          Telemetry.Health.render
+            (Telemetry.Health.evaluate (rollup_snapshot t))))
+    t.nodes
 
 (* --- construction ------------------------------------------------------------- *)
 
 let create ?(consistency = Dfs.Consistency.Eventual { propagation_s = 0.05 })
     ?(lease_ttl = 1.0) ?(renew_every = 0.25) ?(reconcile_every = 0.1)
-    ?(replication_factor = 2) ?(version = Controller.V10) ?tuning ?(seed = 9)
-    ~n ~net () =
+    ?(replication_factor = 2) ?(version = Controller.V10) ?tracing ?tuning
+    ?(seed = 9) ~n ~net () =
   let n = max 1 n in
   let dfs = Dfs.Cluster.create ~consistency ~n () in
   (* Metadata is the consistent store; checked by prefix so the hot
@@ -275,7 +448,7 @@ let create ?(consistency = Dfs.Consistency.Eventual { propagation_s = 0.05 })
           Controller.create
             ~fs:(Dfs.Cluster.node dfs i)
             ~proc_root:(Yancfs.Layout.node_proc_root name)
-            ?tuning ~seed:(seed + (i * 7919)) ~net ()
+            ?tracing ?tuning ~seed:(seed + (i * 7919)) ~net ()
         in
         { index = i; name; ctl; alive = true; busy_s = 0.;
           next_renew = neg_infinity; last_members = []; takeovers = 0 })
@@ -286,14 +459,41 @@ let create ?(consistency = Dfs.Consistency.Eventual { propagation_s = 0.05 })
       shard_routes = Hashtbl.create 256;
       shard_owners = Hashtbl.create 256; route_members = [];
       next_reconcile = neg_infinity; dfs_clock = Netsim.Network.now net;
-      booted = false }
+      booted = false; dead_expiry = Hashtbl.create 8 }
   in
   Dfs.Cluster.set_route dfs (Some (route t));
   Dfs.Cluster.set_emit_class dfs (Some flow_emit_class);
+  (* Cross-node tracing: give every node its own trace/span id slice
+     (so ids stay cluster-unique when spans cross machines) and teach
+     the DFS which tracer serves each replica and which correlation key
+     a replicated flow op should re-stamp on arrival. *)
+  Array.iter
+    (fun node ->
+      Telemetry.Tracer.set_id_base (node_tracer node) (node.index lsl 40))
+    nodes;
+  Dfs.Cluster.set_tracing dfs
+    (Some
+       ( (fun i ->
+           if i >= 0 && i < Array.length nodes && nodes.(i).alive then
+             Some (node_tracer nodes.(i))
+           else None),
+         trace_key_of_op ));
+  (* The replication stream's own counters live on node 0's registry
+     (one seat, so the rollup never double-counts the shared DFS). *)
+  Dfs.Cluster.register dfs (node_registry nodes.(0));
+  Array.iter
+    (fun node ->
+      let reg = node_registry node in
+      Telemetry.Registry.gauge reg "cluster.takeovers" (fun () ->
+          float_of_int node.takeovers);
+      Telemetry.Registry.gauge reg "cluster.members_seen" (fun () ->
+          float_of_int (List.length node.last_members)))
+    nodes;
   (* Seed every lease before the first reconcile so boot assigns shards
      against the full membership instead of a thundering claim-all. *)
   let now = Netsim.Network.now net in
   Array.iter (fun node -> renew_lease t node ~now) nodes;
+  mount_rollup t;
   t
 
 let dfs t = t.dfs
@@ -307,10 +507,6 @@ let controller t i = t.nodes.(i).ctl
 let name_of t i = t.nodes.(i).name
 
 let alive t i = t.nodes.(i).alive
-
-let live_indexes t =
-  Array.to_list t.nodes
-  |> List.filter_map (fun n -> if n.alive then Some n.index else None)
 
 let add_app t make =
   Array.iter (fun node -> Controller.add_app node.ctl (make node.ctl)) t.nodes
@@ -347,8 +543,13 @@ let step ?(tick = 0.005) t =
     (fun node ->
       if node.alive then begin
         let t0 = Sys.time () in
-        if now >= node.next_renew then renew_lease t node ~now;
-        if reconcile_due then reconcile t node ~now;
+        let tracer = node_tracer node in
+        if now >= node.next_renew then
+          Telemetry.Tracer.span tracer ~stage:"cluster.lease_renew"
+            (fun () -> renew_lease t node ~now);
+        if reconcile_due then
+          Telemetry.Tracer.span tracer ~stage:"cluster.reconcile"
+            (fun () -> reconcile t node ~now);
         Controller.step node.ctl;
         node.busy_s <- node.busy_s +. (Sys.time () -. t0)
       end)
@@ -388,23 +589,16 @@ let kill t i =
     Dfs.Cluster.set_partitioned t.dfs i true
   end
 
-(* --- invariants --------------------------------------------------------------- *)
-
-(* Which live node currently attaches each dpid; None = unowned. *)
-let owner_index t dpid =
-  let found = ref None in
+(* Preserve every survivor's recent past — called by harnesses when a
+   chaos invariant is violated, before recovery (or the next storm)
+   overwrites the evidence. *)
+let dump_blackboxes t ~reason =
+  let now = Netsim.Network.now t.net in
   Array.iter
-    (fun node ->
-      if node.alive && !found = None then
-        if
-          List.exists (Int64.equal dpid)
-            (Driver.Manager.attached (Controller.manager node.ctl))
-        then found := Some node.index)
-    t.nodes;
-  !found
+    (fun node -> if node.alive then dump_blackbox node ~reason ~now)
+    t.nodes
 
-let unowned t =
-  List.filter (fun dpid -> owner_index t dpid = None) t.dpids
+(* --- invariants --------------------------------------------------------------- *)
 
 (* Replication quiet modulo permanently dead nodes' stashes. *)
 let replication_quiet t =

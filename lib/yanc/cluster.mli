@@ -31,15 +31,30 @@ val create :
   ?reconcile_every:float ->
   ?replication_factor:int ->
   ?version:Controller.version ->
+  ?tracing:bool ->
   ?tuning:Driver.Driver_intf.tuning ->
   ?seed:int ->
   n:int -> net:Netsim.Network.t -> unit -> t
 (** Defaults: flow-state consistency [Eventual 0.05 s]; lease TTL 1 s
     renewed every 0.25 s; reconcile every 0.1 s; replication factor 2
-    (clamped to [n]). Every node's lease is seeded before the first
-    beat so boot assigns shards against the full membership. Drive it
-    with {!run_for}/{!run_until}; ownership (attach/handshake) settles
-    within the first reconcile beats. *)
+    (clamped to [n]); tracing on ([tracing:false] builds every node's
+    telemetry with the tracer off — the overhead-bench baseline).
+    Every node's lease is seeded before the first beat so boot assigns
+    shards against the full membership. Drive it with
+    {!run_for}/{!run_until}; ownership (attach/handshake) settles
+    within the first reconcile beats.
+
+    Observability wiring done here: each node's tracer gets its own
+    trace/span id slice ([index * 2^40], cluster-unique ids); the DFS
+    gets the per-replica tracer map and flow correlation key, so a
+    write traced on node A replays on node B as a [dfs.apply] span
+    under A's trace id and B's driver resumes it at install; lease
+    renewal and reconcile run as spans, takeover runs as
+    detect → re-own → resync spans sharing one trace per dead member;
+    each claim after a death feeds the [cluster.takeover.latency]
+    histogram (measured from the dead lease's recorded expiry); and
+    every replica mounts the fleet rollup at [/yanc/cluster/.proc]
+    (merged [metrics], cluster [health]). *)
 
 val dfs : t -> Dfs.Cluster.t
 val net : t -> Netsim.Network.t
@@ -65,6 +80,19 @@ val kill : t -> int -> unit
 (** Node death: freeze its loop (never stepped again), drop its queued
     op-log tail, partition its replica. Its switches stay frozen until
     lease expiry hands them to survivors. *)
+
+val dump_blackboxes : t -> reason:string -> unit
+(** Dump every live node's flight recorder to
+    [/yanc/blackbox/<node>-<n>] — what a harness calls on a violated
+    chaos invariant, before recovery overwrites the evidence. (Takeover
+    detection dumps automatically.) *)
+
+val rollup_snapshot : t -> Telemetry.Registry.snapshot
+(** The fleet-wide merged snapshot served at
+    [/yanc/cluster/.proc/metrics]: live nodes' registries merged
+    (counters summed, histograms bucket-wise) plus the cluster-global
+    series [cluster.live_nodes], [cluster.nodes],
+    [cluster.unowned_shards]. *)
 
 (** {1 Accounting} *)
 

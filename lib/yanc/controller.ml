@@ -45,16 +45,29 @@ let register_probes ~telemetry ~fs ~net =
   gi "net.frames_delivered" (fun () -> fst (Netsim.Network.stats net));
   gi "net.frames_dropped" (fun () -> snd (Netsim.Network.stats net))
 
-let create ?root ?proc_root ?fs:fs_opt ?telemetry ?tuning ?seed ~net () =
+let create ?root ?proc_root ?fs:fs_opt ?telemetry ?tracing ?tuning ?seed ~net
+    () =
   let telemetry =
-    match telemetry with Some t -> t | None -> Telemetry.create ()
+    match telemetry with Some t -> t | None -> Telemetry.create ?tracing ()
   in
   let fs = match fs_opt with Some fs -> fs | None -> Vfs.Fs.create () in
   let yfs = Yancfs.Yanc_fs.create ?root ~telemetry fs in
   let proc = Yancfs.Procdir.mount ?proc:proc_root ~fs ~telemetry () in
   register_probes ~telemetry ~fs ~net;
-  { fs; yfs; net; manager = Driver.Manager.create ?tuning ?seed ~yfs ~net ();
-    scheduler = Scheduler.create ~telemetry (); telemetry; proc }
+  let manager = Driver.Manager.create ?tuning ?seed ~yfs ~net () in
+  (* Liveness as registry series, so the health probes can judge the
+     fleet from a snapshot alone. *)
+  let reg = Telemetry.registry telemetry in
+  Telemetry.Registry.gauge reg "driver.attached_switches" (fun () ->
+      float_of_int (List.length (Driver.Manager.attached manager)));
+  Telemetry.Registry.gauge reg "driver.dead_switches" (fun () ->
+      float_of_int
+        (List.length
+           (List.filter
+              (fun (_, s) -> s = Driver.Driver_intf.Dead)
+              (Driver.Manager.statuses manager))));
+  { fs; yfs; net; manager; scheduler = Scheduler.create ~telemetry ();
+    telemetry; proc }
 
 let fs t = t.fs
 

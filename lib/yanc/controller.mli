@@ -15,17 +15,20 @@ type t
 
 val create :
   ?root:Vfs.Path.t -> ?proc_root:Vfs.Path.t -> ?fs:Vfs.Fs.t ->
-  ?telemetry:Telemetry.t ->
+  ?telemetry:Telemetry.t -> ?tracing:bool ->
   ?tuning:Driver.Driver_intf.tuning -> ?seed:int ->
   net:Netsim.Network.t -> unit -> t
-(** Builds the telemetry hub (tracing on unless a custom [telemetry] is
-    passed), threads it through the file system, drivers, agents and
-    scheduler, registers gauges sampling every pre-existing counter
-    surface ({!Vfs.Cost}, datapath, fsnotify, network), and mounts the
-    [/yanc/.proc] subtree (override with [proc_root] — cluster nodes
-    mount theirs at [/yanc/nodes/<name>/.proc]) on the controller's
-    VFS. [tuning] and [seed] set the drivers' keepalive/backoff policy
-    (see {!Driver.Manager.create}). *)
+(** Builds the telemetry hub (tracing on unless [tracing:false], both
+    ignored when a custom [telemetry] is passed), threads it through
+    the file system, drivers, agents and scheduler, registers gauges
+    sampling every pre-existing counter surface ({!Vfs.Cost}, datapath,
+    fsnotify, network) plus driver liveness
+    ([driver.attached_switches]/[driver.dead_switches], the health
+    probes' inputs), and mounts the [/yanc/.proc] subtree (override
+    with [proc_root] — cluster nodes mount theirs at
+    [/yanc/nodes/<name>/.proc]) on the controller's VFS. [tuning] and
+    [seed] set the drivers' keepalive/backoff policy (see
+    {!Driver.Manager.create}). *)
 
 val fs : t -> Vfs.Fs.t
 

@@ -80,6 +80,17 @@ let cluster_shard dpid = Path.child cluster_shards_dir (Int64.to_string dpid)
 let node_proc_root name =
   Path.of_string_exn (Printf.sprintf "/yanc/nodes/%s/.proc" name)
 
+(* The fleet-wide rollup: merged metrics + health, mounted on every
+   replica so any node's mount answers for the whole cluster. *)
+let cluster_proc_root = Path.child cluster_root ".proc"
+
+(* Flight-recorder dumps (takeover, violated invariant) land here as
+   ordinary replicated files — the post-mortem survives its node. *)
+let blackbox_dumps_dir = Path.of_string_exn "/yanc/blackbox"
+
+let blackbox_dump ~node n =
+  Path.child blackbox_dumps_dir (Printf.sprintf "%s-%d" node n)
+
 (* --- /yanc/.proc (procfs analog, see Procdir) ------------------------------- *)
 
 let default_proc_root = Path.of_string_exn "/yanc/.proc"
@@ -87,6 +98,10 @@ let default_proc_root = Path.of_string_exn "/yanc/.proc"
 let proc_metrics ~proc = Path.child proc "metrics"
 
 let proc_trace_pipe ~proc = Path.child proc "trace_pipe"
+
+let proc_health ~proc = Path.child proc "health"
+
+let proc_blackbox ~proc = Path.child proc "blackbox"
 
 let proc_apps_dir ~proc = Path.child proc "apps"
 

@@ -114,6 +114,19 @@ val node_proc_root : string -> Vfs.Path.t
 (** [/yanc/nodes/<node>/.proc] — where a cluster node mounts its
     per-node procfs. *)
 
+val cluster_proc_root : Vfs.Path.t
+(** [/yanc/cluster/.proc] — the fleet-wide rollup (merged [metrics],
+    cluster [health]), mounted on every replica so one [cat] on any
+    node answers for the whole cluster. *)
+
+val blackbox_dumps_dir : Vfs.Path.t
+(** [/yanc/blackbox] — flight-recorder dumps written on takeover or a
+    violated invariant; ordinary replicated files, so a node's
+    post-mortem survives the node. *)
+
+val blackbox_dump : node:string -> int -> Vfs.Path.t
+(** [/yanc/blackbox/<node>-<n>] — the [n]th dump of a node's box. *)
+
 (** {1 /yanc/.proc — the procfs analog (see {!Procdir})} *)
 
 val default_proc_root : Vfs.Path.t
@@ -122,6 +135,16 @@ val default_proc_root : Vfs.Path.t
 
 val proc_metrics : proc:Vfs.Path.t -> Vfs.Path.t
 val proc_trace_pipe : proc:Vfs.Path.t -> Vfs.Path.t
+
+val proc_health : proc:Vfs.Path.t -> Vfs.Path.t
+(** [<proc>/health] — the {!Telemetry.Health} probe report, evaluated
+    against this proc tree's registry (or the merged rollup under
+    {!cluster_proc_root}) at read time. *)
+
+val proc_blackbox : proc:Vfs.Path.t -> Vfs.Path.t
+(** [<proc>/blackbox] — the live flight-recorder window; non-consuming
+    (unlike [trace_pipe]). *)
+
 val proc_apps_dir : proc:Vfs.Path.t -> Vfs.Path.t
 val proc_app : proc:Vfs.Path.t -> string -> Vfs.Path.t
 val proc_app_stat : proc:Vfs.Path.t -> string -> Vfs.Path.t

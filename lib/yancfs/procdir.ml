@@ -30,6 +30,12 @@ let mount ?(proc = Layout.default_proc_root) ~fs ~telemetry () =
         (Telemetry.Registry.snapshot (Telemetry.registry telemetry)));
   add_file t (Layout.proc_trace_pipe ~proc) (fun () ->
       Telemetry.Tracer.render_pipe (Telemetry.tracer telemetry));
+  add_file t (Layout.proc_health ~proc) (fun () ->
+      Telemetry.Health.render
+        (Telemetry.Health.evaluate
+           (Telemetry.Registry.snapshot (Telemetry.registry telemetry))));
+  add_file t (Layout.proc_blackbox ~proc) (fun () ->
+      Telemetry.Blackbox.render (Telemetry.blackbox telemetry));
   t
 
 let root t = t.proc

@@ -10,6 +10,8 @@
     /yanc/.proc
     ├── metrics               # the whole registry, "name value" lines
     ├── trace_pipe            # completed spans; consumed on read
+    ├── health                # Telemetry.Health probe report (status line first)
+    ├── blackbox              # flight-recorder window; NOT consumed on read
     ├── apps/<name>/stat      # one line per scheduler entry
     └── switches/<dpid>/stat  # per-switch driver + datapath state
     v}

@@ -286,6 +286,228 @@ let test_sync_subtree_antientropy () =
   Alcotest.(check string) "symlink synced" "sub/f"
     (Result.get_ok (Vfs.Fs.readlink fs2 ~cred (p "/data/link")))
 
+(* --- cluster observability ---------------------------------------------------- *)
+
+let read_node_proc c i file =
+  let proc = Y.Layout.node_proc_root (Yanc.Cluster.name_of c i) in
+  Vfs.Fs.read_file
+    (Yanc.Controller.fs (Yanc.Cluster.controller c i))
+    ~cred (file ~proc)
+
+let tok_value line key =
+  List.find_map
+    (fun tok ->
+      let kl = String.length key in
+      if String.length tok > kl && String.sub tok 0 kl = key then
+        Some (String.sub tok kl (String.length tok - kl))
+      else None)
+    (String.split_on_char ' ' line)
+
+(* (trace, stage) per pipe line, untraced spans excluded *)
+let pipe_spans data =
+  List.filter_map
+    (fun line ->
+      match (tok_value line "trace=", tok_value line "stage=") with
+      | Some tr, Some st when tr <> "0" -> Some (int_of_string tr, st)
+      | _ -> None)
+    (String.split_on_char '\n' data)
+
+let boot_traced ?(n = 2) ?(k = 4) ?seed () =
+  let built = N.Topo_gen.fat_tree ~k () in
+  let c =
+    Yanc.Cluster.create ~tracing:true ~tuning:fast_tuning ?seed ~n
+      ~net:built.N.Topo_gen.net ()
+  in
+  ignore
+    (Yanc.Cluster.run_until ~tick:0.02 c (fun () -> Yanc.Cluster.converged c));
+  (built, c)
+
+(* One cross-node write under a client-side trace, the yancctl pattern:
+   fresh trace → span over create_flow on node 0's replica for a switch
+   owned elsewhere, stamping the flow's correlation key so the owner's
+   driver resumes the trace at install time. *)
+let traced_write built c =
+  let dpid =
+    List.find
+      (fun d -> Yanc.Cluster.owner_index c d <> Some 0)
+      built.N.Topo_gen.dpids
+  in
+  let swname = Y.Yanc_fs.switch_name_of_dpid dpid in
+  let ctl0 = Yanc.Cluster.controller c 0 in
+  let tr = Telemetry.tracer (Yanc.Controller.telemetry ctl0) in
+  let id = Telemetry.Tracer.fresh tr in
+  Fun.protect
+    ~finally:(fun () -> Telemetry.Tracer.clear tr)
+    (fun () ->
+      Telemetry.Tracer.span tr ~stage:"test.flow_write" (fun () ->
+          Telemetry.Tracer.stamp tr (Y.Layout.trace_key_flow ~switch:swname "t");
+          let flow =
+            { Y.Flowdir.default with
+              Y.Flowdir.of_match =
+                { Openflow.Of_match.any with Openflow.Of_match.in_port = Some 1 };
+              actions = [ Openflow.Action.Output (Openflow.Action.Physical 2) ];
+              priority = 77 }
+          in
+          match
+            Y.Yanc_fs.create_flow (Yanc.Controller.yfs ctl0) ~cred
+              ~switch:swname ~name:"t" flow
+          with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "create_flow: %s" (Vfs.Errno.to_string e)));
+  (id, dpid)
+
+let test_one_trace_two_rings () =
+  let built, c = boot_traced () in
+  let id, dpid = traced_write built c in
+  Alcotest.(check bool) "trace id minted" true (id <> 0);
+  Yanc.Cluster.run_for ~tick:0.01 c 0.5;
+  let owner =
+    match Yanc.Cluster.owner_index c dpid with
+    | Some i -> i
+    | None -> Alcotest.fail "written switch unowned"
+  in
+  Alcotest.(check bool) "write targeted a foreign owner" true (owner <> 0);
+  let spans i =
+    match read_node_proc c i Y.Layout.proc_trace_pipe with
+    | Ok d -> pipe_spans d
+    | Error e -> Alcotest.failf "trace_pipe: %s" (Vfs.Errno.to_string e)
+  in
+  let stages_of l =
+    List.filter_map (fun (t, st) -> if t = id then Some st else None) l
+  in
+  let st0 = stages_of (spans 0) and st_owner = stages_of (spans owner) in
+  Alcotest.(check bool) "origin ring holds the client span" true
+    (List.mem "test.flow_write" st0);
+  Alcotest.(check bool) "origin ring holds dfs.forward" true
+    (List.mem "dfs.forward" st0);
+  Alcotest.(check bool) "owner ring resumed the same trace (dfs.apply)" true
+    (List.mem "dfs.apply" st_owner);
+  Alcotest.(check bool) "owner ring reached hardware (switch.install)" true
+    (List.mem "switch.install" st_owner)
+
+let test_cross_node_trace_determinism () =
+  let run_once () =
+    let built, c = boot_traced ~seed:42 () in
+    ignore (traced_write built c);
+    Yanc.Cluster.run_for ~tick:0.01 c 0.5;
+    List.sort compare
+      (List.concat_map
+         (fun i ->
+           match read_node_proc c i Y.Layout.proc_trace_pipe with
+           | Ok d -> pipe_spans d
+           | Error _ -> [])
+         (Yanc.Cluster.live_indexes c))
+  in
+  let a = run_once () in
+  let b = run_once () in
+  Alcotest.(check bool) "traced spans present" true (a <> []);
+  Alcotest.(check (list (pair int string)))
+    "same seed, same cross-node span set" a b
+
+(* A replication storm against a deliberately tiny trace ring: the ring
+   overruns, and the accounting stays exact — every span ever recorded
+   is either still drainable or counted dropped. *)
+let test_ring_overflow_accounting_under_storm () =
+  let reg = Telemetry.Registry.create () in
+  let tr = Telemetry.Tracer.create ~capacity:8 reg in
+  Telemetry.Tracer.set_enabled tr true;
+  let c = Dfs.Cluster.create ~n:2 () in
+  Dfs.Cluster.set_tracing c (Some ((fun _ -> Some tr), fun _ -> None));
+  let fs0 = Dfs.Cluster.node c 0 in
+  let p = Vfs.Path.of_string_exn in
+  ignore (Vfs.Fs.mkdir_p fs0 ~cred (p "/storm"));
+  Dfs.Cluster.flush c;
+  let writes = 100 in
+  for i = 1 to writes do
+    ignore (Telemetry.Tracer.fresh tr);
+    ignore
+      (Vfs.Fs.write_file fs0 ~cred (p (Printf.sprintf "/storm/f%d" i)) "x");
+    Telemetry.Tracer.clear tr
+  done;
+  Dfs.Cluster.flush c;
+  let recorded = Telemetry.Tracer.spans_recorded tr in
+  let dropped = Telemetry.Tracer.drops tr in
+  let drained = List.length (Telemetry.Tracer.drain tr) in
+  Alcotest.(check bool) "storm recorded at least one span per write" true
+    (recorded >= writes);
+  Alcotest.(check bool) "ring overran" true (dropped > 0);
+  Alcotest.(check bool) "window bounded by capacity" true (drained <= 8);
+  Alcotest.(check int) "accounting exact: recorded = dropped + drained"
+    recorded (dropped + drained)
+
+let test_rollup_matches_hand_merge () =
+  let built, c = boot_traced () in
+  ignore (traced_write built c);
+  Yanc.Cluster.run_for ~tick:0.01 c 0.5;
+  let live = Yanc.Cluster.live_indexes c in
+  let regs =
+    List.map
+      (fun i ->
+        Telemetry.registry (Yanc.Controller.telemetry (Yanc.Cluster.controller c i)))
+      live
+  in
+  let roll = Yanc.Cluster.rollup_snapshot c in
+  let get name =
+    match Telemetry.Registry.find roll name with
+    | Some v -> v
+    | None -> Alcotest.failf "rollup missing %s" name
+  in
+  (* histogram: bucket-wise hand-merge with an independent upper-bound
+     percentile walk must reproduce the rollup's flattened stats *)
+  let series = "trace.dfs.apply" in
+  let hs = List.map (fun r -> Telemetry.Registry.histogram r series) regs in
+  let bucket i =
+    List.fold_left (fun acc h -> acc + Telemetry.Registry.hist_bucket h i) 0 hs
+  in
+  let buckets = Array.init 63 bucket in
+  let count = Array.fold_left ( + ) 0 buckets in
+  Alcotest.(check bool) "apply spans landed" true (count > 0);
+  let max_v =
+    List.fold_left (fun acc h -> max acc (Telemetry.Registry.hist_max h)) 0. hs
+  in
+  let hand_percentile q =
+    let rank =
+      max 1 (min count (int_of_float (ceil (q *. float_of_int count))))
+    in
+    let i = ref 0 and cum = ref buckets.(0) in
+    while !cum < rank && !i < 62 do
+      incr i;
+      cum := !cum + buckets.(!i)
+    done;
+    min (float_of_int (1 lsl (min 62 (!i + 1))) *. 1e-9) max_v
+  in
+  Alcotest.(check (float 0.)) "rollup count = summed buckets"
+    (float_of_int count)
+    (get (series ^ ".count"));
+  Alcotest.(check (float 1e-15)) "rollup p50 = hand-merged percentile"
+    (hand_percentile 0.5)
+    (get (series ^ ".p50"));
+  Alcotest.(check (float 1e-15)) "rollup p99 = hand-merged percentile"
+    (hand_percentile 0.99)
+    (get (series ^ ".p99"));
+  Alcotest.(check (float 1e-15)) "rollup max = max of maxes" max_v
+    (get (series ^ ".max"));
+  Alcotest.(check (float 0.)) "rollup counts the live fleet"
+    (float_of_int (List.length live))
+    (get "cluster.live_nodes");
+  (* the same rollup is served as a file at /yanc/cluster/.proc/metrics *)
+  match
+    Vfs.Fs.read_file
+      (Yanc.Controller.fs (Yanc.Cluster.controller c (List.hd live)))
+      ~cred
+      (Y.Layout.proc_metrics ~proc:Y.Layout.cluster_proc_root)
+  with
+  | Error e -> Alcotest.failf "cluster metrics: %s" (Vfs.Errno.to_string e)
+  | Ok data ->
+    Alcotest.(check bool) "metrics file carries the merged series" true
+      (List.exists
+         (fun line ->
+           match String.split_on_char ' ' line with
+           | [ name; value ] ->
+             name = series ^ ".count" && float_of_string value = float_of_int count
+           | _ -> false)
+         (String.split_on_char '\n' data))
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [ prop_deterministic; prop_minimal_movement_leave;
@@ -303,4 +525,13 @@ let () =
           Alcotest.test_case "kill one of two: takeover converges" `Quick
             test_kill_one_of_two_takeover;
           Alcotest.test_case "sync_subtree anti-entropy" `Quick
-            test_sync_subtree_antientropy ] ) ]
+            test_sync_subtree_antientropy ] );
+      ( "observability",
+        [ Alcotest.test_case "one trace spans two rings" `Quick
+            test_one_trace_two_rings;
+          Alcotest.test_case "cross-node trace is deterministic" `Quick
+            test_cross_node_trace_determinism;
+          Alcotest.test_case "ring overflow accounting under a storm" `Quick
+            test_ring_overflow_accounting_under_storm;
+          Alcotest.test_case "cluster rollup matches a hand-merge" `Quick
+            test_rollup_matches_hand_merge ] ) ]

@@ -330,6 +330,212 @@ let test_scheduler_accounting () =
       (s.Yanc.Scheduler.runtime_ns >= 0)
   | l -> Alcotest.failf "expected one app, got %d" (List.length l)
 
+(* --- percentile quantization contract -------------------------------------- *)
+
+let test_percentile_upper_bound () =
+  let reg = T.Registry.create () in
+  let h = T.Registry.histogram reg "q" in
+  (* One observation at 5 ns sits in bucket [4, 8): the reported p50 is
+     the bucket's upper bound clamped to the true max — never below the
+     true value, and strictly less than 2x above it. *)
+  T.Registry.observe h 5e-9;
+  Alcotest.(check (float 1e-15)) "single value clamps to max" 5e-9
+    (T.Registry.percentile h 0.5);
+  T.Registry.observe h 100e-9;
+  let p50 = T.Registry.percentile h 0.5 in
+  Alcotest.(check (float 1e-15)) "p50 is bucket [4,8) upper bound" 8e-9 p50;
+  Alcotest.(check bool) "never below the true percentile" true (p50 >= 5e-9);
+  Alcotest.(check bool) "overstates by < 2x" true (p50 < 2. *. 5e-9);
+  (* Property over a spread of values: for every q, upper-bound
+     semantics bound the true rank-q observation from above within 2x. *)
+  let vals = [ 3e-9; 17e-9; 90e-9; 1.1e-6; 2.9e-6; 0.5e-3 ] in
+  let h2 = T.Registry.histogram reg "q2" in
+  List.iter (T.Registry.observe h2) vals;
+  let sorted = List.sort compare vals in
+  List.iter
+    (fun q ->
+      let p = T.Registry.percentile h2 q in
+      let rank =
+        let r =
+          int_of_float (ceil (q *. float_of_int (List.length sorted)))
+        in
+        max 1 (min (List.length sorted) r)
+      in
+      let true_v = List.nth sorted (rank - 1) in
+      Alcotest.(check bool)
+        (Printf.sprintf "q=%.2f bounded below by the true value" q)
+        true (p >= true_v);
+      Alcotest.(check bool)
+        (Printf.sprintf "q=%.2f within 2x of the true value" q)
+        true
+        (p < 2. *. true_v))
+    [ 0.5; 0.9; 0.99; 1.0 ]
+
+(* --- cluster rollup merge ---------------------------------------------------- *)
+
+(* Hand-merge two registries' histograms through the raw bucket
+   accessor and recompute the percentile with an independent
+   implementation of the upper-bound rule; merged_snapshot must agree
+   exactly — the rollup's p99 is the percentile of the union, not an
+   average of per-node percentiles. *)
+let test_merged_snapshot_hand_merge () =
+  let a = T.Registry.create () and b = T.Registry.create () in
+  T.Registry.add (T.Registry.counter a "hits") 3;
+  T.Registry.add (T.Registry.counter b "hits") 39;
+  T.Registry.gauge a "busy" (fun () -> 1.5);
+  T.Registry.gauge b "busy" (fun () -> 2.5);
+  let ha = T.Registry.histogram a "lat" in
+  let hb = T.Registry.histogram b "lat" in
+  (* node a is fast, node b is slow: the union's p99 must land in b's
+     range even though a has most of the mass *)
+  for _ = 1 to 90 do T.Registry.observe ha 1e-6 done;
+  for _ = 1 to 10 do T.Registry.observe hb 1e-3 done;
+  let merged = T.Registry.merged_snapshot [ a; b ] in
+  let get name =
+    match T.Registry.find merged name with
+    | Some v -> v
+    | None -> Alcotest.failf "missing merged series %s" name
+  in
+  Alcotest.(check (float 0.)) "counters summed" 42. (get "hits");
+  Alcotest.(check (float 1e-9)) "gauges summed" 4. (get "busy");
+  Alcotest.(check (float 0.)) "histogram counts summed" 100.
+    (get "lat.count");
+  (* independent hand-merge: bucket-wise sums, then the upper-bound walk *)
+  let buckets = Array.init 63 (fun i ->
+      T.Registry.hist_bucket ha i + T.Registry.hist_bucket hb i)
+  in
+  let count = Array.fold_left ( + ) 0 buckets in
+  let max_v = max (T.Registry.hist_max ha) (T.Registry.hist_max hb) in
+  let hand_percentile q =
+    let rank = max 1 (min count (int_of_float (ceil (q *. float_of_int count)))) in
+    let i = ref 0 and cum = ref buckets.(0) in
+    while !cum < rank && !i < 62 do
+      incr i;
+      cum := !cum + buckets.(!i)
+    done;
+    min (float_of_int (1 lsl (min 62 (!i + 1))) *. 1e-9) max_v
+  in
+  Alcotest.(check (float 1e-15)) "merged p50 = union percentile"
+    (hand_percentile 0.5) (get "lat.p50");
+  Alcotest.(check (float 1e-15)) "merged p99 = union percentile"
+    (hand_percentile 0.99) (get "lat.p99");
+  Alcotest.(check (float 1e-15)) "merged max = max of maxes" max_v
+    (get "lat.max");
+  (* of_entries lets a rollup append cluster-global series *)
+  let with_globals =
+    T.Registry.of_entries (("cluster.live_nodes", 2.) :: T.Registry.entries merged)
+  in
+  Alcotest.(check (option (float 0.))) "appended global present" (Some 2.)
+    (T.Registry.find with_globals "cluster.live_nodes")
+
+(* --- cross-node adoption ----------------------------------------------------- *)
+
+let test_adopt_and_id_base () =
+  let ra = T.Registry.create () and rb = T.Registry.create () in
+  let ta = T.Tracer.create ra and tb = T.Tracer.create rb in
+  T.Tracer.set_enabled ta true;
+  T.Tracer.set_enabled tb true;
+  T.Tracer.set_id_base tb (1 lsl 40);
+  T.Tracer.set_now ta 1.0;
+  let id = T.Tracer.fresh ta in
+  Alcotest.(check bool) "origin ids stay in the low slice" true
+    (id < 1 lsl 40);
+  let ctx =
+    match T.Tracer.context ta with
+    | Some c -> c
+    | None -> Alcotest.fail "no ambient context after fresh"
+  in
+  let trace, origin, origin_round = ctx in
+  Alcotest.(check int) "context carries the trace id" id trace;
+  (* the context rides a replicated op to node b, which adopts it *)
+  T.Tracer.set_now tb 1.5;
+  T.Tracer.adopt tb ~trace ~origin ~origin_round;
+  T.Tracer.span tb ~stage:"dfs.apply" (fun () -> ());
+  T.Tracer.clear tb;
+  (match T.Tracer.drain tb with
+  | [ r ] ->
+    Alcotest.(check int) "foreign span keeps the origin trace id" id
+      r.T.Tracer.trace;
+    Alcotest.(check bool) "span ids come from b's slice" true
+      (r.T.Tracer.span_id >= 1 lsl 40);
+    Alcotest.(check (float 1e-9)) "origin time rode along" origin
+      r.T.Tracer.origin
+  | l -> Alcotest.failf "expected 1 record on node b, got %d" (List.length l));
+  Alcotest.(check (option unit)) "adopt leaves no context once cleared" None
+    (Option.map ignore (T.Tracer.context tb));
+  (* a disabled tracer refuses adoption *)
+  T.Tracer.set_enabled tb false;
+  T.Tracer.adopt tb ~trace ~origin ~origin_round;
+  Alcotest.(check (option unit)) "disabled tracer adopts nothing" None
+    (Option.map ignore (T.Tracer.context tb))
+
+(* --- flight recorder ---------------------------------------------------------- *)
+
+let test_blackbox_bounded_and_nonconsuming () =
+  let bb = T.Blackbox.create ~capacity:4 () in
+  for i = 1 to 10 do
+    T.Blackbox.mark bb ~at:(float_of_int i) ~what:(Printf.sprintf "m%d" i)
+  done;
+  Alcotest.(check int) "recorded counts all events" 10
+    (T.Blackbox.recorded bb);
+  Alcotest.(check int) "overwritten = recorded - capacity" 6
+    (T.Blackbox.overwritten bb);
+  let evs = T.Blackbox.events bb in
+  Alcotest.(check int) "window holds capacity events" 4 (List.length evs);
+  (* non-consuming: a second read sees the same window (unlike trace_pipe) *)
+  Alcotest.(check int) "reads do not consume" 4
+    (List.length (T.Blackbox.events bb));
+  let r = T.Blackbox.render bb in
+  Alcotest.(check bool) "render carries the accounting header" true
+    (String.length r > 0
+    && String.sub r 0 (String.length "recorded 10 overwritten 6")
+       = "recorded 10 overwritten 6");
+  (match evs with
+  | T.Blackbox.Mark { what; _ } :: _ ->
+    Alcotest.(check string) "window starts at the oldest survivor" "m7" what
+  | _ -> Alcotest.fail "expected mark events");
+  let d = T.Blackbox.dump bb ~reason:"test" ~now:11. in
+  Alcotest.(check int) "dump counted" 1 (T.Blackbox.dumps bb);
+  Alcotest.(check bool) "dump names its reason" true
+    (String.sub d 0 (String.length "# blackbox dump reason=test")
+     = "# blackbox dump reason=test")
+
+(* --- health probes ------------------------------------------------------------ *)
+
+let test_health_probes () =
+  let snap l = T.Registry.of_entries l in
+  (* empty snapshot: every probe is not-applicable, worst is Ok *)
+  let verdicts = T.Health.evaluate (snap []) in
+  Alcotest.(check int) "all defaults evaluated"
+    (List.length T.Health.defaults)
+    (List.length verdicts);
+  Alcotest.(check int) "missing series pass" 0
+    (T.Health.exit_code (T.Health.worst verdicts));
+  (* a warn-level breach informs but does not fail *)
+  let warn = T.Health.evaluate (snap [ ("trace.dropped", 5.) ]) in
+  Alcotest.(check bool) "ring overruns warn" true
+    (T.Health.worst warn = T.Health.Warn);
+  Alcotest.(check int) "warn exits 0" 0
+    (T.Health.exit_code (T.Health.worst warn));
+  (* a crit breach flips the exit code *)
+  let crit =
+    T.Health.evaluate
+      (snap [ ("cluster.unowned_shards", 3.); ("trace.dropped", 5.) ])
+  in
+  Alcotest.(check bool) "unowned shards are crit" true
+    (T.Health.worst crit = T.Health.Crit);
+  Alcotest.(check int) "crit exits 1" 1
+    (T.Health.exit_code (T.Health.worst crit));
+  (* the rendered report round-trips its status line *)
+  Alcotest.(check bool) "render/parse round-trip (crit)" true
+    (T.Health.status_of_render (T.Health.render crit) = Some T.Health.Crit);
+  Alcotest.(check bool) "render/parse round-trip (ok)" true
+    (T.Health.status_of_render (T.Health.render verdicts) = Some T.Health.Ok);
+  (* values at the limit do not breach: the contract is value > limit *)
+  let at_limit = T.Health.evaluate (snap [ ("driver.dead_switches", 0.) ]) in
+  Alcotest.(check bool) "value = limit passes" true
+    (T.Health.worst at_limit = T.Health.Ok)
+
 let () =
   Alcotest.run "telemetry"
     [ ( "registry",
@@ -339,7 +545,11 @@ let () =
             test_snapshot_isolation;
           Alcotest.test_case "histogram percentiles" `Quick
             test_histogram_percentiles;
-          Alcotest.test_case "render format" `Quick test_render_format ] );
+          Alcotest.test_case "render format" `Quick test_render_format;
+          Alcotest.test_case "percentile upper-bound semantics" `Quick
+            test_percentile_upper_bound;
+          Alcotest.test_case "merged snapshot matches a hand-merge" `Quick
+            test_merged_snapshot_hand_merge ] );
       ( "tracer",
         [ Alcotest.test_case "ring overflow drops oldest" `Quick
             test_ring_overflow_drops_oldest;
@@ -347,7 +557,15 @@ let () =
             test_drain_consumes_once;
           Alcotest.test_case "stamp and resume" `Quick test_stamp_resume;
           Alcotest.test_case "disabled tracer is a no-op" `Quick
-            test_disabled_tracer_is_noop ] );
+            test_disabled_tracer_is_noop;
+          Alcotest.test_case "adopt carries a foreign trace" `Quick
+            test_adopt_and_id_base ] );
+      ( "blackbox",
+        [ Alcotest.test_case "bounded and non-consuming" `Quick
+            test_blackbox_bounded_and_nonconsuming ] );
+      ( "health",
+        [ Alcotest.test_case "probe evaluation and exit codes" `Quick
+            test_health_probes ] );
       ( "proc",
         [ Alcotest.test_case "packet-in traced end to end" `Quick
             test_packet_in_traced_end_to_end;
