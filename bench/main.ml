@@ -2084,6 +2084,176 @@ let e21_observability ?(json = None) () =
 (* The @bench-smoke gate: prove the acceptance ratio (warm lookups walk
    >= 5x fewer components than cold) in a fraction of a second, so
    `dune runtest` fails fast if the cache regresses. *)
+(* --- E22: the policy compiler ---------------------------------------------------
+   What does compiling /yanc/policy cost, and is the engine's install
+   actually incremental? Compile wall time (min of 5) and emitted-rule
+   counts across policy sizes, then the flow_mod bill — measured at
+   the commit queue's own counters — of a full install of a 200-clause
+   policy versus a one-clause edit of it. The acceptance gate (<= 10%)
+   rides bench-smoke; `--json` writes BENCH_policy.json. *)
+
+let e22_clause i =
+  Printf.sprintf "filter dl_type = 0x0800 && nw_dst = 10.%d.%d.%d ; fwd(%d)"
+    (i / 250) (i mod 250) (i mod 7)
+    (1 + (i mod 4))
+
+let e22_policy n = String.concat "\n| " (List.init n e22_clause)
+
+let e22_parse text =
+  match Policy.Syntax.parse text with
+  | Ok ir -> ir
+  | Error e -> failwith ("e22: parse: " ^ e)
+
+let e22_compile_point n =
+  let ir = e22_parse (e22_policy n) in
+  let best = ref infinity in
+  let rules = ref [] in
+  for _ = 1 to 5 do
+    let t0 = Sys.time () in
+    (match Policy.Compile.to_flows ir with
+    | Ok r -> rules := r
+    | Error e -> failwith ("e22: compile: " ^ e));
+    let w = Sys.time () -. t0 in
+    if w < !best then best := w
+  done;
+  (n, !best, List.length !rules)
+
+let e22_counter ctl name =
+  Telemetry.Registry.value
+    (Telemetry.Registry.counter
+       (Telemetry.registry (Yanc.Controller.telemetry ctl))
+       name)
+
+(* Full install vs one-clause edit of the same policy, billed at the
+   dirty-flow commit queue (adds + deletes actually encoded). *)
+let e22_incremental ~n () =
+  let built = N.Topo_gen.linear 1 in
+  let ctl = Yanc.Controller.create ~net:built.N.Topo_gen.net () in
+  Yanc.Controller.attach_switches ctl;
+  ignore (Yanc.Controller.add_policy_engine ctl);
+  Yanc.Controller.run_for ctl 0.3;
+  let fs = Yanc.Controller.fs ctl in
+  let write text =
+    match Fs.write_file fs ~cred (Y.Layout.policy_file "big") text with
+    | Ok () -> ()
+    | Error e -> failwith ("e22: write: " ^ Vfs.Errno.message e)
+  in
+  let mods () =
+    e22_counter ctl "driver.commit.adds" + e22_counter ctl "driver.commit.deletes"
+  in
+  let m0 = mods () in
+  write (e22_policy n);
+  Yanc.Controller.run_for ctl 2.0;
+  let full = mods () - m0 in
+  let m1 = mods () in
+  write
+    (String.concat "\n| "
+       (List.init n (fun i -> e22_clause (if i = n / 2 then n + 7 else i))));
+  Yanc.Controller.run_for ctl 2.0;
+  (full, mods () - m1)
+
+(* Random (policy, packet) equivalence checks against the reference
+   interpreter — the bench-side slice of the test suite's 500+ proof,
+   generated through the concrete syntax so the parser is in the loop. *)
+let e22_equivalence ~cases rng =
+  let pick xs = List.nth xs (N.Prng.below rng (List.length xs)) in
+  let atoms =
+    [ "drop"; "id"; "fwd(1)"; "fwd(2)"; "flood"; "controller";
+      "dl_vlan := 5"; "nw_tos := 7"; "tp_dst := 8080";
+      "filter dl_type = 0x0800"; "filter tp_dst = 80";
+      "filter nw_dst = 10.0.0.0/8"; "filter dl_vlan = 5";
+      "filter ! (tp_dst = 80 && dl_type = 0x0800)" ]
+  in
+  let rec gen depth =
+    if depth = 0 then pick atoms
+    else
+      match N.Prng.below rng 3 with
+      | 0 -> Printf.sprintf "(%s ; %s)" (gen (depth - 1)) (gen (depth - 1))
+      | 1 -> Printf.sprintf "(%s | %s)" (gen (depth - 1)) (gen (depth - 1))
+      | _ -> pick atoms
+  in
+  let header () =
+    { P.Headers.in_port = 1 + N.Prng.below rng 3;
+      dl_src = P.Mac.of_int 0x0a0001;
+      dl_dst = P.Mac.of_int 0x0a0002;
+      dl_vlan = pick [ None; Some 5; Some 9 ];
+      dl_vlan_pcp = pick [ None; Some 0 ];
+      dl_type = pick [ 0x0800; 0x0806 ];
+      nw_src = pick [ None; P.Ipv4_addr.of_string "10.1.2.3" ];
+      nw_dst =
+        pick
+          [ None; P.Ipv4_addr.of_string "10.9.9.9";
+            P.Ipv4_addr.of_string "192.168.0.1" ];
+      nw_proto = pick [ None; Some 6 ];
+      nw_tos = pick [ None; Some 0 ];
+      tp_src = pick [ None; Some 1234 ];
+      tp_dst = pick [ None; Some 80; Some 53 ] }
+  in
+  let checked = ref 0 in
+  while !checked < cases do
+    let p = e22_parse (gen 3) in
+    match Policy.Compile.compile p with
+    | Error _ -> ()  (* unrealizable under OF 1.0 — not an equivalence case *)
+    | Ok cls ->
+      for _ = 1 to 5 do
+        let h = header () in
+        if Policy.Compile.classify cls h <> Policy.Interp.eval p h then
+          failwith "e22: compiled classifier disagrees with Interp.eval";
+        incr checked
+      done
+  done;
+  !checked
+
+let e22_json_of path points (n_inc, full, inc) =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"bench\": \"e22_policy_compiler\",\n";
+  out "  \"generated_by\": \"dune exec bench/main.exe -- e22 --json\",\n";
+  out "  \"compile_wall\": \"min of 5 runs, Sys.time\",\n";
+  out "  \"series\": [\n";
+  List.iteri
+    (fun i (n, w, r) ->
+      out
+        "    { \"clauses\": %d, \"compile_s\": %.6f, \"rules\": %d, \
+         \"rules_per_clause\": %.2f }%s\n"
+        n w r
+        (float_of_int r /. float_of_int n)
+        (if i = List.length points - 1 then "" else ","))
+    points;
+  out "  ],\n";
+  out
+    "  \"incremental\": { \"clauses\": %d, \"full_install_flow_mods\": %d, \
+     \"one_clause_edit_flow_mods\": %d, \"edit_over_full\": %.4f, \
+     \"gate\": \"<= 0.10\" }\n"
+    n_inc full inc
+    (float_of_int inc /. float_of_int full);
+  out "}\n";
+  close_out oc;
+  Printf.printf "  wrote %s\n" path
+
+let e22_policy_compiler ?(json = None) () =
+  section "E22  policy compiler: NetCore-style IR -> classifier rules over the FS";
+  let cases = e22_equivalence ~cases:150 (N.Prng.create ~seed:0x22E22) in
+  row "  compile = eval on %d random (policy, packet) cases\n" cases;
+  row "  %7s | %10s | %6s | %12s\n" "clauses" "compile s" "rules" "rules/clause";
+  let points = List.map e22_compile_point [ 10; 50; 200; 500 ] in
+  List.iter
+    (fun (n, w, r) ->
+      row "  %7d | %10.6f | %6d | %12.2f\n" n w r
+        (float_of_int r /. float_of_int n))
+    points;
+  let n_inc = 200 in
+  let full, inc = e22_incremental ~n:n_inc () in
+  row
+    "  incremental: full install of %d clauses = %d flow_mods, one-clause \
+     edit = %d (%.1f%%)\n"
+    n_inc full inc
+    (100. *. float_of_int inc /. float_of_int full);
+  match json with
+  | Some path -> e22_json_of path points (n_inc, full, inc)
+  | None -> ()
+
 let smoke () =
   let fs = Fs.create () in
   let dir = Vfs.Path.of_string_exn "/a/b/c/d/e" in
@@ -2580,7 +2750,30 @@ let smoke () =
     "bench-smoke: ok (n=4 tracing overhead within 5%%, cross-node spans \
      live, health %s -> %s on kill)\n"
     (Telemetry.Health.level_to_string post_storm)
-    (Telemetry.Health.level_to_string post_kill)
+    (Telemetry.Health.level_to_string post_kill);
+  (* The policy gate (E22): the compiler must agree with the reference
+     interpreter on random (policy, packet) cases generated through the
+     concrete syntax, and a one-clause edit of a 200-clause installed
+     policy must re-program <= 10% of what the full install did (the
+     engine's content-hash diff + LCS reprioritization at work). *)
+  let cases = e22_equivalence ~cases:150 (N.Prng.create ~seed:0x22E22) in
+  Printf.printf "bench-smoke: policy compile = eval on %d random cases\n" cases;
+  let full, inc = e22_incremental ~n:200 () in
+  Printf.printf
+    "bench-smoke: policy full install = %d flow_mods, one-clause edit = %d\n"
+    full inc;
+  if full < 200 then begin
+    Printf.printf
+      "bench-smoke: FAIL — 200 disjoint clauses must program >= 200 rules\n";
+    exit 1
+  end;
+  if inc * 10 > full then begin
+    Printf.printf
+      "bench-smoke: FAIL — a one-clause policy edit should cost <= 10%% of \
+       the full install's flow_mods\n";
+    exit 1
+  end;
+  Printf.printf "bench-smoke: ok (policy equivalence + O(changed) edits)\n"
 
 let e_wire_volume () =
   section "AUX  control-channel bytes per operation (driver wire cost)";
@@ -2644,6 +2837,15 @@ let () =
     e20_cluster ~json ();
     exit 0
   end;
+  if Array.exists (fun a -> a = "e22" || a = "policy") Sys.argv then begin
+    let json =
+      if Array.exists (fun a -> a = "--json") Sys.argv then
+        Some "BENCH_policy.json"
+      else None
+    in
+    e22_policy_compiler ~json ();
+    exit 0
+  end;
   if Array.exists (fun a -> a = "e21" || a = "obs") Sys.argv then begin
     let json =
       if Array.exists (fun a -> a = "--json") Sys.argv then
@@ -2675,6 +2877,7 @@ let () =
   e18_commit_queue ();
   e19_scale ();
   e20_cluster ();
+  e22_policy_compiler ();
   ext_qos ();
   e_wire_volume ();
   print_endline "\ndone."

@@ -765,6 +765,111 @@ let shell_cmd topo datapath of13 apps script_file lines =
   Yanc.Controller.run_for ctl 0.5;
   !code
 
+(* --- policy: compile a policy file, or watch the engine run it ------------------ *)
+
+let demo_policy =
+  "# demo policy: ARP to the controller, web to port 1, DNS to port 2\n\
+   filter dl_type = 0x0806 ; controller\n\
+   | filter dl_type = 0x0800 && tp_dst = 80 ; fwd(1)\n\
+   | filter dl_type = 0x0800 && tp_dst = 53 ; fwd(2)\n"
+
+let read_host_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let policy_check text =
+  match Policy.Syntax.parse text with
+  | Error e ->
+    Printf.eprintf "yancctl: policy: %s\n" e;
+    1
+  | Ok ir -> (
+    match Policy.Compile.to_flows ir with
+    | Error e ->
+      Printf.eprintf "yancctl: policy: %s\n" e;
+      1
+    | Ok rules ->
+      Printf.printf "parsed: %s\n" (Policy.Syntax.to_string ir);
+      Printf.printf "compiled: %d classifier rules\n\n" (List.length rules);
+      print_string (Policy.Compile.render rules);
+      0)
+
+let policy_cmd action file topo datapath of13 duration =
+  setup_logs ();
+  let text =
+    match file with Some f -> read_host_file f | None -> demo_policy
+  in
+  if action = "check" then policy_check text
+  else begin
+    let built = topo datapath in
+    let ctl = build ~topo:built ~of13 ~apps:[ "topology" ] in
+    let eng = Yanc.Controller.add_policy_engine ctl in
+    let cred = Vfs.Cred.root in
+    let fs = Yanc.Controller.fs ctl in
+    (match
+       Vfs.Fs.write_file fs ~cred (Yancfs.Layout.policy_file "main") text
+     with
+    | Ok () -> ()
+    | Error e ->
+      Printf.eprintf "yancctl: policy: write: %s\n" (Vfs.Errno.message e));
+    Yanc.Controller.run_for ctl duration;
+    let proc_report =
+      match
+        Vfs.Fs.read_file fs ~cred
+          (Yancfs.Layout.proc_policy ~proc:Yancfs.Layout.default_proc_root)
+      with
+      | Ok s -> s
+      | Error e -> Printf.sprintf "(unreadable: %s)\n" (Vfs.Errno.message e)
+    in
+    match action with
+    | "stats" ->
+      (* the engine's own series plus the commit queue it drives *)
+      print_string "--- /yanc/.proc/policy\n";
+      print_string proc_report;
+      print_string "--- policy.* and driver.commit.* metrics\n";
+      (match
+         Vfs.Fs.read_file fs ~cred
+           (Yancfs.Layout.proc_metrics ~proc:Yancfs.Layout.default_proc_root)
+       with
+      | Ok metrics ->
+        String.split_on_char '\n' metrics
+        |> List.iter (fun line ->
+               let has p =
+                 String.length line >= String.length p
+                 && String.sub line 0 (String.length p) = p
+               in
+               if has "policy." || has "driver.commit." then
+                 print_endline line)
+      | Error e ->
+        Printf.eprintf "yancctl: policy: metrics: %s\n" (Vfs.Errno.message e));
+      0
+    | _ ->
+      (* show *)
+      print_string "--- /yanc/policy/main\n";
+      print_string text;
+      if text <> "" && text.[String.length text - 1] <> '\n' then
+        print_newline ();
+      print_string "--- /yanc/.proc/policy\n";
+      print_string proc_report;
+      print_string "--- compiled rules (installed on every switch)\n";
+      print_string (Policy.Compile.render (Apps.Policy_engine.desired eng));
+      let yfs = Yanc.Controller.yfs ctl in
+      List.iter
+        (fun swname ->
+          let n =
+            Yancfs.Yanc_fs.flow_name_set yfs ~cred swname
+            |> Yancfs.Yanc_fs.Name_set.filter (fun name ->
+                   let p = Apps.Policy_engine.flow_prefix in
+                   String.length name > String.length p
+                   && String.sub name 0 (String.length p) = p)
+            |> Yancfs.Yanc_fs.Name_set.cardinal
+          in
+          Printf.printf "%s: %d policy flows installed\n" swname n)
+        (Yancfs.Yanc_fs.switch_names yfs);
+      0
+  end
+
 (* --- cmdliner wiring ------------------------------------------------------------------ *)
 
 open Cmdliner
@@ -1010,11 +1115,44 @@ let cluster_t =
       const cluster_cmd $ topo_arg $ datapath_arg $ of13_arg $ nodes_arg
       $ kill_arg $ duration_arg)
 
+let policy_action_arg =
+  Arg.(
+    value
+    & pos 0 (enum [ "show", "show"; "check", "check"; "stats", "stats" ]) "show"
+    & info [] ~docv:"ACTION"
+        ~doc:
+          "$(b,check) parses and compiles the policy and prints the \
+           classifier (exit 1 on error, no controller involved); \
+           $(b,show) runs the engine over a demo rig and reports the \
+           installed state; $(b,stats) dumps the policy.* and \
+           driver.commit.* series after such a run.")
+
+let policy_file_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "f"; "file" ] ~docv:"FILE"
+        ~doc:
+          "Policy text to use (concrete syntax, see /yanc/policy in the \
+           README); default is a small built-in demo policy.")
+
+let policy_t =
+  Cmd.v
+    (Cmd.info "policy"
+       ~doc:
+         "The policy compiler: check a policy file offline, or boot a \
+          demo controller, drop the policy into /yanc/policy/ and report \
+          what the engine compiled and installed \
+          (/yanc/.proc/policy, compiled rules, per-switch flow counts).")
+    Term.(
+      const policy_cmd $ policy_action_arg $ policy_file_arg $ topo_arg
+      $ datapath_arg $ of13_arg $ duration_arg)
+
 let main =
   Cmd.group
     (Cmd.info "yancctl" ~version:"1.0.0"
        ~doc:"yanc: a file-system-centric SDN controller (simulated).")
     [ run_t; tree_t; shell_t; counters_t; top_t; trace_t; cluster_t;
-      health_t; blackbox_t ]
+      health_t; blackbox_t; policy_t ]
 
 let () = exit (Cmd.eval' main)

@@ -1,0 +1,53 @@
+let rec eval_pred p (h : Packet.Headers.t) =
+  match p with
+  | Ir.True -> true
+  | Ir.False -> false
+  | Ir.Test m -> Openflow.Of_match.matches m h
+  | Ir.And (a, b) -> eval_pred a h && eval_pred b h
+  | Ir.Or (a, b) -> eval_pred a h || eval_pred b h
+  | Ir.Not a -> not (eval_pred a h)
+
+let rec eval (p : Ir.t) (h : Packet.Headers.t) : Ir.atom list =
+  match p with
+  | Filter pr -> if eval_pred pr h then [ Ir.atom_id ] else []
+  | Fwd port -> [ { Ir.mods = Ir.no_mods; out = Some port } ]
+  | Mod a -> (
+      match Ir.mods_of_action a with
+      | Some m -> [ { Ir.mods = m; out = None } ]
+      | None -> [])
+  | Seq (p, q) ->
+      (* Kleisli bind: run q on each p-atom's rewritten packet. *)
+      Ir.norm
+        (List.concat_map
+           (fun (a : Ir.atom) ->
+             let h' = Ir.apply_mods a.mods h in
+             List.map (Ir.compose a) (eval q h'))
+           (eval p h))
+  | Par (p, q) -> Ir.union (eval p h) (eval q h)
+  | Ite (pr, p, q) -> if eval_pred pr h then eval p h else eval q h
+
+let emitted atoms h =
+  List.sort_uniq Stdlib.compare
+    (List.filter_map
+       (fun (a : Ir.atom) ->
+         match a.out with
+         | Some port -> Some (Ir.apply_mods a.mods h, port)
+         | None -> None)
+       atoms)
+
+let replay actions h =
+  let emit, _ =
+    List.fold_left
+      (fun (acc, h) (act : Openflow.Action.t) ->
+        match act with
+        | Output Openflow.Action.Drop -> (acc, h)
+        | Output port -> ((h, port) :: acc, h)
+        | Enqueue { port; _ } -> ((h, Openflow.Action.Physical port) :: acc, h)
+        | Strip_vlan ->
+            (acc, { h with Packet.Headers.dl_vlan = None; dl_vlan_pcp = None })
+        | _ ->
+            let m = Option.get (Ir.mods_of_action act) in
+            (acc, Ir.apply_mods m h))
+      ([], h) actions
+  in
+  List.sort_uniq Stdlib.compare emit

@@ -1,0 +1,158 @@
+type pred =
+  | True
+  | False
+  | Test of Openflow.Of_match.t
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+type t =
+  | Filter of pred
+  | Fwd of Openflow.Action.pseudo_port
+  | Mod of Openflow.Action.t
+  | Seq of t * t
+  | Par of t * t
+  | Ite of pred * t * t
+
+let drop = Filter False
+let id = Filter True
+
+type mods = {
+  m_dl_src : Packet.Mac.t option;
+  m_dl_dst : Packet.Mac.t option;
+  m_dl_vlan : int option;
+  m_dl_vlan_pcp : int option;
+  m_nw_src : Packet.Ipv4_addr.t option;
+  m_nw_dst : Packet.Ipv4_addr.t option;
+  m_nw_tos : int option;
+  m_tp_src : int option;
+  m_tp_dst : int option;
+}
+
+let no_mods =
+  {
+    m_dl_src = None;
+    m_dl_dst = None;
+    m_dl_vlan = None;
+    m_dl_vlan_pcp = None;
+    m_nw_src = None;
+    m_nw_dst = None;
+    m_nw_tos = None;
+    m_tp_src = None;
+    m_tp_dst = None;
+  }
+
+let mods_of_action (a : Openflow.Action.t) =
+  match a with
+  | Set_dl_src m -> Some { no_mods with m_dl_src = Some m }
+  | Set_dl_dst m -> Some { no_mods with m_dl_dst = Some m }
+  | Set_vlan v -> Some { no_mods with m_dl_vlan = Some v }
+  | Set_vlan_pcp p -> Some { no_mods with m_dl_vlan_pcp = Some p }
+  | Set_nw_src a -> Some { no_mods with m_nw_src = Some a }
+  | Set_nw_dst a -> Some { no_mods with m_nw_dst = Some a }
+  | Set_nw_tos t -> Some { no_mods with m_nw_tos = Some t }
+  | Set_tp_src p -> Some { no_mods with m_tp_src = Some p }
+  | Set_tp_dst p -> Some { no_mods with m_tp_dst = Some p }
+  | Output _ | Enqueue _ | Strip_vlan -> None
+
+let opt_or a b = match b with Some _ -> b | None -> a
+
+let override a b =
+  {
+    m_dl_src = opt_or a.m_dl_src b.m_dl_src;
+    m_dl_dst = opt_or a.m_dl_dst b.m_dl_dst;
+    m_dl_vlan = opt_or a.m_dl_vlan b.m_dl_vlan;
+    m_dl_vlan_pcp = opt_or a.m_dl_vlan_pcp b.m_dl_vlan_pcp;
+    m_nw_src = opt_or a.m_nw_src b.m_nw_src;
+    m_nw_dst = opt_or a.m_nw_dst b.m_nw_dst;
+    m_nw_tos = opt_or a.m_nw_tos b.m_nw_tos;
+    m_tp_src = opt_or a.m_tp_src b.m_tp_src;
+    m_tp_dst = opt_or a.m_tp_dst b.m_tp_dst;
+  }
+
+let apply_mods m (h : Packet.Headers.t) =
+  {
+    h with
+    dl_src = (match m.m_dl_src with Some v -> v | None -> h.dl_src);
+    dl_dst = (match m.m_dl_dst with Some v -> v | None -> h.dl_dst);
+    dl_vlan = opt_or h.dl_vlan m.m_dl_vlan;
+    dl_vlan_pcp = opt_or h.dl_vlan_pcp m.m_dl_vlan_pcp;
+    nw_src = opt_or h.nw_src m.m_nw_src;
+    nw_dst = opt_or h.nw_dst m.m_nw_dst;
+    nw_tos = opt_or h.nw_tos m.m_nw_tos;
+    tp_src = opt_or h.tp_src m.m_tp_src;
+    tp_dst = opt_or h.tp_dst m.m_tp_dst;
+  }
+
+let mods_to_actions m : Openflow.Action.t list =
+  let add f acc = match f with Some a -> a :: acc | None -> acc in
+  []
+  |> add (Option.map (fun p -> Openflow.Action.Set_tp_dst p) m.m_tp_dst)
+  |> add (Option.map (fun p -> Openflow.Action.Set_tp_src p) m.m_tp_src)
+  |> add (Option.map (fun t -> Openflow.Action.Set_nw_tos t) m.m_nw_tos)
+  |> add (Option.map (fun a -> Openflow.Action.Set_nw_dst a) m.m_nw_dst)
+  |> add (Option.map (fun a -> Openflow.Action.Set_nw_src a) m.m_nw_src)
+  |> add (Option.map (fun p -> Openflow.Action.Set_vlan_pcp p) m.m_dl_vlan_pcp)
+  |> add (Option.map (fun v -> Openflow.Action.Set_vlan v) m.m_dl_vlan)
+  |> add (Option.map (fun d -> Openflow.Action.Set_dl_dst d) m.m_dl_dst)
+  |> add (Option.map (fun s -> Openflow.Action.Set_dl_src s) m.m_dl_src)
+
+let mods_count m = List.length (mods_to_actions m)
+
+let well_formed p =
+  let rec go = function
+    | Filter _ -> Ok ()
+    | Fwd Openflow.Action.Drop ->
+        Error "Fwd Drop is not a policy; use `drop` (Filter False)"
+    | Fwd _ -> Ok ()
+    | Mod a -> (
+        match mods_of_action a with
+        | Some _ -> Ok ()
+        | None ->
+            Error
+              (Fmt.str "Mod holds non-rewrite action %a" Openflow.Action.pp a))
+    | Seq (p, q) | Par (p, q) -> (
+        match go p with Ok () -> go q | e -> e)
+    | Ite (_, p, q) -> ( match go p with Ok () -> go q | e -> e)
+  in
+  go p
+
+let size p =
+  let rec psize = function
+    | True | False | Test _ -> 1
+    | And (a, b) | Or (a, b) -> 1 + psize a + psize b
+    | Not a -> 1 + psize a
+  in
+  let rec go = function
+    | Filter pr -> 1 + psize pr
+    | Fwd _ | Mod _ -> 1
+    | Seq (p, q) | Par (p, q) -> 1 + go p + go q
+    | Ite (pr, p, q) -> 1 + psize pr + go p + go q
+  in
+  go p
+
+type atom = { mods : mods; out : Openflow.Action.pseudo_port option }
+
+let atom_id = { mods = no_mods; out = None }
+
+let compose a b =
+  {
+    mods = override a.mods b.mods;
+    out = (match b.out with Some _ -> b.out | None -> a.out);
+  }
+
+(* Atoms contain only immediates (ints, private-int macs, private-int32
+   addresses), so the polymorphic compare is a sound total order. *)
+let norm atoms = List.sort_uniq Stdlib.compare atoms
+let union a b = norm (List.rev_append a b)
+
+let pp_atom ppf a =
+  let acts = mods_to_actions a.mods in
+  let out =
+    match a.out with
+    | Some p -> [ Openflow.Action.Output p ]
+    | None -> []
+  in
+  Fmt.pf ppf "{%a}" Openflow.Action.pp_list (acts @ out)
+
+let pp_atoms = Fmt.(brackets (list ~sep:(any "; ") pp_atom))

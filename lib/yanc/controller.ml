@@ -150,6 +150,14 @@ let add_app t app =
   let name = app.Apps.App_intf.name in
   Yancfs.Procdir.add_app t.proc ~name ~stat:(app_stat t name)
 
+let add_policy_engine ?dir t =
+  let engine = Apps.Policy_engine.create ?dir ~cred:Vfs.Cred.root t.yfs in
+  add_app t (Apps.Policy_engine.app engine);
+  Yancfs.Procdir.add_file t.proc
+    (Yancfs.Layout.proc_policy ~proc:(Yancfs.Procdir.root t.proc))
+    (fun () -> Apps.Policy_engine.status engine);
+  engine
+
 let now t = Netsim.Network.now t.net
 
 let step t =

@@ -62,6 +62,11 @@ val attach : t -> dpid:int64 -> version:version -> unit
 val add_app : t -> Apps.App_intf.t -> unit
 (** Also publishes [/yanc/.proc/apps/<name>/stat]. *)
 
+val add_policy_engine : ?dir:Vfs.Path.t -> t -> Apps.Policy_engine.t
+(** Start the policy engine ({!Apps.Policy_engine}) over this
+    controller's tree and publish its [/yanc/.proc/policy] report.
+    [dir] defaults to [/yanc/policy]. *)
+
 val now : t -> float
 
 val step : t -> unit

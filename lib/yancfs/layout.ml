@@ -91,9 +91,21 @@ let blackbox_dumps_dir = Path.of_string_exn "/yanc/blackbox"
 let blackbox_dump ~node n =
   Path.child blackbox_dumps_dir (Printf.sprintf "%s-%d" node n)
 
+(* --- /yanc/policy (policy programs as files, see Apps.Policy_engine) ------- *)
+
+let policy_root = Path.of_string_exn "/yanc/policy"
+
+let policy_file name = Path.child policy_root name
+
+let policy_errors_dir = Path.child policy_root ".errors"
+
+let policy_error name = Path.child policy_errors_dir name
+
 (* --- /yanc/.proc (procfs analog, see Procdir) ------------------------------- *)
 
 let default_proc_root = Path.of_string_exn "/yanc/.proc"
+
+let proc_policy ~proc = Path.child proc "policy"
 
 let proc_metrics ~proc = Path.child proc "metrics"
 

@@ -127,6 +127,31 @@ val blackbox_dumps_dir : Vfs.Path.t
 val blackbox_dump : node:string -> int -> Vfs.Path.t
 (** [/yanc/blackbox/<node>-<n>] — the [n]th dump of a node's box. *)
 
+(** {1 /yanc/policy — the policy engine's file interface}
+
+    Network policy is files too: each file under [/yanc/policy/] holds
+    one policy program in the concrete syntax; the engine watches the
+    directory, composes every readable file in parallel (name order),
+    and installs the compiled rules as [pol_*] flows under every
+    switch's [flows/]. Compile errors for a file land beside it in
+    [.errors/<name>] — never tearing the engine down. *)
+
+val policy_root : Vfs.Path.t
+(** [/yanc/policy] *)
+
+val policy_file : string -> Vfs.Path.t
+
+val policy_errors_dir : Vfs.Path.t
+(** [/yanc/policy/.errors] — one file per failing policy file (plus
+    [_policy] for errors of the composed whole); removed when the
+    source recompiles cleanly. *)
+
+val policy_error : string -> Vfs.Path.t
+
+val proc_policy : proc:Vfs.Path.t -> Vfs.Path.t
+(** [<proc>/policy] — the engine's status report (files, rules,
+    errors, last compile). *)
+
 (** {1 /yanc/.proc — the procfs analog (see {!Procdir})} *)
 
 val default_proc_root : Vfs.Path.t

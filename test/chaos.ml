@@ -12,6 +12,12 @@
    - per switch, hardware flow table ≡ committed file-system flows
      (compared as sorted (match, priority) sets, lookup-side expiry
      applied);
+   - when a [policy] pair is given, the policy engine runs too: the
+     first text is installed before the turbulence, the second is
+     written mid-workload so the recompile + diffed install races the
+     faults, and afterwards every switch's [pol_*] flows must equal
+     the engine's compiled desired rules (which, with the invariant
+     above, gives hardware ≡ file system ≡ compiled policy);
    - applications still making progress (no wedged scheduler entry);
    - no unbounded chunk build-up in either channel direction.
 
@@ -97,7 +103,7 @@ let app_iterations ctl name =
   | Some (s : Yanc.Scheduler.app_stats) -> s.iterations
   | None -> 0
 
-let run ?(switches = 3) ?(flows = 9) ~seed profile =
+let run ?(switches = 3) ?(flows = 9) ?policy ~seed profile =
   let fail fmt =
     Printf.ksprintf
       (fun s ->
@@ -113,6 +119,22 @@ let run ?(switches = 3) ?(flows = 9) ~seed profile =
   Yanc.Controller.add_app ctl (Apps.Topology.app topo);
   let mgr = Yanc.Controller.manager ctl in
   let dpids = D.Manager.attached mgr in
+  let write_policy text =
+    match
+      Vfs.Fs.write_file (Yanc.Controller.fs ctl) ~cred
+        (Y.Layout.policy_file "chaos") text
+    with
+    | Ok () -> ()
+    | Error e -> fail "write policy file: %s" (Vfs.Errno.to_string e)
+  in
+  let engine =
+    match policy with
+    | None -> None
+    | Some (initial, _) ->
+      let eng = Yanc.Controller.add_policy_engine ctl in
+      write_policy initial;
+      Some eng
+  in
   (* clean boot: everything handshakes before the turbulence starts *)
   Yanc.Controller.run_for ~tick:0.02 ctl 0.3;
   List.iter
@@ -162,6 +184,11 @@ let run ?(switches = 3) ?(flows = 9) ~seed profile =
   let nsw = List.length names in
   for i = 0 to flows - 1 do
     Yanc.Controller.run_for ~tick:0.02 ctl 0.2;
+    (* mid-workload policy rewrite: the recompile and its diffed
+       install run while the channels are still misbehaving (and, for
+       the disconnect profile, while scripted severs land) *)
+    if i = flows / 2 then
+      Option.iter (fun (_, rewrite) -> write_policy rewrite) policy;
     let swname = List.nth names (i mod nsw) in
     let flow =
       { Y.Flowdir.default with
@@ -240,6 +267,42 @@ let run ?(switches = 3) ?(flows = 9) ~seed profile =
         fail "%s diverged after convergence: fs has %d rules, hardware %d"
           swname (List.length fs) (List.length hw))
     dpids names;
+  (* Invariant 1b: the compiled policy survived the turbulence — every
+     switch's pol_* flows are exactly the engine's desired rules.
+     Together with invariant 1 this closes the chain
+     hardware ≡ file system ≡ compiled policy. *)
+  (match engine with
+  | None -> ()
+  | Some eng ->
+    let want =
+      sorted_rules
+        (List.map
+           (fun (d : Policy.Compile.flow_rule) ->
+             (d.name, d.of_match, d.actions))
+           (Apps.Policy_engine.desired eng))
+    in
+    if want = [] then fail "policy compiled to no rules";
+    List.iter
+      (fun swname ->
+        let got =
+          List.filter_map
+            (fun fname ->
+              let p = Apps.Policy_engine.flow_prefix in
+              if
+                String.length fname > String.length p
+                && String.sub fname 0 (String.length p) = p
+              then
+                match Y.Yanc_fs.read_flow yfs ~cred ~switch:swname fname with
+                | Ok (f : Y.Flowdir.t) -> Some (fname, f.of_match, f.actions)
+                | Error e -> fail "read policy flow %s/%s: %s" swname fname e
+              else None)
+            (Y.Yanc_fs.flow_names yfs ~cred swname)
+          |> sorted_rules
+        in
+        if got <> want then
+          fail "%s: policy flows diverged (%d in fs, %d desired)" swname
+            (List.length got) (List.length want))
+      names);
   (* Invariant 2: the application kept running through the failures. *)
   let iterations_end = app_iterations ctl Apps.Topology.app_name in
   if iterations_end <= iterations_mid then

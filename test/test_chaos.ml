@@ -272,6 +272,32 @@ let soak_case profile seed =
         Alcotest.failf "chaos seed=%d profile=%s: policy injected nothing" seed
           profile.Chaos.pname)
 
+(* Policy soak (ISSUE 10 satellite): the policy engine recompiles and
+   re-installs while the channels misbehave — the first text installs
+   before the turbulence, the rewrite lands mid-workload, and
+   {!Chaos.run} then asserts hardware ≡ file system ≡ compiled policy
+   after recovery. One fixed seed per profile keeps the matrix fast. *)
+let soak_policy_texts =
+  ( "filter dl_type = 0x0806 ; controller\n\
+     | filter dl_type = 0x0800 && tp_dst = 80 ; fwd(1)\n\
+     | filter dl_type = 0x0800 && tp_dst = 53 ; fwd(2)",
+    "filter dl_type = 0x0806 ; controller\n\
+     | filter dl_type = 0x0800 && tp_dst = 443 ; fwd(2)\n\
+     | filter dl_type = 0x0800 && tp_dst = 53 ; fwd(2)\n\
+     | filter dl_type = 0x0800 && nw_dst = 10.0.0.0/8 ; dl_src := \
+     02:00:00:00:00:01 ; fwd(1)" )
+
+let soak_policy_case profile =
+  let seed = 13 in
+  Alcotest.test_case
+    (Printf.sprintf "soak+policy %s seed=%d" profile.Chaos.pname seed)
+    `Quick
+    (fun () ->
+      let o = Chaos.run ~seed ~policy:soak_policy_texts profile in
+      if o.Chaos.resyncs < 1 then
+        Alcotest.failf "chaos seed=%d profile=%s: no resync happened" seed
+          profile.Chaos.pname)
+
 (* Determinism of the harness itself: the same (seed, profile) must
    yield the same counters — this is what makes a printed seed a
    reproduction recipe. *)
@@ -306,4 +332,5 @@ let () =
         Alcotest.test_case "reproducible outcome" `Quick test_chaos_reproducible
         :: List.concat_map
              (fun p -> List.map (soak_case p) soak_seeds)
-             Chaos.profiles ) ]
+             Chaos.profiles
+        @ List.map soak_policy_case Chaos.profiles ) ]
